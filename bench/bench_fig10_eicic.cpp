@@ -1,0 +1,53 @@
+// Figure 10 reproduction: throughput benefits of optimized eICIC
+// (paper Sec. 6.1). A macro cell (3 saturated UEs) and a small cell (1 UE,
+// lightly loaded) run under three coordination modes:
+//   uncoordinated  -- both cells schedule independently, full interference;
+//   eICIC          -- static almost-blank subframes: macro mutes 4/10
+//                     subframes, the small cell transmits only there;
+//   optimized      -- the FlexRAN coordinator centrally schedules ABSs,
+//                     small cell first, returning idle ABSs to the macro.
+//
+// 10a: network throughput ordering optimized > eICIC > uncoordinated
+//      (paper: optimized ~2x uncoordinated, ~+22% over eICIC).
+// 10b: per-cell split -- the small cell is unaffected by the optimization;
+//      the macro takes the entire gain.
+#include "bench/bench_common.h"
+#include "scenario/eicic_scenario.h"
+
+using namespace flexran;
+
+int main() {
+  scenario::EicicScenarioConfig config;
+  config.warmup_s = 1.0;
+  config.measure_s = 8.0;
+
+  bench::print_header("Fig. 10a -- downlink network throughput per coordination mode");
+  bench::print_note(
+      "paper (absolute numbers from full-PHY emulation at small scale):\n"
+      "uncoordinated ~4.2, eICIC ~6.6, optimized ~8.0 Mb/s. Our interference\n"
+      "geometry is harsher (cell-edge UEs), so the uncoordinated case collapses\n"
+      "further; the ordering and the optimized-vs-eICIC gain are the targets.");
+
+  scenario::EicicScenarioResult results[3];
+  const apps::EicicMode modes[3] = {apps::EicicMode::uncoordinated, apps::EicicMode::eicic,
+                                    apps::EicicMode::optimized};
+  std::printf("\n%-18s %16s\n", "mode", "network (Mb/s)");
+  for (int i = 0; i < 3; ++i) {
+    config.mode = modes[i];
+    results[i] = scenario::run_eicic_scenario(config);
+    std::printf("%-18s %16.2f\n", to_string(modes[i]), results[i].network_mbps);
+  }
+  std::printf("\noptimized / uncoordinated: %.2fx (paper ~1.9x)\n",
+              results[2].network_mbps / results[0].network_mbps);
+  std::printf("optimized vs eICIC: +%.0f%% (paper ~+22%%)\n",
+              100.0 * (results[2].network_mbps / results[1].network_mbps - 1.0));
+
+  bench::print_header("Fig. 10b -- per-cell throughput, eICIC vs optimized eICIC");
+  bench::print_note("paper: small-cell throughput identical; the macro gains the idle ABSs.");
+  std::printf("\n%-18s %14s %14s\n", "mode", "small (Mb/s)", "macro (Mb/s)");
+  for (int i = 1; i < 3; ++i) {
+    std::printf("%-18s %14.2f %14.2f\n", to_string(modes[i]), results[i].small_mbps,
+                results[i].macro_mbps);
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Figure 7 reproduction: FlexRAN protocol signaling overhead between agent
+// and master in the paper's worst-case configuration -- centralized per-TTI
+// scheduling, per-TTI statistics reports, per-TTI master-agent sync --
+// swept over the number of UEs.
+//
+// 7a -- agent-to-master overhead, split into statistics / sync / agent
+//       management. Expect sublinear growth with UEs (report aggregation).
+// 7b -- master-to-agent overhead, dominated by scheduling commands.
+//
+// Also prints the report-periodicity ablation the paper discusses (2-TTI
+// MAC reports roughly halve the stats overhead) and the aggregation
+// ablation (per-UE messages vs one aggregated report).
+#include "apps/remote_scheduler.h"
+#include "bench/bench_common.h"
+#include "net/framing.h"
+#include "traffic/udp.h"
+
+using namespace flexran;
+
+namespace {
+
+struct SignalingResult {
+  double stats_mbps = 0.0;
+  double sync_mbps = 0.0;
+  double mgmt_mbps = 0.0;
+  double commands_mbps = 0.0;
+  double up_total_mbps = 0.0;
+  double down_total_mbps = 0.0;
+};
+
+SignalingResult run(int n_ues, std::uint32_t stats_period_ttis, double seconds,
+                    proto::ReportMode mode = proto::ReportMode::periodic,
+                    double offered_mbps = 30.0) {
+  auto master_config = scenario::per_tti_master_config(stats_period_ttis);
+  master_config.default_stats_request->mode = mode;
+  scenario::Testbed testbed(std::move(master_config));
+  auto& enb = testbed.add_enb(bench::basic_enb());
+
+  apps::RemoteSchedulerConfig remote;
+  remote.schedule_ahead_sf = 2;
+  testbed.master().add_app(std::make_unique<apps::RemoteSchedulerApp>(remote));
+
+  std::vector<lte::Rnti> ues;
+  std::vector<std::unique_ptr<traffic::UdpCbrSource>> sources;
+  for (int i = 0; i < n_ues; ++i) {
+    auto profile = bench::fixed_cqi_ue(8 + i % 8, 5 + i);
+    const auto rnti = testbed.add_ue(0, std::move(profile));
+    ues.push_back(rnti);
+    // Uniform downlink UDP, enough to keep the centralized scheduler busy.
+    if (offered_mbps > 0) {
+      sources.push_back(std::make_unique<traffic::UdpCbrSource>(
+          testbed.sim(),
+          [&testbed, rnti](std::uint32_t bytes) { (void)testbed.epc().downlink(rnti, bytes); },
+          offered_mbps / n_ues));
+      sources.back()->start();
+    }
+  }
+
+  // Warm up: let attaches complete, then reset the accounting so the sweep
+  // measures steady state.
+  testbed.run_seconds(0.5);
+  auto& agent = *enb.agent;
+  const auto up_before = agent.tx_accounting();
+  const auto down_before = testbed.master().tx_accounting(enb.agent_id);
+  testbed.run_seconds(seconds);
+  const auto& up = agent.tx_accounting();
+  const auto& down = testbed.master().tx_accounting(enb.agent_id);
+
+  auto mbps = [seconds](std::uint64_t now, std::uint64_t before) {
+    return static_cast<double>(now - before) * 8.0 / seconds / 1e6;
+  };
+  SignalingResult result;
+  using C = proto::MessageCategory;
+  result.stats_mbps = mbps(up.bytes(C::stats), up_before.bytes(C::stats));
+  result.sync_mbps = mbps(up.bytes(C::sync), up_before.bytes(C::sync));
+  result.mgmt_mbps = mbps(up.bytes(C::agent_management), up_before.bytes(C::agent_management));
+  result.up_total_mbps = mbps(up.total_bytes(), up_before.total_bytes());
+  result.commands_mbps = mbps(down.bytes(C::commands), down_before.bytes(C::commands));
+  result.down_total_mbps = mbps(down.total_bytes(), down_before.total_bytes());
+  return result;
+}
+
+/// Wire cost of N per-UE stats messages vs one aggregated report (the
+/// mechanism behind Fig. 7a's sublinearity).
+void print_aggregation_ablation() {
+  bench::print_header("Ablation -- report aggregation (why Fig. 7a is sublinear)");
+  std::printf("%8s %22s %22s %9s\n", "UEs", "aggregated (B/TTI)", "per-UE msgs (B/TTI)",
+              "saving");
+  for (int n : {10, 20, 30, 40, 50}) {
+    proto::StatsReply aggregated;
+    aggregated.subframe = 1000;
+    std::size_t separate = 0;
+    for (int i = 0; i < n; ++i) {
+      proto::UeStatsReport ue;
+      ue.rnti = static_cast<lte::Rnti>(70 + i);
+      ue.bsr_bytes = {0, 0, 14000, 0};
+      ue.wb_cqi = 10;
+      ue.rlc_queue_bytes = 14000;
+      aggregated.ue_reports.push_back(ue);
+      proto::StatsReply single;
+      single.subframe = 1000;
+      single.ue_reports.push_back(ue);
+      separate += proto::pack(single).size() + net::kFrameHeaderBytes;
+    }
+    const std::size_t agg = proto::pack(aggregated).size() + net::kFrameHeaderBytes;
+    std::printf("%8d %22zu %22zu %8.0f%%\n", n, agg, separate,
+                100.0 * (1.0 - static_cast<double>(agg) / static_cast<double>(separate)));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double kSeconds = 3.0;
+
+  bench::print_header(
+      "Fig. 7a -- agent-to-master signaling (per-TTI stats + sync + centralized scheduler)");
+  bench::print_note(
+      "paper: ~100 Mb/s at 50 UEs on full reports; dominated by stats, then sync,\n"
+      "management negligible; sublinear in UEs. Our reports carry the same fields\n"
+      "compactly varint-coded, so absolute Mb/s is lower; the composition and\n"
+      "sublinearity are the reproduction targets.");
+  std::printf("\n%6s %12s %12s %12s %12s %14s\n", "UEs", "stats", "sync", "mgmt", "total",
+              "bytes/UE/TTI");
+  std::vector<SignalingResult> up_results;
+  const std::vector<int> sweep = {10, 20, 30, 40, 50};
+  for (int n : sweep) {
+    const auto result = run(n, 1, kSeconds);
+    up_results.push_back(result);
+    std::printf("%6d %9.3f Mb %9.3f Mb %9.3f Mb %9.3f Mb %14.1f\n", n, result.stats_mbps,
+                result.sync_mbps, result.mgmt_mbps, result.up_total_mbps,
+                result.up_total_mbps * 1e6 / 8.0 / 1000.0 / n);
+  }
+  const double per_ue_10 = up_results.front().up_total_mbps / 10.0;
+  const double per_ue_50 = up_results.back().up_total_mbps / 50.0;
+  std::printf("\nsublinearity check: per-UE cost falls from %.4f to %.4f Mb/s/UE (%.0f%%)\n",
+              per_ue_10, per_ue_50, 100.0 * (1.0 - per_ue_50 / per_ue_10));
+
+  bench::print_header("Fig. 7b -- master-to-agent signaling (same sweep)");
+  bench::print_note(
+      "paper: < 4 Mb/s at 50 UEs, almost entirely scheduling commands, growing\n"
+      "superlinearly as more TTIs carry multi-UE decisions.");
+  std::printf("\n%6s %14s %14s\n", "UEs", "commands", "total");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::printf("%6d %11.3f Mb %11.3f Mb\n", sweep[i], up_results[i].commands_mbps,
+                up_results[i].down_total_mbps);
+  }
+
+  bench::print_header("Ablation -- MAC report periodicity (paper Sec. 5.2.1)");
+  std::printf("%22s %14s\n", "report period (TTIs)", "stats Mb/s");
+  for (std::uint32_t period : {1u, 2u, 5u, 10u}) {
+    const auto result = run(30, period, kSeconds);
+    std::printf("%22u %14.3f\n", period, result.stats_mbps);
+  }
+  // The paper also suggests "event-triggered instead of periodic message
+  // transmissions": reports are sent only when their content changed. Under
+  // saturating traffic the content changes every TTI (no saving); in an
+  // idle network the stream collapses to nothing.
+  const auto triggered_busy = run(30, 1, kSeconds, proto::ReportMode::triggered);
+  std::printf("%22s %14.3f\n", "triggered (loaded)", triggered_busy.stats_mbps);
+  const auto triggered_idle =
+      run(30, 1, kSeconds, proto::ReportMode::triggered, /*offered_mbps=*/0.0);
+  std::printf("%22s %14.3f\n", "triggered (idle)", triggered_idle.stats_mbps);
+
+  print_aggregation_ablation();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Table 2 reproduction: per-CQI maximum TCP throughput and maximum
+// sustainable DASH bitrate, measured over the full platform (LTE stack +
+// agent + TCP model + DASH client).
+//
+// For each CQI level the bench (a) runs a persistent TCP download and
+// reports steady-state goodput, and (b) probes the 4K bitrate ladder,
+// reporting the highest representation that plays back with zero buffer
+// freezes -- exactly how the paper builds its Table 2.
+#include "bench/bench_common.h"
+#include "scenario/dash_session.h"
+
+using namespace flexran;
+
+namespace {
+
+double max_tcp_throughput(int cqi, double seconds) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(bench::basic_enb());
+  const auto rnti = testbed.add_ue(0, bench::fixed_cqi_ue(cqi));
+  testbed.run_ttis(60);
+
+  stack::EnodebDataPlane* dp = enb.data_plane.get();
+  traffic::TcpFlow flow(
+      testbed.sim(),
+      [&testbed, rnti](std::uint32_t bytes) { (void)testbed.epc().downlink(rnti, bytes); },
+      [dp, rnti]() -> std::uint32_t {
+        const auto* ue = dp->ue(rnti);
+        return ue != nullptr ? ue->dl_queue.total_bytes() : 0;
+      });
+  testbed.add_delivery_listener(
+      0, [&flow, rnti](lte::Rnti r, std::uint32_t bytes, lte::Direction dir) {
+        if (r == rnti && dir == lte::Direction::downlink) flow.on_delivered(bytes);
+      });
+  testbed.on_tti([&flow](std::int64_t tti) { flow.on_tti(tti); });
+  flow.start_persistent();
+  testbed.run_seconds(seconds);
+  return flow.mean_goodput_mbps(seconds);
+}
+
+/// True if a stream pinned at `bitrate` plays `seconds` without freezing.
+bool sustainable(int cqi, double bitrate_mbps, double seconds) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  testbed.add_enb(bench::basic_enb());
+  const auto rnti = testbed.add_ue(0, bench::fixed_cqi_ue(cqi));
+  testbed.run_ttis(60);
+
+  traffic::DashClientConfig config;
+  config.mode = traffic::AbrMode::assisted;
+  traffic::DashVideo video;
+  video.bitrates_mbps = {bitrate_mbps};
+  scenario::DashSession session(testbed, 0, rnti, video, config);
+  session.client().set_bitrate_cap_mbps(bitrate_mbps);
+  session.start();
+  testbed.run_seconds(seconds);
+  return session.client().freeze_count() == 0 && session.client().segments_downloaded() > 10;
+}
+
+double max_sustainable_bitrate(int cqi, double seconds) {
+  const auto ladder = traffic::paper_video_4k().bitrates_mbps;
+  double best = 0.0;
+  for (const double bitrate : ladder) {
+    if (sustainable(cqi, bitrate, seconds)) {
+      best = bitrate;
+    } else {
+      break;  // ladder is ascending
+    }
+  }
+  // Refine below the lowest rung for very poor channels.
+  if (best == 0.0) {
+    for (const double bitrate : {0.4, 0.7, 1.0, 1.4, 2.0}) {
+      if (sustainable(cqi, bitrate, seconds)) best = bitrate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double kSeconds = 20.0;
+  bench::print_header("Table 2 -- max TCP throughput and max sustainable DASH bitrate per CQI");
+  bench::print_note(
+      "paper (testbed measurements):  CQI 2: 1.63 / 1.4   CQI 3: 2.2 / 2.0\n"
+      "                               CQI 4: 3.3 / 2.9    CQI 10: 15 / 7.3  (Mb/s)\n"
+      "our PHY calibration charges more control overhead per PRB (DESIGN.md), so\n"
+      "absolute numbers sit lower; the target is the monotone shape and the\n"
+      "TCP-to-sustainable-bitrate gap that widens with CQI.");
+
+  std::printf("\n%6s %20s %28s %8s\n", "CQI", "TCP tput (Mb/s)", "max sustainable (Mb/s)",
+              "ratio");
+  for (const int cqi : {2, 3, 4, 10, 15}) {
+    const double tcp = max_tcp_throughput(cqi, kSeconds);
+    const double bitrate = max_sustainable_bitrate(cqi, kSeconds);
+    std::printf("%6d %20.2f %28.2f %8.2f\n", cqi, tcp, bitrate,
+                bitrate > 0 ? tcp / bitrate : 0.0);
+  }
+  std::printf(
+      "\nAs in the paper, TCP throughput must exceed the video bitrate to sustain\n"
+      "playback (ratio > 1 at every CQI). Deviation: the paper's margin grows to\n"
+      "~2x at CQI 10 because the real TCP sawtooth over the radio link is deep;\n"
+      "our NewReno model recovers faster, so the margin stays near ~1.2x\n"
+      "(recorded in EXPERIMENTS.md).\n");
+  return 0;
+}

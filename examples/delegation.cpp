@@ -1,0 +1,83 @@
+// Control delegation example (paper Secs. 4.3.1, 5.4): the master pushes a
+// custom VSF to the agent (VSF updation), then swaps the agent's scheduler
+// between the local implementation and remote (centralized) control at
+// runtime with policy reconfiguration -- while a UE streams data, showing
+// uninterrupted service across swaps.
+//
+//   ./examples/delegation
+#include <cstdio>
+
+#include "apps/remote_scheduler.h"
+#include "scenario/testbed.h"
+
+using namespace flexran;
+
+int main() {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  scenario::EnbSpec spec;
+  spec.enb.enb_id = 1;
+  spec.enb.cells[0].cell_id = 1;
+  spec.agent.name = "delegation-demo";
+  auto& enb = testbed.add_enb(spec);
+
+  // A remote scheduler app runs continuously at the master; its decisions
+  // only take effect while the agent's active behavior is "remote".
+  apps::RemoteSchedulerConfig remote_config;
+  remote_config.schedule_ahead_sf = 2;
+  testbed.master().add_app(std::make_unique<apps::RemoteSchedulerApp>(remote_config));
+
+  stack::UeProfile profile;
+  profile.dl_channel = std::make_unique<phy::FixedCqiChannel>(15);
+  const auto rnti = testbed.add_ue(0, std::move(profile));
+  testbed.on_tti([&](std::int64_t) {
+    const auto* ue = enb.data_plane->ue(rnti);
+    if (ue != nullptr && ue->dl_queue.total_bytes() < 60'000) {
+      (void)testbed.epc().downlink(rnti, 60'000);
+    }
+  });
+  testbed.run_seconds(0.2);
+
+  // VSF updation: push the proportional-fair implementation to the agent's
+  // cache (a stand-in for shipping a compiled VSF, see DESIGN.md).
+  if (auto s = testbed.master().push_vsf(enb.agent_id, "mac", "dl_ue_scheduler", "local_pf");
+      !s.ok()) {
+    std::printf("push failed: %s\n", s.error().message.c_str());
+    return 1;
+  }
+  std::printf("pushed mac/dl_ue_scheduler/local_pf into the agent cache (%zu entries)\n\n",
+              enb.agent->vsf_cache().size());
+
+  std::printf("%-10s %-12s %10s %16s\n", "phase", "behavior", "Mb/s", "remote decisions");
+  std::uint64_t prev_bytes = 0;
+  std::uint64_t prev_remote = 0;
+  auto phase = [&](const char* behavior) {
+    // Task Manager app control (paper Sec. 4.3.3): the centralized
+    // scheduler runs only while the agent is in remote mode.
+    if (std::string_view(behavior) == "remote") {
+      (void)testbed.master().resume_app("remote_scheduler");
+    } else {
+      (void)testbed.master().pause_app("remote_scheduler");
+    }
+    const std::string policy =
+        std::string("mac:\n  dl_ue_scheduler:\n    behavior: ") + behavior + "\n";
+    (void)testbed.master().send_policy(enb.agent_id, policy);
+    testbed.run_seconds(2.0);
+    const auto bytes = testbed.metrics().total_bytes(1, rnti, lte::Direction::downlink);
+    const auto remote = enb.agent->remote_decisions_applied();
+    std::printf("%-10s %-12s %10.2f %16lu\n", "2s", behavior,
+                scenario::Metrics::mbps(bytes - prev_bytes, 2.0),
+                static_cast<unsigned long>(remote - prev_remote));
+    prev_bytes = bytes;
+    prev_remote = remote;
+  };
+
+  phase("local_rr");
+  phase("remote");    // centralized scheduling takes over
+  phase("local_pf");  // the pushed VSF
+  phase("remote");
+  phase("local_rr");
+
+  std::printf("\nThroughput is continuous across every swap -- the behavior switch is a\n"
+              "pointer relink against the VSF cache (see bench_delegation for timing).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Mobile edge computing example (paper Sec. 6.2): DASH video streaming over
+// the LTE stack, with and without FlexRAN assistance. The MEC application
+// reads the UE's smoothed CQI from the RIB, maps it through the Table-2
+// CQI -> sustainable-bitrate table, and caps the client's bitrate through an
+// out-of-band channel. The unassisted reference player must discover the
+// channel the hard way.
+//
+//   ./examples/mec_dash
+#include <cstdio>
+
+#include "apps/mec_dash.h"
+#include "scenario/dash_session.h"
+#include "scenario/testbed.h"
+
+using namespace flexran;
+
+namespace {
+
+struct RunResult {
+  double mean_bitrate = 0.0;
+  int freezes = 0;
+  double freeze_seconds = 0.0;
+};
+
+RunResult run(traffic::AbrMode mode) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  scenario::EnbSpec spec;
+  spec.enb.enb_id = 1;
+  spec.enb.cells[0].cell_id = 1;
+  auto& enb = testbed.add_enb(spec);
+
+  // Channel quality swings between CQI 10 and CQI 4 every 20 s (the
+  // high-variability case of Fig. 11b).
+  stack::UeProfile profile;
+  profile.dl_channel =
+      phy::ScheduledCqiChannel::square_wave(10, 4, sim::from_seconds(20), sim::from_seconds(120));
+  const auto rnti = testbed.add_ue(0, std::move(profile));
+  testbed.run_ttis(50);
+
+  traffic::DashClientConfig config;
+  config.mode = mode;
+  config.buffer_probing = mode == traffic::AbrMode::reference;
+  config.step_up_buffer_s = 10.0;
+  scenario::DashSession session(testbed, 0, rnti, traffic::paper_video_4k(), config);
+
+  if (mode == traffic::AbrMode::assisted) {
+    apps::MecDashApp::Config mec;
+    mec.agent = enb.agent_id;
+    auto* client = &session.client();
+    testbed.master().add_app(std::make_unique<apps::MecDashApp>(
+        mec, [client](lte::Rnti, double mbps) { client->set_bitrate_cap_mbps(mbps); }));
+  }
+  session.start();
+  testbed.run_seconds(110.0);
+
+  RunResult result;
+  result.mean_bitrate = session.client().bitrate_series().mean_in(10, 110);
+  result.freezes = session.client().freeze_count();
+  result.freeze_seconds = session.client().total_freeze_seconds();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("DASH over FlexRAN, CQI toggling 10 <-> 4, 4K ladder {2.9..19.6} Mb/s\n\n");
+  const auto reference = run(traffic::AbrMode::reference);
+  const auto assisted = run(traffic::AbrMode::assisted);
+
+  std::printf("%-22s %14s %9s %12s\n", "player", "mean bitrate", "freezes", "freeze time");
+  std::printf("%-22s %11.2f Mb/s %9d %9.1f s\n", "default (reference)", reference.mean_bitrate,
+              reference.freezes, reference.freeze_seconds);
+  std::printf("%-22s %11.2f Mb/s %9d %9.1f s\n", "FlexRAN-assisted", assisted.mean_bitrate,
+              assisted.freezes, assisted.freeze_seconds);
+  std::printf("\nThe assisted player avoids the overshoot-congestion-freeze cycle by\n"
+              "selecting the RIB-derived sustainable bitrate directly.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Mobility management example (paper Sec. 7.1): a UE drives between two
+// cells while streaming downlink data. The centralized mobility manager
+// watches the RRC measurement reports (per-cell RSRP) in the RIB and
+// commands the handover at the right moment; the X2-equivalent path moves
+// the UE context and switches the EPC bearer, so traffic continues.
+//
+//   ./examples/mobility
+#include <cstdio>
+
+#include "apps/mobility_manager.h"
+#include "phy/mobility.h"
+#include "scenario/testbed.h"
+
+using namespace flexran;
+
+int main() {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+
+  auto make_spec = [](lte::EnbId id) {
+    scenario::EnbSpec spec;
+    spec.enb.enb_id = id;
+    spec.enb.cells[0].cell_id = id;
+    spec.agent.name = "cell-" + std::to_string(id);
+    spec.use_radio_env = true;
+    return spec;
+  };
+  testbed.add_enb(make_spec(1));
+  testbed.add_enb(make_spec(2));
+  testbed.enable_x2();
+
+  apps::MobilityManagerConfig config;
+  config.hysteresis_db = 3.0;
+  config.evaluations_to_trigger = 3;
+  auto* manager = static_cast<apps::MobilityManagerApp*>(
+      testbed.master().add_app(std::make_unique<apps::MobilityManagerApp>(config)));
+
+  // Two macro sites 1 km apart; the UE drives from 200 m past cell 1 to
+  // 150 m short of cell 2 over 12 seconds.
+  auto track = std::make_shared<phy::MobilityTrack>(
+      std::vector<phy::CellSite>{{1, phy::kMacroTxPowerDbm, 0.0, 0.0},
+                                 {2, phy::kMacroTxPowerDbm, 1.0, 0.0}},
+      std::vector<phy::MobilityTrack::Waypoint>{{0, 0.2, 0.0},
+                                                {sim::from_seconds(12), 0.85, 0.0}});
+  stack::UeProfile profile;
+  profile.mobility = track;
+  profile.attach_after_ttis = 10;
+  const auto ue_id = testbed.add_ue(0, std::move(profile));
+  testbed.on_tti([&](std::int64_t) { (void)testbed.epc().downlink(ue_id, 2000); });
+
+  std::printf("%6s %10s %8s %6s %14s %12s\n", "t(s)", "position", "serving", "CQI",
+              "delivered(MB)", "handovers");
+  std::uint64_t last_bytes = 0;
+  for (int second = 1; second <= 13; ++second) {
+    testbed.run_seconds(1.0);
+    const auto location = testbed.locate_ue(ue_id);
+    if (!location.has_value()) break;
+    const auto& dp = *testbed.enb(location->enb_index).data_plane;
+    const auto* ue = dp.ue(location->rnti);
+    const auto bytes = testbed.ue_total_bytes(ue_id, lte::Direction::downlink);
+    const auto pos = track->position_at(testbed.sim().now());
+    std::printf("%6d %7.0f m %8u %6d %14.2f %12lu%s\n", second, pos.x_km * 1000.0,
+                dp.cell_id(), ue != nullptr ? ue->reported_cqi : -1,
+                static_cast<double>(bytes) / 1e6,
+                static_cast<unsigned long>(manager->handovers_commanded()),
+                bytes > last_bytes ? "" : "   <-- stalled");
+    last_bytes = bytes;
+  }
+
+  std::printf("\nThe RIB-driven mobility manager handed the UE from cell 1 to cell 2\n"
+              "without interrupting the downlink flow (the EPC bearer followed).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Beyond LTE (paper Sec. 7.2): the same FlexRAN control machinery -- VSF
+// factory, agent-side cache, CMI type checking, YAML policy
+// reconfiguration -- driving a WiFi access point. The airtime scheduler is
+// swapped and re-weighted at runtime with the exact policy format used for
+// LTE MAC scheduling (Fig. 3).
+//
+//   ./examples/wifi_policy
+#include <array>
+#include <cstdio>
+
+#include "wifi/control.h"
+
+using namespace flexran;
+
+int main() {
+  wifi::register_wifi_vsfs();
+  sim::Simulator simulator;
+  wifi::WifiApDataPlane ap(simulator);
+  const auto laptop = ap.add_station({240.0});
+  const auto phone = ap.add_station({120.0});
+  const auto iot = ap.add_station({24.0});
+
+  // Same cache + control-module machinery as the LTE agent.
+  agent::VsfCache cache;
+  (void)cache.store(wifi::WifiControlModule::kName, wifi::WifiControlModule::kAirtimeSlot,
+                    "fair");
+  (void)cache.store(wifi::WifiControlModule::kName, wifi::WifiControlModule::kAirtimeSlot,
+                    "weighted");
+  wifi::WifiControlModule wifi_mac(cache);
+  const std::array<agent::ControlModule*, 1> modules = {&wifi_mac};
+
+  ap.set_scheduler([&](std::int64_t slot) -> wifi::AirtimeAllocation {
+    auto* scheduler = wifi_mac.airtime_scheduler();
+    return scheduler != nullptr ? scheduler->schedule(ap.station_view(), slot)
+                                : wifi::AirtimeAllocation{};
+  });
+
+  auto run_phase = [&](const char* label, int slots) {
+    std::array<std::uint64_t, 3> before = {ap.delivered_bytes(laptop), ap.delivered_bytes(phone),
+                                           ap.delivered_bytes(iot)};
+    for (int s = 0; s < slots; ++s) {
+      for (auto station : {laptop, phone, iot}) ap.enqueue_dl(station, 50'000);
+      ap.slot(s);
+    }
+    const double seconds = slots / 1000.0;
+    std::printf("%-28s laptop %6.1f  phone %6.1f  iot %6.1f   (Mb/s)\n", label,
+                (ap.delivered_bytes(laptop) - before[0]) * 8.0 / seconds / 1e6,
+                (ap.delivered_bytes(phone) - before[1]) * 8.0 / seconds / 1e6,
+                (ap.delivered_bytes(iot) - before[2]) * 8.0 / seconds / 1e6);
+  };
+
+  std::printf("WiFi AP, 3 saturated stations (PHY 240/120/24 Mb/s)\n\n");
+
+  (void)agent::apply_policy_yaml("wifi_mac:\n  airtime_scheduler:\n    behavior: fair\n",
+                                 modules);
+  run_phase("policy: fair airtime", 2000);
+
+  const char* weighted_policy =
+      "wifi_mac:\n"
+      "  airtime_scheduler:\n"
+      "    behavior: weighted\n"
+      "    parameters:\n"
+      "      weights:\n"
+      "        - station: 1\n"
+      "          weight: 1\n"
+      "        - station: 2\n"
+      "          weight: 4\n"
+      "        - station: 3\n"
+      "          weight: 1\n";
+  (void)agent::apply_policy_yaml(weighted_policy, modules);
+  run_phase("policy: phone weighted 4x", 2000);
+
+  std::printf(
+      "\nThe swap used the identical Fig. 3 policy format and VSF cache the LTE\n"
+      "agent uses -- no LTE types involved (paper Sec. 7.2).\n");
+  return 0;
+}

@@ -1,0 +1,376 @@
+#include "agent/agent.h"
+
+#include <array>
+
+#include "net/framing.h"
+#include "util/logging.h"
+
+namespace flexran::agent {
+
+Agent::Agent(sim::Simulator& sim, stack::EnodebDataPlane& data_plane, AgentConfig config)
+    : sim_(sim),
+      data_plane_(data_plane),
+      config_(std::move(config)),
+      api_(data_plane),
+      mac_(cache_),
+      rrc_(cache_),
+      reports_(api_) {
+  register_builtin_vsfs();
+
+  // Pre-load the built-in behaviors into the cache, as if the operator had
+  // provisioned them at deployment time, plus the remote stub wired to this
+  // agent's decision queue.
+  (void)cache_.store(MacControlModule::kName, MacControlModule::kDlSchedulerSlot, "local_rr");
+  (void)cache_.store(MacControlModule::kName, MacControlModule::kDlSchedulerSlot, "local_pf");
+  (void)cache_.store(MacControlModule::kName, MacControlModule::kDlSchedulerSlot, "local_ca_rr");
+  (void)cache_.store(MacControlModule::kName, MacControlModule::kUlSchedulerSlot, "local_rr");
+  (void)cache_.store(MacControlModule::kName, MacControlModule::kUlSchedulerSlot, "remote");
+  (void)cache_.store(RrcControlModule::kName, RrcControlModule::kHandoverPolicySlot, "a3");
+  (void)cache_.store(MacControlModule::kName, MacControlModule::kDlSchedulerSlot, "remote");
+
+  auto dl_status = mac_.set_behavior(MacControlModule::kDlSchedulerSlot, config_.dl_scheduler);
+  if (!dl_status.ok()) {
+    FLEXRAN_LOG(error, "agent") << "dl scheduler init: " << dl_status.error().message;
+  }
+  auto ul_status = mac_.set_behavior(MacControlModule::kUlSchedulerSlot, config_.ul_scheduler);
+  if (!ul_status.ok()) {
+    FLEXRAN_LOG(error, "agent") << "ul scheduler init: " << ul_status.error().message;
+  }
+
+  data_plane_.set_listener(this);
+}
+
+Agent::~Agent() { data_plane_.set_listener(nullptr); }
+
+void Agent::connect(net::Transport& transport) {
+  transport_ = &transport;
+  transport_->set_receive_callback(
+      [this](std::vector<std::uint8_t> data) { handle_message(std::move(data)); });
+
+  proto::Hello hello;
+  hello.enb_id = config_.enb_id;
+  hello.name = config_.name;
+  hello.n_cells = 1;
+  hello.capabilities = {"mac", "rrc", "delegation"};
+  send_message(hello);
+}
+
+template <typename M>
+void Agent::send_message(const M& message, std::uint32_t xid) {
+  if (transport_ == nullptr) return;
+  if (xid == 0) xid = next_xid_++;
+  proto::WireEncoder enc;
+  message.encode_body(enc);
+  proto::Envelope envelope;
+  envelope.type = M::kType;
+  envelope.xid = xid;
+  envelope.body = enc.take();
+  const auto wire = envelope.encode();
+  tx_accounting_.record(proto::categorize(envelope.type, envelope.body),
+                        wire.size() + net::kFrameHeaderBytes);
+  auto status = transport_->send(wire);
+  if (!status.ok()) {
+    FLEXRAN_LOG(warn, "agent") << "send failed: " << status.error().message;
+  }
+}
+
+// ------------------------------------------------------------- TTI driving
+
+std::optional<lte::SchedulingDecision> Agent::take_dl_decision(std::int64_t subframe) {
+  auto it = dl_decision_queue_.find(subframe);
+  if (it == dl_decision_queue_.end()) return std::nullopt;
+  lte::SchedulingDecision decision = std::move(it->second);
+  dl_decision_queue_.erase(it);
+  ++remote_decisions_applied_;
+  return decision;
+}
+
+void Agent::on_subframe_start(std::int64_t subframe) {
+  // Delegation resilience: under pure remote control, a silent master means
+  // nothing gets scheduled at all; after the configured outage the agent
+  // re-links the fallback VSF and keeps serving UEs autonomously.
+  if (config_.remote_fallback_ttis > 0 &&
+      mac_.active_implementation(MacControlModule::kDlSchedulerSlot) == "remote" &&
+      subframe - last_master_contact_subframe_ > config_.remote_fallback_ttis) {
+    auto status =
+        mac_.set_behavior(MacControlModule::kDlSchedulerSlot, config_.fallback_scheduler);
+    if (status.ok()) {
+      ++fallback_activations_;
+      FLEXRAN_LOG(warn, "agent") << "master silent for "
+                                 << subframe - last_master_contact_subframe_
+                                 << " TTIs; falling back to " << config_.fallback_scheduler;
+    }
+  }
+
+  // Drop decisions whose deadline passed before they could be applied.
+  while (!dl_decision_queue_.empty() && dl_decision_queue_.begin()->first < subframe) {
+    dl_decision_queue_.erase(dl_decision_queue_.begin());
+    ++missed_deadline_decisions_;
+  }
+
+  // Run the active scheduling VSFs through the CMI.
+  lte::SchedulingDecision combined;
+  combined.cell_id = api_.cell_id();
+  combined.subframe = subframe;
+  if (auto* dl = mac_.dl_scheduler(); dl != nullptr) {
+    auto decision = dl->schedule_dl(api_, subframe);
+    combined.dl = std::move(decision.dl);
+  }
+  if (auto* ul = mac_.ul_scheduler(); ul != nullptr) {
+    auto decision = ul->schedule_ul(api_, subframe);
+    combined.ul = std::move(decision.ul);
+  }
+  // Merge any master-pushed decision targeting this subframe. When the
+  // active VSF is the remote stub this IS the schedule; under delegated
+  // control it coexists with local decisions (e.g. the master scheduling
+  // the almost-blank subframes of the optimized-eICIC use case while the
+  // local VSF handles normal subframes). Overlapping grants are rejected by
+  // the data plane, local decisions taking precedence.
+  if (auto pushed = take_dl_decision(subframe); pushed.has_value()) {
+    combined.dl.insert(combined.dl.end(), pushed->dl.begin(), pushed->dl.end());
+    combined.ul.insert(combined.ul.end(), pushed->ul.begin(), pushed->ul.end());
+  }
+  if (!combined.empty()) {
+    auto status = api_.apply_scheduling_decision(combined);
+    if (!status.ok()) {
+      FLEXRAN_LOG(debug, "agent") << "decision rejected: " << status.error().message;
+    }
+  }
+
+  // RRC: evaluate the handover policy.
+  if (auto* policy = rrc_.handover_policy(); policy != nullptr) {
+    if (auto handover = policy->evaluate(api_, subframe); handover.has_value()) {
+      execute_handover(handover->rnti, handover->target_cell);
+    }
+  }
+
+  // Master-agent sync.
+  if (config_.subframe_sync || subscribed_events_.contains(proto::EventType::subframe_tick)) {
+    proto::EventNotification tick;
+    tick.event = proto::EventType::subframe_tick;
+    tick.subframe = subframe;
+    tick.cell_id = api_.cell_id();
+    send_message(tick);
+  }
+
+  // Statistics reports due this TTI.
+  for (auto& reply : reports_.collect(subframe)) send_message(reply);
+}
+
+// ------------------------------------------------------------------ events
+
+void Agent::on_rach(lte::Rnti rnti, std::int64_t subframe) {
+  if (!subscribed_events_.contains(proto::EventType::rach_attempt)) return;
+  proto::EventNotification event;
+  event.event = proto::EventType::rach_attempt;
+  event.subframe = subframe;
+  event.rnti = rnti;
+  event.cell_id = api_.cell_id();
+  send_message(event);
+}
+
+void Agent::on_ue_attached(lte::Rnti rnti, std::int64_t subframe) {
+  if (!subscribed_events_.contains(proto::EventType::ue_attach)) return;
+  proto::EventNotification event;
+  event.event = proto::EventType::ue_attach;
+  event.subframe = subframe;
+  event.rnti = rnti;
+  event.cell_id = api_.cell_id();
+  send_message(event);
+}
+
+void Agent::on_ue_detached(lte::Rnti rnti, std::int64_t subframe) {
+  if (!subscribed_events_.contains(proto::EventType::ue_detach)) return;
+  proto::EventNotification event;
+  event.event = proto::EventType::ue_detach;
+  event.subframe = subframe;
+  event.rnti = rnti;
+  event.cell_id = api_.cell_id();
+  send_message(event);
+}
+
+void Agent::on_scheduling_request(lte::Rnti rnti, std::int64_t subframe) {
+  if (!subscribed_events_.contains(proto::EventType::scheduling_request)) return;
+  proto::EventNotification event;
+  event.event = proto::EventType::scheduling_request;
+  event.subframe = subframe;
+  event.rnti = rnti;
+  event.cell_id = api_.cell_id();
+  send_message(event);
+}
+
+// ---------------------------------------------------------------- dispatch
+
+void Agent::handle_message(std::vector<std::uint8_t> data) {
+  ++messages_received_;
+  last_master_contact_subframe_ = api_.current_subframe();
+  auto envelope = proto::Envelope::decode(data);
+  if (!envelope.ok()) {
+    FLEXRAN_LOG(error, "agent") << "bad envelope: " << envelope.error().message;
+    return;
+  }
+  handle_envelope(*envelope);
+}
+
+void Agent::handle_envelope(const proto::Envelope& envelope) {
+  using proto::MessageType;
+  switch (envelope.type) {
+    case MessageType::echo_request: {
+      auto request = proto::unpack<proto::EchoRequest>(envelope);
+      if (!request.ok()) break;
+      proto::EchoReply reply;
+      reply.subframe = api_.current_subframe();
+      reply.echoed_timestamp_us = request->timestamp_us;
+      send_message(reply, envelope.xid);
+      break;
+    }
+    case MessageType::enb_config_request: {
+      proto::EnbConfigReply reply;
+      reply.enb_id = config_.enb_id;
+      reply.cells.push_back(proto::CellConfigMsg::from(api_.enb_config().cells[0]));
+      send_message(reply, envelope.xid);
+      break;
+    }
+    case MessageType::ue_config_request: {
+      proto::UeConfigReply reply;
+      for (const auto& ue : api_.ue_configs()) {
+        reply.ues.push_back(proto::UeConfigMsg::from(ue));
+      }
+      send_message(reply, envelope.xid);
+      break;
+    }
+    case MessageType::lc_config_request: {
+      proto::LcConfigReply reply;
+      reply.channels = api_.lc_configs();
+      send_message(reply, envelope.xid);
+      break;
+    }
+    case MessageType::stats_request: {
+      auto request = proto::unpack<proto::StatsRequest>(envelope);
+      if (request.ok()) reports_.register_request(*request, api_.current_subframe());
+      break;
+    }
+    case MessageType::dl_mac_config: {
+      auto config = proto::unpack<proto::DlMacConfig>(envelope);
+      if (!config.ok()) break;
+      if (config->target_subframe < api_.current_subframe()) {
+        ++missed_deadline_decisions_;  // arrived after its deadline
+        break;
+      }
+      lte::SchedulingDecision decision;
+      decision.cell_id = config->cell_id;
+      decision.subframe = config->target_subframe;
+      decision.dl = std::move(config->dcis);
+      // Merge with any queued UL decision for the same subframe.
+      auto& slot = dl_decision_queue_[config->target_subframe];
+      slot.cell_id = decision.cell_id;
+      slot.subframe = decision.subframe;
+      slot.dl = std::move(decision.dl);
+      break;
+    }
+    case MessageType::ul_mac_config: {
+      auto config = proto::unpack<proto::UlMacConfig>(envelope);
+      if (!config.ok()) break;
+      if (config->target_subframe < api_.current_subframe()) {
+        ++missed_deadline_decisions_;
+        break;
+      }
+      auto& slot = dl_decision_queue_[config->target_subframe];
+      slot.cell_id = config->cell_id;
+      slot.subframe = config->target_subframe;
+      slot.ul = std::move(config->dcis);
+      break;
+    }
+    case MessageType::handover_command: {
+      auto command = proto::unpack<proto::HandoverCommand>(envelope);
+      if (command.ok()) execute_handover(command->rnti, command->target_cell);
+      break;
+    }
+    case MessageType::abs_config: {
+      auto config = proto::unpack<proto::AbsConfig>(envelope);
+      if (config.ok()) api_.configure_abs(config->pattern, config->mute_during_abs);
+      break;
+    }
+    case MessageType::carrier_restriction: {
+      auto restriction = proto::unpack<proto::CarrierRestriction>(envelope);
+      if (restriction.ok()) api_.restrict_dl_prbs(restriction->max_dl_prbs);
+      break;
+    }
+    case MessageType::drx_config: {
+      auto drx = proto::unpack<proto::DrxConfig>(envelope);
+      if (drx.ok()) {
+        (void)api_.configure_drx(drx->rnti, drx->cycle_ttis, drx->on_duration_ttis);
+      }
+      break;
+    }
+    case MessageType::scell_command: {
+      auto command = proto::unpack<proto::ScellCommand>(envelope);
+      if (command.ok()) (void)api_.set_scell_active(command->rnti, command->activate);
+      break;
+    }
+    case MessageType::event_subscription: {
+      auto subscription = proto::unpack<proto::EventSubscription>(envelope);
+      if (!subscription.ok()) break;
+      for (const auto event : subscription->events) {
+        if (subscription->enable) {
+          subscribed_events_.insert(event);
+        } else {
+          subscribed_events_.erase(event);
+        }
+      }
+      break;
+    }
+    case MessageType::control_delegation: {
+      auto delegation = proto::unpack<proto::ControlDelegation>(envelope);
+      if (!delegation.ok()) break;
+      auto status = cache_.store(delegation->module, delegation->vsf, delegation->implementation);
+      if (!status.ok()) {
+        FLEXRAN_LOG(error, "agent") << "VSF updation failed: " << status.error().message;
+      }
+      break;
+    }
+    case MessageType::policy_reconfiguration: {
+      auto policy = proto::unpack<proto::PolicyReconfiguration>(envelope);
+      if (!policy.ok()) break;
+      auto status = apply_policy(policy->yaml);
+      if (!status.ok()) {
+        FLEXRAN_LOG(error, "agent") << "policy reconfiguration failed: "
+                                    << status.error().message;
+      }
+      break;
+    }
+    default:
+      FLEXRAN_LOG(warn, "agent") << "unexpected message type "
+                                 << proto::to_string(envelope.type);
+      break;
+  }
+}
+
+void Agent::execute_handover(lte::Rnti rnti, lte::CellId target) {
+  auto context = api_.trigger_handover(rnti);
+  if (!context.ok()) {
+    FLEXRAN_LOG(warn, "agent") << "handover of rnti " << rnti
+                               << " failed: " << context.error().message;
+    return;
+  }
+  ++handovers_executed_;
+  if (handover_sink_) handover_sink_(std::move(*context), target, rnti);
+}
+
+// ------------------------------------------------------------------ policy
+
+util::Status Agent::apply_policy(const std::string& yaml) {
+  const std::array<ControlModule*, 2> modules = {&mac_, &rrc_};
+  return apply_policy_yaml(yaml, modules);
+}
+
+// Explicit instantiations keep send_message out of the header.
+template void Agent::send_message(const proto::Hello&, std::uint32_t);
+template void Agent::send_message(const proto::EchoReply&, std::uint32_t);
+template void Agent::send_message(const proto::EnbConfigReply&, std::uint32_t);
+template void Agent::send_message(const proto::UeConfigReply&, std::uint32_t);
+template void Agent::send_message(const proto::LcConfigReply&, std::uint32_t);
+template void Agent::send_message(const proto::StatsReply&, std::uint32_t);
+template void Agent::send_message(const proto::EventNotification&, std::uint32_t);
+
+}  // namespace flexran::agent

@@ -1,0 +1,128 @@
+// The FlexRAN Agent (paper Fig. 2): per-eNodeB local controller. It
+// bridges the data plane and the master: dispatches incoming FlexRAN
+// protocol messages to the right control module / VSF, runs the active
+// scheduling VSFs each subframe, buffers master-pushed schedule-ahead
+// decisions, manages statistics reports and event notifications, and can
+// act autonomously under delegated control when the master is far away.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "agent/agent_api.h"
+#include "agent/control_module.h"
+#include "agent/reports.h"
+#include "agent/schedulers.h"
+#include "agent/vsf.h"
+#include "net/transport.h"
+#include "proto/accounting.h"
+#include "proto/messages.h"
+#include "sim/simulator.h"
+#include "stack/enodeb.h"
+
+namespace flexran::agent {
+
+struct AgentConfig {
+  lte::EnbId enb_id = 1;
+  std::string name = "agent";
+  /// Initial DL scheduler behavior ("local_rr", "local_pf", "remote", ...).
+  std::string dl_scheduler = "local_rr";
+  /// Initial UL scheduler behavior.
+  std::string ul_scheduler = "local_rr";
+  /// Send a subframe_tick event to the master every TTI (master-agent sync,
+  /// the paper's per-TTI synchronized mode). Also controllable at runtime
+  /// via EventSubscription.
+  bool subframe_sync = false;
+  /// Resilience under delegated control: if the DL scheduler behavior is
+  /// "remote" and no message has been received from the master for this
+  /// many TTIs, the agent autonomously falls back to `fallback_scheduler`
+  /// so UEs keep being served through a control-channel outage. 0 = off.
+  std::int64_t remote_fallback_ttis = 0;
+  std::string fallback_scheduler = "local_rr";
+};
+
+class Agent final : public stack::EnodebDataPlane::Listener {
+ public:
+  Agent(sim::Simulator& sim, stack::EnodebDataPlane& data_plane, AgentConfig config);
+  ~Agent() override;
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Attaches the transport to the master and sends the hello. The agent
+  /// also installs itself as the data plane's listener.
+  void connect(net::Transport& transport);
+  bool connected() const { return transport_ != nullptr; }
+
+  AgentApi& api() { return api_; }
+  MacControlModule& mac() { return mac_; }
+  RrcControlModule& rrc() { return rrc_; }
+  VsfCache& vsf_cache() { return cache_; }
+  ReportsManager& reports() { return reports_; }
+  const AgentConfig& config() const { return config_; }
+
+  /// Applies a policy reconfiguration YAML document locally (the same code
+  /// path a PolicyReconfiguration protocol message takes).
+  util::Status apply_policy(const std::string& yaml);
+
+  /// X2-equivalent: receives the UE context detached by a handover so it
+  /// can be re-established at the target cell. Without a sink the context
+  /// is dropped (UE released), as when no neighbor relation exists.
+  using HandoverSink =
+      std::function<void(stack::UeProfile context, lte::CellId target, lte::Rnti old_rnti)>;
+  void set_handover_sink(HandoverSink sink) { handover_sink_ = std::move(sink); }
+  std::uint64_t handovers_executed() const { return handovers_executed_; }
+
+  // ---- data plane listener -------------------------------------------------
+  void on_subframe_start(std::int64_t subframe) override;
+  void on_rach(lte::Rnti rnti, std::int64_t subframe) override;
+  void on_ue_attached(lte::Rnti rnti, std::int64_t subframe) override;
+  void on_ue_detached(lte::Rnti rnti, std::int64_t subframe) override;
+  void on_scheduling_request(lte::Rnti rnti, std::int64_t subframe) override;
+
+  // ---- introspection -------------------------------------------------------
+  const proto::SignalingAccountant& tx_accounting() const { return tx_accounting_; }
+  std::uint64_t missed_deadline_decisions() const { return missed_deadline_decisions_; }
+  std::uint64_t remote_decisions_applied() const { return remote_decisions_applied_; }
+  std::uint64_t messages_received() const { return messages_received_; }
+  std::uint64_t fallback_activations() const { return fallback_activations_; }
+  std::size_t queued_decisions() const { return dl_decision_queue_.size(); }
+
+ private:
+  void handle_message(std::vector<std::uint8_t> data);
+  void handle_envelope(const proto::Envelope& envelope);
+
+  template <typename M>
+  void send_message(const M& message, std::uint32_t xid = 0);
+
+  std::optional<lte::SchedulingDecision> take_dl_decision(std::int64_t subframe);
+  void execute_handover(lte::Rnti rnti, lte::CellId target);
+
+  sim::Simulator& sim_;
+  stack::EnodebDataPlane& data_plane_;
+  AgentConfig config_;
+  AgentApi api_;
+  VsfCache cache_;
+  MacControlModule mac_;
+  RrcControlModule rrc_;
+  ReportsManager reports_;
+
+  net::Transport* transport_ = nullptr;  // not owned
+
+  /// Schedule-ahead buffer: master decisions keyed by target subframe.
+  std::map<std::int64_t, lte::SchedulingDecision> dl_decision_queue_;
+  std::set<proto::EventType> subscribed_events_;
+
+  proto::SignalingAccountant tx_accounting_;
+  std::uint64_t missed_deadline_decisions_ = 0;
+  std::uint64_t remote_decisions_applied_ = 0;
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t fallback_activations_ = 0;
+  std::int64_t last_master_contact_subframe_ = 0;
+  HandoverSink handover_sink_;
+  std::uint64_t handovers_executed_ = 0;
+  std::uint32_t next_xid_ = 1;
+};
+
+}  // namespace flexran::agent

@@ -1,0 +1,25 @@
+#include "agent/agent_api.h"
+
+namespace flexran::agent {
+
+std::vector<lte::UeConfig> AgentApi::ue_configs() const {
+  std::vector<lte::UeConfig> out;
+  for (const auto rnti : data_plane_->ue_rntis()) {
+    const auto* ue = data_plane_->ue(rnti);
+    if (ue != nullptr) out.push_back(ue->config);
+  }
+  return out;
+}
+
+std::vector<proto::LcConfigMsg> AgentApi::lc_configs() const {
+  std::vector<proto::LcConfigMsg> out;
+  for (const auto rnti : data_plane_->ue_rntis()) {
+    // SRB1 plus the default DRB, the two channels the data plane uses.
+    out.push_back({rnti, lte::kSrb1, 0});
+    out.push_back({rnti, lte::kDefaultDrb,
+                   static_cast<std::uint8_t>(stack::default_lc_group(lte::kDefaultDrb))});
+  }
+  return out;
+}
+
+}  // namespace flexran::agent

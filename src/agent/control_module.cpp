@@ -1,0 +1,127 @@
+#include "agent/control_module.h"
+
+namespace flexran::agent {
+
+util::Status ControlModule::set_behavior(const std::string& slot_name,
+                                         const std::string& implementation) {
+  auto it = slots_.find(slot_name);
+  if (it == slots_.end()) {
+    return util::Error::not_found("module " + name_ + " has no slot " + slot_name);
+  }
+  Vsf* vsf = cache_->get(name_, slot_name, implementation);
+  if (vsf == nullptr) {
+    return util::Error::not_found("implementation not in cache: " +
+                                  vsf_key(name_, slot_name, implementation));
+  }
+  auto valid = validate(slot_name, *vsf);
+  if (!valid.ok()) return valid;
+  it->second.impl_name = implementation;
+  it->second.vsf = vsf;
+  on_behavior_changed(slot_name, vsf);
+  return {};
+}
+
+util::Status ControlModule::set_parameter(const std::string& slot_name, std::string_view key,
+                                          const util::YamlNode& value) {
+  auto it = slots_.find(slot_name);
+  if (it == slots_.end()) {
+    return util::Error::not_found("module " + name_ + " has no slot " + slot_name);
+  }
+  if (it->second.vsf == nullptr) {
+    return util::Error::conflict("slot " + slot_name + " has no active implementation");
+  }
+  return it->second.vsf->set_parameter(key, value);
+}
+
+std::string ControlModule::active_implementation(const std::string& slot_name) const {
+  const Slot* s = slot(slot_name);
+  return s == nullptr ? "" : s->impl_name;
+}
+
+// ------------------------------------------------------------------- MAC --
+
+MacControlModule::MacControlModule(VsfCache& cache) : ControlModule(kName, cache) {
+  declare_slot(kDlSchedulerSlot);
+  declare_slot(kUlSchedulerSlot);
+}
+
+util::Status MacControlModule::validate(const std::string& slot, Vsf& vsf) const {
+  if (slot == kDlSchedulerSlot && dynamic_cast<DlSchedulerVsf*>(&vsf) == nullptr) {
+    return util::Error::invalid_argument("VSF is not a DL scheduler");
+  }
+  if (slot == kUlSchedulerSlot && dynamic_cast<UlSchedulerVsf*>(&vsf) == nullptr) {
+    return util::Error::invalid_argument("VSF is not a UL scheduler");
+  }
+  return {};
+}
+
+void MacControlModule::on_behavior_changed(const std::string& slot, Vsf* vsf) {
+  if (slot == kDlSchedulerSlot) dl_scheduler_ = dynamic_cast<DlSchedulerVsf*>(vsf);
+  if (slot == kUlSchedulerSlot) ul_scheduler_ = dynamic_cast<UlSchedulerVsf*>(vsf);
+}
+
+// ------------------------------------------------------------------- RRC --
+
+RrcControlModule::RrcControlModule(VsfCache& cache) : ControlModule(kName, cache) {
+  declare_slot(kHandoverPolicySlot);
+}
+
+util::Status RrcControlModule::validate(const std::string& slot, Vsf& vsf) const {
+  if (slot == kHandoverPolicySlot && dynamic_cast<HandoverPolicyVsf*>(&vsf) == nullptr) {
+    return util::Error::invalid_argument("VSF is not a handover policy");
+  }
+  return {};
+}
+
+void RrcControlModule::on_behavior_changed(const std::string& slot, Vsf* vsf) {
+  if (slot == kHandoverPolicySlot) handover_policy_ = dynamic_cast<HandoverPolicyVsf*>(vsf);
+}
+
+// ------------------------------------------------------ policy application
+
+util::Status apply_policy_document(const util::YamlNode& root,
+                                   std::span<ControlModule* const> modules) {
+  if (!root.is_map()) return util::Error::invalid_argument("policy root must be a map");
+  // Structure (paper Fig. 3):
+  //   <module>:
+  //     <vsf slot>:
+  //       behavior: <cached implementation>
+  //       parameters: { key: value, ... }
+  for (const auto& [module_name, slots] : root.entries()) {
+    ControlModule* module = nullptr;
+    for (ControlModule* candidate : modules) {
+      if (candidate->name() == module_name) {
+        module = candidate;
+        break;
+      }
+    }
+    if (module == nullptr) {
+      return util::Error::not_found("unknown control module: " + module_name);
+    }
+    if (!slots.is_map()) {
+      return util::Error::invalid_argument("module entry must map VSF slots");
+    }
+    for (const auto& [slot_name, spec] : slots.entries()) {
+      if (const auto* behavior = spec.find("behavior"); behavior != nullptr) {
+        auto status = module->set_behavior(slot_name, behavior->as_string());
+        if (!status.ok()) return status;
+      }
+      if (const auto* parameters = spec.find("parameters"); parameters != nullptr) {
+        for (const auto& [key, value] : parameters->entries()) {
+          auto status = module->set_parameter(slot_name, key, value);
+          if (!status.ok()) return status;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+util::Status apply_policy_yaml(const std::string& yaml,
+                               std::span<ControlModule* const> modules) {
+  auto doc = util::parse_yaml(yaml);
+  if (!doc.ok()) return doc.error();
+  return apply_policy_document(doc.value(), modules);
+}
+
+}  // namespace flexran::agent

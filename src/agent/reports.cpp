@@ -1,0 +1,106 @@
+#include "agent/reports.h"
+
+#include <functional>
+
+namespace flexran::agent {
+
+void ReportsManager::register_request(const proto::StatsRequest& request,
+                                      std::int64_t current_subframe) {
+  if (request.flags == 0) {
+    registrations_.erase(request.request_id);
+    return;
+  }
+  Registration registration;
+  registration.request = request;
+  registration.next_due = current_subframe;  // first report is immediate
+  registrations_[request.request_id] = std::move(registration);
+}
+
+std::vector<proto::StatsReply> ReportsManager::collect(std::int64_t subframe) {
+  std::vector<proto::StatsReply> due;
+  for (auto it = registrations_.begin(); it != registrations_.end();) {
+    Registration& registration = it->second;
+    bool erase = false;
+    switch (registration.request.mode) {
+      case proto::ReportMode::one_off:
+        if (!registration.fired_once) {
+          due.push_back(build_reply(registration, subframe));
+          registration.fired_once = true;
+        }
+        erase = true;
+        break;
+      case proto::ReportMode::periodic:
+        if (subframe >= registration.next_due) {
+          due.push_back(build_reply(registration, subframe));
+          registration.next_due =
+              subframe + std::max<std::int64_t>(1, registration.request.periodicity_ttis);
+        }
+        break;
+      case proto::ReportMode::triggered: {
+        auto reply = build_reply(registration, subframe);
+        const std::size_t print = fingerprint(reply);
+        if (!registration.fired_once || print != registration.last_fingerprint) {
+          registration.last_fingerprint = print;
+          registration.fired_once = true;
+          due.push_back(std::move(reply));
+        }
+        break;
+      }
+    }
+    it = erase ? registrations_.erase(it) : std::next(it);
+  }
+  return due;
+}
+
+proto::StatsReply ReportsManager::build_reply(const Registration& registration,
+                                              std::int64_t subframe) const {
+  const auto& request = registration.request;
+  proto::StatsReply reply;
+  reply.request_id = request.request_id;
+  reply.subframe = subframe;
+
+  std::vector<lte::Rnti> scope = request.ues.empty() ? api_->ue_rntis() : request.ues;
+  if ((request.flags & proto::stats_flags::kAllUeFlags) != 0) {
+    for (const auto rnti : scope) {
+      auto full = api_->ue_stats(rnti);
+      proto::UeStatsReport filtered;
+      filtered.rnti = full.rnti;
+      if (request.flags & proto::stats_flags::kBsr) {
+        filtered.bsr_bytes = full.bsr_bytes;
+        filtered.ul_buffer_bytes = full.ul_buffer_bytes;
+      }
+      if (request.flags & proto::stats_flags::kCqi) {
+        filtered.wb_cqi = full.wb_cqi;
+        filtered.wb_cqi_protected = full.wb_cqi_protected;
+      }
+      if (request.flags & proto::stats_flags::kPhr) filtered.phr_db = full.phr_db;
+      if (request.flags & proto::stats_flags::kRlcQueue) {
+        filtered.rlc_queue_bytes = full.rlc_queue_bytes;
+      }
+      if (request.flags & proto::stats_flags::kHarq) filtered.pending_harq = full.pending_harq;
+      if (request.flags & proto::stats_flags::kMacCounters) {
+        filtered.dl_bytes_delivered = full.dl_bytes_delivered;
+        filtered.ul_bytes_received = full.ul_bytes_received;
+      }
+      if (request.flags & proto::stats_flags::kRsrp) filtered.rsrp = full.rsrp;
+      reply.ue_reports.push_back(filtered);
+    }
+  }
+  if (request.flags & proto::stats_flags::kCellLoad) {
+    reply.cell_reports.push_back(api_->cell_stats());
+  }
+  return reply;
+}
+
+std::size_t ReportsManager::fingerprint(const proto::StatsReply& reply) {
+  // Hash the encoded body minus the subframe (which always changes).
+  proto::StatsReply stripped = reply;
+  stripped.subframe = 0;
+  proto::WireEncoder enc;
+  stripped.encode_body(enc);
+  const auto bytes = enc.bytes();
+  return std::hash<std::string_view>{}(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+}
+
+}  // namespace flexran::agent

@@ -1,0 +1,44 @@
+// Reports & Events Manager (paper Sec. 4.3.1, "eNodeB Report and Event
+// Management"): registers the master's asynchronous statistics requests and
+// produces the due reports each TTI. Three report types: one-off (single
+// reply), periodic (every N TTIs, N from the request), and triggered (only
+// when the report contents changed since the last transmission).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "agent/agent_api.h"
+#include "proto/messages.h"
+
+namespace flexran::agent {
+
+class ReportsManager {
+ public:
+  explicit ReportsManager(AgentApi& api) : api_(&api) {}
+
+  /// Registers (or replaces, by request_id) a statistics request. A request
+  /// with flags == 0 cancels the registration.
+  void register_request(const proto::StatsRequest& request, std::int64_t current_subframe);
+  void cancel_request(std::uint32_t request_id) { registrations_.erase(request_id); }
+  std::size_t active_registrations() const { return registrations_.size(); }
+
+  /// Returns the replies due at `subframe` (runs once per TTI).
+  std::vector<proto::StatsReply> collect(std::int64_t subframe);
+
+ private:
+  struct Registration {
+    proto::StatsRequest request;
+    std::int64_t next_due = 0;
+    std::size_t last_fingerprint = 0;
+    bool fired_once = false;
+  };
+
+  proto::StatsReply build_reply(const Registration& registration, std::int64_t subframe) const;
+  static std::size_t fingerprint(const proto::StatsReply& reply);
+
+  AgentApi* api_;
+  std::map<std::uint32_t, Registration> registrations_;
+};
+
+}  // namespace flexran::agent

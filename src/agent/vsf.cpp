@@ -1,0 +1,65 @@
+#include "agent/vsf.h"
+
+namespace flexran::agent {
+
+std::string vsf_key(std::string_view module, std::string_view vsf,
+                    std::string_view implementation) {
+  std::string key;
+  key.reserve(module.size() + vsf.size() + implementation.size() + 2);
+  key.append(module);
+  key.push_back('/');
+  key.append(vsf);
+  key.push_back('/');
+  key.append(implementation);
+  return key;
+}
+
+VsfFactory& VsfFactory::instance() {
+  static VsfFactory factory;
+  return factory;
+}
+
+void VsfFactory::register_implementation(std::string module, std::string vsf,
+                                         std::string implementation, Factory factory) {
+  factories_[vsf_key(module, vsf, implementation)] = std::move(factory);
+}
+
+util::Result<std::unique_ptr<Vsf>> VsfFactory::create(std::string_view module,
+                                                      std::string_view vsf,
+                                                      std::string_view implementation) const {
+  auto it = factories_.find(vsf_key(module, vsf, implementation));
+  if (it == factories_.end()) {
+    return util::Error::not_found("no VSF implementation " +
+                                  vsf_key(module, vsf, implementation));
+  }
+  return it->second();
+}
+
+bool VsfFactory::has(std::string_view module, std::string_view vsf,
+                     std::string_view implementation) const {
+  return factories_.contains(vsf_key(module, vsf, implementation));
+}
+
+util::Status VsfCache::store(const std::string& module, const std::string& vsf,
+                             const std::string& implementation) {
+  const auto key = vsf_key(module, vsf, implementation);
+  if (cache_.contains(key)) return {};  // already pushed
+  auto instance = VsfFactory::instance().create(module, vsf, implementation);
+  if (!instance.ok()) return instance.error();
+  cache_[key] = std::move(instance.value());
+  return {};
+}
+
+void VsfCache::store_instance(const std::string& module, const std::string& vsf,
+                              const std::string& implementation,
+                              std::unique_ptr<Vsf> instance) {
+  cache_[vsf_key(module, vsf, implementation)] = std::move(instance);
+}
+
+Vsf* VsfCache::get(std::string_view module, std::string_view vsf,
+                   std::string_view implementation) const {
+  auto it = cache_.find(vsf_key(module, vsf, implementation));
+  return it == cache_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace flexran::agent

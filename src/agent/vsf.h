@@ -1,0 +1,113 @@
+// Virtual Subsystem Functions (paper Sec. 4.3.1). A VSF implements the
+// action the agent takes for one operation of a control module (e.g. "UE
+// downlink scheduling"). The master pushes implementations over the FlexRAN
+// protocol (VSF updation); the agent caches them and links them to CMI
+// slots at runtime (policy reconfiguration).
+//
+// Substitution note (DESIGN.md): the paper ships VSFs as shared libraries
+// compiled against the agent's architecture and dlopen()s them. Here a
+// pushed VSF names an implementation in a process-wide factory registry;
+// the cache, swap and parameter semantics -- what Sec. 5.4 measures -- are
+// identical, and a dlopen-based loader would slot in behind VsfFactory.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "agent/agent_api.h"
+#include "lte/allocation.h"
+#include "util/result.h"
+#include "util/yaml_lite.h"
+
+namespace flexran::agent {
+
+/// Base of every VSF: runtime-reconfigurable named parameters (the
+/// "parameters" section of a policy reconfiguration message, Fig. 3).
+class Vsf {
+ public:
+  virtual ~Vsf() = default;
+
+  /// Sets one parameter; unknown keys are an error so operator typos
+  /// surface instead of silently doing nothing.
+  virtual util::Status set_parameter(std::string_view key, const util::YamlNode& value) {
+    (void)value;
+    return util::Error::invalid_argument("unknown parameter: " + std::string(key));
+  }
+};
+
+/// MAC CMI slot: UE downlink scheduling. Returns the DCIs for `subframe`
+/// (empty decision = nothing scheduled). A remote-stub implementation
+/// returns the master's pushed decision instead of computing one.
+class DlSchedulerVsf : public Vsf {
+ public:
+  virtual lte::SchedulingDecision schedule_dl(AgentApi& api, std::int64_t subframe) = 0;
+};
+
+/// MAC CMI slot: UE uplink scheduling.
+class UlSchedulerVsf : public Vsf {
+ public:
+  virtual lte::SchedulingDecision schedule_ul(AgentApi& api, std::int64_t subframe) = 0;
+};
+
+/// RRC CMI slot: handover trigger policy. Returns RNTI + target cell when a
+/// handover should be initiated.
+struct HandoverDecision {
+  lte::Rnti rnti = lte::kInvalidRnti;
+  lte::CellId target_cell = 0;
+};
+class HandoverPolicyVsf : public Vsf {
+ public:
+  virtual std::optional<HandoverDecision> evaluate(AgentApi& api, std::int64_t subframe) = 0;
+};
+
+/// Process-wide registry of VSF implementations, keyed by
+/// (module, vsf, implementation) -- the stand-in for the shared-library
+/// loader (see header comment).
+class VsfFactory {
+ public:
+  using Factory = std::function<std::unique_ptr<Vsf>()>;
+
+  static VsfFactory& instance();
+
+  void register_implementation(std::string module, std::string vsf, std::string implementation,
+                               Factory factory);
+  util::Result<std::unique_ptr<Vsf>> create(std::string_view module, std::string_view vsf,
+                                            std::string_view implementation) const;
+  bool has(std::string_view module, std::string_view vsf, std::string_view implementation) const;
+
+ private:
+  VsfFactory() = default;
+  std::map<std::string, Factory> factories_;  // "module/vsf/impl"
+};
+
+/// Agent-side cache of pushed VSF instances (paper: "the pushed code is
+/// initially stored in a cache memory at the agent side... the cache can
+/// store many different implementations for a specific VSF, which the
+/// master can swap at runtime").
+class VsfCache {
+ public:
+  /// Instantiates and stores an implementation (idempotent per name).
+  util::Status store(const std::string& module, const std::string& vsf,
+                     const std::string& implementation);
+  /// Stores an agent-constructed instance directly (used for the built-in
+  /// remote stub, which needs access to the agent's decision queue).
+  void store_instance(const std::string& module, const std::string& vsf,
+                      const std::string& implementation, std::unique_ptr<Vsf> instance);
+  /// Cached instance lookup; nullptr if not pushed.
+  Vsf* get(std::string_view module, std::string_view vsf,
+           std::string_view implementation) const;
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Vsf>> cache_;  // "module/vsf/impl"
+};
+
+/// Canonical cache/registry key.
+std::string vsf_key(std::string_view module, std::string_view vsf,
+                    std::string_view implementation);
+
+}  // namespace flexran::agent

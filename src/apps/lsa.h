@@ -1,0 +1,53 @@
+// Licensed Shared Access controller application (paper Sec. 7.1: "an LSA
+// controller dynamically manages the access to the shared spectrum based on
+// these agreements. Such an operation could easily be implemented as an
+// application on top of FlexRAN"). The incumbent's activity calendar is a
+// sequence of windows; while the incumbent is active the app evacuates the
+// shared upper PRBs of every managed cell via CarrierRestriction commands
+// and restores the full carrier afterwards.
+#pragma once
+
+#include <vector>
+
+#include "controller/app.h"
+
+namespace flexran::apps {
+
+struct LsaWindow {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+struct LsaConfig {
+  /// Agents whose cells use the shared band; empty = all.
+  std::vector<ctrl::AgentId> agents;
+  /// PRBs the MNO may keep while the incumbent is active.
+  int restricted_prbs = 30;
+  /// Incumbent activity calendar (non-overlapping, ascending).
+  std::vector<LsaWindow> incumbent_windows;
+  std::int64_t period_cycles = 10;
+};
+
+class LsaControllerApp final : public ctrl::App {
+ public:
+  explicit LsaControllerApp(LsaConfig config) : config_(std::move(config)) {}
+
+  std::string_view name() const override { return "lsa_controller"; }
+  int priority() const override { return 30; }
+
+  void on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) override;
+
+  bool incumbent_active() const { return incumbent_active_; }
+  std::uint64_t restrictions_sent() const { return restrictions_sent_; }
+
+ private:
+  bool incumbent_active_at(double now_seconds) const;
+  void apply(ctrl::NorthboundApi& api, bool active);
+
+  LsaConfig config_;
+  bool incumbent_active_ = false;
+  bool applied_once_ = false;
+  std::uint64_t restrictions_sent_ = 0;
+};
+
+}  // namespace flexran::apps

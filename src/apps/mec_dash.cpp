@@ -1,0 +1,58 @@
+#include "apps/mec_dash.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexran::apps {
+
+CqiBitrateTable paper_table2_bitrates() {
+  // Paper Table 2: CQI -> max sustainable video bitrate (Mb/s), measured on
+  // the authors' testbed. bench_table2_cqi regenerates this repo's own
+  // calibration of the same mapping.
+  return {{2, 1.4}, {3, 2.0}, {4, 2.9}, {10, 7.3}, {15, 11.0}};
+}
+
+CqiBitrateTable calibrated_table2_bitrates() {
+  // Measured by bench_table2_cqi against this repo's PHY calibration
+  // (kDataRePerPrb = 100): highest bitrate playing with zero freezes.
+  return {{2, 0.7}, {3, 1.0}, {4, 2.0}, {6, 4.0}, {10, 7.3}, {15, 11.0}};
+}
+
+double sustainable_bitrate_mbps(const CqiBitrateTable& table, double cqi) {
+  if (table.empty()) return 0.0;
+  auto upper = table.lower_bound(static_cast<int>(std::ceil(cqi)));
+  if (upper == table.begin()) return upper->second;
+  if (upper == table.end()) return std::prev(upper)->second;
+  const auto lower = std::prev(upper);
+  const double span = upper->first - lower->first;
+  if (span <= 0) return lower->second;
+  const double frac = (cqi - lower->first) / span;
+  return lower->second + frac * (upper->second - lower->second);
+}
+
+void MecDashApp::on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) {
+  if (config_.period_cycles > 0 && cycle % config_.period_cycles != 0) return;
+  const auto* agent = api.rib().find_agent(config_.agent);
+  if (agent == nullptr) return;
+  for (const auto& [cell_id, cell] : agent->cells) {
+    (void)cell_id;
+    const double share_divisor =
+        config_.load_aware ? std::max<double>(1.0, cell.stats.active_ues) : 1.0;
+    for (const auto& [rnti, ue] : cell.ues) {
+      if (!ue.cqi_avg.seeded()) continue;
+      const double mbps =
+          sustainable_bitrate_mbps(config_.table, ue.cqi_avg.value()) / share_divisor;
+      auto it = last_pushed_.find(rnti);
+      if (it != last_pushed_.end() && it->second == mbps) continue;  // no change
+      last_pushed_[rnti] = mbps;
+      if (push_) push_(rnti, mbps);
+    }
+  }
+}
+
+double MecDashApp::last_pushed_mbps(lte::Rnti rnti) const {
+  auto it = last_pushed_.find(rnti);
+  return it == last_pushed_.end() ? 0.0 : it->second;
+}
+
+}  // namespace flexran::apps

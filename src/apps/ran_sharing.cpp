@@ -1,0 +1,184 @@
+#include "apps/ran_sharing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lte/tables.h"
+#include "util/strings.h"
+
+namespace flexran::apps {
+
+std::string make_slice_policy_yaml(const std::vector<SliceSpec>& slices) {
+  std::string yaml =
+      "mac:\n"
+      "  dl_ue_scheduler:\n"
+      "    behavior: sliced\n"
+      "    parameters:\n"
+      "      slices:\n";
+  for (const auto& slice : slices) {
+    yaml += util::format("        - share: %.4f\n", slice.share);
+    yaml += "          policy: " + slice.policy + "\n";
+    auto render_list = [](const std::vector<lte::Rnti>& rntis) {
+      std::string out = "[";
+      for (std::size_t i = 0; i < rntis.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(rntis[i]);
+      }
+      return out + "]";
+    };
+    yaml += "          rntis: " + render_list(slice.rntis) + "\n";
+    if (slice.policy == "group") {
+      yaml += "          premium_rntis: " + render_list(slice.premium_rntis) + "\n";
+      yaml += util::format("          premium_share: %.4f\n", slice.premium_share);
+    }
+  }
+  return yaml;
+}
+
+util::Status SlicedDlVsf::set_parameter(std::string_view key, const util::YamlNode& value) {
+  if (key != "slices") {
+    return util::Error::invalid_argument("unknown parameter: " + std::string(key));
+  }
+  if (!value.is_sequence()) {
+    return util::Error::invalid_argument("slices must be a sequence");
+  }
+  std::vector<SliceSpec> parsed;
+  for (const auto& item : value.items()) {
+    SliceSpec spec;
+    if (const auto* share = item.find("share"); share != nullptr) {
+      auto v = share->as_double();
+      if (!v.ok() || *v < 0.0 || *v > 1.0) {
+        return util::Error::invalid_argument("slice share must be in [0, 1]");
+      }
+      spec.share = *v;
+    }
+    if (const auto* policy = item.find("policy"); policy != nullptr) {
+      spec.policy = policy->as_string();
+      if (spec.policy != "fair" && spec.policy != "group") {
+        return util::Error::invalid_argument("slice policy must be fair or group");
+      }
+    }
+    auto parse_rntis = [&](const char* field, std::vector<lte::Rnti>& out) -> util::Status {
+      const auto* node = item.find(field);
+      if (node == nullptr) return {};
+      if (!node->is_sequence()) return util::Error::invalid_argument("rnti list expected");
+      for (const auto& rnti_node : node->items()) {
+        auto v = rnti_node.as_int();
+        if (!v.ok()) return v.error();
+        out.push_back(static_cast<lte::Rnti>(*v));
+      }
+      return {};
+    };
+    if (auto s = parse_rntis("rntis", spec.rntis); !s.ok()) return s;
+    if (auto s = parse_rntis("premium_rntis", spec.premium_rntis); !s.ok()) return s;
+    if (const auto* premium = item.find("premium_share"); premium != nullptr) {
+      auto v = premium->as_double();
+      if (!v.ok()) return v.error();
+      spec.premium_share = std::clamp(*v, 0.0, 1.0);
+    }
+    parsed.push_back(std::move(spec));
+  }
+  slices_ = std::move(parsed);
+  rotations_.assign(slices_.size(), 0);
+  premium_rotations_.assign(slices_.size(), 0);
+  return {};
+}
+
+std::vector<agent::PrbDemand> SlicedDlVsf::demands_for(
+    agent::AgentApi& /*api*/, const std::vector<stack::SchedUeInfo>& view,
+    const std::set<lte::Rnti>& members, int budget_prbs, std::size_t& rotation) const {
+  std::vector<agent::PrbDemand> wants;
+  for (const auto& info : view) {
+    if (!members.contains(info.rnti)) continue;
+    if (info.dl_queue_bytes == 0 && info.pending_dl_retx == 0) continue;
+    const int mcs = lte::cqi_to_mcs(std::max(info.cqi, 1));
+    agent::PrbDemand demand;
+    demand.rnti = info.rnti;
+    demand.mcs = mcs;
+    demand.prbs_wanted =
+        info.pending_dl_retx > 0 ? budget_prbs : agent::prbs_needed(info.dl_bits_needed, mcs);
+    wants.push_back(demand);
+  }
+  if (wants.empty()) return wants;
+  std::rotate(wants.begin(), wants.begin() + static_cast<std::ptrdiff_t>(rotation % wants.size()),
+              wants.end());
+  ++rotation;
+  return agent::equal_share_demands(std::move(wants), budget_prbs);
+}
+
+lte::SchedulingDecision SlicedDlVsf::schedule_dl(agent::AgentApi& api, std::int64_t subframe) {
+  lte::SchedulingDecision decision;
+  decision.cell_id = api.cell_id();
+  decision.subframe = subframe;
+  if (api.muted_in(subframe) || slices_.empty()) return decision;
+
+  const auto view = api.scheduler_view();
+  const int total_prbs = api.dl_prbs();
+  int first_prb = 0;
+
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    const SliceSpec& slice = slices_[i];
+    int budget = static_cast<int>(std::floor(slice.share * total_prbs));
+    budget = std::min(budget, total_prbs - first_prb);
+    if (budget <= 0) continue;
+
+    // UEs that RACHed but have no slice yet ride on the first slice so they
+    // can complete attach signaling.
+    std::set<lte::Rnti> members(slice.rntis.begin(), slice.rntis.end());
+    if (i == 0) {
+      std::set<lte::Rnti> assigned;
+      for (const auto& s : slices_) assigned.insert(s.rntis.begin(), s.rntis.end());
+      for (const auto& info : view) {
+        if (!assigned.contains(info.rnti)) members.insert(info.rnti);
+      }
+    }
+
+    if (slice.policy == "group" && !slice.premium_rntis.empty()) {
+      const std::set<lte::Rnti> premium(slice.premium_rntis.begin(), slice.premium_rntis.end());
+      std::set<lte::Rnti> secondary;
+      for (const auto rnti : members) {
+        if (!premium.contains(rnti)) secondary.insert(rnti);
+      }
+      const int premium_budget = static_cast<int>(std::floor(slice.premium_share * budget));
+      auto premium_demands =
+          demands_for(api, view, premium, premium_budget, premium_rotations_[i]);
+      auto premium_dcis = agent::pack_dl_allocations(premium_demands, premium_budget, first_prb);
+      int premium_used = 0;
+      for (const auto& dci : premium_dcis) premium_used += dci.rbs.count();
+      decision.dl.insert(decision.dl.end(), premium_dcis.begin(), premium_dcis.end());
+
+      const int secondary_budget = budget - premium_budget;
+      auto secondary_demands =
+          demands_for(api, view, secondary, secondary_budget, rotations_[i]);
+      auto secondary_dcis = agent::pack_dl_allocations(secondary_demands, secondary_budget,
+                                                       first_prb + premium_budget);
+      decision.dl.insert(decision.dl.end(), secondary_dcis.begin(), secondary_dcis.end());
+    } else {
+      auto demands = demands_for(api, view, members, budget, rotations_[i]);
+      auto dcis = agent::pack_dl_allocations(demands, budget, first_prb);
+      decision.dl.insert(decision.dl.end(), dcis.begin(), dcis.end());
+    }
+    first_prb += budget;
+  }
+  return decision;
+}
+
+// ------------------------------------------------------------------- app --
+
+void RanSharingApp::on_start(ctrl::NorthboundApi& api) {
+  (void)api.push_vsf(agent_, "mac", "dl_ue_scheduler", "sliced");
+  if (!steps_.empty() && steps_.front().at_seconds <= 0.0) {
+    (void)api.send_policy(agent_, make_slice_policy_yaml(steps_.front().slices));
+    next_step_ = 1;
+  }
+}
+
+void RanSharingApp::on_cycle(std::int64_t /*cycle*/, ctrl::NorthboundApi& api) {
+  while (next_step_ < steps_.size() &&
+         sim::to_seconds(api.now()) >= steps_[next_step_].at_seconds) {
+    (void)api.send_policy(agent_, make_slice_policy_yaml(steps_[next_step_].slices));
+    ++next_step_;
+  }
+}
+
+}  // namespace flexran::apps

@@ -1,0 +1,77 @@
+// RAN sharing & virtualization (paper Sec. 6.3): an agent-side downlink
+// scheduler (SlicedDlVsf) that partitions the carrier's PRBs between
+// operators (MNO / MVNOs) and applies a per-operator scheduling policy
+// ("fair" round robin or "group" premium/secondary), plus a master
+// application that introduces MVNOs and re-balances their resource shares
+// at runtime through policy reconfiguration messages.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agent/schedulers.h"
+#include "controller/app.h"
+
+namespace flexran::apps {
+
+/// One operator's slice of the carrier.
+struct SliceSpec {
+  /// Fraction of PRBs, in [0, 1]; specs should sum to <= 1.
+  double share = 0.5;
+  /// "fair" (equal split) or "group" (premium users get premium_share of
+  /// the slice's PRBs, secondary users the rest).
+  std::string policy = "fair";
+  std::vector<lte::Rnti> rntis;
+  std::vector<lte::Rnti> premium_rntis;
+  double premium_share = 0.7;
+};
+
+/// Renders slice specs as the parameters section of a policy
+/// reconfiguration message targeting mac/dl_ue_scheduler (behavior: sliced).
+std::string make_slice_policy_yaml(const std::vector<SliceSpec>& slices);
+
+class SlicedDlVsf final : public agent::DlSchedulerVsf {
+ public:
+  lte::SchedulingDecision schedule_dl(agent::AgentApi& api, std::int64_t subframe) override;
+  util::Status set_parameter(std::string_view key, const util::YamlNode& value) override;
+
+  const std::vector<SliceSpec>& slices() const { return slices_; }
+
+ private:
+  std::vector<agent::PrbDemand> demands_for(
+      agent::AgentApi& api, const std::vector<stack::SchedUeInfo>& view,
+      const std::set<lte::Rnti>& members, int budget_prbs, std::size_t& rotation) const;
+
+  std::vector<SliceSpec> slices_;
+  std::vector<std::size_t> rotations_;          // per slice (fair / secondary)
+  std::vector<std::size_t> premium_rotations_;  // per slice (premium group)
+};
+
+/// Master app driving the Fig. 12a experiment: pushes the sliced scheduler
+/// and applies scripted share re-configurations at given times.
+class RanSharingApp final : public ctrl::App {
+ public:
+  struct Step {
+    double at_seconds = 0.0;
+    std::vector<SliceSpec> slices;
+  };
+
+  RanSharingApp(ctrl::AgentId agent, std::vector<Step> steps)
+      : agent_(agent), steps_(std::move(steps)) {}
+
+  std::string_view name() const override { return "ran_sharing"; }
+  int priority() const override { return 50; }
+
+  void on_start(ctrl::NorthboundApi& api) override;
+  void on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) override;
+
+  std::size_t steps_applied() const { return next_step_; }
+
+ private:
+  ctrl::AgentId agent_;
+  std::vector<Step> steps_;
+  std::size_t next_step_ = 0;
+};
+
+}  // namespace flexran::apps

@@ -1,0 +1,59 @@
+// Centralized (remote) downlink scheduling application -- the paper's most
+// demanding workload: per-TTI scheduling decisions computed at the master
+// from RIB state and pushed to agents over the FlexRAN protocol
+// (Secs. 5.2.1 and 5.3). Supports schedule-ahead operation: a decision for
+// observed subframe x is issued targeting subframe x + n, which must cover
+// the control-channel one-way latency for the decision to be applicable.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "controller/app.h"
+
+namespace flexran::apps {
+
+struct RemoteSchedulerConfig {
+  /// n: how many subframes ahead of the agent's last reported subframe a
+  /// decision targets (Fig. 9 x-axis; >= 1).
+  int schedule_ahead_sf = 2;
+  /// Agents under this scheduler's control; empty = all connected agents.
+  std::vector<ctrl::AgentId> agents;
+  /// Cap on decisions issued per agent per cycle (bounds catch-up bursts
+  /// after the master stalls).
+  int max_decisions_per_cycle = 4;
+  /// Also schedule the uplink from reported UL buffer status. The agent's
+  /// local UL VSF should then be disabled ("remote" is DL-only as a slot,
+  /// so point ul_ue_scheduler at nothing by leaving it unset) or its grants
+  /// will race the master's -- the data plane rejects the overlap.
+  bool schedule_ul = false;
+};
+
+class RemoteSchedulerApp final : public ctrl::App {
+ public:
+  explicit RemoteSchedulerApp(RemoteSchedulerConfig config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "remote_scheduler"; }
+  /// Time critical: runs first in every cycle.
+  int priority() const override { return 1; }
+
+  void on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) override;
+
+  std::uint64_t decisions_sent() const { return decisions_sent_; }
+  void set_schedule_ahead(int subframes) { config_.schedule_ahead_sf = subframes; }
+  int schedule_ahead() const { return config_.schedule_ahead_sf; }
+
+ private:
+  /// Builds one RR decision for `target_subframe` from the agent's RIB
+  /// state.
+  proto::DlMacConfig build_decision(const ctrl::AgentNode& agent, std::int64_t target_subframe);
+  proto::UlMacConfig build_ul_decision(const ctrl::AgentNode& agent,
+                                       std::int64_t target_subframe);
+
+  RemoteSchedulerConfig config_;
+  std::map<ctrl::AgentId, std::int64_t> last_target_;
+  std::map<ctrl::AgentId, std::size_t> rotation_;
+  std::uint64_t decisions_sent_ = 0;
+};
+
+}  // namespace flexran::apps

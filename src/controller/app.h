@@ -1,0 +1,82 @@
+// Northbound API and application model (paper Sec. 4.4). RAN control and
+// management applications run on the master, read the RIB, and act on the
+// network exclusively by issuing control commands through this interface --
+// they never mutate the RIB directly (single-writer rule; state changes
+// flow back via agent reports).
+//
+// Applications are periodic (driven every task-manager cycle), event-based
+// (driven by the Event Notification Service), or both.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "controller/rib.h"
+#include "lte/abs.h"
+#include "proto/messages.h"
+#include "util/result.h"
+
+namespace flexran::ctrl {
+
+/// An event surfaced to applications by the Event Notification Service.
+struct Event {
+  AgentId agent = 0;
+  proto::EventNotification notification;
+};
+
+class NorthboundApi {
+ public:
+  virtual ~NorthboundApi() = default;
+
+  // ---- monitoring ----------------------------------------------------------
+  virtual const Rib& rib() const = 0;
+  virtual sim::TimeUs now() const = 0;
+  /// Latest subframe the agent reported (master's, possibly stale, view).
+  virtual std::int64_t agent_subframe(AgentId agent) const = 0;
+
+  // ---- control commands ----------------------------------------------------
+  virtual util::Status send_dl_mac_config(AgentId agent, const proto::DlMacConfig& config) = 0;
+  virtual util::Status send_ul_mac_config(AgentId agent, const proto::UlMacConfig& config) = 0;
+  virtual util::Status send_handover(AgentId agent, const proto::HandoverCommand& command) = 0;
+  virtual util::Status send_abs_config(AgentId agent, const proto::AbsConfig& config) = 0;
+  virtual util::Status send_carrier_restriction(AgentId agent,
+                                                const proto::CarrierRestriction& config) = 0;
+  virtual util::Status send_drx_config(AgentId agent, const proto::DrxConfig& config) = 0;
+  virtual util::Status send_scell_command(AgentId agent, const proto::ScellCommand& command) = 0;
+
+  // ---- statistics / events ---------------------------------------------------
+  virtual util::Status request_stats(AgentId agent, const proto::StatsRequest& request) = 0;
+  virtual util::Status subscribe_events(AgentId agent, std::vector<proto::EventType> events,
+                                        bool enable) = 0;
+
+  // ---- control delegation ----------------------------------------------------
+  /// VSF updation: push an implementation into the agent's cache.
+  virtual util::Status push_vsf(AgentId agent, const std::string& module, const std::string& vsf,
+                                const std::string& implementation) = 0;
+  /// Policy reconfiguration (YAML, paper Fig. 3).
+  virtual util::Status send_policy(AgentId agent, const std::string& yaml) = 0;
+};
+
+/// Base class for controller applications.
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string_view name() const = 0;
+  /// Lower value = scheduled earlier in the cycle = more time-critical
+  /// (the Task Manager gives a centralized MAC scheduler a very high
+  /// priority, i.e. a low value).
+  virtual int priority() const { return 100; }
+
+  /// Called once when the app is registered with the master.
+  virtual void on_start(NorthboundApi& api) { (void)api; }
+  /// Periodic hook: once per task-manager cycle (one TTI in RT mode).
+  virtual void on_cycle(std::int64_t cycle, NorthboundApi& api) { (void)cycle, (void)api; }
+  /// Event hook, via the Event Notification Service.
+  virtual void on_event(const Event& event, NorthboundApi& api) { (void)event, (void)api; }
+};
+
+}  // namespace flexran::ctrl

@@ -1,0 +1,38 @@
+#include "controller/arbiter.h"
+
+namespace flexran::ctrl {
+
+util::Status ConflictArbiter::claim_dl(AgentId agent, const proto::DlMacConfig& config) {
+  lte::RbAllocation combined;
+  for (const auto& dci : config.dcis) {
+    if (dci.rbs.overlaps(combined)) {
+      ++conflicts_;
+      return util::Error::conflict("decision overlaps itself (rnti " +
+                                   std::to_string(dci.rnti) + ")");
+    }
+    combined.merge(dci.rbs);
+  }
+  const auto key = std::pair{agent, config.target_subframe};
+  auto it = claims_.find(key);
+  if (it != claims_.end() && it->second.overlaps(combined)) {
+    ++conflicts_;
+    return util::Error::conflict("PRBs for subframe " +
+                                 std::to_string(config.target_subframe) +
+                                 " already claimed by an earlier decision");
+  }
+  if (it == claims_.end()) {
+    claims_.emplace(key, combined);
+  } else {
+    it->second.merge(combined);
+  }
+  return {};
+}
+
+void ConflictArbiter::prune_before(AgentId agent, std::int64_t subframe) {
+  auto it = claims_.lower_bound(std::pair{agent, std::int64_t{0}});
+  while (it != claims_.end() && it->first.first == agent && it->first.second < subframe) {
+    it = claims_.erase(it);
+  }
+}
+
+}  // namespace flexran::ctrl

@@ -1,0 +1,42 @@
+// Conflict resolution for controller applications (paper Sec. 7.3 lists
+// this as the first open issue: "such a mechanism should prohibit the
+// deployment of multiple applications that may simultaneously issue
+// scheduling decisions for the same resource blocks").
+//
+// The arbiter tracks, per (agent, target subframe), which PRBs have been
+// claimed by already-accepted downlink MAC configs. A decision that
+// overlaps existing claims -- or overlaps itself -- is rejected before it
+// reaches the wire. Because the Task Manager runs applications in priority
+// order, time-critical apps naturally claim resources first and lower
+// priority apps get the conflict error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "controller/rib.h"
+#include "lte/allocation.h"
+#include "proto/messages.h"
+#include "util/result.h"
+
+namespace flexran::ctrl {
+
+class ConflictArbiter {
+ public:
+  /// Validates `config` against existing claims and, when clean, records
+  /// its PRBs. Errors: conflict (overlap with an earlier claim or within
+  /// the message itself).
+  util::Status claim_dl(AgentId agent, const proto::DlMacConfig& config);
+
+  /// Drops bookkeeping for subframes the agent has already passed.
+  void prune_before(AgentId agent, std::int64_t subframe);
+
+  std::uint64_t conflicts_detected() const { return conflicts_; }
+  std::size_t open_claims() const { return claims_.size(); }
+
+ private:
+  std::map<std::pair<AgentId, std::int64_t>, lte::RbAllocation> claims_;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace flexran::ctrl

@@ -1,0 +1,134 @@
+// FlexRAN Master Controller (paper Sec. 4.3.3): the brain of the control
+// plane. Owns the RIB, the RIB Updater (the single writer, fed from a
+// pending-message queue), the Task Manager, the Event Notification Service,
+// and the application registry, and terminates the FlexRAN protocol toward
+// every connected agent. Custom design, deliberately not OpenFlow: radio
+// resources don't fit the flow abstraction and real-time apps need per-TTI
+// cycles.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "controller/app.h"
+#include "controller/arbiter.h"
+#include "controller/rib.h"
+#include "controller/task_manager.h"
+#include "net/transport.h"
+#include "proto/accounting.h"
+#include "sim/simulator.h"
+
+namespace flexran::ctrl {
+
+struct MasterConfig {
+  TaskManagerConfig task_manager;
+  /// On hello: automatically fetch eNodeB/UE/LC configuration.
+  bool auto_configure = true;
+  /// On hello: install this statistics request (nullopt = none).
+  std::optional<proto::StatsRequest> default_stats_request;
+  /// On hello: subscribe to these events at the agent.
+  std::vector<proto::EventType> subscribe_events;
+  /// Send an echo request every this many cycles for RTT estimation
+  /// (0 = never).
+  std::int64_t echo_period_cycles = 1000;
+  /// Reject DL MAC configs whose PRBs overlap a decision another app
+  /// already issued for the same (agent, subframe) -- paper Sec. 7.3.
+  bool conflict_resolution = true;
+  /// Mark an agent stale when nothing has been heard from it for this long
+  /// (0 = never). Stale agents are skipped by well-behaved apps.
+  sim::TimeUs agent_timeout_us = 0;
+};
+
+class MasterController final : public NorthboundApi {
+ public:
+  MasterController(sim::Simulator& sim, MasterConfig config);
+
+  /// Registers the master-side endpoint of an agent connection. Returns the
+  /// agent id (also the RIB root key).
+  AgentId add_agent(net::Transport& transport);
+  void remove_agent(AgentId id);
+
+  /// Runs one task-manager cycle; wire this to the TtiTicker (real-time
+  /// mode) or call it at any coarser period (non-RT mode).
+  void run_cycle();
+
+  // ---- application management ----------------------------------------------
+  /// Registers an application; the master keeps ownership.
+  App* add_app(std::unique_ptr<App> app);
+  void remove_app(std::string_view name) { task_manager_.remove_app(name); }
+  util::Status pause_app(std::string_view name) { return task_manager_.set_paused(name, true); }
+  util::Status resume_app(std::string_view name) { return task_manager_.set_paused(name, false); }
+
+  // ---- NorthboundApi ---------------------------------------------------------
+  const Rib& rib() const override { return rib_; }
+  sim::TimeUs now() const override { return sim_.now(); }
+  std::int64_t agent_subframe(AgentId agent) const override;
+  util::Status send_dl_mac_config(AgentId agent, const proto::DlMacConfig& config) override;
+  util::Status send_ul_mac_config(AgentId agent, const proto::UlMacConfig& config) override;
+  util::Status send_handover(AgentId agent, const proto::HandoverCommand& command) override;
+  util::Status send_abs_config(AgentId agent, const proto::AbsConfig& config) override;
+  util::Status send_carrier_restriction(AgentId agent,
+                                        const proto::CarrierRestriction& config) override;
+  util::Status send_drx_config(AgentId agent, const proto::DrxConfig& config) override;
+  util::Status send_scell_command(AgentId agent, const proto::ScellCommand& command) override;
+  util::Status request_stats(AgentId agent, const proto::StatsRequest& request) override;
+  util::Status subscribe_events(AgentId agent, std::vector<proto::EventType> events,
+                                bool enable) override;
+  util::Status push_vsf(AgentId agent, const std::string& module, const std::string& vsf,
+                        const std::string& implementation) override;
+  util::Status send_policy(AgentId agent, const std::string& yaml) override;
+
+  // ---- introspection ----------------------------------------------------------
+  const TaskManager& task_manager() const { return task_manager_; }
+  const ConflictArbiter& arbiter() const { return arbiter_; }
+  /// Master -> agent signaling (Fig. 7b).
+  const proto::SignalingAccountant& tx_accounting(AgentId agent) const;
+  /// Agent -> master signaling as received (Fig. 7a).
+  const proto::SignalingAccountant& rx_accounting(AgentId agent) const;
+  std::size_t pending_updates() const { return pending_.size(); }
+  std::uint64_t updates_applied() const { return updates_applied_; }
+  std::size_t rib_bytes() const { return rib_.approx_bytes(); }
+  std::int64_t cycles_run() const { return task_manager_.cycles_run(); }
+
+ private:
+  struct AgentLink {
+    net::Transport* transport = nullptr;  // not owned
+    proto::SignalingAccountant tx;
+    proto::SignalingAccountant rx;
+  };
+
+  struct PendingUpdate {
+    AgentId agent = 0;
+    proto::Envelope envelope;
+  };
+
+  template <typename M>
+  util::Status send_to(AgentId agent, const M& message);
+
+  /// RIB updater slot body: drains pending updates (bounded by budget in
+  /// real-time mode via an update-count proxy).
+  std::size_t drain_pending(std::int64_t budget_us);
+  void apply_update(const PendingUpdate& update);
+  void dispatch_events();
+  void on_agent_hello(AgentId id, const proto::Hello& hello);
+
+  sim::Simulator& sim_;
+  MasterConfig config_;
+  Rib rib_;
+  TaskManager task_manager_;
+  ConflictArbiter arbiter_;
+
+  std::map<AgentId, AgentLink> links_;
+  std::deque<PendingUpdate> pending_;
+  std::deque<Event> event_queue_;
+  std::vector<std::unique_ptr<App>> apps_;
+
+  AgentId next_agent_id_ = 1;
+  std::uint32_t next_xid_ = 1;
+  std::uint64_t updates_applied_ = 0;
+  proto::SignalingAccountant empty_accounting_;
+};
+
+}  // namespace flexran::ctrl

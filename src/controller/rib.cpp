@@ -1,0 +1,59 @@
+#include "controller/rib.h"
+
+namespace flexran::ctrl {
+
+const AgentNode* Rib::find_agent(AgentId id) const {
+  auto it = agents_.find(id);
+  return it == agents_.end() ? nullptr : &it->second;
+}
+
+const UeNode* Rib::find_ue(AgentId id, lte::Rnti rnti) const {
+  const AgentNode* agent = find_agent(id);
+  if (agent == nullptr) return nullptr;
+  for (const auto& [cell_id, cell] : agent->cells) {
+    (void)cell_id;
+    auto it = cell.ues.find(rnti);
+    if (it != cell.ues.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+UeNode* Rib::mutable_ue(AgentId id, lte::Rnti rnti) {
+  auto agent_it = agents_.find(id);
+  if (agent_it == agents_.end()) return nullptr;
+  for (auto& [cell_id, cell] : agent_it->second.cells) {
+    (void)cell_id;
+    auto it = cell.ues.find(rnti);
+    if (it != cell.ues.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+std::size_t Rib::ue_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, agent] : agents_) {
+    (void)id;
+    for (const auto& [cell_id, cell] : agent.cells) {
+      (void)cell_id;
+      count += cell.ues.size();
+    }
+  }
+  return count;
+}
+
+std::size_t Rib::approx_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [id, agent] : agents_) {
+    (void)id;
+    bytes += sizeof(AgentNode) + agent.name.size();
+    for (const auto& cap : agent.capabilities) bytes += cap.size() + sizeof(std::string);
+    for (const auto& [cell_id, cell] : agent.cells) {
+      (void)cell_id;
+      bytes += sizeof(CellNode);
+      bytes += cell.ues.size() * (sizeof(UeNode) + 48 /* map node overhead */);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace flexran::ctrl

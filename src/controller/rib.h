@@ -1,0 +1,82 @@
+// RAN Information Base (paper Sec. 4.3.3): all statistics and configuration
+// of the underlying network entities, structured as a forest -- roots are
+// agents, second level the cells of each agent, leaves the UEs of each
+// (primary) cell. Kept entirely in memory. Only the RIB Updater writes it
+// (single-writer discipline); applications read through const access.
+// As in the paper's implementation, no high-level abstraction is layered on
+// top: raw reports are exposed to the northbound API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lte/types.h"
+#include "proto/messages.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace flexran::ctrl {
+
+/// Master-local identifier for a connected agent.
+using AgentId = std::uint32_t;
+
+struct UeNode {
+  lte::Rnti rnti = lte::kInvalidRnti;
+  lte::UeConfig config;
+  proto::UeStatsReport stats;
+  sim::TimeUs last_update = 0;
+  /// Smoothed CQI (exponential moving average) -- what the MEC app uses.
+  util::Ewma cqi_avg{0.15};
+};
+
+struct CellNode {
+  lte::CellConfig config;
+  proto::CellStatsReport stats;
+  sim::TimeUs last_update = 0;
+  std::map<lte::Rnti, UeNode> ues;
+};
+
+struct AgentNode {
+  AgentId id = 0;
+  lte::EnbId enb_id = 0;
+  std::string name;
+  std::vector<std::string> capabilities;
+  std::map<lte::CellId, CellNode> cells;
+
+  /// Latest subframe the agent reported (sync ticks / stats replies) and
+  /// when it arrived -- the master's view of agent time, which trails real
+  /// agent time by the one-way control latency (paper Sec. 5.3).
+  std::int64_t last_subframe = 0;
+  sim::TimeUs last_subframe_at = 0;
+  /// Smoothed RTT estimate from echo exchanges.
+  double rtt_estimate_us = 0.0;
+
+  /// Liveness: when the last message of any kind arrived, and whether the
+  /// master currently considers the agent reachable (set by the master's
+  /// timeout sweep; see MasterConfig::agent_timeout_us).
+  sim::TimeUs last_heard = 0;
+  bool stale = false;
+};
+
+class Rib {
+ public:
+  AgentNode& agent(AgentId id) { return agents_[id]; }
+  const AgentNode* find_agent(AgentId id) const;
+  const UeNode* find_ue(AgentId id, lte::Rnti rnti) const;
+  UeNode* mutable_ue(AgentId id, lte::Rnti rnti);
+  void remove_agent(AgentId id) { agents_.erase(id); }
+
+  const std::map<AgentId, AgentNode>& agents() const { return agents_; }
+  std::size_t agent_count() const { return agents_.size(); }
+  std::size_t ue_count() const;
+
+  /// Approximate resident size of the RIB (Fig. 8 memory series).
+  std::size_t approx_bytes() const;
+
+ private:
+  std::map<AgentId, AgentNode> agents_;
+};
+
+}  // namespace flexran::ctrl

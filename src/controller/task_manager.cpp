@@ -1,0 +1,64 @@
+#include "controller/task_manager.h"
+
+#include <algorithm>
+
+namespace flexran::ctrl {
+
+namespace {
+double elapsed_us(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - from)
+      .count();
+}
+}  // namespace
+
+void TaskManager::add_app(App* app, NorthboundApi& api) {
+  apps_.push_back({app, false});
+  std::stable_sort(apps_.begin(), apps_.end(), [](const Entry& a, const Entry& b) {
+    return a.app->priority() < b.app->priority();
+  });
+  app->on_start(api);
+}
+
+void TaskManager::remove_app(std::string_view name) {
+  std::erase_if(apps_, [name](const Entry& entry) { return entry.app->name() == name; });
+}
+
+util::Status TaskManager::set_paused(std::string_view name, bool paused) {
+  for (auto& entry : apps_) {
+    if (entry.app->name() == name) {
+      entry.paused = paused;
+      return {};
+    }
+  }
+  return util::Error::not_found("no app named " + std::string(name));
+}
+
+void TaskManager::run_cycle(std::int64_t cycle, NorthboundApi& api) {
+  ++cycles_;
+
+  // Slot 1: the RIB updater (sole writer).
+  const auto updater_budget =
+      config_.real_time
+          ? static_cast<std::int64_t>(config_.updater_share * static_cast<double>(config_.cycle_us))
+          : std::int64_t{0};
+  const auto updater_start = std::chrono::steady_clock::now();
+  if (updater_) updater_(updater_budget);
+  updater_time_.add(elapsed_us(updater_start));
+
+  // Slot 2: Event Notification Service, then the applications in priority
+  // order (non-preemptive).
+  const auto apps_start = std::chrono::steady_clock::now();
+  if (event_dispatch_) event_dispatch_();
+  for (auto& entry : apps_) {
+    if (!entry.paused) entry.app->on_cycle(cycle, api);
+  }
+  apps_time_.add(elapsed_us(apps_start));
+}
+
+double TaskManager::mean_idle_fraction() const {
+  if (cycles_ == 0) return 1.0;
+  const double busy = updater_time_.mean() + apps_time_.mean();
+  return std::max(0.0, 1.0 - busy / static_cast<double>(config_.cycle_us));
+}
+
+}  // namespace flexran::ctrl

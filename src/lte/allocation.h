@@ -1,0 +1,102 @@
+// Resource-block allocations and DCI (Downlink/Uplink Control Information)
+// structures. A scheduling decision -- whether made by a local agent-side
+// VSF or pushed by the master controller -- is a list of DCIs for one TTI.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "lte/tables.h"
+#include "lte/types.h"
+
+namespace flexran::lte {
+
+/// Bitmap over the PRBs of a carrier (allocation type 0 with 1-PRB
+/// granularity, which is what the simulated MAC applies).
+class RbAllocation {
+ public:
+  RbAllocation() = default;
+
+  void set(int prb) { bits_.set(static_cast<std::size_t>(prb)); }
+  void set_range(int first, int count) {
+    for (int i = 0; i < count; ++i) bits_.set(static_cast<std::size_t>(first + i));
+  }
+  bool test(int prb) const { return bits_.test(static_cast<std::size_t>(prb)); }
+  int count() const { return static_cast<int>(bits_.count()); }
+  bool empty() const { return bits_.none(); }
+  void clear() { bits_.reset(); }
+
+  bool overlaps(const RbAllocation& other) const { return (bits_ & other.bits_).any(); }
+  /// Highest allocated PRB index, -1 when empty.
+  int highest_set() const {
+    for (int prb = kMaxPrbs - 1; prb >= 0; --prb) {
+      if (bits_.test(static_cast<std::size_t>(prb))) return prb;
+    }
+    return -1;
+  }
+  RbAllocation& merge(const RbAllocation& other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+
+  /// Compact wire form: two 64-bit words covering up to 100 PRBs.
+  std::uint64_t word(int index) const {
+    std::uint64_t out = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+      const int prb = index * 64 + bit;
+      if (prb < kMaxPrbs && bits_.test(static_cast<std::size_t>(prb))) out |= 1ull << bit;
+    }
+    return out;
+  }
+  static RbAllocation from_words(std::uint64_t w0, std::uint64_t w1) {
+    RbAllocation alloc;
+    for (int prb = 0; prb < kMaxPrbs; ++prb) {
+      const std::uint64_t word = prb < 64 ? w0 : w1;
+      if ((word >> (prb % 64)) & 1ull) alloc.set(prb);
+    }
+    return alloc;
+  }
+
+  bool operator==(const RbAllocation& other) const { return bits_ == other.bits_; }
+
+ private:
+  std::bitset<kMaxPrbs> bits_;
+};
+
+/// A downlink scheduling grant for one UE in one TTI.
+struct DlDci {
+  Rnti rnti = kInvalidRnti;
+  RbAllocation rbs;
+  int mcs = 0;
+  std::uint8_t harq_pid = 0;
+  bool new_data = true;  // NDI toggle abstracted as a flag
+  /// Component carrier: 0 = PCell, 1 = SCell (carrier aggregation). A
+  /// SCell grant is only valid for UEs whose SCell has been activated.
+  std::uint8_t carrier = 0;
+
+  std::int64_t tbs() const { return tbs_bits(mcs, rbs.count()); }
+};
+
+/// An uplink scheduling grant for one UE in one TTI.
+struct UlDci {
+  Rnti rnti = kInvalidRnti;
+  RbAllocation rbs;
+  int mcs = 0;
+
+  std::int64_t tbs() const { return tbs_bits(mcs, rbs.count()); }
+};
+
+/// One TTI's worth of decisions for a cell. `subframe` is the absolute TTI
+/// index the decision targets -- the schedule-ahead mechanism (paper
+/// Sec. 5.3) issues decisions with subframe = observed_subframe + n.
+struct SchedulingDecision {
+  CellId cell_id = 0;
+  std::int64_t subframe = 0;
+  std::vector<DlDci> dl;
+  std::vector<UlDci> ul;
+
+  bool empty() const { return dl.empty() && ul.empty(); }
+};
+
+}  // namespace flexran::lte

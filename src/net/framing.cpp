@@ -1,0 +1,36 @@
+#include "net/framing.h"
+
+namespace flexran::net {
+
+std::vector<std::uint8_t> frame_message(std::span<const std::uint8_t> payload) {
+  util::ByteBuffer out;
+  out.write_u32(static_cast<std::uint32_t>(payload.size()));
+  out.write_bytes(payload);
+  return out.take();
+}
+
+util::Status FrameAssembler::feed(std::span<const std::uint8_t> data, const FrameFn& on_frame) {
+  buffer_.write_bytes(data);
+  while (true) {
+    if (buffer_.readable() < kFrameHeaderBytes) break;
+    // Peek the length without consuming (read then rewind on partial frame).
+    const std::size_t mark = buffer_.read_position();
+    const std::uint32_t length = buffer_.read_u32().value();
+    if (length > kMaxFrameBytes) {
+      return util::Error::decode_failure("frame length exceeds limit");
+    }
+    if (buffer_.readable() < length) {
+      // Partial frame: rewind to the header and wait for more bytes.
+      buffer_.rewind();
+      // Restore the read position to where this frame starts.
+      for (std::size_t i = 0; i < mark; ++i) (void)buffer_.read_u8();
+      break;
+    }
+    auto payload = buffer_.read_bytes(length).value();
+    on_frame(std::move(payload));
+  }
+  buffer_.compact();
+  return {};
+}
+
+}  // namespace flexran::net

@@ -1,0 +1,39 @@
+// Length-prefixed message framing over stream transports: 4-byte
+// little-endian length followed by the payload (an encoded FlexRAN protocol
+// envelope). FrameAssembler reassembles messages from an arbitrary-chunked
+// byte stream (TCP segmentation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace flexran::net {
+
+constexpr std::size_t kFrameHeaderBytes = 4;
+/// Upper bound on a single frame; protects against corrupt length prefixes.
+constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+/// Wraps a payload in a frame.
+std::vector<std::uint8_t> frame_message(std::span<const std::uint8_t> payload);
+
+/// Incremental frame reassembly.
+class FrameAssembler {
+ public:
+  using FrameFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  /// Feed raw stream bytes; complete frames are handed to `on_frame` in
+  /// order. Returns an error (and stops consuming) on a corrupt length.
+  util::Status feed(std::span<const std::uint8_t> data, const FrameFn& on_frame);
+
+  std::size_t buffered() const { return buffer_.readable(); }
+
+ private:
+  util::ByteBuffer buffer_;
+};
+
+}  // namespace flexran::net

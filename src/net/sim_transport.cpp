@@ -1,0 +1,37 @@
+#include "net/sim_transport.h"
+
+#include "util/logging.h"
+
+namespace flexran::net {
+
+util::Status SimTransport::send(std::span<const std::uint8_t> message) {
+  if (!tx_) return util::Error::transport_failure("sim transport not connected");
+  ++messages_sent_;
+  tx_->send(frame_message(message));
+  return {};
+}
+
+void SimTransport::deliver(std::vector<std::uint8_t> framed) {
+  auto status = assembler_.feed(framed, [this](std::vector<std::uint8_t> payload) {
+    if (receive_) receive_(std::move(payload));
+  });
+  if (!status.ok()) {
+    FLEXRAN_LOG(error, "net") << "sim transport frame error: " << status.error().message;
+  }
+}
+
+SimTransportPair make_sim_transport_pair(sim::Simulator& sim, const sim::LinkConfig& a_to_b,
+                                         const sim::LinkConfig& b_to_a) {
+  SimTransportPair pair;
+  pair.a = std::make_unique<SimTransport>();
+  pair.b = std::make_unique<SimTransport>();
+  pair.a->tx_ = std::make_unique<sim::SimLink>(sim, a_to_b);
+  pair.b->tx_ = std::make_unique<sim::SimLink>(sim, b_to_a);
+  SimTransport* a = pair.a.get();
+  SimTransport* b = pair.b.get();
+  pair.a->tx_->set_deliver([b](std::vector<std::uint8_t> data) { b->deliver(std::move(data)); });
+  pair.b->tx_->set_deliver([a](std::vector<std::uint8_t> data) { a->deliver(std::move(data)); });
+  return pair;
+}
+
+}  // namespace flexran::net

@@ -1,0 +1,65 @@
+// In-process transport running over two sim::SimLinks (one per direction)
+// inside the discrete-event simulator. Latency / jitter / rate / loss come
+// from the link configuration -- this is the netem-shaped control channel
+// used in the paper's Sec. 5.3 latency experiments.
+#pragma once
+
+#include <memory>
+
+#include "net/framing.h"
+#include "net/transport.h"
+#include "sim/sim_link.h"
+#include "sim/simulator.h"
+
+namespace flexran::net {
+
+class SimTransport;
+
+/// A connected pair of endpoints. Create via make_sim_transport_pair.
+struct SimTransportPair {
+  std::unique_ptr<SimTransport> a;  // e.g. master side
+  std::unique_ptr<SimTransport> b;  // e.g. agent side
+};
+
+class SimTransport final : public Transport {
+ public:
+  util::Status send(std::span<const std::uint8_t> message) override;
+  void set_receive_callback(ReceiveFn fn) override { receive_ = std::move(fn); }
+
+  std::uint64_t messages_sent() const override { return messages_sent_; }
+  std::uint64_t bytes_sent() const override { return tx_ ? tx_->bytes_sent() : 0; }
+
+  /// Runtime latency control for this endpoint's outgoing link.
+  void set_delay(sim::TimeUs delay) {
+    if (tx_) tx_->set_delay(delay);
+  }
+  /// Partition control: while down, outgoing messages are dropped. The
+  /// frame assembler tolerates this because whole frames are dropped.
+  void set_down(bool down) {
+    if (tx_) tx_->set_down(down);
+  }
+
+ private:
+  friend SimTransportPair make_sim_transport_pair(sim::Simulator& sim,
+                                                  const sim::LinkConfig& a_to_b,
+                                                  const sim::LinkConfig& b_to_a);
+  void deliver(std::vector<std::uint8_t> framed);
+
+  std::unique_ptr<sim::SimLink> tx_;
+  FrameAssembler assembler_;
+  ReceiveFn receive_;
+  std::uint64_t messages_sent_ = 0;
+};
+
+/// Creates two endpoints joined by independent directional links (so
+/// asymmetric channels can be modeled).
+SimTransportPair make_sim_transport_pair(sim::Simulator& sim, const sim::LinkConfig& a_to_b,
+                                         const sim::LinkConfig& b_to_a);
+
+/// Symmetric convenience overload.
+inline SimTransportPair make_sim_transport_pair(sim::Simulator& sim,
+                                                const sim::LinkConfig& both = {}) {
+  return make_sim_transport_pair(sim, both, both);
+}
+
+}  // namespace flexran::net

@@ -1,0 +1,158 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace flexran::net {
+
+namespace {
+
+util::Error errno_error(const char* what) {
+  return util::Error::transport_failure(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ TcpTransport
+
+TcpTransport::~TcpTransport() { close(); }
+
+util::Result<std::unique_ptr<TcpTransport>> TcpTransport::connect(const std::string& host,
+                                                                  std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Error::invalid_argument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    auto err = errno_error("connect");
+    ::close(fd);
+    return err;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+}
+
+util::Status TcpTransport::send(std::span<const std::uint8_t> message) {
+  if (closed_.load()) return util::Error::transport_failure("transport closed");
+  const auto framed = frame_message(message);
+  std::scoped_lock lock(send_mutex_);
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  messages_sent_.fetch_add(1);
+  bytes_sent_.fetch_add(framed.size());
+  return {};
+}
+
+void TcpTransport::set_receive_callback(ReceiveFn fn) { receive_ = std::move(fn); }
+
+void TcpTransport::start() {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+void TcpTransport::reader_loop() {
+  std::array<std::uint8_t, 64 * 1024> chunk{};
+  while (!closed_.load()) {
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    auto status = assembler_.feed(std::span(chunk.data(), static_cast<std::size_t>(n)),
+                                  [this](std::vector<std::uint8_t> payload) {
+                                    if (receive_) receive_(std::move(payload));
+                                  });
+    if (!status.ok()) {
+      FLEXRAN_LOG(error, "net") << "tcp frame error: " << status.error().message;
+      break;
+    }
+  }
+  closed_.store(true);
+}
+
+void TcpTransport::close() {
+  const bool was_closed = closed_.exchange(true);
+  if (!was_closed) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (reader_.joinable() && reader_.get_id() != std::this_thread::get_id()) {
+    reader_.join();
+  }
+  if (!was_closed) {
+    ::close(fd_);
+  }
+}
+
+// ------------------------------------------------------------- TcpListener
+
+TcpListener::~TcpListener() { close(); }
+
+util::Result<std::unique_ptr<TcpListener>> TcpListener::listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    auto err = errno_error("bind");
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 8) != 0) {
+    auto err = errno_error("listen");
+    ::close(fd);
+    return err;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    auto err = errno_error("getsockname");
+    ::close(fd);
+    return err;
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+util::Result<std::unique_ptr<TcpTransport>> TcpListener::accept() {
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return errno_error("accept");
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpTransport>(new TcpTransport(client));
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace flexran::net

@@ -1,0 +1,84 @@
+// Real TCP transport: framed FlexRAN protocol messages over a socket, as in
+// the paper's deployment ("TCP is used for the communication of the agents
+// with the master"). Blocking sockets with one reader thread per
+// connection; the receive callback runs on that thread.
+//
+// Threading contract: Agent and MasterController are single-threaded (they
+// live inside the discrete-event simulator). When bridging them onto a
+// TcpTransport, marshal received messages onto the owner's thread/event
+// loop in the receive callback -- do not call into controller state from
+// the reader thread directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/framing.h"
+#include "net/transport.h"
+
+namespace flexran::net {
+
+class TcpTransport final : public Transport {
+ public:
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  static util::Result<std::unique_ptr<TcpTransport>> connect(const std::string& host,
+                                                             std::uint16_t port);
+
+  util::Status send(std::span<const std::uint8_t> message) override;
+  void set_receive_callback(ReceiveFn fn) override;
+
+  /// Starts the reader thread. Call after set_receive_callback.
+  void start();
+  /// Shuts the socket down and joins the reader thread.
+  void close();
+  bool closed() const { return closed_.load(); }
+
+  std::uint64_t messages_sent() const override { return messages_sent_.load(); }
+  std::uint64_t bytes_sent() const override { return bytes_sent_.load(); }
+
+ private:
+  friend class TcpListener;
+  explicit TcpTransport(int fd) : fd_(fd) {}
+  void reader_loop();
+
+  int fd_;
+  std::thread reader_;
+  std::mutex send_mutex_;
+  FrameAssembler assembler_;
+  ReceiveFn receive_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+class TcpListener {
+ public:
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port.
+  static util::Result<std::unique_ptr<TcpListener>> listen(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects.
+  util::Result<std::unique_ptr<TcpTransport>> accept();
+
+  void close();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  int fd_;
+  std::uint16_t port_;
+};
+
+}  // namespace flexran::net

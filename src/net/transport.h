@@ -1,0 +1,36 @@
+// Transport abstraction for the FlexRAN protocol channel (paper Sec. 4.3.2:
+// "the communication channel implementation can vary"). Two implementations:
+//   SimTransport - in-process, runs over sim::SimLink inside the
+//                  discrete-event simulator (all experiments);
+//   TcpTransport - real framed TCP sockets (integration tests / live use).
+// Both are message-oriented at this interface; framing overhead is included
+// in byte counts so signaling measurements match a TCP deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/result.h"
+
+namespace flexran::net {
+
+class Transport {
+ public:
+  using ReceiveFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  virtual ~Transport() = default;
+
+  /// Queues one protocol message for delivery to the peer.
+  virtual util::Status send(std::span<const std::uint8_t> message) = 0;
+  /// Registers the message sink; called once before traffic flows.
+  virtual void set_receive_callback(ReceiveFn fn) = 0;
+
+  virtual std::uint64_t messages_sent() const = 0;
+  /// Bytes on the wire, including framing.
+  virtual std::uint64_t bytes_sent() const = 0;
+};
+
+}  // namespace flexran::net

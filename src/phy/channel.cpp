@@ -1,0 +1,67 @@
+#include "phy/channel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flexran::phy {
+
+ScheduledCqiChannel::ScheduledCqiChannel(std::vector<Step> steps) : steps_(std::move(steps)) {
+  assert(!steps_.empty());
+  std::sort(steps_.begin(), steps_.end(),
+            [](const Step& a, const Step& b) { return a.at < b.at; });
+}
+
+int ScheduledCqiChannel::cqi(sim::TimeUs now) {
+  int current = steps_.front().cqi;
+  for (const auto& step : steps_) {
+    if (step.at > now) break;
+    current = step.cqi;
+  }
+  return current;
+}
+
+std::unique_ptr<ScheduledCqiChannel> ScheduledCqiChannel::square_wave(int cqi_a, int cqi_b,
+                                                                      sim::TimeUs half_period,
+                                                                      sim::TimeUs total_duration) {
+  std::vector<Step> steps;
+  bool use_a = true;
+  for (sim::TimeUs t = 0; t < total_duration; t += half_period) {
+    steps.push_back({t, use_a ? cqi_a : cqi_b});
+    use_a = !use_a;
+  }
+  return std::make_unique<ScheduledCqiChannel>(std::move(steps));
+}
+
+TraceCqiChannel::TraceCqiChannel(std::vector<int> samples, sim::TimeUs sample_period, bool loop)
+    : samples_(std::move(samples)), sample_period_(sample_period), loop_(loop) {
+  assert(!samples_.empty() && sample_period_ > 0);
+}
+
+int TraceCqiChannel::cqi(sim::TimeUs now) {
+  auto index = static_cast<std::size_t>(now / sample_period_);
+  if (index >= samples_.size()) {
+    index = loop_ ? index % samples_.size() : samples_.size() - 1;
+  }
+  return samples_[index];
+}
+
+FadingChannel::FadingChannel(Config config)
+    : config_(config), rng_(config.seed), current_db_(config.mean_sinr_db) {}
+
+void FadingChannel::advance_to(sim::TimeUs now) {
+  while (block_end_ <= now) {
+    // AR(1): x' = mean + memory*(x - mean) + noise.
+    const double innovation_sd = config_.stddev_db * std::sqrt(1.0 - config_.memory * config_.memory);
+    current_db_ = config_.mean_sinr_db + config_.memory * (current_db_ - config_.mean_sinr_db) +
+                  rng_.normal(0.0, innovation_sd);
+    block_end_ += config_.coherence;
+  }
+}
+
+double FadingChannel::sinr_db(sim::TimeUs now) {
+  advance_to(now);
+  return current_db_;
+}
+
+}  // namespace flexran::phy

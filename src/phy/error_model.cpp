@@ -1,0 +1,3 @@
+#include "phy/error_model.h"
+
+// ErrorModel is header-only; this TU anchors the library target.

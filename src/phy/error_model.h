@@ -1,0 +1,28 @@
+// Transport-block error model: draws ACK/NACK for a transmission given the
+// MCS the scheduler chose and the CQI the channel actually supported at
+// transmission time (stale CQI at the scheduler is how latency degrades
+// throughput in Fig. 9).
+#pragma once
+
+#include "lte/tables.h"
+#include "util/rng.h"
+
+namespace flexran::phy {
+
+class ErrorModel {
+ public:
+  explicit ErrorModel(std::uint64_t seed = 11) : rng_(seed) {}
+
+  /// True if the transport block decodes. Retransmissions get a combining
+  /// gain: each prior attempt halves the effective BLER.
+  bool transport_block_ok(int mcs, int actual_cqi, int retx_count = 0) {
+    double bler = lte::bler_for_mcs_at_cqi(mcs, actual_cqi);
+    for (int i = 0; i < retx_count; ++i) bler *= 0.5;
+    return !rng_.chance(bler);
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace flexran::phy

@@ -1,0 +1,44 @@
+#include "phy/mobility.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flexran::phy {
+
+MobilityTrack::MobilityTrack(std::vector<CellSite> sites, std::vector<Waypoint> waypoints)
+    : sites_(std::move(sites)), waypoints_(std::move(waypoints)) {
+  assert(!sites_.empty() && !waypoints_.empty());
+  std::sort(waypoints_.begin(), waypoints_.end(),
+            [](const Waypoint& a, const Waypoint& b) { return a.at < b.at; });
+}
+
+MobilityTrack::Waypoint MobilityTrack::position_at(sim::TimeUs now) const {
+  if (now <= waypoints_.front().at) return waypoints_.front();
+  if (now >= waypoints_.back().at) return waypoints_.back();
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (now <= waypoints_[i].at) {
+      const Waypoint& a = waypoints_[i - 1];
+      const Waypoint& b = waypoints_[i];
+      const double frac =
+          static_cast<double>(now - a.at) / static_cast<double>(b.at - a.at);
+      return {now, a.x_km + frac * (b.x_km - a.x_km), a.y_km + frac * (b.y_km - a.y_km)};
+    }
+  }
+  return waypoints_.back();
+}
+
+UeRadioProfile MobilityTrack::profile_at(sim::TimeUs now, lte::CellId serving) const {
+  const Waypoint pos = position_at(now);
+  UeRadioProfile profile;
+  profile.serving_cell = serving;
+  for (const auto& site : sites_) {
+    const double dx = pos.x_km - site.x_km;
+    const double dy = pos.y_km - site.y_km;
+    const double distance = std::sqrt(dx * dx + dy * dy);
+    profile.rx_power_dbm[site.cell] = site.tx_power_dbm - pathloss_db(distance);
+  }
+  return profile;
+}
+
+}  // namespace flexran::phy

@@ -1,0 +1,54 @@
+#include "phy/radio_env.h"
+
+#include <cmath>
+
+namespace flexran::phy {
+
+namespace {
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+double mw_to_db(double mw) { return 10.0 * std::log10(mw); }
+}  // namespace
+
+double pathloss_db(double distance_km) {
+  const double d = std::max(distance_km, 0.01);  // 10 m minimum coupling distance
+  return 128.1 + 37.6 * std::log10(d);
+}
+
+double UeRadioProfile::sinr_db(const std::set<lte::CellId>& active_cells) const {
+  const auto serving_it = rx_power_dbm.find(serving_cell);
+  if (serving_it == rx_power_dbm.end()) return -20.0;
+  const double signal_mw = dbm_to_mw(serving_it->second);
+  double interference_mw = 0.0;
+  for (const auto& [cell, power_dbm] : rx_power_dbm) {
+    if (cell == serving_cell) continue;
+    if (active_cells.contains(cell)) interference_mw += dbm_to_mw(power_dbm);
+  }
+  const double denom_mw = interference_mw + dbm_to_mw(noise_dbm);
+  return mw_to_db(signal_mw / denom_mw);
+}
+
+UeRadioProfile UeRadioProfile::from_distances(
+    lte::CellId serving, double serving_tx_dbm, double serving_distance_km,
+    const std::map<lte::CellId, std::pair<double, double>>& interferers) {
+  UeRadioProfile profile;
+  profile.serving_cell = serving;
+  profile.rx_power_dbm[serving] = serving_tx_dbm - pathloss_db(serving_distance_km);
+  for (const auto& [cell, tx_and_distance] : interferers) {
+    profile.rx_power_dbm[cell] = tx_and_distance.first - pathloss_db(tx_and_distance.second);
+  }
+  return profile;
+}
+
+void RadioEnvironment::set_transmitting(lte::CellId cell, bool active) {
+  if (active) {
+    active_.insert(cell);
+  } else {
+    active_.erase(cell);
+  }
+}
+
+double RadioEnvironment::sinr_db(const UeRadioProfile& profile) const {
+  return profile.sinr_db(active_);
+}
+
+}  // namespace flexran::phy

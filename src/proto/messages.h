@@ -1,0 +1,456 @@
+// FlexRAN protocol messages (paper Sec. 4.3.2 and Table 1). Five call
+// classes flow between master and agent:
+//   configuration  - EnbConfig/UeConfig/LcConfig request+reply (synchronous)
+//   statistics     - StatsRequest / StatsReply (async, one-off|periodic|triggered)
+//   commands       - DlMacConfig / UlMacConfig / HandoverCommand / AbsConfig
+//   event-triggers - EventNotification (subframe tick = master-agent sync,
+//                    UE attach, RACH, scheduling request)
+//   delegation     - ControlDelegation (VSF updation) / PolicyReconfiguration
+// Every message travels inside an Envelope carrying version/type/xid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lte/abs.h"
+#include "lte/allocation.h"
+#include "lte/types.h"
+#include "proto/wire.h"
+#include "util/result.h"
+
+namespace flexran::proto {
+
+constexpr std::uint8_t kProtocolVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  hello = 1,
+  echo_request = 2,
+  echo_reply = 3,
+  enb_config_request = 4,
+  enb_config_reply = 5,
+  ue_config_request = 6,
+  ue_config_reply = 7,
+  lc_config_request = 8,
+  lc_config_reply = 9,
+  stats_request = 10,
+  stats_reply = 11,
+  dl_mac_config = 12,
+  ul_mac_config = 13,
+  handover_command = 14,
+  abs_config = 15,
+  event_notification = 16,
+  control_delegation = 17,
+  policy_reconfiguration = 18,
+  event_subscription = 19,
+  carrier_restriction = 20,
+  drx_config = 21,
+  scell_command = 22,
+};
+
+/// Overhead accounting buckets used by the Fig. 7 experiment.
+enum class MessageCategory : std::uint8_t {
+  agent_management,  // hello, echo, config exchange, non-sync events
+  sync,              // subframe-tick notifications (master-agent TTI sync)
+  stats,             // statistics reports
+  commands,          // scheduling decisions and other control commands
+  delegation,        // VSF updation / policy reconfiguration
+};
+
+const char* to_string(MessageType type);
+const char* to_string(MessageCategory category);
+
+// ---------------------------------------------------------------- envelope
+
+struct Envelope {
+  std::uint8_t version = kProtocolVersion;
+  MessageType type = MessageType::hello;
+  std::uint32_t xid = 0;
+  std::vector<std::uint8_t> body;
+
+  std::vector<std::uint8_t> encode() const;
+  static util::Result<Envelope> decode(std::span<const std::uint8_t> data);
+};
+
+// ------------------------------------------------------- agent management
+
+struct Hello {
+  static constexpr MessageType kType = MessageType::hello;
+  lte::EnbId enb_id = 0;
+  std::string name;
+  std::uint32_t n_cells = 1;
+  std::vector<std::string> capabilities;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<Hello> decode_body(std::span<const std::uint8_t> data);
+};
+
+/// Echo doubles as liveness probe and time sync (carries the agent's
+/// current subframe and a timestamp to estimate RTT).
+struct EchoRequest {
+  static constexpr MessageType kType = MessageType::echo_request;
+  std::int64_t subframe = 0;
+  std::int64_t timestamp_us = 0;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<EchoRequest> decode_body(std::span<const std::uint8_t> data);
+};
+
+struct EchoReply {
+  static constexpr MessageType kType = MessageType::echo_reply;
+  std::int64_t subframe = 0;
+  std::int64_t echoed_timestamp_us = 0;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<EchoReply> decode_body(std::span<const std::uint8_t> data);
+};
+
+// ----------------------------------------------------------- configuration
+
+struct EnbConfigRequest {
+  static constexpr MessageType kType = MessageType::enb_config_request;
+  void encode_body(WireEncoder&) const {}
+  static util::Result<EnbConfigRequest> decode_body(std::span<const std::uint8_t>) {
+    return EnbConfigRequest{};
+  }
+};
+
+struct CellConfigMsg {
+  lte::CellId cell_id = 0;
+  double bandwidth_mhz = 10.0;
+  std::uint8_t duplex = 0;
+  std::uint8_t tx_mode = 1;
+  std::uint8_t antenna_ports = 1;
+  std::uint16_t band = 5;
+  std::uint16_t pci = 0;
+
+  static CellConfigMsg from(const lte::CellConfig& config);
+  lte::CellConfig to_cell_config() const;
+};
+
+struct EnbConfigReply {
+  static constexpr MessageType kType = MessageType::enb_config_reply;
+  lte::EnbId enb_id = 0;
+  std::vector<CellConfigMsg> cells;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<EnbConfigReply> decode_body(std::span<const std::uint8_t> data);
+};
+
+struct UeConfigRequest {
+  static constexpr MessageType kType = MessageType::ue_config_request;
+  void encode_body(WireEncoder&) const {}
+  static util::Result<UeConfigRequest> decode_body(std::span<const std::uint8_t>) {
+    return UeConfigRequest{};
+  }
+};
+
+struct UeConfigMsg {
+  lte::Rnti rnti = lte::kInvalidRnti;
+  lte::CellId primary_cell = 0;
+  std::uint8_t tx_mode = 1;
+  std::uint8_t ue_category = 4;
+  bool carrier_aggregation = false;
+
+  static UeConfigMsg from(const lte::UeConfig& config);
+  lte::UeConfig to_ue_config() const;
+};
+
+struct UeConfigReply {
+  static constexpr MessageType kType = MessageType::ue_config_reply;
+  std::vector<UeConfigMsg> ues;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<UeConfigReply> decode_body(std::span<const std::uint8_t> data);
+};
+
+struct LcConfigRequest {
+  static constexpr MessageType kType = MessageType::lc_config_request;
+  void encode_body(WireEncoder&) const {}
+  static util::Result<LcConfigRequest> decode_body(std::span<const std::uint8_t>) {
+    return LcConfigRequest{};
+  }
+};
+
+struct LcConfigMsg {
+  lte::Rnti rnti = lte::kInvalidRnti;
+  lte::Lcid lcid = lte::kDefaultDrb;
+  std::uint8_t lc_group = 1;
+};
+
+struct LcConfigReply {
+  static constexpr MessageType kType = MessageType::lc_config_reply;
+  std::vector<LcConfigMsg> channels;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<LcConfigReply> decode_body(std::span<const std::uint8_t> data);
+};
+
+// --------------------------------------------------------------- statistics
+
+enum class ReportMode : std::uint8_t { one_off = 0, periodic = 1, triggered = 2 };
+
+/// Bitmask of what to include in a stats report.
+namespace stats_flags {
+constexpr std::uint32_t kBsr = 1u << 0;
+constexpr std::uint32_t kCqi = 1u << 1;
+constexpr std::uint32_t kPhr = 1u << 2;
+constexpr std::uint32_t kRlcQueue = 1u << 3;
+constexpr std::uint32_t kMacCounters = 1u << 4;
+constexpr std::uint32_t kCellLoad = 1u << 5;
+constexpr std::uint32_t kHarq = 1u << 6;
+constexpr std::uint32_t kRsrp = 1u << 7;
+constexpr std::uint32_t kAllUeFlags =
+    kBsr | kCqi | kPhr | kRlcQueue | kMacCounters | kHarq | kRsrp;
+constexpr std::uint32_t kAll = kAllUeFlags | kCellLoad;
+}  // namespace stats_flags
+
+struct StatsRequest {
+  static constexpr MessageType kType = MessageType::stats_request;
+  std::uint32_t request_id = 0;
+  ReportMode mode = ReportMode::one_off;
+  /// For periodic mode: interval in TTIs.
+  std::uint32_t periodicity_ttis = 1;
+  std::uint32_t flags = stats_flags::kAll;
+  /// Empty = all UEs.
+  std::vector<lte::Rnti> ues;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<StatsRequest> decode_body(std::span<const std::uint8_t> data);
+};
+
+/// One RRC measurement entry: received power from a cell (serving included).
+struct RsrpMeasurement {
+  lte::CellId cell_id = 0;
+  /// RSRP in dBm; wire form is centi-dB signed varint.
+  double rsrp_dbm = -140.0;
+};
+
+struct UeStatsReport {
+  lte::Rnti rnti = lte::kInvalidRnti;
+  /// Buffer status per logical channel group, bytes.
+  std::array<std::uint32_t, lte::kNumLcGroups> bsr_bytes{};
+  std::int32_t phr_db = 20;
+  std::uint8_t wb_cqi = 0;
+  /// CQI measured on protected (almost-blank) subframes -- 36.331 restricted
+  /// measurements; what an eICIC coordinator uses for small-cell UEs.
+  std::uint8_t wb_cqi_protected = 0;
+  std::uint32_t rlc_queue_bytes = 0;
+  std::uint32_t pending_harq = 0;
+  std::uint64_t dl_bytes_delivered = 0;
+  std::uint64_t ul_bytes_received = 0;
+  /// Uplink buffer status (from the UE's BSR MAC control elements), bytes.
+  std::uint32_t ul_buffer_bytes = 0;
+  /// RRC measurement report: per-cell RSRP (paper Table 1 lists "reference
+  /// signal received power measurements for the RRC module"). Populated for
+  /// UEs with a radio profile; empty under abstract channel models.
+  std::vector<RsrpMeasurement> rsrp;
+
+  std::uint32_t total_bsr() const {
+    std::uint32_t total = 0;
+    for (auto b : bsr_bytes) total += b;
+    return total;
+  }
+};
+
+struct CellStatsReport {
+  lte::CellId cell_id = 0;
+  double noise_interference_dbm = -97.0;
+  std::uint32_t dl_prbs_in_use = 0;
+  std::uint32_t ul_prbs_in_use = 0;
+  std::uint32_t active_ues = 0;
+};
+
+struct StatsReply {
+  static constexpr MessageType kType = MessageType::stats_reply;
+  std::uint32_t request_id = 0;
+  std::int64_t subframe = 0;
+  std::vector<UeStatsReport> ue_reports;
+  std::vector<CellStatsReport> cell_reports;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<StatsReply> decode_body(std::span<const std::uint8_t> data);
+};
+
+// ----------------------------------------------------------------- commands
+
+struct DlMacConfig {
+  static constexpr MessageType kType = MessageType::dl_mac_config;
+  lte::CellId cell_id = 0;
+  std::int64_t target_subframe = 0;
+  std::vector<lte::DlDci> dcis;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<DlMacConfig> decode_body(std::span<const std::uint8_t> data);
+};
+
+struct UlMacConfig {
+  static constexpr MessageType kType = MessageType::ul_mac_config;
+  lte::CellId cell_id = 0;
+  std::int64_t target_subframe = 0;
+  std::vector<lte::UlDci> dcis;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<UlMacConfig> decode_body(std::span<const std::uint8_t> data);
+};
+
+struct HandoverCommand {
+  static constexpr MessageType kType = MessageType::handover_command;
+  lte::Rnti rnti = lte::kInvalidRnti;
+  lte::CellId source_cell = 0;
+  lte::CellId target_cell = 0;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<HandoverCommand> decode_body(std::span<const std::uint8_t> data);
+};
+
+struct AbsConfig {
+  static constexpr MessageType kType = MessageType::abs_config;
+  lte::CellId cell_id = 0;
+  lte::AbsPattern pattern;
+  /// True = this cell mutes during ABS (macro role); false = the pattern
+  /// only marks protected subframes (small-cell role).
+  bool mute_during_abs = true;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<AbsConfig> decode_body(std::span<const std::uint8_t> data);
+};
+
+/// Restricts the downlink carrier to its first `max_dl_prbs` PRBs
+/// (0 = unrestricted). Added for the Licensed Shared Access use case the
+/// paper sketches in Sec. 7.1: an incumbent reclaiming part of the band is
+/// enforced by evacuating the upper PRBs. Also a demonstration of protocol
+/// extensibility (Sec. 7.2): a new technology-specific message slots in
+/// without touching existing ones.
+struct CarrierRestriction {
+  static constexpr MessageType kType = MessageType::carrier_restriction;
+  lte::CellId cell_id = 0;
+  std::uint16_t max_dl_prbs = 0;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<CarrierRestriction> decode_body(std::span<const std::uint8_t> data);
+};
+
+/// DRX (discontinuous reception) command for a UE -- paper Table 1 lists
+/// "DRX commands" among the Commands call class. The UE listens for the
+/// first `on_duration_ttis` of every `cycle_ttis`-long DRX cycle and sleeps
+/// for the rest; cycle 0 disables DRX.
+struct DrxConfig {
+  static constexpr MessageType kType = MessageType::drx_config;
+  lte::Rnti rnti = lte::kInvalidRnti;
+  std::uint16_t cycle_ttis = 0;
+  std::uint16_t on_duration_ttis = 0;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<DrxConfig> decode_body(std::span<const std::uint8_t> data);
+};
+
+/// (De)activates a UE's secondary component carrier -- paper Table 1 lists
+/// "(de)activating component carriers in carrier aggregation" among the
+/// Commands call class.
+struct ScellCommand {
+  static constexpr MessageType kType = MessageType::scell_command;
+  lte::Rnti rnti = lte::kInvalidRnti;
+  bool activate = true;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<ScellCommand> decode_body(std::span<const std::uint8_t> data);
+};
+
+// ----------------------------------------------------------- event triggers
+
+enum class EventType : std::uint8_t {
+  subframe_tick = 1,  // master-agent sync, sent every TTI when enabled
+  ue_attach = 2,
+  ue_detach = 3,
+  rach_attempt = 4,
+  scheduling_request = 5,
+};
+
+struct EventNotification {
+  static constexpr MessageType kType = MessageType::event_notification;
+  EventType event = EventType::subframe_tick;
+  std::int64_t subframe = 0;
+  lte::Rnti rnti = lte::kInvalidRnti;
+  lte::CellId cell_id = 0;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<EventNotification> decode_body(std::span<const std::uint8_t> data);
+};
+
+const char* to_string(EventType event);
+
+/// Master -> agent: (un)subscribe from event notifications (paper: "the
+/// master can choose whether or not to be notified for a specific event
+/// occurring at the eNodeB by registering for it at the agent").
+struct EventSubscription {
+  static constexpr MessageType kType = MessageType::event_subscription;
+  std::vector<EventType> events;
+  bool enable = true;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<EventSubscription> decode_body(std::span<const std::uint8_t> data);
+};
+
+// -------------------------------------------------------- control delegation
+
+/// VSF updation: push a control-function implementation to the agent cache.
+/// `implementation` names a registered factory; `blob` carries opaque
+/// payload (stand-in for the paper's compiled shared library, see DESIGN.md
+/// substitution table).
+struct ControlDelegation {
+  static constexpr MessageType kType = MessageType::control_delegation;
+  std::string module;          // e.g. "mac"
+  std::string vsf;             // e.g. "dl_ue_scheduler"
+  std::string implementation;  // e.g. "local_pf"
+  std::uint32_t version = 1;
+  std::vector<std::uint8_t> blob;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<ControlDelegation> decode_body(std::span<const std::uint8_t> data);
+};
+
+/// Policy reconfiguration: YAML document selecting cached VSF behaviors and
+/// setting their parameters (paper Fig. 3).
+struct PolicyReconfiguration {
+  static constexpr MessageType kType = MessageType::policy_reconfiguration;
+  std::string yaml;
+
+  void encode_body(WireEncoder& enc) const;
+  static util::Result<PolicyReconfiguration> decode_body(std::span<const std::uint8_t> data);
+};
+
+// ------------------------------------------------------------------ helpers
+
+/// Category for Fig. 7 signaling accounting. Event notifications split by
+/// event type: subframe ticks are `sync`, everything else `agent_management`.
+MessageCategory categorize(MessageType type, const std::vector<std::uint8_t>& body);
+
+/// Packs a message struct into an encoded envelope.
+template <typename M>
+std::vector<std::uint8_t> pack(const M& message, std::uint32_t xid = 0) {
+  WireEncoder enc;
+  message.encode_body(enc);
+  Envelope envelope;
+  envelope.type = M::kType;
+  envelope.xid = xid;
+  envelope.body = enc.take();
+  return envelope.encode();
+}
+
+/// Unpacks an envelope body into a message struct; the caller has already
+/// matched envelope.type against M::kType.
+template <typename M>
+util::Result<M> unpack(const Envelope& envelope) {
+  if (envelope.type != M::kType) {
+    return util::Error::decode_failure("envelope type mismatch");
+  }
+  return M::decode_body(envelope.body);
+}
+
+/// Conversions between wire DCIs and the lte:: scheduling types.
+DlMacConfig to_dl_mac_config(const lte::SchedulingDecision& decision);
+UlMacConfig to_ul_mac_config(const lte::SchedulingDecision& decision);
+
+}  // namespace flexran::proto

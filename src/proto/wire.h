@@ -1,0 +1,79 @@
+// Protobuf-compatible wire primitives, written from scratch (the paper uses
+// Google Protocol Buffers for FlexRAN protocol messages; signaling-overhead
+// results depend on this compact encoding). Supported wire types: varint
+// (0), 64-bit (1), length-delimited (2), 32-bit (5). Unknown fields are
+// skippable, giving the same forward-compatibility protobuf provides.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace flexran::proto {
+
+enum class WireType : std::uint8_t {
+  varint = 0,
+  fixed64 = 1,
+  length_delimited = 2,
+  fixed32 = 5,
+};
+
+std::uint64_t zigzag_encode(std::int64_t value);
+std::int64_t zigzag_decode(std::uint64_t value);
+
+class WireEncoder {
+ public:
+  WireEncoder() = default;
+
+  void varint(std::uint64_t value);
+
+  void field_varint(int field, std::uint64_t value);
+  void field_svarint(int field, std::int64_t value) { field_varint(field, zigzag_encode(value)); }
+  void field_bool(int field, bool value) { field_varint(field, value ? 1 : 0); }
+  void field_double(int field, double value);
+  void field_fixed32(int field, std::uint32_t value);
+  void field_bytes(int field, std::span<const std::uint8_t> bytes);
+  void field_string(int field, std::string_view text);
+  /// Embeds a pre-encoded sub-message.
+  void field_message(int field, const WireEncoder& sub) { field_bytes(field, sub.bytes()); }
+
+  std::span<const std::uint8_t> bytes() const { return buffer_.contents(); }
+  std::size_t size() const { return buffer_.size(); }
+  std::vector<std::uint8_t> take() { return buffer_.take(); }
+
+ private:
+  void tag(int field, WireType type);
+  util::ByteBuffer buffer_;
+};
+
+class WireDecoder {
+ public:
+  explicit WireDecoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  struct FieldHeader {
+    int field = 0;
+    WireType type = WireType::varint;
+  };
+
+  bool done() const { return pos_ >= data_.size(); }
+
+  util::Result<FieldHeader> next_field();
+  util::Result<std::uint64_t> read_varint();
+  std::int64_t read_svarint_from(std::uint64_t raw) const { return zigzag_decode(raw); }
+  util::Result<double> read_double();
+  util::Result<std::uint32_t> read_fixed32();
+  util::Result<std::span<const std::uint8_t>> read_bytes();
+  util::Result<std::string> read_string();
+  /// Skips the value of the field whose header was just read.
+  util::Status skip(WireType type);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace flexran::proto

@@ -1,0 +1,259 @@
+#include "scenario/config.h"
+
+#include <algorithm>
+#include <map>
+
+#include "apps/remote_scheduler.h"
+#include "traffic/udp.h"
+#include "util/strings.h"
+#include "util/yaml_lite.h"
+
+namespace flexran::scenario {
+
+namespace {
+
+util::Result<double> read_double(const util::YamlNode& node, const char* key,
+                                 double fallback) {
+  const auto* value = node.find(key);
+  if (value == nullptr) return fallback;
+  return value->as_double();
+}
+
+util::Result<long long> read_int(const util::YamlNode& node, const char* key,
+                                 long long fallback) {
+  const auto* value = node.find(key);
+  if (value == nullptr) return fallback;
+  return value->as_int();
+}
+
+std::string read_string(const util::YamlNode& node, const char* key,
+                        const std::string& fallback) {
+  const auto* value = node.find(key);
+  return value == nullptr ? fallback : value->as_string();
+}
+
+}  // namespace
+
+util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
+  auto doc = util::parse_yaml(yaml);
+  if (!doc.ok()) return doc.error();
+  const util::YamlNode& root = doc.value();
+  ScenarioSpec spec;
+
+  auto duration = read_double(root, "duration_s", spec.duration_s);
+  if (!duration.ok()) return duration.error();
+  spec.duration_s = *duration;
+  if (spec.duration_s <= 0) return util::Error::invalid_argument("duration_s must be > 0");
+
+  auto period = read_int(root, "stats_period_ttis", spec.stats_period_ttis);
+  if (!period.ok()) return period.error();
+  if (*period < 1) return util::Error::invalid_argument("stats_period_ttis must be >= 1");
+  spec.stats_period_ttis = static_cast<std::uint32_t>(*period);
+
+  spec.remote_scheduler = read_string(root, "remote_scheduler", "false") == "true";
+  auto ahead = read_int(root, "schedule_ahead_sf", spec.schedule_ahead_sf);
+  if (!ahead.ok()) return ahead.error();
+  spec.schedule_ahead_sf = static_cast<int>(*ahead);
+
+  const auto* enbs = root.find("enbs");
+  if (enbs == nullptr || !enbs->is_sequence() || enbs->items().empty()) {
+    return util::Error::invalid_argument("scenario needs a non-empty 'enbs' sequence");
+  }
+  for (const auto& item : enbs->items()) {
+    ScenarioEnbSpec enb;
+    auto id = read_int(item, "enb_id", static_cast<long long>(spec.enbs.size() + 1));
+    if (!id.ok()) return id.error();
+    enb.enb_id = static_cast<lte::EnbId>(*id);
+    enb.name = read_string(item, "name", "enb-" + std::to_string(enb.enb_id));
+    enb.dl_scheduler = read_string(item, "dl_scheduler", enb.dl_scheduler);
+    enb.ul_scheduler = read_string(item, "ul_scheduler", enb.ul_scheduler);
+    auto delay = read_double(item, "control_delay_ms", 0.0);
+    if (!delay.ok()) return delay.error();
+    enb.control_delay_ms = *delay;
+    spec.enbs.push_back(std::move(enb));
+  }
+
+  const auto* ues = root.find("ues");
+  if (ues != nullptr) {
+    if (!ues->is_sequence()) return util::Error::invalid_argument("'ues' must be a sequence");
+    for (const auto& item : ues->items()) {
+      ScenarioUeSpec ue;
+      auto enb_ref = read_int(item, "enb", 1);
+      if (!enb_ref.ok()) return enb_ref.error();
+      ue.enb = static_cast<lte::EnbId>(*enb_ref);
+      const bool known = std::any_of(spec.enbs.begin(), spec.enbs.end(),
+                                     [&](const auto& e) { return e.enb_id == ue.enb; });
+      if (!known) {
+        return util::Error::invalid_argument("UE references unknown enb " +
+                                             std::to_string(ue.enb));
+      }
+      auto cqi = read_int(item, "cqi", ue.cqi);
+      if (!cqi.ok()) return cqi.error();
+      if (*cqi < 1 || *cqi > 15) return util::Error::invalid_argument("cqi must be in 1..15");
+      ue.cqi = static_cast<int>(*cqi);
+      auto ul_cqi = read_int(item, "ul_cqi", ue.ul_cqi);
+      if (!ul_cqi.ok()) return ul_cqi.error();
+      ue.ul_cqi = static_cast<int>(*ul_cqi);
+      ue.traffic = read_string(item, "traffic", ue.traffic);
+      if (ue.traffic != "full_buffer" && ue.traffic != "cbr" && ue.traffic != "none") {
+        return util::Error::invalid_argument("traffic must be full_buffer | cbr | none");
+      }
+      auto rate = read_double(item, "rate_mbps", ue.rate_mbps);
+      if (!rate.ok()) return rate.error();
+      ue.rate_mbps = *rate;
+      ue.ul_traffic = read_string(item, "ul_traffic", ue.ul_traffic);
+      if (ue.ul_traffic != "full_buffer" && ue.ul_traffic != "cbr" && ue.ul_traffic != "none") {
+        return util::Error::invalid_argument("ul_traffic must be full_buffer | cbr | none");
+      }
+      auto ul_rate = read_double(item, "ul_rate_mbps", ue.ul_rate_mbps);
+      if (!ul_rate.ok()) return ul_rate.error();
+      ue.ul_rate_mbps = *ul_rate;
+      if (const auto* trace = item.find("cqi_trace"); trace != nullptr) {
+        if (!trace->is_sequence()) {
+          return util::Error::invalid_argument("cqi_trace must be a sequence");
+        }
+        for (const auto& sample : trace->items()) {
+          auto v = sample.as_int();
+          if (!v.ok()) return v.error();
+          if (*v < 0 || *v > 15) return util::Error::invalid_argument("trace CQI in 0..15");
+          ue.cqi_trace.push_back(static_cast<int>(*v));
+        }
+        auto trace_period = read_double(item, "cqi_trace_period_ms", ue.cqi_trace_period_ms);
+        if (!trace_period.ok()) return trace_period.error();
+        if (*trace_period <= 0) {
+          return util::Error::invalid_argument("cqi_trace_period_ms must be > 0");
+        }
+        ue.cqi_trace_period_ms = *trace_period;
+      }
+      spec.ues.push_back(std::move(ue));
+    }
+  }
+  return spec;
+}
+
+ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
+  Testbed testbed(per_tti_master_config(spec.stats_period_ttis));
+  if (spec.remote_scheduler) {
+    apps::RemoteSchedulerConfig config;
+    config.schedule_ahead_sf = spec.schedule_ahead_sf;
+    testbed.master().add_app(std::make_unique<apps::RemoteSchedulerApp>(config));
+  }
+
+  std::map<lte::EnbId, std::size_t> enb_index;
+  for (const auto& enb_spec : spec.enbs) {
+    EnbSpec out;
+    out.enb.enb_id = enb_spec.enb_id;
+    out.enb.cells[0].cell_id = enb_spec.enb_id;
+    out.agent.name = enb_spec.name;
+    out.agent.dl_scheduler = spec.remote_scheduler ? "remote" : enb_spec.dl_scheduler;
+    out.agent.ul_scheduler = enb_spec.ul_scheduler;
+    out.uplink.delay = sim::from_ms(enb_spec.control_delay_ms);
+    out.downlink.delay = sim::from_ms(enb_spec.control_delay_ms);
+    enb_index[enb_spec.enb_id] = testbed.enbs().size();
+    testbed.add_enb(out);
+  }
+
+  struct LiveUe {
+    lte::EnbId enb;
+    std::size_t index;
+    lte::Rnti rnti;
+  };
+  std::vector<LiveUe> live;
+  std::vector<std::unique_ptr<traffic::UdpCbrSource>> sources;
+  int stagger = 2;
+  for (const auto& ue_spec : spec.ues) {
+    const auto index = enb_index.at(ue_spec.enb);
+    stack::UeProfile profile;
+    if (ue_spec.cqi_trace.empty()) {
+      profile.dl_channel = std::make_unique<phy::FixedCqiChannel>(ue_spec.cqi);
+    } else {
+      profile.dl_channel = std::make_unique<phy::TraceCqiChannel>(
+          ue_spec.cqi_trace, sim::from_ms(ue_spec.cqi_trace_period_ms), /*loop=*/true);
+    }
+    profile.ul_cqi = ue_spec.ul_cqi;
+    profile.attach_after_ttis = stagger++;
+    const auto rnti = testbed.add_ue(index, std::move(profile));
+    live.push_back({ue_spec.enb, index, rnti});
+
+    if (ue_spec.ul_traffic == "full_buffer") {
+      auto* dp = testbed.enb(index).data_plane.get();
+      testbed.on_tti([dp, rnti](std::int64_t) {
+        const auto* ue = dp->ue(rnti);
+        if (ue != nullptr && ue->connected() && ue->ul_buffer_bytes < 30'000) {
+          dp->enqueue_ul(rnti, 30'000);
+        }
+      });
+    } else if (ue_spec.ul_traffic == "cbr") {
+      auto* dp = testbed.enb(index).data_plane.get();
+      sources.push_back(std::make_unique<traffic::UdpCbrSource>(
+          testbed.sim(), [dp, rnti](std::uint32_t bytes) { dp->enqueue_ul(rnti, bytes); },
+          ue_spec.ul_rate_mbps));
+      sources.back()->start();
+    }
+
+    if (ue_spec.traffic == "full_buffer") {
+      auto* dp = testbed.enb(index).data_plane.get();
+      testbed.on_tti([&testbed, dp, rnti](std::int64_t) {
+        const auto* ue = dp->ue(rnti);
+        if (ue != nullptr && ue->dl_queue.total_bytes() < 60'000) {
+          (void)testbed.epc().downlink(rnti, 60'000);
+        }
+      });
+    } else if (ue_spec.traffic == "cbr") {
+      sources.push_back(std::make_unique<traffic::UdpCbrSource>(
+          testbed.sim(),
+          [&testbed, rnti](std::uint32_t bytes) { (void)testbed.epc().downlink(rnti, bytes); },
+          ue_spec.rate_mbps));
+      sources.back()->start();
+    }
+  }
+
+  testbed.run_seconds(spec.duration_s);
+
+  ScenarioRunSummary summary;
+  summary.duration_s = spec.duration_s;
+  for (const auto& ue : live) {
+    UeRunResult result;
+    result.enb = ue.enb;
+    result.rnti = ue.rnti;
+    const auto* context = testbed.enb(ue.index).data_plane->ue(ue.rnti);
+    result.connected = context != nullptr && context->connected();
+    result.cqi = context != nullptr ? context->reported_cqi : 0;
+    result.dl_mbps = Metrics::mbps(
+        testbed.metrics().total_bytes(ue.enb, ue.rnti, lte::Direction::downlink),
+        spec.duration_s);
+    result.ul_mbps = Metrics::mbps(
+        testbed.metrics().total_bytes(ue.enb, ue.rnti, lte::Direction::uplink),
+        spec.duration_s);
+    summary.ues.push_back(result);
+  }
+  summary.master_cycles = testbed.master().cycles_run();
+  summary.rib_updates = testbed.master().updates_applied();
+  std::uint64_t up_bytes = 0;
+  std::uint64_t down_bytes = 0;
+  for (auto& enb : testbed.enbs()) {
+    up_bytes += enb->agent->tx_accounting().total_bytes();
+    down_bytes += testbed.master().tx_accounting(enb->agent_id).total_bytes();
+  }
+  summary.uplink_signaling_mbps = Metrics::mbps(up_bytes, spec.duration_s);
+  summary.downlink_signaling_mbps = Metrics::mbps(down_bytes, spec.duration_s);
+  return summary;
+}
+
+std::string format_summary(const ScenarioRunSummary& summary) {
+  std::string out = util::format("%-6s %-8s %-10s %6s %12s %12s\n", "enb", "rnti", "state",
+                                 "CQI", "DL (Mb/s)", "UL (Mb/s)");
+  for (const auto& ue : summary.ues) {
+    out += util::format("%-6u %-8u %-10s %6d %12.2f %12.2f\n", ue.enb, ue.rnti,
+                        ue.connected ? "connected" : "DETACHED", ue.cqi, ue.dl_mbps, ue.ul_mbps);
+  }
+  out += util::format(
+      "\nmaster: %lld cycles, %llu RIB updates; signaling up %.3f Mb/s / down %.3f Mb/s "
+      "over %.1f s\n",
+      static_cast<long long>(summary.master_cycles),
+      static_cast<unsigned long long>(summary.rib_updates), summary.uplink_signaling_mbps,
+      summary.downlink_signaling_mbps, summary.duration_s);
+  return out;
+}
+
+}  // namespace flexran::scenario

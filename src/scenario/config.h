@@ -1,0 +1,91 @@
+// Declarative scenario descriptions: a YAML document specifying the
+// master, eNodeBs, UEs, traffic and applications, parsed and executed
+// against the testbed. This is the surface the `flexran_sim` CLI exposes;
+// it reuses the same YAML-lite dialect as policy reconfiguration messages.
+//
+// Example:
+//   duration_s: 5
+//   stats_period_ttis: 1
+//   remote_scheduler: false
+//   enbs:
+//     - enb_id: 1
+//       name: macro
+//       dl_scheduler: local_rr
+//       control_delay_ms: 0
+//   ues:
+//     - enb: 1
+//       cqi: 15
+//       traffic: full_buffer     # full_buffer | cbr | none
+//       rate_mbps: 5             # cbr only
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/testbed.h"
+
+namespace flexran::scenario {
+
+struct ScenarioEnbSpec {
+  lte::EnbId enb_id = 1;
+  std::string name = "enb";
+  std::string dl_scheduler = "local_rr";
+  std::string ul_scheduler = "local_rr";
+  double control_delay_ms = 0.0;
+};
+
+struct ScenarioUeSpec {
+  lte::EnbId enb = 1;
+  int cqi = 15;
+  int ul_cqi = 8;
+  std::string traffic = "full_buffer";
+  double rate_mbps = 1.0;
+  /// Uplink application traffic: "none" | "full_buffer" | "cbr".
+  std::string ul_traffic = "none";
+  double ul_rate_mbps = 1.0;
+  /// Optional CQI trace (one sample per `cqi_trace_period_ms`); overrides
+  /// the fixed `cqi` when non-empty.
+  std::vector<int> cqi_trace;
+  double cqi_trace_period_ms = 1000.0;
+};
+
+struct ScenarioSpec {
+  double duration_s = 5.0;
+  std::uint32_t stats_period_ttis = 1;
+  /// Run the centralized scheduler app at the master.
+  bool remote_scheduler = false;
+  int schedule_ahead_sf = 2;
+  std::vector<ScenarioEnbSpec> enbs;
+  std::vector<ScenarioUeSpec> ues;
+};
+
+/// Parses a scenario document; rejects unknown traffic kinds, missing
+/// eNodeB references, and malformed values.
+util::Result<ScenarioSpec> parse_scenario(const std::string& yaml);
+
+struct UeRunResult {
+  lte::EnbId enb = 0;
+  lte::Rnti rnti = lte::kInvalidRnti;
+  bool connected = false;
+  int cqi = 0;
+  double dl_mbps = 0.0;
+  double ul_mbps = 0.0;
+};
+
+struct ScenarioRunSummary {
+  std::vector<UeRunResult> ues;
+  double duration_s = 0.0;
+  std::int64_t master_cycles = 0;
+  std::uint64_t rib_updates = 0;
+  /// Aggregate agent->master / master->agent signaling, Mb/s.
+  double uplink_signaling_mbps = 0.0;
+  double downlink_signaling_mbps = 0.0;
+};
+
+/// Builds the testbed from the spec, runs it, and collects the summary.
+ScenarioRunSummary run_scenario(const ScenarioSpec& spec);
+
+/// Renders the summary as the CLI's output table.
+std::string format_summary(const ScenarioRunSummary& summary);
+
+}  // namespace flexran::scenario

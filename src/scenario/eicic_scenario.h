@@ -1,0 +1,30 @@
+// The paper's Sec. 6.1 HetNet interference experiment, reusable by tests
+// and the Fig. 10 bench: one macro cell (3 UEs, saturated) and one small
+// cell (1 UE, lightly loaded) sharing a carrier in the interference
+// environment, run under one of the three coordination modes.
+#pragma once
+
+#include "apps/eicic.h"
+
+namespace flexran::scenario {
+
+struct EicicScenarioConfig {
+  apps::EicicMode mode = apps::EicicMode::optimized;
+  double warmup_s = 1.0;
+  double measure_s = 5.0;
+  /// Offered load toward the small-cell UE; keep it below the ABS capacity
+  /// so idle ABSs exist for the optimized mode to reclaim.
+  double small_cell_offered_mbps = 2.0;
+  int abs_per_frame = 4;
+  std::uint64_t seed = 1;
+};
+
+struct EicicScenarioResult {
+  double network_mbps = 0.0;
+  double macro_mbps = 0.0;
+  double small_mbps = 0.0;
+};
+
+EicicScenarioResult run_eicic_scenario(const EicicScenarioConfig& config);
+
+}  // namespace flexran::scenario

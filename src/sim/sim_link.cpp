@@ -1,0 +1,41 @@
+#include "sim/sim_link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace flexran::sim {
+
+TimeUs SimLink::serialization_delay(std::size_t bytes) const {
+  if (config_.rate_bps <= 0) return 0;
+  return static_cast<TimeUs>(static_cast<double>(bytes) * 8.0 / static_cast<double>(config_.rate_bps) * 1e6);
+}
+
+void SimLink::send(std::vector<std::uint8_t> payload) {
+  if (down_) {
+    ++packets_dropped_;
+    return;
+  }
+  ++packets_sent_;
+  bytes_sent_ += payload.size();
+
+  // Rate limiting: packets serialize back-to-back.
+  const TimeUs start = std::max(sim_.now(), tx_free_at_);
+  tx_free_at_ = start + serialization_delay(payload.size());
+
+  TimeUs arrival = tx_free_at_ + config_.delay;
+  if (config_.jitter > 0) arrival += static_cast<TimeUs>(rng_.uniform() * static_cast<double>(config_.jitter));
+  if (config_.loss > 0.0 && rng_.chance(config_.loss)) {
+    // TCP-style recovery: the payload still arrives, one RTT later.
+    ++packets_retransmitted_;
+    arrival += 2 * config_.delay;
+  }
+  // Preserve in-order delivery.
+  arrival = std::max(arrival, last_delivery_);
+  last_delivery_ = arrival;
+
+  sim_.at(arrival, [this, data = std::move(payload)]() mutable {
+    if (deliver_) deliver_(std::move(data));
+  });
+}
+
+}  // namespace flexran::sim

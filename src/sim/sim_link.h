@@ -1,0 +1,71 @@
+// Simulated point-to-point link — the netem equivalent used for the
+// master<->agent control channel. Models one-way propagation delay, jitter,
+// a serialization rate, and random loss, while preserving FIFO delivery
+// order (as TCP would after reordering repair).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace flexran::sim {
+
+struct LinkConfig {
+  /// One-way propagation delay.
+  TimeUs delay = 0;
+  /// Uniform jitter in [0, jitter] added per packet.
+  TimeUs jitter = 0;
+  /// Serialization rate in bits/s; 0 = infinite.
+  std::int64_t rate_bps = 0;
+  /// Packet loss probability in [0, 1). Lost packets are retransmitted after
+  /// one RTT (delay * 2) to mimic TCP recovery rather than dropped silently.
+  double loss = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class SimLink {
+ public:
+  using DeliverFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  SimLink(Simulator& sim, LinkConfig config) : sim_(sim), config_(config), rng_(config.seed) {}
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  const LinkConfig& config() const { return config_; }
+  /// Latency reconfiguration at runtime (paper Sec. 5.3 uses netem the same
+  /// way); applies to packets sent after the call.
+  void set_delay(TimeUs delay) { config_.delay = delay; }
+
+  /// Simulates a network partition: while down, packets are dropped
+  /// outright (no TCP-style recovery; the path is gone).
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+  void send(std::vector<std::uint8_t> payload);
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t packets_retransmitted() const { return packets_retransmitted_; }
+
+ private:
+  TimeUs serialization_delay(std::size_t bytes) const;
+
+  Simulator& sim_;
+  LinkConfig config_;
+  util::Rng rng_;
+  DeliverFn deliver_;
+  /// Time the previous packet finished serializing (rate limiting).
+  TimeUs tx_free_at_ = 0;
+  /// Delivery-order floor so jitter cannot reorder packets.
+  TimeUs last_delivery_ = 0;
+  bool down_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_retransmitted_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace flexran::sim

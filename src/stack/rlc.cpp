@@ -1,0 +1,74 @@
+#include "stack/rlc.h"
+
+#include <algorithm>
+
+namespace flexran::stack {
+
+int default_lc_group(lte::Lcid lcid) { return lcid <= lte::kSrb1 + 1 ? 0 : 2; }
+
+void RlcQueue::enqueue(lte::Lcid lcid, std::uint32_t bytes) {
+  if (bytes == 0) return;
+  Channel& channel = channels_[lcid];
+  channel.packets.push_back(bytes);
+  channel.bytes += bytes;
+  total_bytes_ += bytes;
+}
+
+std::uint32_t RlcQueue::dequeue(std::int64_t tb_bits) {
+  std::uint32_t drained = 0;
+  for (auto& [lcid, channel] : channels_) {
+    (void)lcid;
+    if (tb_bits <= 0) break;
+    if (channel.bytes == 0) continue;
+    // Budget in application bytes after L2 overhead.
+    auto budget =
+        static_cast<std::uint32_t>(static_cast<double>(tb_bits) / (8.0 * kL2OverheadFactor));
+    while (budget > 0 && !channel.packets.empty()) {
+      std::uint32_t& head = channel.packets.front();
+      const std::uint32_t take = std::min(head, budget);
+      head -= take;
+      budget -= take;
+      channel.bytes -= take;
+      total_bytes_ -= take;
+      drained += take;
+      tb_bits -= static_cast<std::int64_t>(static_cast<double>(take) * 8.0 * kL2OverheadFactor);
+      if (head == 0) channel.packets.pop_front();
+    }
+  }
+  return drained;
+}
+
+std::uint32_t RlcQueue::dequeue_lcid(lte::Lcid lcid, std::int64_t tb_bits) {
+  auto it = channels_.find(lcid);
+  if (it == channels_.end()) return 0;
+  Channel& channel = it->second;
+  auto budget =
+      static_cast<std::uint32_t>(static_cast<double>(tb_bits) / (8.0 * kL2OverheadFactor));
+  std::uint32_t drained = 0;
+  while (budget > 0 && !channel.packets.empty()) {
+    std::uint32_t& head = channel.packets.front();
+    const std::uint32_t take = std::min(head, budget);
+    head -= take;
+    budget -= take;
+    channel.bytes -= take;
+    total_bytes_ -= take;
+    drained += take;
+    if (head == 0) channel.packets.pop_front();
+  }
+  return drained;
+}
+
+std::uint32_t RlcQueue::bytes_for_lcid(lte::Lcid lcid) const {
+  auto it = channels_.find(lcid);
+  return it == channels_.end() ? 0 : it->second.bytes;
+}
+
+std::uint32_t RlcQueue::bytes_for_lc_group(int lcg) const {
+  std::uint32_t bytes = 0;
+  for (const auto& [lcid, channel] : channels_) {
+    if (default_lc_group(lcid) == lcg) bytes += channel.bytes;
+  }
+  return bytes;
+}
+
+}  // namespace flexran::stack

@@ -1,0 +1,67 @@
+// Growable byte buffer with separate read/write cursors, used by the wire
+// codec and the transports. All multi-byte integers are little-endian on the
+// wire (fixed-width accessors); varints live in proto/wire.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace flexran::util {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  explicit ByteBuffer(std::span<const std::uint8_t> data) : data_(data.begin(), data.end()) {}
+
+  // -- write side -----------------------------------------------------------
+  void write_u8(std::uint8_t value) { data_.push_back(value); }
+  void write_u16(std::uint16_t value);
+  void write_u32(std::uint32_t value);
+  void write_u64(std::uint64_t value);
+  void write_bytes(std::span<const std::uint8_t> bytes);
+  void write_string(std::string_view text);
+
+  // -- read side ------------------------------------------------------------
+  Result<std::uint8_t> read_u8();
+  Result<std::uint16_t> read_u16();
+  Result<std::uint32_t> read_u32();
+  Result<std::uint64_t> read_u64();
+  Result<std::vector<std::uint8_t>> read_bytes(std::size_t count);
+  Result<std::string> read_string(std::size_t count);
+
+  std::size_t readable() const { return data_.size() - read_pos_; }
+  std::size_t read_position() const { return read_pos_; }
+  void rewind() { read_pos_ = 0; }
+  /// Drop already-consumed bytes (used by stream reassembly).
+  void compact();
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void clear() {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+  std::span<const std::uint8_t> contents() const { return data_; }
+  std::span<const std::uint8_t> remaining() const {
+    return std::span<const std::uint8_t>(data_).subspan(read_pos_);
+  }
+  const std::vector<std::uint8_t>& vec() const { return data_; }
+  std::vector<std::uint8_t> take() {
+    read_pos_ = 0;
+    return std::move(data_);
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace flexran::util

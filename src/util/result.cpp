@@ -1,0 +1,21 @@
+#include "util/result.h"
+
+namespace flexran::util {
+
+const char* to_string(Error::Code code) {
+  switch (code) {
+    case Error::Code::invalid_argument: return "invalid_argument";
+    case Error::Code::not_found: return "not_found";
+    case Error::Code::decode_failure: return "decode_failure";
+    case Error::Code::encode_failure: return "encode_failure";
+    case Error::Code::transport_failure: return "transport_failure";
+    case Error::Code::capacity_exceeded: return "capacity_exceeded";
+    case Error::Code::unsupported: return "unsupported";
+    case Error::Code::conflict: return "conflict";
+    case Error::Code::timeout: return "timeout";
+    case Error::Code::internal: return "internal";
+  }
+  return "?";
+}
+
+}  // namespace flexran::util

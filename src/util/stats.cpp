@@ -1,0 +1,66 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flexran::util {
+
+void RunningStats::add(double sample) {
+  ++count_;
+  total_ += sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  auto sorted_samples = sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted_samples.size() - 1) + 0.5);
+  return sorted_samples[rank];
+}
+
+std::vector<double> SampleSet::sorted() const {
+  std::vector<double> out = samples_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double TimeSeries::mean_in(double from, double to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.time >= from && p.time < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), buckets_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double sample) {
+  auto index = static_cast<std::ptrdiff_t>((sample - lo_) / width_);
+  index = std::clamp<std::ptrdiff_t>(index, 0, static_cast<std::ptrdiff_t>(buckets_.size()) - 1);
+  ++buckets_[static_cast<std::size_t>(index)];
+  ++count_;
+}
+
+}  // namespace flexran::util

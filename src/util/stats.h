@@ -1,0 +1,109 @@
+// Statistics helpers shared by the metrics collector, the RIB, and the
+// benchmark harnesses: running moments, EWMA, histograms/CDFs, time series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace flexran::util {
+
+/// Welford running mean/variance with min/max.
+class RunningStats {
+ public:
+  void add(double sample);
+  void reset() { *this = RunningStats{}; }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double total() const { return total_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double total_ = 0.0;
+};
+
+/// Exponentially weighted moving average, alpha in (0, 1].
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+  void add(double sample) {
+    value_ = seeded_ ? alpha_ * sample + (1.0 - alpha_) * value_ : sample;
+    seeded_ = true;
+  }
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+  void reset() { seeded_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Collects raw samples; computes empirical quantiles / a CDF on demand.
+class SampleSet {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  /// q in [0, 1]; nearest-rank on the sorted samples.
+  double quantile(double q) const;
+  /// Sorted copy of the samples (the x-axis of an empirical CDF).
+  std::vector<double> sorted() const;
+  const std::vector<double>& raw() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// (time, value) series used for experiment outputs such as Fig. 11/12a.
+class TimeSeries {
+ public:
+  struct Point {
+    double time = 0.0;
+    double value = 0.0;
+  };
+
+  void add(double time, double value) { points_.push_back({time, value}); }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  /// Mean of values with time in [from, to).
+  double mean_in(double from, double to) const;
+  double last_value() const { return points_.empty() ? 0.0 : points_.back().value; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double sample);
+  std::size_t count() const { return count_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  double bucket_lo(std::size_t index) const { return lo_ + width_ * static_cast<double>(index); }
+  double bucket_width() const { return width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace flexran::util

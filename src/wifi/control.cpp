@@ -1,0 +1,92 @@
+#include "wifi/control.h"
+
+namespace flexran::wifi {
+
+AirtimeAllocation FairAirtimeVsf::schedule(const std::vector<StationView>& stations,
+                                           std::int64_t /*slot*/) {
+  AirtimeAllocation allocation;
+  int backlogged = 0;
+  for (const auto& station : stations) {
+    if (station.queue_bytes > 0) ++backlogged;
+  }
+  if (backlogged == 0) return allocation;
+  for (const auto& station : stations) {
+    if (station.queue_bytes > 0) allocation[station.station] = 1.0 / backlogged;
+  }
+  return allocation;
+}
+
+AirtimeAllocation WeightedAirtimeVsf::schedule(const std::vector<StationView>& stations,
+                                               std::int64_t /*slot*/) {
+  AirtimeAllocation allocation;
+  double total_weight = 0.0;
+  for (const auto& station : stations) {
+    if (station.queue_bytes == 0) continue;
+    auto it = weights_.find(station.station);
+    total_weight += it != weights_.end() ? it->second : 1.0;
+  }
+  if (total_weight <= 0.0) return allocation;
+  for (const auto& station : stations) {
+    if (station.queue_bytes == 0) continue;
+    auto it = weights_.find(station.station);
+    const double weight = it != weights_.end() ? it->second : 1.0;
+    allocation[station.station] = weight / total_weight;
+  }
+  return allocation;
+}
+
+util::Status WeightedAirtimeVsf::set_parameter(std::string_view key,
+                                               const util::YamlNode& value) {
+  if (key != "weights") {
+    return util::Error::invalid_argument("unknown parameter: " + std::string(key));
+  }
+  if (!value.is_sequence()) {
+    return util::Error::invalid_argument("weights must be a sequence");
+  }
+  std::map<StationId, double> parsed;
+  for (const auto& item : value.items()) {
+    const auto* station = item.find("station");
+    const auto* weight = item.find("weight");
+    if (station == nullptr || weight == nullptr) {
+      return util::Error::invalid_argument("weights entries need station + weight");
+    }
+    auto id = station->as_int();
+    if (!id.ok()) return id.error();
+    auto w = weight->as_double();
+    if (!w.ok()) return w.error();
+    if (*w < 0) return util::Error::invalid_argument("weight must be >= 0");
+    parsed[static_cast<StationId>(*id)] = *w;
+  }
+  weights_ = std::move(parsed);
+  return {};
+}
+
+WifiControlModule::WifiControlModule(agent::VsfCache& cache) : ControlModule(kName, cache) {
+  declare_slot(kAirtimeSlot);
+}
+
+util::Status WifiControlModule::validate(const std::string& slot, agent::Vsf& vsf) const {
+  if (slot == kAirtimeSlot && dynamic_cast<AirtimeSchedulerVsf*>(&vsf) == nullptr) {
+    return util::Error::invalid_argument("VSF is not an airtime scheduler");
+  }
+  return {};
+}
+
+void WifiControlModule::on_behavior_changed(const std::string& slot, agent::Vsf* vsf) {
+  if (slot == kAirtimeSlot) airtime_ = dynamic_cast<AirtimeSchedulerVsf*>(vsf);
+}
+
+void register_wifi_vsfs() {
+  static const bool registered = [] {
+    auto& factory = agent::VsfFactory::instance();
+    factory.register_implementation(WifiControlModule::kName, WifiControlModule::kAirtimeSlot,
+                                    "fair", [] { return std::make_unique<FairAirtimeVsf>(); });
+    factory.register_implementation(WifiControlModule::kName, WifiControlModule::kAirtimeSlot,
+                                    "weighted",
+                                    [] { return std::make_unique<WeightedAirtimeVsf>(); });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace flexran::wifi

@@ -1,0 +1,69 @@
+// WiFi control module: the Sec. 7.2 demonstration that FlexRAN's control
+// machinery is technology-agnostic. This module plugs a WiFi-specific CMI
+// slot ("airtime_scheduler") into the SAME VsfFactory / VsfCache /
+// policy-reconfiguration pipeline the LTE modules use -- no LTE types
+// anywhere, and a policy document like
+//
+//   wifi_mac:
+//     airtime_scheduler:
+//       behavior: weighted
+//       parameters:
+//         weights:
+//           - station: 1
+//             weight: 3
+//
+// drives it through agent::apply_policy_yaml unchanged.
+#pragma once
+
+#include "agent/control_module.h"
+#include "wifi/wifi_ap.h"
+
+namespace flexran::wifi {
+
+/// WiFi CMI slot type: decides one slot's airtime split.
+class AirtimeSchedulerVsf : public agent::Vsf {
+ public:
+  virtual AirtimeAllocation schedule(const std::vector<StationView>& stations,
+                                     std::int64_t slot) = 0;
+};
+
+/// Equal airtime across backlogged stations (802.11 DCF-like fairness).
+class FairAirtimeVsf final : public AirtimeSchedulerVsf {
+ public:
+  AirtimeAllocation schedule(const std::vector<StationView>& stations,
+                             std::int64_t slot) override;
+};
+
+/// Weighted airtime; per-station weights are runtime parameters.
+class WeightedAirtimeVsf final : public AirtimeSchedulerVsf {
+ public:
+  AirtimeAllocation schedule(const std::vector<StationView>& stations,
+                             std::int64_t slot) override;
+  util::Status set_parameter(std::string_view key, const util::YamlNode& value) override;
+
+ private:
+  std::map<StationId, double> weights_;
+};
+
+class WifiControlModule final : public agent::ControlModule {
+ public:
+  static constexpr const char* kName = "wifi_mac";
+  static constexpr const char* kAirtimeSlot = "airtime_scheduler";
+
+  explicit WifiControlModule(agent::VsfCache& cache);
+
+  AirtimeSchedulerVsf* airtime_scheduler() const { return airtime_; }
+
+ protected:
+  util::Status validate(const std::string& slot, agent::Vsf& vsf) const override;
+  void on_behavior_changed(const std::string& slot, agent::Vsf* vsf) override;
+
+ private:
+  AirtimeSchedulerVsf* airtime_ = nullptr;
+};
+
+/// Registers wifi_mac/airtime_scheduler/{fair, weighted} with the global
+/// VsfFactory (idempotent).
+void register_wifi_vsfs();
+
+}  // namespace flexran::wifi

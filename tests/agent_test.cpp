@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include "agent/agent.h"
+#include "agent/schedulers.h"
+#include "scenario/testbed.h"
+
+namespace flexran::agent {
+namespace {
+
+using scenario::Testbed;
+
+stack::UeProfile cqi_ue(int cqi) {
+  stack::UeProfile profile;
+  profile.dl_channel = std::make_unique<phy::FixedCqiChannel>(cqi);
+  return profile;
+}
+
+scenario::EnbSpec default_spec(lte::EnbId id = 1) {
+  scenario::EnbSpec spec;
+  spec.enb.enb_id = id;
+  spec.enb.cells[0].cell_id = id;
+  spec.agent.name = "enb-" + std::to_string(id);
+  return spec;
+}
+
+// ----------------------------------------------------------- VSF registry --
+
+TEST(VsfFactory, BuiltinsRegistered) {
+  register_builtin_vsfs();
+  auto& factory = VsfFactory::instance();
+  EXPECT_TRUE(factory.has("mac", "dl_ue_scheduler", "local_rr"));
+  EXPECT_TRUE(factory.has("mac", "dl_ue_scheduler", "local_pf"));
+  EXPECT_TRUE(factory.has("mac", "ul_ue_scheduler", "local_rr"));
+  EXPECT_TRUE(factory.has("rrc", "handover_policy", "a3"));
+  EXPECT_FALSE(factory.has("mac", "dl_ue_scheduler", "nonexistent"));
+}
+
+TEST(VsfCache, StoreIsIdempotentAndLookupWorks) {
+  register_builtin_vsfs();
+  VsfCache cache;
+  ASSERT_TRUE(cache.store("mac", "dl_ue_scheduler", "local_rr").ok());
+  Vsf* first = cache.get("mac", "dl_ue_scheduler", "local_rr");
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(cache.store("mac", "dl_ue_scheduler", "local_rr").ok());
+  EXPECT_EQ(cache.get("mac", "dl_ue_scheduler", "local_rr"), first);  // same instance
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.store("mac", "dl_ue_scheduler", "missing_impl").ok());
+  EXPECT_EQ(cache.get("mac", "dl_ue_scheduler", "missing_impl"), nullptr);
+}
+
+TEST(ControlModule, BehaviorSwapAndTypeChecking) {
+  register_builtin_vsfs();
+  VsfCache cache;
+  ASSERT_TRUE(cache.store("mac", "dl_ue_scheduler", "local_rr").ok());
+  ASSERT_TRUE(cache.store("mac", "dl_ue_scheduler", "local_pf").ok());
+  MacControlModule mac(cache);
+  EXPECT_EQ(mac.dl_scheduler(), nullptr);
+
+  ASSERT_TRUE(mac.set_behavior(MacControlModule::kDlSchedulerSlot, "local_rr").ok());
+  EXPECT_NE(mac.dl_scheduler(), nullptr);
+  EXPECT_EQ(mac.active_implementation(MacControlModule::kDlSchedulerSlot), "local_rr");
+
+  ASSERT_TRUE(mac.set_behavior(MacControlModule::kDlSchedulerSlot, "local_pf").ok());
+  EXPECT_EQ(mac.active_implementation(MacControlModule::kDlSchedulerSlot), "local_pf");
+
+  // A UL scheduler cannot be linked into the DL slot.
+  ASSERT_TRUE(cache.store("mac", "ul_ue_scheduler", "local_rr").ok());
+  // (the cache key differs, so lookup fails -> not_found)
+  EXPECT_FALSE(mac.set_behavior(MacControlModule::kDlSchedulerSlot, "local_ul").ok());
+  EXPECT_FALSE(mac.set_behavior("bogus_slot", "local_rr").ok());
+}
+
+TEST(ControlModule, ParameterForwarding) {
+  register_builtin_vsfs();
+  VsfCache cache;
+  ASSERT_TRUE(cache.store("mac", "dl_ue_scheduler", "local_pf").ok());
+  MacControlModule mac(cache);
+  ASSERT_TRUE(mac.set_behavior(MacControlModule::kDlSchedulerSlot, "local_pf").ok());
+
+  EXPECT_TRUE(mac.set_parameter(MacControlModule::kDlSchedulerSlot, "max_ues_per_tti",
+                                util::YamlNode::scalar("2"))
+                  .ok());
+  EXPECT_FALSE(mac.set_parameter(MacControlModule::kDlSchedulerSlot, "bogus",
+                                 util::YamlNode::scalar("1"))
+                   .ok());
+  EXPECT_FALSE(mac.set_parameter(MacControlModule::kDlSchedulerSlot, "max_ues_per_tti",
+                                 util::YamlNode::scalar("0"))
+                   .ok());
+}
+
+// ----------------------------------------------------------- PRB packing ---
+
+TEST(Packing, PrbsNeededRoundsUp) {
+  const int mcs = lte::cqi_to_mcs(10);
+  const auto per_prb = lte::tbs_bits(mcs, 1);
+  EXPECT_EQ(prbs_needed(per_prb, mcs), 1);
+  EXPECT_EQ(prbs_needed(per_prb + 1, mcs), 2);
+  EXPECT_EQ(prbs_needed(0, mcs), 0);
+  EXPECT_EQ(prbs_needed(1, mcs), 1);
+}
+
+TEST(Packing, ContiguousNonOverlapping) {
+  std::vector<PrbDemand> demands = {{10, 20, 30}, {11, 20, 30}, {12, 20, 30}};
+  const auto dcis = pack_dl_allocations(demands, 50);
+  ASSERT_EQ(dcis.size(), 2u);  // 30 + 20, third UE gets nothing
+  EXPECT_EQ(dcis[0].rbs.count(), 30);
+  EXPECT_EQ(dcis[1].rbs.count(), 20);
+  EXPECT_FALSE(dcis[0].rbs.overlaps(dcis[1].rbs));
+}
+
+// --------------------------------------------------------------- reports ---
+
+class ReportsFixture : public ::testing::Test {
+ protected:
+  ReportsFixture() : enb_(simulator_, lte::EnbConfig{}), api_(enb_), reports_(api_) {
+    stack::UeProfile profile;
+    profile.dl_channel = std::make_unique<phy::FixedCqiChannel>(10);
+    rnti_ = enb_.add_ue(std::move(profile));
+  }
+
+  sim::Simulator simulator_;
+  stack::EnodebDataPlane enb_;
+  AgentApi api_;
+  ReportsManager reports_;
+  lte::Rnti rnti_ = 0;
+};
+
+TEST_F(ReportsFixture, OneOffFiresExactlyOnce) {
+  proto::StatsRequest request;
+  request.request_id = 1;
+  request.mode = proto::ReportMode::one_off;
+  reports_.register_request(request, 0);
+  EXPECT_EQ(reports_.collect(1).size(), 1u);
+  EXPECT_EQ(reports_.collect(2).size(), 0u);
+  EXPECT_EQ(reports_.active_registrations(), 0u);
+}
+
+TEST_F(ReportsFixture, PeriodicHonorsPeriod) {
+  proto::StatsRequest request;
+  request.request_id = 2;
+  request.mode = proto::ReportMode::periodic;
+  request.periodicity_ttis = 3;
+  reports_.register_request(request, 0);
+  int fired = 0;
+  for (std::int64_t sf = 0; sf < 12; ++sf) fired += static_cast<int>(reports_.collect(sf).size());
+  EXPECT_EQ(fired, 4);  // sf 0, 3, 6, 9
+}
+
+TEST_F(ReportsFixture, TriggeredFiresOnlyOnChange) {
+  proto::StatsRequest request;
+  request.request_id = 3;
+  request.mode = proto::ReportMode::triggered;
+  request.flags = proto::stats_flags::kRlcQueue | proto::stats_flags::kBsr;
+  reports_.register_request(request, 0);
+  EXPECT_EQ(reports_.collect(1).size(), 1u);  // initial
+  EXPECT_EQ(reports_.collect(2).size(), 0u);  // unchanged
+  enb_.enqueue_dl(rnti_, lte::kDefaultDrb, 500);
+  EXPECT_EQ(reports_.collect(3).size(), 1u);  // queue grew
+  EXPECT_EQ(reports_.collect(4).size(), 0u);
+}
+
+TEST_F(ReportsFixture, UeScopedRequestReportsOnlyListedUes) {
+  stack::UeProfile other_profile;
+  other_profile.dl_channel = std::make_unique<phy::FixedCqiChannel>(5);
+  const auto other = enb_.add_ue(std::move(other_profile));
+  (void)other;
+
+  proto::StatsRequest request;
+  request.request_id = 9;
+  request.mode = proto::ReportMode::one_off;
+  request.ues = {rnti_};  // scope to one UE
+  reports_.register_request(request, 0);
+  auto due = reports_.collect(1);
+  ASSERT_EQ(due.size(), 1u);
+  ASSERT_EQ(due[0].ue_reports.size(), 1u);
+  EXPECT_EQ(due[0].ue_reports[0].rnti, rnti_);
+}
+
+TEST_F(ReportsFixture, CancelViaZeroFlags) {
+  proto::StatsRequest request;
+  request.request_id = 4;
+  request.mode = proto::ReportMode::periodic;
+  reports_.register_request(request, 0);
+  EXPECT_EQ(reports_.active_registrations(), 1u);
+  request.flags = 0;
+  reports_.register_request(request, 0);
+  EXPECT_EQ(reports_.active_registrations(), 0u);
+}
+
+TEST_F(ReportsFixture, FlagsFilterReportContents) {
+  proto::StatsRequest request;
+  request.request_id = 5;
+  request.mode = proto::ReportMode::one_off;
+  request.flags = proto::stats_flags::kCqi;  // CQI only, no cell reports
+  enb_.enqueue_dl(rnti_, lte::kDefaultDrb, 500);
+  enb_.subframe_begin(1);  // samples CQI
+  reports_.register_request(request, 1);
+  auto due = reports_.collect(1);
+  ASSERT_EQ(due.size(), 1u);
+  ASSERT_EQ(due[0].ue_reports.size(), 1u);
+  EXPECT_EQ(due[0].ue_reports[0].wb_cqi, 10);
+  EXPECT_EQ(due[0].ue_reports[0].rlc_queue_bytes, 0u);  // filtered out
+  EXPECT_TRUE(due[0].cell_reports.empty());
+}
+
+// --------------------------------------------------- end-to-end via testbed --
+
+TEST(AgentEndToEnd, HelloAndAutoConfigurationPopulateRib) {
+  Testbed testbed;
+  auto& enb = testbed.add_enb(default_spec(7));
+  testbed.add_ue(0, cqi_ue(10));
+  testbed.run_ttis(30);
+
+  const auto* agent_node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(agent_node, nullptr);
+  EXPECT_EQ(agent_node->enb_id, 7u);
+  EXPECT_EQ(agent_node->name, "enb-7");
+  ASSERT_FALSE(agent_node->capabilities.empty());
+  ASSERT_TRUE(agent_node->cells.contains(7));
+  EXPECT_DOUBLE_EQ(agent_node->cells.at(7).config.bandwidth_mhz, 10.0);
+}
+
+TEST(AgentEndToEnd, LocalSchedulerAttachesAndServesUes) {
+  Testbed testbed(scenario::per_tti_master_config());
+  testbed.add_enb(default_spec());
+  const auto rnti_a = testbed.add_ue(0, cqi_ue(15));
+  const auto rnti_b = testbed.add_ue(0, cqi_ue(15));
+  testbed.run_ttis(50);
+
+  auto& dp = *testbed.enb(0).data_plane;
+  ASSERT_TRUE(dp.ue(rnti_a)->connected());
+  ASSERT_TRUE(dp.ue(rnti_b)->connected());
+
+  // Saturate both UEs for two seconds; round robin must split evenly.
+  testbed.on_tti([&](std::int64_t) {
+    for (auto rnti : {rnti_a, rnti_b}) {
+      if (dp.ue(rnti)->dl_queue.total_bytes() < 50'000) {
+        (void)testbed.epc().downlink(rnti, 50'000);
+      }
+    }
+  });
+  testbed.run_ttis(2000);
+  const auto bytes_a = testbed.metrics().total_bytes(1, rnti_a, lte::Direction::downlink);
+  const auto bytes_b = testbed.metrics().total_bytes(1, rnti_b, lte::Direction::downlink);
+  const double mbps_total = scenario::Metrics::mbps(bytes_a + bytes_b, 2.0);
+  EXPECT_GT(mbps_total, 20.0);
+  EXPECT_LT(mbps_total, 27.0);
+  // Fairness: within 10%.
+  EXPECT_NEAR(static_cast<double>(bytes_a) / static_cast<double>(bytes_b), 1.0, 0.1);
+}
+
+TEST(AgentEndToEnd, PolicyReconfigurationSwapsScheduler) {
+  Testbed testbed;
+  auto& enb = testbed.add_enb(default_spec());
+  testbed.run_ttis(5);
+  EXPECT_EQ(enb.agent->mac().active_implementation(MacControlModule::kDlSchedulerSlot),
+            "local_rr");
+
+  const char* yaml =
+      "mac:\n"
+      "  dl_ue_scheduler:\n"
+      "    behavior: local_pf\n"
+      "    parameters:\n"
+      "      max_ues_per_tti: 2\n";
+  ASSERT_TRUE(testbed.master().send_policy(enb.agent_id, yaml).ok());
+  testbed.run_ttis(5);
+  EXPECT_EQ(enb.agent->mac().active_implementation(MacControlModule::kDlSchedulerSlot),
+            "local_pf");
+}
+
+TEST(AgentEndToEnd, VsfUpdationPushesIntoCache) {
+  register_builtin_vsfs();
+  // A custom implementation registered process-wide, as a third-party VSF
+  // developer would (the factory stands in for the .so, see DESIGN.md).
+  VsfFactory::instance().register_implementation(
+      "mac", "dl_ue_scheduler", "test_custom", [] { return std::make_unique<RoundRobinDlVsf>(); });
+
+  Testbed testbed;
+  auto& enb = testbed.add_enb(default_spec());
+  testbed.run_ttis(2);
+  EXPECT_EQ(enb.agent->vsf_cache().get("mac", "dl_ue_scheduler", "test_custom"), nullptr);
+
+  ASSERT_TRUE(
+      testbed.master().push_vsf(enb.agent_id, "mac", "dl_ue_scheduler", "test_custom").ok());
+  testbed.run_ttis(2);
+  EXPECT_NE(enb.agent->vsf_cache().get("mac", "dl_ue_scheduler", "test_custom"), nullptr);
+
+  // And it can now be activated by policy.
+  ASSERT_TRUE(testbed.master()
+                  .send_policy(enb.agent_id,
+                               "mac:\n  dl_ue_scheduler:\n    behavior: test_custom\n")
+                  .ok());
+  testbed.run_ttis(2);
+  EXPECT_EQ(enb.agent->mac().active_implementation(MacControlModule::kDlSchedulerSlot),
+            "test_custom");
+}
+
+TEST(AgentEndToEnd, StaleDlMacConfigCountsMissedDeadline) {
+  Testbed testbed;
+  auto& enb = testbed.add_enb(default_spec());
+  const auto rnti = testbed.add_ue(0, cqi_ue(15));
+  testbed.run_ttis(30);
+
+  proto::DlMacConfig config;
+  config.cell_id = 1;
+  config.target_subframe = testbed.current_tti() - 10;  // hopelessly late
+  lte::DlDci dci;
+  dci.rnti = rnti;
+  dci.rbs.set_range(0, 10);
+  dci.mcs = 10;
+  config.dcis.push_back(dci);
+  ASSERT_TRUE(testbed.master().send_dl_mac_config(enb.agent_id, config).ok());
+  testbed.run_ttis(5);
+  EXPECT_EQ(enb.agent->missed_deadline_decisions(), 1u);
+  EXPECT_EQ(enb.agent->remote_decisions_applied(), 0u);
+}
+
+TEST(AgentEndToEnd, AbsConfigCommandReachesDataPlane) {
+  Testbed testbed;
+  auto& enb = testbed.add_enb(default_spec());
+  testbed.run_ttis(2);
+
+  proto::AbsConfig abs;
+  abs.cell_id = 1;
+  abs.pattern = lte::AbsPattern::per_frame(4);
+  abs.mute_during_abs = true;
+  ASSERT_TRUE(testbed.master().send_abs_config(enb.agent_id, abs).ok());
+  testbed.run_ttis(2);
+  EXPECT_EQ(enb.data_plane->abs_pattern().abs_count(), 16);
+  EXPECT_TRUE(enb.data_plane->muted_in(0));
+  EXPECT_FALSE(enb.data_plane->muted_in(5));
+}
+
+TEST(AgentEndToEnd, EventUnsubscribeStopsNotifications) {
+  Testbed testbed;  // no default subscriptions
+  auto& enb = testbed.add_enb(default_spec());
+  testbed.run_ttis(5);
+
+  // Subscribe to attach events, observe one, unsubscribe, observe none.
+  ASSERT_TRUE(testbed.master()
+                  .subscribe_events(enb.agent_id, {proto::EventType::ue_attach}, true)
+                  .ok());
+  testbed.run_ttis(5);
+  testbed.add_ue(0, cqi_ue(15));
+  testbed.run_ttis(30);
+  const auto& rx = testbed.master().rx_accounting(enb.agent_id);
+  const auto mgmt_after_first = rx.messages(proto::MessageCategory::agent_management);
+
+  ASSERT_TRUE(testbed.master()
+                  .subscribe_events(enb.agent_id, {proto::EventType::ue_attach}, false)
+                  .ok());
+  testbed.run_ttis(5);
+  const auto mgmt_before_second = rx.messages(proto::MessageCategory::agent_management);
+  testbed.add_ue(0, cqi_ue(15));
+  testbed.run_ttis(30);
+  // No attach notification crossed the wire after unsubscribing.
+  EXPECT_EQ(rx.messages(proto::MessageCategory::agent_management), mgmt_before_second);
+  EXPECT_GT(mgmt_after_first, 0u);
+}
+
+TEST(AgentEndToEnd, RemovedUeVanishesFromReportsAndInFlight) {
+  Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(default_spec());
+  const auto keep = testbed.add_ue(0, cqi_ue(15));
+  const auto drop = testbed.add_ue(0, cqi_ue(15));
+  testbed.run_ttis(30);
+  ASSERT_TRUE(enb.data_plane->ue(drop)->connected());
+
+  // Put data in flight for the UE, then remove it mid-transfer.
+  enb.data_plane->enqueue_dl(drop, lte::kDefaultDrb, 50'000);
+  testbed.run_ttis(2);
+  ASSERT_TRUE(enb.data_plane->remove_ue(drop).ok());
+  testbed.run_ttis(30);  // pending HARQ feedback must not crash or deliver
+
+  EXPECT_EQ(enb.data_plane->ue(drop), nullptr);
+  EXPECT_NE(enb.data_plane->ue(keep), nullptr);
+  const auto view = enb.data_plane->scheduler_view();
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0].rnti, keep);
+}
+
+TEST(AgentEndToEnd, SurvivesMalformedAndUnexpectedMessages) {
+  Testbed testbed;
+  auto& enb = testbed.add_enb(default_spec());
+  const auto rnti = testbed.add_ue(0, cqi_ue(15));
+  testbed.run_ttis(20);
+  ASSERT_TRUE(enb.data_plane->ue(rnti)->connected());
+
+  // Garbage bytes, a truncated envelope, and an agent-to-master-only
+  // message type arriving at the agent: all must be absorbed.
+  ASSERT_TRUE(enb.master_side->send(std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}).ok());
+  auto valid = proto::pack(proto::EchoRequest{.subframe = 1, .timestamp_us = 2});
+  valid.resize(valid.size() / 2);
+  ASSERT_TRUE(enb.master_side->send(valid).ok());
+  ASSERT_TRUE(enb.master_side->send(proto::pack(proto::Hello{})).ok());
+
+  // A policy for an unknown module must fail without breaking the agent.
+  EXPECT_FALSE(enb.agent->apply_policy("pdcp:\n  rohc:\n    behavior: x\n").ok());
+  EXPECT_FALSE(enb.agent->apply_policy("mac:\n  bogus_slot:\n    behavior: x\n").ok());
+
+  testbed.run_ttis(50);
+  // The agent is still alive and scheduling.
+  EXPECT_TRUE(enb.data_plane->ue(rnti)->connected());
+  enb.data_plane->enqueue_dl(rnti, lte::kDefaultDrb, 5000);
+  testbed.run_ttis(10);
+  EXPECT_EQ(enb.data_plane->ue(rnti)->dl_queue.total_bytes(), 0u);
+}
+
+TEST(AgentEndToEnd, MasterSurvivesGarbageFromAgent) {
+  Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(default_spec());
+  testbed.add_ue(0, cqi_ue(10));
+  testbed.run_ttis(20);
+
+  ASSERT_TRUE(enb.agent_side->send(std::vector<std::uint8_t>{0xff, 0x00, 0x13}).ok());
+  // A master-to-agent-only type arriving at the master.
+  ASSERT_TRUE(enb.agent_side->send(proto::pack(proto::StatsRequest{})).ok());
+  testbed.run_ttis(50);
+
+  // The RIB keeps updating normally afterwards.
+  const auto updates_before = testbed.master().updates_applied();
+  testbed.run_ttis(50);
+  EXPECT_GT(testbed.master().updates_applied(), updates_before);
+}
+
+TEST(AgentEndToEnd, SignalingAccountingSeparatesCategories) {
+  Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(default_spec());
+  testbed.add_ue(0, cqi_ue(10));
+  testbed.run_ttis(100);
+
+  const auto& tx = enb.agent->tx_accounting();
+  EXPECT_GT(tx.bytes(proto::MessageCategory::stats), 0u);
+  EXPECT_GT(tx.bytes(proto::MessageCategory::sync), 0u);
+  EXPECT_GT(tx.bytes(proto::MessageCategory::agent_management), 0u);
+  // Stats dominate sync, sync dominates management (Fig. 7a ordering).
+  EXPECT_GT(tx.bytes(proto::MessageCategory::stats), tx.bytes(proto::MessageCategory::sync));
+  EXPECT_GT(tx.bytes(proto::MessageCategory::sync),
+            tx.bytes(proto::MessageCategory::agent_management));
+}
+
+}  // namespace
+}  // namespace flexran::agent

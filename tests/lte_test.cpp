@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "lte/abs.h"
+#include "lte/allocation.h"
+#include "lte/harq.h"
+#include "lte/tables.h"
+#include "lte/types.h"
+
+namespace flexran::lte {
+namespace {
+
+// ---------------------------------------------------------------- Tables --
+
+TEST(Tables, BandwidthToPrbs) {
+  EXPECT_EQ(prb_count_for_bandwidth_mhz(1.4), 6);
+  EXPECT_EQ(prb_count_for_bandwidth_mhz(5.0), 25);
+  EXPECT_EQ(prb_count_for_bandwidth_mhz(10.0), 50);
+  EXPECT_EQ(prb_count_for_bandwidth_mhz(20.0), 100);
+}
+
+TEST(Tables, CqiEfficiencyEndpoints) {
+  EXPECT_DOUBLE_EQ(cqi_efficiency(0), 0.0);
+  EXPECT_DOUBLE_EQ(cqi_efficiency(1), 0.1523);
+  EXPECT_DOUBLE_EQ(cqi_efficiency(15), 5.5547);
+  // Clamping.
+  EXPECT_DOUBLE_EQ(cqi_efficiency(99), 5.5547);
+  EXPECT_DOUBLE_EQ(cqi_efficiency(-1), 0.0);
+}
+
+class CqiSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(AllCqis, CqiSweep, ::testing::Range(1, 16));
+
+TEST_P(CqiSweep, EfficiencyIsStrictlyIncreasing) {
+  const int cqi = GetParam();
+  if (cqi > 1) {
+    EXPECT_GT(cqi_efficiency(cqi), cqi_efficiency(cqi - 1));
+  }
+}
+
+TEST_P(CqiSweep, McsMappingIsMonotonic) {
+  const int cqi = GetParam();
+  EXPECT_GE(cqi_to_mcs(cqi), 0);
+  EXPECT_LE(cqi_to_mcs(cqi), kMaxMcs);
+  if (cqi > 1) {
+    EXPECT_GT(cqi_to_mcs(cqi), cqi_to_mcs(cqi - 1));
+  }
+}
+
+TEST_P(CqiSweep, SinrRoundTripsToSameCqi) {
+  const int cqi = GetParam();
+  const double sinr = cqi_to_sinr_db(cqi);
+  EXPECT_EQ(sinr_db_to_cqi(sinr), cqi) << "sinr=" << sinr;
+}
+
+TEST_P(CqiSweep, McsEfficiencyMatchesCqiTableAtMappedPoints) {
+  const int cqi = GetParam();
+  EXPECT_NEAR(mcs_efficiency(cqi_to_mcs(cqi)), cqi_efficiency(cqi), 1e-9);
+}
+
+TEST(Tables, McsEfficiencyMonotonic) {
+  for (int mcs = 1; mcs <= kMaxMcs; ++mcs) {
+    EXPECT_GE(mcs_efficiency(mcs), mcs_efficiency(mcs - 1)) << "mcs=" << mcs;
+  }
+}
+
+TEST(Tables, TbsScalesWithPrbs) {
+  EXPECT_EQ(tbs_bits(cqi_to_mcs(15), 0), 0);
+  EXPECT_EQ(tbs_bits(-1, 50), 0);
+  const auto half = tbs_bits_for_cqi(15, 25);
+  const auto full = tbs_bits_for_cqi(15, 50);
+  EXPECT_NEAR(static_cast<double>(full), 2.0 * static_cast<double>(half), 2.0);
+}
+
+TEST(Tables, FullBandwidthCqi15MatchesCalibration) {
+  // 50 PRB at CQI 15 should give ~27.7 Mb/s at PHY (25 Mb/s app-level after
+  // protocol overhead, matching Fig. 6b).
+  const auto bits_per_tti = tbs_bits_for_cqi(15, 50);
+  const double mbps = static_cast<double>(bits_per_tti) / 1000.0;
+  EXPECT_NEAR(mbps, 27.8, 0.5);
+}
+
+TEST(Tables, CategoryCaps) {
+  EXPECT_EQ(category_max_tbs_bits(4), 150752);
+  EXPECT_LT(category_max_tbs_bits(1), category_max_tbs_bits(4));
+}
+
+TEST(Tables, BlerOperatingPoints) {
+  const int cqi = 10;
+  const int matched = cqi_to_mcs(cqi);
+  EXPECT_DOUBLE_EQ(bler_for_mcs_at_cqi(matched, cqi), 0.10);
+  EXPECT_LT(bler_for_mcs_at_cqi(matched - 2, cqi), 0.05);
+  EXPECT_GT(bler_for_mcs_at_cqi(matched + 2, cqi), 0.5);
+  EXPECT_DOUBLE_EQ(bler_for_mcs_at_cqi(matched, 0), 1.0);
+}
+
+// ------------------------------------------------------------ Allocation --
+
+TEST(RbAllocation, SetAndCount) {
+  RbAllocation alloc;
+  EXPECT_TRUE(alloc.empty());
+  alloc.set_range(10, 5);
+  EXPECT_EQ(alloc.count(), 5);
+  EXPECT_TRUE(alloc.test(12));
+  EXPECT_FALSE(alloc.test(15));
+}
+
+TEST(RbAllocation, OverlapDetection) {
+  RbAllocation a;
+  a.set_range(0, 10);
+  RbAllocation b;
+  b.set_range(10, 10);
+  EXPECT_FALSE(a.overlaps(b));
+  b.set(5);
+  EXPECT_TRUE(a.overlaps(b));
+}
+
+TEST(RbAllocation, WireWordsRoundTrip) {
+  RbAllocation alloc;
+  alloc.set(0);
+  alloc.set(63);
+  alloc.set(64);
+  alloc.set(99);
+  const auto restored = RbAllocation::from_words(alloc.word(0), alloc.word(1));
+  EXPECT_EQ(restored, alloc);
+  EXPECT_EQ(restored.count(), 4);
+}
+
+TEST(DlDci, TbsUsesAllocationSize) {
+  DlDci dci;
+  dci.rnti = 0x4601;
+  dci.mcs = cqi_to_mcs(10);
+  dci.rbs.set_range(0, 50);
+  EXPECT_EQ(dci.tbs(), tbs_bits_for_cqi(10, 50));
+}
+
+// ------------------------------------------------------------------- ABS --
+
+TEST(AbsPattern, PerFramePattern) {
+  const auto pattern = AbsPattern::per_frame(4);
+  EXPECT_EQ(pattern.abs_count(), 16);  // 4 per frame x 4 frames in 40
+  EXPECT_TRUE(pattern.is_abs(0));
+  EXPECT_TRUE(pattern.is_abs(3));
+  EXPECT_FALSE(pattern.is_abs(4));
+  EXPECT_TRUE(pattern.is_abs(10));   // repeats every frame
+  EXPECT_TRUE(pattern.is_abs(403));  // wraps modulo 40
+  EXPECT_FALSE(pattern.is_abs(409));
+}
+
+TEST(AbsPattern, NonePatternHasNoAbs) {
+  const auto pattern = AbsPattern::none();
+  EXPECT_FALSE(pattern.any());
+  for (int sf = 0; sf < 40; ++sf) EXPECT_FALSE(pattern.is_abs(sf));
+}
+
+TEST(AbsPattern, WireRoundTrip) {
+  auto pattern = AbsPattern::per_frame(2);
+  pattern.set(39);
+  const auto restored = AbsPattern::from_bits(pattern.to_bits());
+  EXPECT_EQ(restored, pattern);
+}
+
+// ------------------------------------------------------------------ HARQ --
+
+TEST(Harq, AllocatesAllEightProcesses) {
+  HarqEntity harq;
+  for (int i = 0; i < kNumHarqProcesses; ++i) {
+    auto pid = harq.find_free_process();
+    ASSERT_TRUE(pid.has_value());
+    harq.start(*pid, 1000, 10, 5, i);
+  }
+  EXPECT_FALSE(harq.find_free_process().has_value());
+}
+
+TEST(Harq, AckFreesProcessAndReturnsBits) {
+  HarqEntity harq;
+  const auto pid = harq.find_free_process().value();
+  harq.start(pid, 4321, 10, 5, 0);
+  EXPECT_EQ(harq.ack(pid), 4321);
+  EXPECT_TRUE(harq.find_free_process().has_value());
+  EXPECT_FALSE(harq.process(pid).active);
+}
+
+TEST(Harq, NackKeepsProcessForRetransmission) {
+  HarqEntity harq;
+  const auto pid = harq.find_free_process().value();
+  harq.start(pid, 1000, 10, 5, 0);
+  EXPECT_TRUE(harq.nack(pid));
+  EXPECT_TRUE(harq.process(pid).active);
+  EXPECT_EQ(harq.pending_retransmissions(), 1);
+  EXPECT_EQ(harq.process(pid).retx_count, 1);
+}
+
+TEST(Harq, DropsAfterMaxRetransmissions) {
+  HarqEntity harq;
+  const auto pid = harq.find_free_process().value();
+  harq.start(pid, 1000, 10, 5, 0);
+  for (int i = 0; i < kMaxHarqRetransmissions; ++i) {
+    EXPECT_TRUE(harq.nack(pid));
+    harq.start(pid, 1000, 10, 5, i + 1);
+  }
+  EXPECT_FALSE(harq.nack(pid));  // exceeded -> dropped
+  EXPECT_EQ(harq.dropped_blocks(), 1);
+  EXPECT_FALSE(harq.process(pid).active);
+}
+
+TEST(Harq, RetransmissionKeepsOriginalBlockSize) {
+  HarqEntity harq;
+  const auto pid = harq.find_free_process().value();
+  harq.start(pid, 5000, 12, 10, 0);
+  harq.nack(pid);
+  // Retransmission start must not overwrite the block.
+  harq.start(pid, 9999, 1, 1, 8);
+  EXPECT_EQ(harq.process(pid).tb_bits, 5000);
+  EXPECT_EQ(harq.ack(pid), 5000);
+}
+
+// ----------------------------------------------------------------- Types --
+
+TEST(Types, CellConfigPrbs) {
+  CellConfig cell;
+  cell.bandwidth_mhz = 10.0;
+  EXPECT_EQ(cell.dl_prbs(), 50);
+  cell.bandwidth_mhz = 20.0;
+  EXPECT_EQ(cell.dl_prbs(), 100);
+}
+
+}  // namespace
+}  // namespace flexran::lte

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/framing.h"
+#include "net/sim_transport.h"
+#include "net/tcp_transport.h"
+
+namespace flexran::net {
+namespace {
+
+// ----------------------------------------------------------------- framing --
+
+TEST(Framing, FrameAddsHeader) {
+  std::vector<std::uint8_t> payload = {1, 2, 3};
+  const auto framed = frame_message(payload);
+  ASSERT_EQ(framed.size(), kFrameHeaderBytes + 3);
+  EXPECT_EQ(framed[0], 3);  // little-endian length
+  EXPECT_EQ(framed[4], 1);
+}
+
+TEST(Framing, AssemblerHandlesExactFrames) {
+  FrameAssembler assembler;
+  std::vector<std::vector<std::uint8_t>> frames;
+  auto sink = [&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); };
+  ASSERT_TRUE(assembler.feed(frame_message(std::vector<std::uint8_t>{7, 8}), sink).ok());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], (std::vector<std::uint8_t>{7, 8}));
+}
+
+TEST(Framing, AssemblerHandlesByteAtATimeDelivery) {
+  FrameAssembler assembler;
+  std::vector<std::vector<std::uint8_t>> frames;
+  auto sink = [&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); };
+  const auto framed = frame_message(std::vector<std::uint8_t>{9, 10, 11});
+  for (auto byte : framed) {
+    ASSERT_TRUE(assembler.feed(std::span(&byte, 1), sink).ok());
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], (std::vector<std::uint8_t>{9, 10, 11}));
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(Framing, AssemblerHandlesCoalescedFrames) {
+  FrameAssembler assembler;
+  std::vector<std::vector<std::uint8_t>> frames;
+  auto sink = [&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); };
+  auto combined = frame_message(std::vector<std::uint8_t>{1});
+  const auto second = frame_message(std::vector<std::uint8_t>{2, 3});
+  combined.insert(combined.end(), second.begin(), second.end());
+  ASSERT_TRUE(assembler.feed(combined, sink).ok());
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[1], (std::vector<std::uint8_t>{2, 3}));
+}
+
+TEST(Framing, EmptyPayloadFrame) {
+  FrameAssembler assembler;
+  int count = 0;
+  auto sink = [&](std::vector<std::uint8_t> f) {
+    EXPECT_TRUE(f.empty());
+    ++count;
+  };
+  ASSERT_TRUE(assembler.feed(frame_message({}), sink).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Framing, MaxFrameBoundary) {
+  FrameAssembler assembler;
+  int frames = 0;
+  auto sink = [&](std::vector<std::uint8_t> f) {
+    EXPECT_EQ(f.size(), kMaxFrameBytes);
+    ++frames;
+  };
+  // Exactly kMaxFrameBytes is accepted...
+  ASSERT_TRUE(
+      assembler.feed(frame_message(std::vector<std::uint8_t>(kMaxFrameBytes)), sink).ok());
+  EXPECT_EQ(frames, 1);
+  // ...one byte more is rejected.
+  FrameAssembler assembler2;
+  util::ByteBuffer oversized;
+  oversized.write_u32(static_cast<std::uint32_t>(kMaxFrameBytes + 1));
+  EXPECT_FALSE(assembler2.feed(oversized.contents(), sink).ok());
+}
+
+TEST(Framing, OversizedLengthRejected) {
+  FrameAssembler assembler;
+  util::ByteBuffer bad;
+  bad.write_u32(0x7fffffff);
+  EXPECT_FALSE(assembler.feed(bad.contents(), [](std::vector<std::uint8_t>) {}).ok());
+}
+
+// ----------------------------------------------------------- sim transport --
+
+TEST(SimTransport, RoundTripWithLatency) {
+  sim::Simulator simulator;
+  auto pair = make_sim_transport_pair(simulator, {.delay = sim::from_ms(5)});
+  std::vector<std::uint8_t> received;
+  sim::TimeUs received_at = -1;
+  pair.b->set_receive_callback([&](std::vector<std::uint8_t> msg) {
+    received = std::move(msg);
+    received_at = simulator.now();
+  });
+  ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{1, 2, 3}).ok());
+  simulator.run();
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(received_at, sim::from_ms(5));
+}
+
+TEST(SimTransport, BidirectionalAndAsymmetric) {
+  sim::Simulator simulator;
+  auto pair = make_sim_transport_pair(simulator, {.delay = sim::from_ms(1)},
+                                      {.delay = sim::from_ms(20)});
+  sim::TimeUs a_to_b = -1;
+  sim::TimeUs b_to_a = -1;
+  pair.b->set_receive_callback([&](std::vector<std::uint8_t>) { a_to_b = simulator.now(); });
+  pair.a->set_receive_callback([&](std::vector<std::uint8_t>) { b_to_a = simulator.now(); });
+  ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{1}).ok());
+  ASSERT_TRUE(pair.b->send(std::vector<std::uint8_t>{2}).ok());
+  simulator.run();
+  EXPECT_EQ(a_to_b, sim::from_ms(1));
+  EXPECT_EQ(b_to_a, sim::from_ms(20));
+}
+
+TEST(SimTransport, CountsFramedBytes) {
+  sim::Simulator simulator;
+  auto pair = make_sim_transport_pair(simulator);
+  pair.b->set_receive_callback([](std::vector<std::uint8_t>) {});
+  ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>(10)).ok());
+  simulator.run();
+  EXPECT_EQ(pair.a->messages_sent(), 1u);
+  EXPECT_EQ(pair.a->bytes_sent(), 10u + kFrameHeaderBytes);
+}
+
+TEST(SimTransport, ManyMessagesPreserveOrder) {
+  sim::Simulator simulator;
+  auto pair = make_sim_transport_pair(simulator, {.delay = sim::from_ms(2), .jitter = sim::from_ms(3), .seed = 5});
+  std::vector<std::uint8_t> order;
+  pair.b->set_receive_callback(
+      [&](std::vector<std::uint8_t> msg) { order.push_back(msg.at(0)); });
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    simulator.at(i * 137, [&pair, i] {
+      ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{i}).ok());
+    });
+  }
+  simulator.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (std::uint8_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimTransport, RuntimeDelayChange) {
+  sim::Simulator simulator;
+  auto pair = make_sim_transport_pair(simulator);
+  std::vector<sim::TimeUs> arrivals;
+  pair.b->set_receive_callback([&](std::vector<std::uint8_t>) { arrivals.push_back(simulator.now()); });
+  ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{0}).ok());
+  simulator.at(sim::from_ms(10), [&] {
+    pair.a->set_delay(sim::from_ms(25));
+    ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{1}).ok());
+  });
+  simulator.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 0);
+  EXPECT_EQ(arrivals[1], sim::from_ms(35));
+}
+
+// ----------------------------------------------------------- tcp transport --
+
+TEST(TcpTransport, ConnectSendReceive) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.error().message;
+  const auto port = (*listener)->port();
+
+  std::atomic<int> server_received{0};
+  std::vector<std::uint8_t> last_server_msg;
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread server([&] {
+    auto accepted = (*listener)->accept();
+    ASSERT_TRUE(accepted.ok());
+    server_side = std::move(*accepted);
+    server_side->set_receive_callback([&](std::vector<std::uint8_t> msg) {
+      last_server_msg = std::move(msg);
+      server_received.fetch_add(1);
+    });
+    server_side->start();
+  });
+
+  auto client = TcpTransport::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  server.join();
+
+  std::atomic<int> client_received{0};
+  (*client)->set_receive_callback([&](std::vector<std::uint8_t>) { client_received.fetch_add(1); });
+  (*client)->start();
+
+  ASSERT_TRUE((*client)->send(std::vector<std::uint8_t>{42, 43}).ok());
+  for (int i = 0; i < 200 && server_received.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server_received.load(), 1);
+  EXPECT_EQ(last_server_msg, (std::vector<std::uint8_t>{42, 43}));
+
+  // Reply path.
+  ASSERT_TRUE(server_side->send(std::vector<std::uint8_t>{7}).ok());
+  for (int i = 0; i < 200 && client_received.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(client_received.load(), 1);
+  EXPECT_EQ((*client)->messages_sent(), 1u);
+  EXPECT_EQ((*client)->bytes_sent(), 2u + kFrameHeaderBytes);
+
+  (*client)->close();
+  server_side->close();
+}
+
+TEST(TcpTransport, ManyMessagesSurviveSegmentation) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = (*listener)->port();
+
+  std::atomic<int> received{0};
+  std::atomic<bool> in_order{true};
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread server([&] {
+    auto accepted = (*listener)->accept();
+    ASSERT_TRUE(accepted.ok());
+    server_side = std::move(*accepted);
+    int expected = 0;
+    server_side->set_receive_callback([&, expected](std::vector<std::uint8_t> msg) mutable {
+      if (msg.size() != 300 || msg[0] != static_cast<std::uint8_t>(expected % 256)) {
+        in_order.store(false);
+      }
+      ++expected;
+      received.fetch_add(1);
+    });
+    server_side->start();
+  });
+
+  auto client = TcpTransport::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  server.join();
+
+  const int kCount = 500;
+  for (int i = 0; i < kCount; ++i) {
+    std::vector<std::uint8_t> msg(300, static_cast<std::uint8_t>(i % 256));
+    ASSERT_TRUE((*client)->send(msg).ok());
+  }
+  for (int i = 0; i < 400 && received.load() < kCount; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received.load(), kCount);
+  EXPECT_TRUE(in_order.load());
+
+  (*client)->close();
+  server_side->close();
+}
+
+TEST(TcpTransport, SendAfterCloseFails) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread server([&] {
+    auto accepted = (*listener)->accept();
+    ASSERT_TRUE(accepted.ok());
+    server_side = std::move(*accepted);
+  });
+  auto client = TcpTransport::connect("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  server.join();
+  (*client)->close();
+  EXPECT_FALSE((*client)->send(std::vector<std::uint8_t>{1}).ok());
+  server_side->close();
+}
+
+TEST(TcpTransport, ConnectToClosedPortFails) {
+  // Grab an ephemeral port and close the listener so nothing accepts.
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = (*listener)->port();
+  (*listener)->close();
+  auto client = TcpTransport::connect("127.0.0.1", port);
+  EXPECT_FALSE(client.ok());
+}
+
+}  // namespace
+}  // namespace flexran::net

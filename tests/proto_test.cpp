@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include "proto/messages.h"
+#include "proto/wire.h"
+
+namespace flexran::proto {
+namespace {
+
+// ------------------------------------------------------------------- wire --
+
+TEST(Wire, VarintRoundTrip) {
+  WireEncoder enc;
+  enc.varint(0);
+  enc.varint(127);
+  enc.varint(128);
+  enc.varint(300);
+  enc.varint(0xffffffffffffffffull);
+  WireDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.read_varint().value(), 0u);
+  EXPECT_EQ(dec.read_varint().value(), 127u);
+  EXPECT_EQ(dec.read_varint().value(), 128u);
+  EXPECT_EQ(dec.read_varint().value(), 300u);
+  EXPECT_EQ(dec.read_varint().value(), 0xffffffffffffffffull);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Wire, VarintCompactness) {
+  // Protobuf wire-size property the Fig. 7 results rely on: small values
+  // cost one byte.
+  WireEncoder enc;
+  enc.varint(1);
+  EXPECT_EQ(enc.size(), 1u);
+  WireEncoder enc2;
+  enc2.varint(127);
+  EXPECT_EQ(enc2.size(), 1u);
+  WireEncoder enc3;
+  enc3.varint(128);
+  EXPECT_EQ(enc3.size(), 2u);
+}
+
+TEST(Wire, ZigzagSmallMagnitudes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  for (std::int64_t v : {-1000000ll, -5ll, 0ll, 7ll, 123456789ll}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(Wire, FieldsWithMixedTypesRoundTrip) {
+  WireEncoder enc;
+  enc.field_varint(1, 42);
+  enc.field_double(2, 3.5);
+  enc.field_string(3, "hello");
+  enc.field_fixed32(4, 0xdeadbeef);
+
+  WireDecoder dec(enc.bytes());
+  auto h1 = dec.next_field().value();
+  EXPECT_EQ(h1.field, 1);
+  EXPECT_EQ(h1.type, WireType::varint);
+  EXPECT_EQ(dec.read_varint().value(), 42u);
+
+  auto h2 = dec.next_field().value();
+  EXPECT_EQ(h2.type, WireType::fixed64);
+  EXPECT_DOUBLE_EQ(dec.read_double().value(), 3.5);
+
+  auto h3 = dec.next_field().value();
+  EXPECT_EQ(h3.type, WireType::length_delimited);
+  EXPECT_EQ(dec.read_string().value(), "hello");
+
+  auto h4 = dec.next_field().value();
+  EXPECT_EQ(h4.type, WireType::fixed32);
+  EXPECT_EQ(dec.read_fixed32().value(), 0xdeadbeefu);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Wire, SkipUnknownFields) {
+  WireEncoder enc;
+  enc.field_varint(9, 1);
+  enc.field_string(10, "unknown");
+  enc.field_double(11, 2.0);
+  enc.field_varint(1, 7);
+
+  WireDecoder dec(enc.bytes());
+  std::uint64_t found = 0;
+  while (!dec.done()) {
+    auto header = dec.next_field().value();
+    if (header.field == 1) {
+      found = dec.read_varint().value();
+    } else {
+      ASSERT_TRUE(dec.skip(header.type).ok());
+    }
+  }
+  EXPECT_EQ(found, 7u);
+}
+
+TEST(Wire, TruncatedInputFails) {
+  WireEncoder enc;
+  enc.field_string(1, "payload");
+  auto bytes = enc.take();
+  bytes.resize(bytes.size() - 3);  // cut into the string
+  WireDecoder dec(bytes);
+  auto header = dec.next_field();
+  ASSERT_TRUE(header.ok());
+  EXPECT_FALSE(dec.read_string().ok());
+}
+
+TEST(Wire, MalformedVarintFails) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates
+  WireDecoder dec(bad);
+  EXPECT_FALSE(dec.read_varint().ok());
+}
+
+// --------------------------------------------------------------- envelope --
+
+TEST(Envelope, RoundTrip) {
+  Hello hello;
+  hello.enb_id = 17;
+  hello.name = "enb-17";
+  hello.n_cells = 1;
+  hello.capabilities = {"mac", "rrc"};
+
+  const auto wire = pack(hello, /*xid=*/99);
+  auto envelope = Envelope::decode(wire);
+  ASSERT_TRUE(envelope.ok()) << envelope.error().message;
+  EXPECT_EQ(envelope->version, kProtocolVersion);
+  EXPECT_EQ(envelope->type, MessageType::hello);
+  EXPECT_EQ(envelope->xid, 99u);
+
+  auto decoded = unpack<Hello>(*envelope);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->enb_id, 17u);
+  EXPECT_EQ(decoded->name, "enb-17");
+  ASSERT_EQ(decoded->capabilities.size(), 2u);
+  EXPECT_EQ(decoded->capabilities[1], "rrc");
+}
+
+TEST(Envelope, TypeMismatchRejected) {
+  const auto wire = pack(EchoRequest{.subframe = 1, .timestamp_us = 2});
+  auto envelope = Envelope::decode(wire);
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_FALSE(unpack<Hello>(*envelope).ok());
+}
+
+TEST(Envelope, GarbageRejected) {
+  std::vector<std::uint8_t> garbage = {0xff, 0xfe, 0x01, 0x99};
+  EXPECT_FALSE(Envelope::decode(garbage).ok());
+}
+
+// --------------------------------------------------------------- messages --
+
+TEST(Messages, EchoCarriesSyncInfo) {
+  EchoRequest req{.subframe = 12345, .timestamp_us = 777};
+  auto envelope = Envelope::decode(pack(req)).value();
+  auto decoded = unpack<EchoRequest>(envelope).value();
+  EXPECT_EQ(decoded.subframe, 12345);
+  EXPECT_EQ(decoded.timestamp_us, 777);
+
+  EchoReply rep{.subframe = 12346, .echoed_timestamp_us = 777};
+  auto rep2 = unpack<EchoReply>(Envelope::decode(pack(rep)).value()).value();
+  EXPECT_EQ(rep2.subframe, 12346);
+}
+
+TEST(Messages, EnbConfigReplyRoundTrip) {
+  lte::CellConfig cell;
+  cell.cell_id = 3;
+  cell.bandwidth_mhz = 10.0;
+  cell.tx_mode = lte::TransmissionMode::tm1_single_antenna;
+  cell.band = 5;
+  cell.pci = 101;
+
+  EnbConfigReply reply;
+  reply.enb_id = 7;
+  reply.cells.push_back(CellConfigMsg::from(cell));
+
+  auto decoded = unpack<EnbConfigReply>(Envelope::decode(pack(reply)).value()).value();
+  ASSERT_EQ(decoded.cells.size(), 1u);
+  const auto restored = decoded.cells[0].to_cell_config();
+  EXPECT_EQ(restored.cell_id, 3u);
+  EXPECT_DOUBLE_EQ(restored.bandwidth_mhz, 10.0);
+  EXPECT_EQ(restored.pci, 101);
+  EXPECT_EQ(restored.dl_prbs(), 50);
+}
+
+TEST(Messages, UeAndLcConfigRoundTrip) {
+  UeConfigReply ues;
+  ues.ues.push_back(UeConfigMsg{.rnti = 0x4601, .primary_cell = 1, .tx_mode = 1,
+                                .ue_category = 4, .carrier_aggregation = false});
+  auto ue2 = unpack<UeConfigReply>(Envelope::decode(pack(ues)).value()).value();
+  ASSERT_EQ(ue2.ues.size(), 1u);
+  EXPECT_EQ(ue2.ues[0].rnti, 0x4601);
+  EXPECT_EQ(ue2.ues[0].to_ue_config().ue_category, 4);
+
+  LcConfigReply lcs;
+  lcs.channels.push_back({.rnti = 0x4601, .lcid = 3, .lc_group = 2});
+  lcs.channels.push_back({.rnti = 0x4602, .lcid = 1, .lc_group = 0});
+  auto lc2 = unpack<LcConfigReply>(Envelope::decode(pack(lcs)).value()).value();
+  ASSERT_EQ(lc2.channels.size(), 2u);
+  EXPECT_EQ(lc2.channels[1].rnti, 0x4602);
+  EXPECT_EQ(lc2.channels[0].lc_group, 2);
+}
+
+TEST(Messages, StatsRequestRoundTrip) {
+  StatsRequest req;
+  req.request_id = 5;
+  req.mode = ReportMode::periodic;
+  req.periodicity_ttis = 2;
+  req.flags = stats_flags::kBsr | stats_flags::kCqi;
+  req.ues = {10, 11, 12};
+
+  auto decoded = unpack<StatsRequest>(Envelope::decode(pack(req)).value()).value();
+  EXPECT_EQ(decoded.mode, ReportMode::periodic);
+  EXPECT_EQ(decoded.periodicity_ttis, 2u);
+  EXPECT_EQ(decoded.flags, (stats_flags::kBsr | stats_flags::kCqi));
+  ASSERT_EQ(decoded.ues.size(), 3u);
+  EXPECT_EQ(decoded.ues[2], 12);
+}
+
+TEST(Messages, StatsReplyRoundTrip) {
+  StatsReply reply;
+  reply.request_id = 5;
+  reply.subframe = 1000;
+  UeStatsReport ue;
+  ue.rnti = 70;
+  ue.bsr_bytes = {100, 0, 2000, 0};
+  ue.phr_db = -3;
+  ue.wb_cqi = 12;
+  ue.rlc_queue_bytes = 2100;
+  ue.pending_harq = 2;
+  ue.dl_bytes_delivered = 1234567;
+  reply.ue_reports.push_back(ue);
+  CellStatsReport cell;
+  cell.cell_id = 1;
+  cell.noise_interference_dbm = -95.5;
+  cell.dl_prbs_in_use = 48;
+  cell.active_ues = 16;
+  reply.cell_reports.push_back(cell);
+
+  auto decoded = unpack<StatsReply>(Envelope::decode(pack(reply)).value()).value();
+  ASSERT_EQ(decoded.ue_reports.size(), 1u);
+  const auto& u = decoded.ue_reports[0];
+  EXPECT_EQ(u.rnti, 70);
+  EXPECT_EQ(u.bsr_bytes[2], 2000u);
+  EXPECT_EQ(u.total_bsr(), 2100u);
+  EXPECT_EQ(u.phr_db, -3);
+  EXPECT_EQ(u.wb_cqi, 12);
+  EXPECT_EQ(u.dl_bytes_delivered, 1234567u);
+  ASSERT_EQ(decoded.cell_reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded.cell_reports[0].noise_interference_dbm, -95.5);
+  EXPECT_EQ(decoded.cell_reports[0].dl_prbs_in_use, 48u);
+}
+
+TEST(Messages, DlMacConfigRoundTrip) {
+  lte::SchedulingDecision decision;
+  decision.cell_id = 2;
+  decision.subframe = 4321;
+  lte::DlDci dci;
+  dci.rnti = 0x4601;
+  dci.rbs.set_range(0, 25);
+  dci.mcs = 20;
+  dci.harq_pid = 5;
+  dci.new_data = false;
+  decision.dl.push_back(dci);
+  lte::DlDci dci2;
+  dci2.rnti = 0x4602;
+  dci2.rbs.set_range(25, 25);
+  dci2.mcs = 10;
+  decision.dl.push_back(dci2);
+
+  const auto msg = to_dl_mac_config(decision);
+  auto decoded = unpack<DlMacConfig>(Envelope::decode(pack(msg)).value()).value();
+  EXPECT_EQ(decoded.cell_id, 2u);
+  EXPECT_EQ(decoded.target_subframe, 4321);
+  ASSERT_EQ(decoded.dcis.size(), 2u);
+  EXPECT_EQ(decoded.dcis[0].rnti, 0x4601);
+  EXPECT_EQ(decoded.dcis[0].rbs.count(), 25);
+  EXPECT_EQ(decoded.dcis[0].harq_pid, 5);
+  EXPECT_FALSE(decoded.dcis[0].new_data);
+  EXPECT_TRUE(decoded.dcis[1].rbs.test(30));
+  EXPECT_FALSE(decoded.dcis[1].rbs.overlaps(decoded.dcis[0].rbs));
+}
+
+TEST(Messages, UlMacConfigRoundTrip) {
+  UlMacConfig msg;
+  msg.cell_id = 1;
+  msg.target_subframe = 99;
+  lte::UlDci dci;
+  dci.rnti = 40;
+  dci.rbs.set_range(10, 6);
+  dci.mcs = 12;
+  msg.dcis.push_back(dci);
+  auto decoded = unpack<UlMacConfig>(Envelope::decode(pack(msg)).value()).value();
+  ASSERT_EQ(decoded.dcis.size(), 1u);
+  EXPECT_EQ(decoded.dcis[0].rbs.count(), 6);
+  EXPECT_EQ(decoded.dcis[0].mcs, 12);
+}
+
+TEST(Messages, HandoverAndAbsRoundTrip) {
+  HandoverCommand ho{.rnti = 55, .source_cell = 1, .target_cell = 2};
+  auto ho2 = unpack<HandoverCommand>(Envelope::decode(pack(ho)).value()).value();
+  EXPECT_EQ(ho2.target_cell, 2u);
+
+  AbsConfig abs;
+  abs.cell_id = 1;
+  abs.pattern = lte::AbsPattern::per_frame(4);
+  abs.mute_during_abs = true;
+  auto abs2 = unpack<AbsConfig>(Envelope::decode(pack(abs)).value()).value();
+  EXPECT_EQ(abs2.pattern, abs.pattern);
+  EXPECT_TRUE(abs2.pattern.is_abs(2));
+  EXPECT_TRUE(abs2.mute_during_abs);
+}
+
+TEST(Messages, EventNotificationRoundTrip) {
+  EventNotification ev;
+  ev.event = EventType::ue_attach;
+  ev.subframe = 500;
+  ev.rnti = 33;
+  ev.cell_id = 2;
+  auto ev2 = unpack<EventNotification>(Envelope::decode(pack(ev)).value()).value();
+  EXPECT_EQ(ev2.event, EventType::ue_attach);
+  EXPECT_EQ(ev2.rnti, 33);
+  EXPECT_EQ(ev2.cell_id, 2u);
+}
+
+TEST(Messages, DelegationRoundTrip) {
+  ControlDelegation del;
+  del.module = "mac";
+  del.vsf = "dl_ue_scheduler";
+  del.implementation = "local_pf";
+  del.version = 3;
+  del.blob = {1, 2, 3, 4};
+  auto del2 = unpack<ControlDelegation>(Envelope::decode(pack(del)).value()).value();
+  EXPECT_EQ(del2.module, "mac");
+  EXPECT_EQ(del2.vsf, "dl_ue_scheduler");
+  EXPECT_EQ(del2.implementation, "local_pf");
+  EXPECT_EQ(del2.version, 3u);
+  EXPECT_EQ(del2.blob, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+
+  PolicyReconfiguration pol;
+  pol.yaml = "mac:\n  dl_ue_scheduler:\n    behavior: local_rr\n";
+  auto pol2 = unpack<PolicyReconfiguration>(Envelope::decode(pack(pol)).value()).value();
+  EXPECT_EQ(pol2.yaml, pol.yaml);
+}
+
+// ------------------------------------------------------------- categories --
+
+TEST(Categories, SubframeTickIsSync) {
+  EventNotification tick;
+  tick.event = EventType::subframe_tick;
+  tick.subframe = 1;
+  auto envelope = Envelope::decode(pack(tick)).value();
+  EXPECT_EQ(categorize(envelope.type, envelope.body), MessageCategory::sync);
+
+  EventNotification attach;
+  attach.event = EventType::ue_attach;
+  attach.rnti = 1;
+  auto envelope2 = Envelope::decode(pack(attach)).value();
+  EXPECT_EQ(categorize(envelope2.type, envelope2.body), MessageCategory::agent_management);
+}
+
+TEST(Categories, ByMessageType) {
+  EXPECT_EQ(categorize(MessageType::stats_reply, {}), MessageCategory::stats);
+  EXPECT_EQ(categorize(MessageType::dl_mac_config, {}), MessageCategory::commands);
+  EXPECT_EQ(categorize(MessageType::control_delegation, {}), MessageCategory::delegation);
+  EXPECT_EQ(categorize(MessageType::hello, {}), MessageCategory::agent_management);
+  EXPECT_EQ(categorize(MessageType::echo_reply, {}), MessageCategory::agent_management);
+}
+
+// ----------------------------------------------------- aggregation savings --
+
+TEST(WireSize, AggregatedStatsReportBeatsPerUeMessages) {
+  // Fig. 7a sublinearity: one StatsReply carrying N UE reports is much
+  // smaller than N separate single-UE replies (envelope and header
+  // amortization).
+  auto make_report = [](lte::Rnti rnti) {
+    UeStatsReport ue;
+    ue.rnti = rnti;
+    ue.bsr_bytes = {1000, 0, 0, 0};
+    ue.wb_cqi = 10;
+    ue.rlc_queue_bytes = 1000;
+    return ue;
+  };
+
+  StatsReply aggregated;
+  aggregated.subframe = 1000;
+  std::size_t separate_bytes = 0;
+  for (lte::Rnti rnti = 1; rnti <= 50; ++rnti) {
+    aggregated.ue_reports.push_back(make_report(rnti));
+    StatsReply single;
+    single.subframe = 1000;
+    single.ue_reports.push_back(make_report(rnti));
+    separate_bytes += pack(single).size();
+  }
+  const std::size_t aggregated_bytes = pack(aggregated).size();
+  EXPECT_LT(aggregated_bytes, separate_bytes);
+  // Per-UE marginal cost must be well under the standalone message cost.
+  const double marginal = static_cast<double>(aggregated_bytes) / 50.0;
+  const double standalone = static_cast<double>(separate_bytes) / 50.0;
+  EXPECT_LT(marginal, 0.8 * standalone);
+}
+
+TEST(WireSize, EmptyDciListIsTiny) {
+  DlMacConfig msg;
+  msg.cell_id = 1;
+  msg.target_subframe = 1;
+  EXPECT_LT(pack(msg).size(), 16u);
+}
+
+}  // namespace
+}  // namespace flexran::proto

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "scenario/config.h"
+#include "scenario/metrics.h"
+
+namespace flexran::scenario {
+namespace {
+
+// ----------------------------------------------------------------- metrics --
+
+TEST(Metrics, TotalsByUeEnbAndDirection) {
+  Metrics metrics;
+  metrics.record(1, 70, lte::Direction::downlink, 1000);
+  metrics.record(1, 70, lte::Direction::downlink, 500);
+  metrics.record(1, 71, lte::Direction::downlink, 200);
+  metrics.record(1, 70, lte::Direction::uplink, 50);
+  metrics.record(2, 72, lte::Direction::downlink, 900);
+
+  EXPECT_EQ(metrics.total_bytes(1, 70, lte::Direction::downlink), 1500u);
+  EXPECT_EQ(metrics.total_bytes(1, 70, lte::Direction::uplink), 50u);
+  EXPECT_EQ(metrics.total_bytes_enb(1, lte::Direction::downlink), 1700u);
+  EXPECT_EQ(metrics.total_bytes_all(lte::Direction::downlink), 2600u);
+  EXPECT_EQ(metrics.total_bytes(9, 9, lte::Direction::downlink), 0u);
+}
+
+TEST(Metrics, WindowSeriesIncludeZeroRateGaps) {
+  Metrics metrics;
+  metrics.record(1, 70, lte::Direction::downlink, 125'000);  // 1 Mb over 1 s
+  metrics.sample_window(sim::from_seconds(1.0));
+  // Nothing delivered in the second window.
+  metrics.sample_window(sim::from_seconds(2.0));
+  const auto* series = metrics.series(1, 70, lte::Direction::downlink);
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->points().size(), 2u);
+  EXPECT_NEAR(series->points()[0].value, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(series->points()[1].value, 0.0);
+}
+
+TEST(Metrics, MbpsHelper) {
+  EXPECT_DOUBLE_EQ(Metrics::mbps(1'250'000, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Metrics::mbps(100, 0.0), 0.0);
+}
+
+// ------------------------------------------------------------ config parse --
+
+TEST(ScenarioConfig, ParsesFullDocument) {
+  const char* yaml =
+      "duration_s: 3.5\n"
+      "stats_period_ttis: 2\n"
+      "remote_scheduler: true\n"
+      "schedule_ahead_sf: 6\n"
+      "enbs:\n"
+      "  - enb_id: 1\n"
+      "    name: east\n"
+      "    dl_scheduler: local_pf\n"
+      "    control_delay_ms: 7.5\n"
+      "  - enb_id: 2\n"
+      "ues:\n"
+      "  - enb: 1\n"
+      "    cqi: 12\n"
+      "    traffic: cbr\n"
+      "    rate_mbps: 3.25\n"
+      "  - enb: 2\n"
+      "    traffic: none\n";
+  auto spec = parse_scenario(yaml);
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_DOUBLE_EQ(spec->duration_s, 3.5);
+  EXPECT_EQ(spec->stats_period_ttis, 2u);
+  EXPECT_TRUE(spec->remote_scheduler);
+  EXPECT_EQ(spec->schedule_ahead_sf, 6);
+  ASSERT_EQ(spec->enbs.size(), 2u);
+  EXPECT_EQ(spec->enbs[0].name, "east");
+  EXPECT_EQ(spec->enbs[0].dl_scheduler, "local_pf");
+  EXPECT_DOUBLE_EQ(spec->enbs[0].control_delay_ms, 7.5);
+  EXPECT_EQ(spec->enbs[1].name, "enb-2");  // default name
+  ASSERT_EQ(spec->ues.size(), 2u);
+  EXPECT_EQ(spec->ues[0].cqi, 12);
+  EXPECT_DOUBLE_EQ(spec->ues[0].rate_mbps, 3.25);
+  EXPECT_EQ(spec->ues[1].traffic, "none");
+}
+
+TEST(ScenarioConfig, RejectsInvalidDocuments) {
+  EXPECT_FALSE(parse_scenario("duration_s: 0\nenbs:\n  - enb_id: 1\n").ok());
+  EXPECT_FALSE(parse_scenario("duration_s: 1\n").ok());  // no enbs
+  EXPECT_FALSE(
+      parse_scenario("enbs:\n  - enb_id: 1\nues:\n  - enb: 9\n").ok());  // unknown enb
+  EXPECT_FALSE(
+      parse_scenario("enbs:\n  - enb_id: 1\nues:\n  - enb: 1\n    cqi: 99\n").ok());
+  EXPECT_FALSE(
+      parse_scenario("enbs:\n  - enb_id: 1\nues:\n  - enb: 1\n    traffic: bogus\n").ok());
+  EXPECT_FALSE(parse_scenario("enbs:\n  - enb_id: 1\nstats_period_ttis: 0\n").ok());
+  EXPECT_FALSE(parse_scenario(": : :\n").ok());  // YAML garbage
+}
+
+// -------------------------------------------------------------- config run --
+
+TEST(ScenarioConfig, RunsLocalSchedulingScenario) {
+  auto spec = parse_scenario(
+      "duration_s: 1.5\n"
+      "enbs:\n"
+      "  - enb_id: 1\n"
+      "ues:\n"
+      "  - enb: 1\n"
+      "    cqi: 15\n"
+      "    traffic: full_buffer\n"
+      "  - enb: 1\n"
+      "    cqi: 10\n"
+      "    traffic: cbr\n"
+      "    rate_mbps: 2\n");
+  ASSERT_TRUE(spec.ok());
+  const auto summary = run_scenario(*spec);
+  ASSERT_EQ(summary.ues.size(), 2u);
+  EXPECT_TRUE(summary.ues[0].connected);
+  EXPECT_TRUE(summary.ues[1].connected);
+  EXPECT_GT(summary.ues[0].dl_mbps, 15.0);           // full buffer at CQI 15
+  EXPECT_NEAR(summary.ues[1].dl_mbps, 2.0, 0.4);     // CBR delivered
+  EXPECT_EQ(summary.master_cycles, 1500);
+  EXPECT_GT(summary.rib_updates, 1000u);
+  EXPECT_GT(summary.uplink_signaling_mbps, 0.1);
+
+  const auto text = format_summary(summary);
+  EXPECT_NE(text.find("connected"), std::string::npos);
+  EXPECT_NE(text.find("RIB updates"), std::string::npos);
+}
+
+TEST(ScenarioConfig, UplinkTrafficAndCqiTraces) {
+  auto spec = parse_scenario(
+      "duration_s: 2\n"
+      "enbs:\n"
+      "  - enb_id: 1\n"
+      "ues:\n"
+      "  - enb: 1\n"
+      "    traffic: none\n"
+      "    ul_traffic: full_buffer\n"
+      "    ul_cqi: 8\n"
+      "  - enb: 1\n"
+      "    traffic: full_buffer\n"
+      "    cqi_trace: [15, 4]\n"
+      "    cqi_trace_period_ms: 500\n");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  ASSERT_EQ(spec->ues.size(), 2u);
+  EXPECT_EQ(spec->ues[0].ul_traffic, "full_buffer");
+  ASSERT_EQ(spec->ues[1].cqi_trace.size(), 2u);
+
+  const auto summary = run_scenario(*spec);
+  ASSERT_EQ(summary.ues.size(), 2u);
+  // UE 0 pushes uplink only.
+  EXPECT_GT(summary.ues[0].ul_mbps, 5.0);
+  EXPECT_LT(summary.ues[0].dl_mbps, 0.1);
+  // UE 1's throughput reflects the looping 15/4 trace: between the pure
+  // CQI-4 (~5) and pure CQI-15 (~23) rates.
+  EXPECT_GT(summary.ues[1].dl_mbps, 8.0);
+  EXPECT_LT(summary.ues[1].dl_mbps, 20.0);
+
+  EXPECT_FALSE(
+      parse_scenario("enbs:\n  - enb_id: 1\nues:\n  - enb: 1\n    ul_traffic: bogus\n").ok());
+  EXPECT_FALSE(
+      parse_scenario("enbs:\n  - enb_id: 1\nues:\n  - enb: 1\n    cqi_trace: [99]\n").ok());
+}
+
+TEST(ScenarioConfig, RunsRemoteSchedulingScenario) {
+  auto spec = parse_scenario(
+      "duration_s: 1.5\n"
+      "remote_scheduler: true\n"
+      "schedule_ahead_sf: 4\n"
+      "enbs:\n"
+      "  - enb_id: 1\n"
+      "    control_delay_ms: 1\n"
+      "ues:\n"
+      "  - enb: 1\n"
+      "    cqi: 15\n"
+      "    traffic: full_buffer\n");
+  ASSERT_TRUE(spec.ok());
+  const auto summary = run_scenario(*spec);
+  ASSERT_EQ(summary.ues.size(), 1u);
+  EXPECT_TRUE(summary.ues[0].connected);
+  EXPECT_GT(summary.ues[0].dl_mbps, 12.0);
+  // Centralized scheduling pushes commands downstream.
+  EXPECT_GT(summary.downlink_signaling_mbps, 0.1);
+}
+
+}  // namespace
+}  // namespace flexran::scenario

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_link.h"
+#include "sim/simulator.h"
+
+namespace flexran::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(300, [&] { order.push_back(3); });
+  sim.at(100, [&] { order.push_back(1); });
+  sim.at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, FifoForEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutOverrunning) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1000, [&] { ++fired; });
+  sim.at(2000, [&] { ++fired; });
+  sim.run_until(1500);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 1500);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(2500);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int value = 0;
+  sim.at(10, [&] {
+    sim.after(5, [&] { value = 42; });
+  });
+  sim.run();
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(sim.now(), 15);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  TimeUs fired_at = -1;
+  sim.at(100, [&] {
+    sim.at(50, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(TtiTicker, TicksEveryMillisecond) {
+  Simulator sim;
+  TtiTicker ticker(sim);
+  std::vector<std::int64_t> ttis;
+  ticker.subscribe([&](std::int64_t tti) { ttis.push_back(tti); });
+  ticker.start();
+  sim.run_until(5 * kTtiUs + 1);
+  ASSERT_EQ(ttis.size(), 5u);
+  EXPECT_EQ(ttis.front(), 1);
+  EXPECT_EQ(ttis.back(), 5);
+}
+
+TEST(TtiTicker, PriorityOrdersSubscribersWithinTick) {
+  Simulator sim;
+  TtiTicker ticker(sim);
+  std::vector<int> order;
+  ticker.subscribe([&](std::int64_t) { order.push_back(2); }, 20);
+  ticker.subscribe([&](std::int64_t) { order.push_back(1); }, 10);
+  ticker.subscribe([&](std::int64_t) { order.push_back(3); }, 30);
+  ticker.start();
+  sim.run_until(kTtiUs);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TtiTicker, DoubleStartDoesNotDoubleTick) {
+  Simulator sim;
+  TtiTicker ticker(sim);
+  int ticks = 0;
+  ticker.subscribe([&](std::int64_t) { ++ticks; });
+  ticker.start();
+  ticker.start();  // idempotent
+  sim.run_until(3 * kTtiUs);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(TtiTicker, StopCeasesTicks) {
+  Simulator sim;
+  TtiTicker ticker(sim);
+  int ticks = 0;
+  ticker.subscribe([&](std::int64_t) {
+    if (++ticks == 3) ticker.stop();
+  });
+  ticker.start();
+  sim.run_until(100 * kTtiUs);
+  EXPECT_EQ(ticks, 3);
+}
+
+// ----------------------------------------------------------------- Links --
+
+TEST(SimLink, DeliversAfterConfiguredDelay) {
+  Simulator sim;
+  SimLink link(sim, {.delay = from_ms(15)});
+  TimeUs delivered_at = -1;
+  link.set_deliver([&](std::vector<std::uint8_t> data) {
+    EXPECT_EQ(data.size(), 3u);
+    delivered_at = sim.now();
+  });
+  sim.at(1000, [&] { link.send({1, 2, 3}); });
+  sim.run();
+  EXPECT_EQ(delivered_at, 1000 + from_ms(15));
+}
+
+TEST(SimLink, RateLimitSerializesBackToBack) {
+  Simulator sim;
+  // 8000 bits/s -> a 100-byte packet takes 100 ms to serialize.
+  SimLink link(sim, {.delay = 0, .rate_bps = 8000});
+  std::vector<TimeUs> deliveries;
+  link.set_deliver([&](std::vector<std::uint8_t>) { deliveries.push_back(sim.now()); });
+  link.send(std::vector<std::uint8_t>(100));
+  link.send(std::vector<std::uint8_t>(100));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], from_ms(100));
+  EXPECT_EQ(deliveries[1], from_ms(200));
+}
+
+TEST(SimLink, JitterNeverReorders) {
+  Simulator sim;
+  SimLink link(sim, {.delay = from_ms(5), .jitter = from_ms(10), .seed = 3});
+  std::vector<int> received;
+  link.set_deliver([&](std::vector<std::uint8_t> data) { received.push_back(data[0]); });
+  for (int i = 0; i < 50; ++i) {
+    sim.at(i * 100, [&link, i] { link.send({static_cast<std::uint8_t>(i)}); });
+  }
+  sim.run();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimLink, LossDelaysButStillDelivers) {
+  Simulator sim;
+  SimLink link(sim, {.delay = from_ms(10), .loss = 0.5, .seed = 17});
+  int received = 0;
+  link.set_deliver([&](std::vector<std::uint8_t>) { ++received; });
+  for (int i = 0; i < 100; ++i) {
+    sim.at(i * from_ms(50), [&link] { link.send({0}); });
+  }
+  sim.run();
+  EXPECT_EQ(received, 100);
+  EXPECT_GT(link.packets_retransmitted(), 20u);
+  EXPECT_LT(link.packets_retransmitted(), 80u);
+}
+
+TEST(SimLink, RuntimeDelayChangeAppliesToNewPackets) {
+  Simulator sim;
+  SimLink link(sim, {.delay = from_ms(1)});
+  std::vector<TimeUs> deliveries;
+  link.set_deliver([&](std::vector<std::uint8_t>) { deliveries.push_back(sim.now()); });
+  link.send({0});
+  sim.at(from_ms(2), [&] {
+    link.set_delay(from_ms(30));
+    link.send({1});
+  });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], from_ms(1));
+  EXPECT_EQ(deliveries[1], from_ms(32));
+}
+
+TEST(SimLink, CountsTraffic) {
+  Simulator sim;
+  SimLink link(sim, {});
+  link.set_deliver([](std::vector<std::uint8_t>) {});
+  link.send(std::vector<std::uint8_t>(10));
+  link.send(std::vector<std::uint8_t>(20));
+  sim.run();
+  EXPECT_EQ(link.packets_sent(), 2u);
+  EXPECT_EQ(link.bytes_sent(), 30u);
+}
+
+}  // namespace
+}  // namespace flexran::sim

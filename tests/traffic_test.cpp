@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "traffic/dash.h"
+#include "traffic/tcp.h"
+#include "traffic/udp.h"
+
+namespace flexran::traffic {
+namespace {
+
+// ------------------------------------------------------------------- UDP --
+
+TEST(UdpCbr, RateAccuracy) {
+  sim::Simulator simulator;
+  std::uint64_t received = 0;
+  UdpCbrSource source(simulator, [&](std::uint32_t bytes) { received += bytes; },
+                      /*rate_mbps=*/4.0, /*packet_bytes=*/1400);
+  source.start();
+  simulator.run_until(sim::from_seconds(10));
+  const double mbps = static_cast<double>(received) * 8.0 / 10.0 / 1e6;
+  EXPECT_NEAR(mbps, 4.0, 0.1);
+}
+
+TEST(UdpCbr, StopHaltsEmission) {
+  sim::Simulator simulator;
+  std::uint64_t received = 0;
+  UdpCbrSource source(simulator, [&](std::uint32_t bytes) { received += bytes; }, 8.0);
+  source.start();
+  simulator.run_until(sim::from_seconds(1));
+  source.stop();
+  const auto at_stop = received;
+  simulator.run_until(sim::from_seconds(2));
+  EXPECT_EQ(received, at_stop);
+}
+
+TEST(UdpCbr, RateChangeTakesEffect) {
+  sim::Simulator simulator;
+  std::uint64_t received = 0;
+  UdpCbrSource source(simulator, [&](std::uint32_t bytes) { received += bytes; }, 2.0);
+  source.start();
+  simulator.run_until(sim::from_seconds(5));
+  const auto phase1 = received;
+  source.stop();
+  source.set_rate_mbps(8.0);
+  source.start();
+  simulator.run_until(sim::from_seconds(10));
+  const auto phase2 = received - phase1;
+  EXPECT_NEAR(static_cast<double>(phase2) / static_cast<double>(phase1), 4.0, 0.5);
+}
+
+// ------------------------------------------------------ TCP over a bearer --
+
+/// Minimal bearer emulation: a byte queue drained at a fixed capacity, with
+/// the drained bytes fed back to the flow as delivery (a 4-TTI air latency
+/// mimics the HARQ pipeline).
+class FakeBearer {
+ public:
+  FakeBearer(sim::Simulator& sim, double capacity_mbps)
+      : sim_(sim), capacity_bytes_per_tti_(capacity_mbps * 1e6 / 8.0 / 1000.0) {}
+
+  void attach(TcpFlow& flow) { flow_ = &flow; }
+  void enqueue(std::uint32_t bytes) { queue_ += bytes; }
+  std::uint32_t queue_bytes() const { return static_cast<std::uint32_t>(queue_); }
+  void set_capacity_mbps(double mbps) { capacity_bytes_per_tti_ = mbps * 1e6 / 8.0 / 1000.0; }
+
+  void run_ttis(int ttis, const std::function<void(std::int64_t)>& per_tti = nullptr) {
+    for (int i = 0; i < ttis; ++i) {
+      const std::int64_t tti = sim_.current_tti() + 1;
+      sim_.run_until(tti * sim::kTtiUs);
+      flow_->on_tti(tti);
+      const double drained = std::min(queue_, capacity_bytes_per_tti_);
+      queue_ -= drained;
+      if (drained > 0) {
+        sim_.after(4 * sim::kTtiUs, [this, drained] {
+          flow_->on_delivered(static_cast<std::uint32_t>(drained));
+        });
+      }
+      if (per_tti) per_tti(tti);
+    }
+  }
+
+ private:
+  sim::Simulator& sim_;
+  double capacity_bytes_per_tti_;
+  double queue_ = 0.0;
+  TcpFlow* flow_ = nullptr;
+};
+
+TEST(TcpFlow, TransferCompletes) {
+  sim::Simulator simulator;
+  FakeBearer bearer(simulator, 10.0);
+  TcpFlow flow(simulator, [&](std::uint32_t b) { bearer.enqueue(b); },
+               [&] { return bearer.queue_bytes(); });
+  bearer.attach(flow);
+
+  bool done = false;
+  flow.transfer(500'000, [&] { done = true; });
+  bearer.run_ttis(3000);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(flow.idle());
+  EXPECT_GE(flow.payload_delivered(), 500'000u);
+}
+
+TEST(TcpFlow, SequentialTransfersCompleteInOrder) {
+  sim::Simulator simulator;
+  FakeBearer bearer(simulator, 10.0);
+  TcpFlow flow(simulator, [&](std::uint32_t b) { bearer.enqueue(b); },
+               [&] { return bearer.queue_bytes(); });
+  bearer.attach(flow);
+
+  std::vector<int> order;
+  flow.transfer(100'000, [&] { order.push_back(1); });
+  flow.transfer(100'000, [&] { order.push_back(2); });
+  bearer.run_ttis(2000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TcpFlow, PersistentGoodputApproachesCapacity) {
+  sim::Simulator simulator;
+  FakeBearer bearer(simulator, 12.0);
+  TcpFlow flow(simulator, [&](std::uint32_t b) { bearer.enqueue(b); },
+               [&] { return bearer.queue_bytes(); });
+  bearer.attach(flow);
+  flow.start_persistent();
+  bearer.run_ttis(10'000);  // 10 s
+  const double goodput = flow.mean_goodput_mbps(10.0);
+  EXPECT_GT(goodput, 12.0 * 0.75);  // sawtooth + headers keep it below capacity
+  EXPECT_LT(goodput, 12.0);
+  EXPECT_GT(flow.loss_events(), 0u);  // the deep-buffer probe found the limit
+}
+
+TEST(TcpFlow, SlowStartGrowsWindowExponentially) {
+  sim::Simulator simulator;
+  FakeBearer bearer(simulator, 50.0);
+  TcpFlow flow(simulator, [&](std::uint32_t b) { bearer.enqueue(b); },
+               [&] { return bearer.queue_bytes(); });
+  bearer.attach(flow);
+  const auto initial = flow.cwnd_bytes();
+  flow.start_persistent();
+  bearer.run_ttis(30);
+  EXPECT_GT(flow.cwnd_bytes(), 2 * initial);
+}
+
+TEST(TcpFlow, LossHalvesWindow) {
+  sim::Simulator simulator;
+  TcpConfig config;
+  config.queue_limit_bytes = 30'000;  // shallow buffer -> early loss
+  FakeBearer bearer(simulator, 2.0);
+  TcpFlow flow(simulator, [&](std::uint32_t b) { bearer.enqueue(b); },
+               [&] { return bearer.queue_bytes(); }, config);
+  bearer.attach(flow);
+  flow.start_persistent();
+
+  std::uint32_t max_cwnd_before_loss = 0;
+  std::uint64_t losses_seen = 0;
+  std::uint32_t cwnd_after_loss = 0;
+  bearer.run_ttis(5000, [&](std::int64_t) {
+    if (flow.loss_events() == 0) {
+      max_cwnd_before_loss = std::max(max_cwnd_before_loss, flow.cwnd_bytes());
+    } else if (losses_seen == 0) {
+      losses_seen = flow.loss_events();
+      cwnd_after_loss = flow.cwnd_bytes();
+    }
+  });
+  ASSERT_GT(flow.loss_events(), 0u);
+  EXPECT_LE(cwnd_after_loss, max_cwnd_before_loss / 2 + 1500);
+}
+
+TEST(TcpFlow, LowCapacityLimitsGoodput) {
+  // Table 2 shape: goodput ordering follows capacity ordering.
+  auto run = [](double capacity) {
+    sim::Simulator simulator;
+    FakeBearer bearer(simulator, capacity);
+    TcpFlow flow(simulator, [&](std::uint32_t b) { bearer.enqueue(b); },
+                 [&] { return bearer.queue_bytes(); });
+    bearer.attach(flow);
+    flow.start_persistent();
+    bearer.run_ttis(5000);
+    return flow.mean_goodput_mbps(5.0);
+  };
+  const double low = run(1.2);
+  const double mid = run(3.0);
+  const double high = run(13.0);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  EXPECT_NEAR(low, 1.05, 0.3);
+}
+
+// ------------------------------------------------------------------ DASH --
+
+struct DashRig {
+  sim::Simulator simulator;
+  FakeBearer bearer;
+  TcpFlow flow;
+  DashClient client;
+
+  DashRig(double capacity_mbps, DashVideo video, DashClientConfig config)
+      : bearer(simulator, capacity_mbps),
+        flow(simulator, [this](std::uint32_t b) { bearer.enqueue(b); },
+             [this] { return bearer.queue_bytes(); }),
+        client(simulator, flow, std::move(video), config) {
+    bearer.attach(flow);
+  }
+
+  void run_seconds(double seconds) {
+    bearer.run_ttis(static_cast<int>(seconds * 1000),
+                    [&](std::int64_t tti) { client.on_tti(tti); });
+  }
+};
+
+TEST(Dash, ReferencePlayerConservativeUnderTightCapacity) {
+  // Fig. 11a: capacity 2.2 Mb/s, ladder {1.2, 2, 4}: the pure throughput
+  // rule with the 0.8 safety factor keeps the player pinned at the lowest
+  // representation even though 40% more throughput is available -- exactly
+  // the underutilization the paper reports -- with no freezes.
+  DashClientConfig config;
+  config.max_buffer_s = 24.0;
+  DashRig rig(2.2, paper_video_low(), config);
+  rig.client.start();
+  rig.run_seconds(120);
+  EXPECT_EQ(rig.client.freeze_count(), 0);
+  EXPECT_NEAR(rig.client.bitrate_series().mean_in(20, 120), 1.2, 0.1);
+  EXPECT_GT(rig.client.segments_downloaded(), 30);
+}
+
+TEST(Dash, ReferencePlayerOvershootsWithConfidentBuffer) {
+  // Fig. 11b mechanism: plenty of buffer -> the player probes one level up
+  // each segment and lands above capacity (19.6 > 13), then suffers.
+  DashClientConfig config;
+  config.buffer_probing = true;
+  config.step_up_buffer_s = 10.0;
+  config.max_buffer_s = 60.0;
+  DashRig rig(13.0, paper_video_4k(), config);
+  rig.client.start();
+  rig.run_seconds(180);
+  // It reached the top rung at some point...
+  double max_bitrate = 0;
+  for (const auto& point : rig.client.bitrate_series().points()) {
+    max_bitrate = std::max(max_bitrate, point.value);
+  }
+  EXPECT_GE(max_bitrate, 19.6);
+}
+
+TEST(Dash, AssistedPlayerRespectsCap) {
+  DashClientConfig config;
+  config.mode = AbrMode::assisted;
+  DashRig rig(13.0, paper_video_4k(), config);
+  rig.client.set_bitrate_cap_mbps(7.3);
+  rig.client.start();
+  rig.run_seconds(120);
+  EXPECT_EQ(rig.client.freeze_count(), 0);
+  for (const auto& point : rig.client.bitrate_series().points()) {
+    EXPECT_LE(point.value, 7.3);
+  }
+  // And it uses the allowance, not the basement.
+  EXPECT_NEAR(rig.client.bitrate_series().mean_in(20, 120), 7.3, 0.5);
+}
+
+TEST(Dash, AssistedWithoutGuidanceStaysLowest) {
+  DashClientConfig config;
+  config.mode = AbrMode::assisted;
+  DashRig rig(13.0, paper_video_4k(), config);
+  rig.client.start();
+  rig.run_seconds(30);
+  for (const auto& point : rig.client.bitrate_series().points()) {
+    EXPECT_DOUBLE_EQ(point.value, 2.9);
+  }
+}
+
+TEST(Dash, SustainedOverloadCausesFreezes) {
+  // A client pinned above capacity must rebuffer.
+  DashClientConfig config;
+  config.mode = AbrMode::assisted;
+  DashRig rig(5.0, paper_video_4k(), config);
+  rig.client.set_bitrate_cap_mbps(9.6);  // bad guidance, ~2x capacity
+  rig.client.start();
+  rig.run_seconds(120);
+  EXPECT_GT(rig.client.freeze_count(), 0);
+  EXPECT_GT(rig.client.total_freeze_seconds(), 1.0);
+}
+
+TEST(Dash, BufferCapStopsDownloads) {
+  DashClientConfig config;
+  config.mode = AbrMode::assisted;
+  config.max_buffer_s = 10.0;
+  DashRig rig(20.0, paper_video_low(), config);
+  rig.client.set_bitrate_cap_mbps(1.2);
+  rig.client.start();
+  rig.run_seconds(60);
+  EXPECT_LE(rig.client.buffer_seconds(), 12.0);  // cap + one segment
+}
+
+}  // namespace
+}  // namespace flexran::traffic

@@ -1,0 +1,151 @@
+// Tests for the WiFi control module -- the Sec. 7.2 technology-agnosticism
+// demonstration: a non-LTE data plane driven by the SAME VSF factory,
+// cache, CMI, and policy-reconfiguration machinery as the LTE agent.
+#include <gtest/gtest.h>
+
+#include "agent/schedulers.h"
+#include "wifi/control.h"
+
+namespace flexran::wifi {
+namespace {
+
+// ------------------------------------------------------------- data plane --
+
+TEST(WifiAp, FairAirtimeSplitsSlot) {
+  sim::Simulator simulator;
+  WifiApDataPlane ap(simulator);
+  const auto fast = ap.add_station({240.0});
+  const auto slow = ap.add_station({60.0});
+
+  FairAirtimeVsf fair;
+  for (int s = 0; s < 100; ++s) {
+    ap.enqueue_dl(fast, 50'000);  // keep both saturated
+    ap.enqueue_dl(slow, 50'000);
+    ap.apply_airtime(fair.schedule(ap.station_view(), s));
+  }
+  // Equal airtime -> throughput proportional to PHY rate (4:1).
+  const double ratio = static_cast<double>(ap.delivered_bytes(fast)) /
+                       static_cast<double>(ap.delivered_bytes(slow));
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+TEST(WifiAp, ContentionEfficiencyDegrades) {
+  EXPECT_DOUBLE_EQ(WifiApDataPlane::contention_efficiency(0), 1.0);
+  EXPECT_DOUBLE_EQ(WifiApDataPlane::contention_efficiency(1), 1.0);
+  EXPECT_LT(WifiApDataPlane::contention_efficiency(4),
+            WifiApDataPlane::contention_efficiency(2));
+  EXPECT_GE(WifiApDataPlane::contention_efficiency(50), 0.6);
+}
+
+TEST(WifiAp, AllocationClampsAndIgnoresIdle) {
+  sim::Simulator simulator;
+  WifiApDataPlane ap(simulator);
+  const auto a = ap.add_station({120.0});
+  const auto idle = ap.add_station({120.0});
+  ap.enqueue_dl(a, 1'000'000);
+
+  AirtimeAllocation greedy;
+  greedy[a] = 5.0;      // clamped to 1.0
+  greedy[idle] = 0.5;   // no queue -> ignored
+  greedy[999] = 0.5;    // unknown station -> ignored
+  const auto delivered = ap.apply_airtime(greedy);
+  // One slot at 120 Mb/s, single contender: 15000 bytes.
+  EXPECT_NEAR(delivered, 15'000, 200);
+  EXPECT_EQ(ap.delivered_bytes(idle), 0u);
+}
+
+// ------------------------------------------- same machinery, new technology --
+
+TEST(WifiControl, SameVsfMachineryDrivesWifi) {
+  register_wifi_vsfs();
+  // Same factory, same cache type, same policy path as the LTE agent.
+  agent::VsfCache cache;
+  ASSERT_TRUE(cache.store(WifiControlModule::kName, WifiControlModule::kAirtimeSlot, "fair").ok());
+  ASSERT_TRUE(
+      cache.store(WifiControlModule::kName, WifiControlModule::kAirtimeSlot, "weighted").ok());
+  WifiControlModule wifi(cache);
+  EXPECT_EQ(wifi.airtime_scheduler(), nullptr);
+
+  const std::array<agent::ControlModule*, 1> modules = {&wifi};
+  ASSERT_TRUE(agent::apply_policy_yaml(
+                  "wifi_mac:\n  airtime_scheduler:\n    behavior: fair\n", modules)
+                  .ok());
+  ASSERT_NE(wifi.airtime_scheduler(), nullptr);
+  EXPECT_EQ(wifi.active_implementation(WifiControlModule::kAirtimeSlot), "fair");
+
+  // Policy reconfiguration swaps behavior and sets technology-specific
+  // parameters, exactly as Fig. 3 does for the LTE MAC.
+  const char* policy =
+      "wifi_mac:\n"
+      "  airtime_scheduler:\n"
+      "    behavior: weighted\n"
+      "    parameters:\n"
+      "      weights:\n"
+      "        - station: 1\n"
+      "          weight: 3\n"
+      "        - station: 2\n"
+      "          weight: 1\n";
+  ASSERT_TRUE(agent::apply_policy_yaml(policy, modules).ok());
+  EXPECT_EQ(wifi.active_implementation(WifiControlModule::kAirtimeSlot), "weighted");
+
+  // An LTE scheduler registered under the WiFi slot's name still cannot be
+  // linked into it: the CMI type check rejects it.
+  agent::VsfFactory::instance().register_implementation(
+      "wifi_mac", "airtime_scheduler", "lte_rr",
+      [] { return std::make_unique<agent::RoundRobinDlVsf>(); });
+  ASSERT_TRUE(cache.store("wifi_mac", "airtime_scheduler", "lte_rr").ok());
+  EXPECT_FALSE(agent::apply_policy_yaml(
+                   "wifi_mac:\n  airtime_scheduler:\n    behavior: lte_rr\n", modules)
+                   .ok());
+}
+
+TEST(WifiControl, WeightedPolicyShapesThroughput) {
+  register_wifi_vsfs();
+  sim::Simulator simulator;
+  WifiApDataPlane ap(simulator);
+  const auto premium = ap.add_station({120.0});
+  const auto basic = ap.add_station({120.0});
+
+  agent::VsfCache cache;
+  ASSERT_TRUE(
+      cache.store(WifiControlModule::kName, WifiControlModule::kAirtimeSlot, "weighted").ok());
+  WifiControlModule wifi(cache);
+  const std::array<agent::ControlModule*, 1> modules = {&wifi};
+  ASSERT_TRUE(agent::apply_policy_yaml(
+                  "wifi_mac:\n"
+                  "  airtime_scheduler:\n"
+                  "    behavior: weighted\n"
+                  "    parameters:\n"
+                  "      weights:\n"
+                  "        - station: 1\n"
+                  "          weight: 3\n"
+                  "        - station: 2\n"
+                  "          weight: 1\n",
+                  modules)
+                  .ok());
+
+  ap.set_scheduler([&](std::int64_t slot) {
+    return wifi.airtime_scheduler()->schedule(ap.station_view(), slot);
+  });
+  for (int s = 0; s < 200; ++s) {
+    ap.enqueue_dl(premium, 20'000);
+    ap.enqueue_dl(basic, 20'000);
+    ap.slot(s);
+  }
+  const double ratio = static_cast<double>(ap.delivered_bytes(premium)) /
+                       static_cast<double>(ap.delivered_bytes(basic));
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(WifiControl, WeightedParameterValidation) {
+  WeightedAirtimeVsf vsf;
+  EXPECT_FALSE(vsf.set_parameter("bogus", util::YamlNode::scalar("1")).ok());
+  EXPECT_FALSE(vsf.set_parameter("weights", util::YamlNode::scalar("1")).ok());
+  auto missing = util::parse_yaml("w:\n  - station: 1\n").value();
+  EXPECT_FALSE(vsf.set_parameter("weights", *missing.find("w")).ok());
+  auto negative = util::parse_yaml("w:\n  - station: 1\n    weight: -2\n").value();
+  EXPECT_FALSE(vsf.set_parameter("weights", *negative.find("w")).ok());
+}
+
+}  // namespace
+}  // namespace flexran::wifi
