@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_delegation"
+  "../bench/bench_delegation.pdb"
+  "CMakeFiles/bench_delegation.dir/bench_delegation.cpp.o"
+  "CMakeFiles/bench_delegation.dir/bench_delegation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_eicic.cpp" "bench_build/CMakeFiles/bench_fig10_eicic.dir/bench_fig10_eicic.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig10_eicic.dir/bench_fig10_eicic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/flexran_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/flexran_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/flexran_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/flexran_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/flexran_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexran_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/flexran_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/flexran_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/flexran_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexran_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/flexran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_eicic"
+  "../bench/bench_fig10_eicic.pdb"
+  "CMakeFiles/bench_fig10_eicic.dir/bench_fig10_eicic.cpp.o"
+  "CMakeFiles/bench_fig10_eicic.dir/bench_fig10_eicic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_eicic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_dash"
+  "../bench/bench_fig11_dash.pdb"
+  "CMakeFiles/bench_fig11_dash.dir/bench_fig11_dash.cpp.o"
+  "CMakeFiles/bench_fig11_dash.dir/bench_fig11_dash.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

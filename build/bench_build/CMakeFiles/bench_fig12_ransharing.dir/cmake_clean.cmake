@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_ransharing"
+  "../bench/bench_fig12_ransharing.pdb"
+  "CMakeFiles/bench_fig12_ransharing.dir/bench_fig12_ransharing.cpp.o"
+  "CMakeFiles/bench_fig12_ransharing.dir/bench_fig12_ransharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ransharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_signaling"
+  "../bench/bench_fig7_signaling.pdb"
+  "CMakeFiles/bench_fig7_signaling.dir/bench_fig7_signaling.cpp.o"
+  "CMakeFiles/bench_fig7_signaling.dir/bench_fig7_signaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_master"
+  "../bench/bench_fig8_master.pdb"
+  "CMakeFiles/bench_fig8_master.dir/bench_fig8_master.cpp.o"
+  "CMakeFiles/bench_fig8_master.dir/bench_fig8_master.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

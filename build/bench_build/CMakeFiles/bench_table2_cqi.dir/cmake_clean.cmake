@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_cqi"
+  "../bench/bench_table2_cqi.pdb"
+  "CMakeFiles/bench_table2_cqi.dir/bench_table2_cqi.cpp.o"
+  "CMakeFiles/bench_table2_cqi.dir/bench_table2_cqi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cqi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation.dir/delegation.cpp.o"
+  "CMakeFiles/delegation.dir/delegation.cpp.o.d"
+  "delegation"
+  "delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

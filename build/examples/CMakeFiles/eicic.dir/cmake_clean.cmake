@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eicic.dir/eicic.cpp.o"
+  "CMakeFiles/eicic.dir/eicic.cpp.o.d"
+  "eicic"
+  "eicic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eicic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

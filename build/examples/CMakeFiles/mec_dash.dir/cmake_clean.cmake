@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mec_dash.dir/mec_dash.cpp.o"
+  "CMakeFiles/mec_dash.dir/mec_dash.cpp.o.d"
+  "mec_dash"
+  "mec_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mec_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_tcp.dir/protocol_tcp.cpp.o"
+  "CMakeFiles/protocol_tcp.dir/protocol_tcp.cpp.o.d"
+  "protocol_tcp"
+  "protocol_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_sharing.dir/ran_sharing.cpp.o"
+  "CMakeFiles/ran_sharing.dir/ran_sharing.cpp.o.d"
+  "ran_sharing"
+  "ran_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

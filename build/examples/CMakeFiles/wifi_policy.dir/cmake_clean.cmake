@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_policy.dir/wifi_policy.cpp.o"
+  "CMakeFiles/wifi_policy.dir/wifi_policy.cpp.o.d"
+  "wifi_policy"
+  "wifi_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("lte")
+subdirs("phy")
+subdirs("proto")
+subdirs("net")
+subdirs("stack")
+subdirs("traffic")
+subdirs("agent")
+subdirs("controller")
+subdirs("apps")
+subdirs("scenario")
+subdirs("wifi")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_agent.dir/agent.cpp.o"
+  "CMakeFiles/flexran_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/flexran_agent.dir/agent_api.cpp.o"
+  "CMakeFiles/flexran_agent.dir/agent_api.cpp.o.d"
+  "CMakeFiles/flexran_agent.dir/control_module.cpp.o"
+  "CMakeFiles/flexran_agent.dir/control_module.cpp.o.d"
+  "CMakeFiles/flexran_agent.dir/reports.cpp.o"
+  "CMakeFiles/flexran_agent.dir/reports.cpp.o.d"
+  "CMakeFiles/flexran_agent.dir/schedulers.cpp.o"
+  "CMakeFiles/flexran_agent.dir/schedulers.cpp.o.d"
+  "CMakeFiles/flexran_agent.dir/vsf.cpp.o"
+  "CMakeFiles/flexran_agent.dir/vsf.cpp.o.d"
+  "libflexran_agent.a"
+  "libflexran_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

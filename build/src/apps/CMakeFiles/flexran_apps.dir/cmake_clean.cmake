@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_apps.dir/eicic.cpp.o"
+  "CMakeFiles/flexran_apps.dir/eicic.cpp.o.d"
+  "CMakeFiles/flexran_apps.dir/lsa.cpp.o"
+  "CMakeFiles/flexran_apps.dir/lsa.cpp.o.d"
+  "CMakeFiles/flexran_apps.dir/mec_dash.cpp.o"
+  "CMakeFiles/flexran_apps.dir/mec_dash.cpp.o.d"
+  "CMakeFiles/flexran_apps.dir/mobility_manager.cpp.o"
+  "CMakeFiles/flexran_apps.dir/mobility_manager.cpp.o.d"
+  "CMakeFiles/flexran_apps.dir/monitoring.cpp.o"
+  "CMakeFiles/flexran_apps.dir/monitoring.cpp.o.d"
+  "CMakeFiles/flexran_apps.dir/ran_sharing.cpp.o"
+  "CMakeFiles/flexran_apps.dir/ran_sharing.cpp.o.d"
+  "CMakeFiles/flexran_apps.dir/remote_scheduler.cpp.o"
+  "CMakeFiles/flexran_apps.dir/remote_scheduler.cpp.o.d"
+  "libflexran_apps.a"
+  "libflexran_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

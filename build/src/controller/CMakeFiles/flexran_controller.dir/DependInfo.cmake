@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/arbiter.cpp" "src/controller/CMakeFiles/flexran_controller.dir/arbiter.cpp.o" "gcc" "src/controller/CMakeFiles/flexran_controller.dir/arbiter.cpp.o.d"
+  "/root/repo/src/controller/master.cpp" "src/controller/CMakeFiles/flexran_controller.dir/master.cpp.o" "gcc" "src/controller/CMakeFiles/flexran_controller.dir/master.cpp.o.d"
+  "/root/repo/src/controller/rib.cpp" "src/controller/CMakeFiles/flexran_controller.dir/rib.cpp.o" "gcc" "src/controller/CMakeFiles/flexran_controller.dir/rib.cpp.o.d"
+  "/root/repo/src/controller/rib_view.cpp" "src/controller/CMakeFiles/flexran_controller.dir/rib_view.cpp.o" "gcc" "src/controller/CMakeFiles/flexran_controller.dir/rib_view.cpp.o.d"
+  "/root/repo/src/controller/task_manager.cpp" "src/controller/CMakeFiles/flexran_controller.dir/task_manager.cpp.o" "gcc" "src/controller/CMakeFiles/flexran_controller.dir/task_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/flexran_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/flexran_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexran_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/flexran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

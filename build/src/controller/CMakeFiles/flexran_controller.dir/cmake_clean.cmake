@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_controller.dir/arbiter.cpp.o"
+  "CMakeFiles/flexran_controller.dir/arbiter.cpp.o.d"
+  "CMakeFiles/flexran_controller.dir/master.cpp.o"
+  "CMakeFiles/flexran_controller.dir/master.cpp.o.d"
+  "CMakeFiles/flexran_controller.dir/rib.cpp.o"
+  "CMakeFiles/flexran_controller.dir/rib.cpp.o.d"
+  "CMakeFiles/flexran_controller.dir/rib_view.cpp.o"
+  "CMakeFiles/flexran_controller.dir/rib_view.cpp.o.d"
+  "CMakeFiles/flexran_controller.dir/task_manager.cpp.o"
+  "CMakeFiles/flexran_controller.dir/task_manager.cpp.o.d"
+  "libflexran_controller.a"
+  "libflexran_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lte/harq.cpp" "src/lte/CMakeFiles/flexran_lte.dir/harq.cpp.o" "gcc" "src/lte/CMakeFiles/flexran_lte.dir/harq.cpp.o.d"
+  "/root/repo/src/lte/tables.cpp" "src/lte/CMakeFiles/flexran_lte.dir/tables.cpp.o" "gcc" "src/lte/CMakeFiles/flexran_lte.dir/tables.cpp.o.d"
+  "/root/repo/src/lte/types.cpp" "src/lte/CMakeFiles/flexran_lte.dir/types.cpp.o" "gcc" "src/lte/CMakeFiles/flexran_lte.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flexran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_lte.dir/harq.cpp.o"
+  "CMakeFiles/flexran_lte.dir/harq.cpp.o.d"
+  "CMakeFiles/flexran_lte.dir/tables.cpp.o"
+  "CMakeFiles/flexran_lte.dir/tables.cpp.o.d"
+  "CMakeFiles/flexran_lte.dir/types.cpp.o"
+  "CMakeFiles/flexran_lte.dir/types.cpp.o.d"
+  "libflexran_lte.a"
+  "libflexran_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_net.dir/framing.cpp.o"
+  "CMakeFiles/flexran_net.dir/framing.cpp.o.d"
+  "CMakeFiles/flexran_net.dir/sim_transport.cpp.o"
+  "CMakeFiles/flexran_net.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/flexran_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/flexran_net.dir/tcp_transport.cpp.o.d"
+  "libflexran_net.a"
+  "libflexran_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

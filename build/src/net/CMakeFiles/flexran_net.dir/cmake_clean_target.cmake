@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexran_net.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/flexran_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/flexran_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/error_model.cpp" "src/phy/CMakeFiles/flexran_phy.dir/error_model.cpp.o" "gcc" "src/phy/CMakeFiles/flexran_phy.dir/error_model.cpp.o.d"
+  "/root/repo/src/phy/mobility.cpp" "src/phy/CMakeFiles/flexran_phy.dir/mobility.cpp.o" "gcc" "src/phy/CMakeFiles/flexran_phy.dir/mobility.cpp.o.d"
+  "/root/repo/src/phy/radio_env.cpp" "src/phy/CMakeFiles/flexran_phy.dir/radio_env.cpp.o" "gcc" "src/phy/CMakeFiles/flexran_phy.dir/radio_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lte/CMakeFiles/flexran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexran_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_phy.dir/channel.cpp.o"
+  "CMakeFiles/flexran_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/flexran_phy.dir/error_model.cpp.o"
+  "CMakeFiles/flexran_phy.dir/error_model.cpp.o.d"
+  "CMakeFiles/flexran_phy.dir/mobility.cpp.o"
+  "CMakeFiles/flexran_phy.dir/mobility.cpp.o.d"
+  "CMakeFiles/flexran_phy.dir/radio_env.cpp.o"
+  "CMakeFiles/flexran_phy.dir/radio_env.cpp.o.d"
+  "libflexran_phy.a"
+  "libflexran_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

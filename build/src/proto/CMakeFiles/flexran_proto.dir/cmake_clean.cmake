@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_proto.dir/messages.cpp.o"
+  "CMakeFiles/flexran_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/flexran_proto.dir/wire.cpp.o"
+  "CMakeFiles/flexran_proto.dir/wire.cpp.o.d"
+  "libflexran_proto.a"
+  "libflexran_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_scenario.dir/config.cpp.o"
+  "CMakeFiles/flexran_scenario.dir/config.cpp.o.d"
+  "CMakeFiles/flexran_scenario.dir/dash_session.cpp.o"
+  "CMakeFiles/flexran_scenario.dir/dash_session.cpp.o.d"
+  "CMakeFiles/flexran_scenario.dir/eicic_scenario.cpp.o"
+  "CMakeFiles/flexran_scenario.dir/eicic_scenario.cpp.o.d"
+  "CMakeFiles/flexran_scenario.dir/metrics.cpp.o"
+  "CMakeFiles/flexran_scenario.dir/metrics.cpp.o.d"
+  "CMakeFiles/flexran_scenario.dir/testbed.cpp.o"
+  "CMakeFiles/flexran_scenario.dir/testbed.cpp.o.d"
+  "libflexran_scenario.a"
+  "libflexran_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

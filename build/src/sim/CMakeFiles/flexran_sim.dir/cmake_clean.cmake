@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_sim.dir/sim_link.cpp.o"
+  "CMakeFiles/flexran_sim.dir/sim_link.cpp.o.d"
+  "CMakeFiles/flexran_sim.dir/simulator.cpp.o"
+  "CMakeFiles/flexran_sim.dir/simulator.cpp.o.d"
+  "libflexran_sim.a"
+  "libflexran_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

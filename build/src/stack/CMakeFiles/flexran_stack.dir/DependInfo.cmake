@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/enodeb.cpp" "src/stack/CMakeFiles/flexran_stack.dir/enodeb.cpp.o" "gcc" "src/stack/CMakeFiles/flexran_stack.dir/enodeb.cpp.o.d"
+  "/root/repo/src/stack/epc.cpp" "src/stack/CMakeFiles/flexran_stack.dir/epc.cpp.o" "gcc" "src/stack/CMakeFiles/flexran_stack.dir/epc.cpp.o.d"
+  "/root/repo/src/stack/rlc.cpp" "src/stack/CMakeFiles/flexran_stack.dir/rlc.cpp.o" "gcc" "src/stack/CMakeFiles/flexran_stack.dir/rlc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lte/CMakeFiles/flexran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/flexran_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/flexran_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexran_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

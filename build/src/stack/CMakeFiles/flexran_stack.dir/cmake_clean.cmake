@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_stack.dir/enodeb.cpp.o"
+  "CMakeFiles/flexran_stack.dir/enodeb.cpp.o.d"
+  "CMakeFiles/flexran_stack.dir/epc.cpp.o"
+  "CMakeFiles/flexran_stack.dir/epc.cpp.o.d"
+  "CMakeFiles/flexran_stack.dir/rlc.cpp.o"
+  "CMakeFiles/flexran_stack.dir/rlc.cpp.o.d"
+  "libflexran_stack.a"
+  "libflexran_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_traffic.dir/dash.cpp.o"
+  "CMakeFiles/flexran_traffic.dir/dash.cpp.o.d"
+  "CMakeFiles/flexran_traffic.dir/tcp.cpp.o"
+  "CMakeFiles/flexran_traffic.dir/tcp.cpp.o.d"
+  "CMakeFiles/flexran_traffic.dir/udp.cpp.o"
+  "CMakeFiles/flexran_traffic.dir/udp.cpp.o.d"
+  "libflexran_traffic.a"
+  "libflexran_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_util.dir/bytes.cpp.o"
+  "CMakeFiles/flexran_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/flexran_util.dir/logging.cpp.o"
+  "CMakeFiles/flexran_util.dir/logging.cpp.o.d"
+  "CMakeFiles/flexran_util.dir/result.cpp.o"
+  "CMakeFiles/flexran_util.dir/result.cpp.o.d"
+  "CMakeFiles/flexran_util.dir/rng.cpp.o"
+  "CMakeFiles/flexran_util.dir/rng.cpp.o.d"
+  "CMakeFiles/flexran_util.dir/stats.cpp.o"
+  "CMakeFiles/flexran_util.dir/stats.cpp.o.d"
+  "CMakeFiles/flexran_util.dir/strings.cpp.o"
+  "CMakeFiles/flexran_util.dir/strings.cpp.o.d"
+  "CMakeFiles/flexran_util.dir/yaml_lite.cpp.o"
+  "CMakeFiles/flexran_util.dir/yaml_lite.cpp.o.d"
+  "libflexran_util.a"
+  "libflexran_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexran_util.a"
+)

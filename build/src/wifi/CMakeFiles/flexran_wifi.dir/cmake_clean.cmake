@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran_wifi.dir/control.cpp.o"
+  "CMakeFiles/flexran_wifi.dir/control.cpp.o.d"
+  "CMakeFiles/flexran_wifi.dir/wifi_ap.cpp.o"
+  "CMakeFiles/flexran_wifi.dir/wifi_ap.cpp.o.d"
+  "libflexran_wifi.a"
+  "libflexran_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

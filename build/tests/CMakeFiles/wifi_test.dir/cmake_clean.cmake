@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_test.dir/wifi_test.cpp.o"
+  "CMakeFiles/wifi_test.dir/wifi_test.cpp.o.d"
+  "wifi_test"
+  "wifi_test.pdb"
+  "wifi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

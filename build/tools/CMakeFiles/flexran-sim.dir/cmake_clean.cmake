@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexran-sim.dir/flexran_sim.cpp.o"
+  "CMakeFiles/flexran-sim.dir/flexran_sim.cpp.o.d"
+  "flexran-sim"
+  "flexran-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexran-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
