@@ -1,0 +1,167 @@
+// Control-channel recovery benchmark (docs/fault_tolerance.md): partitions
+// the control channel of a remotely scheduled cell, heals it, and measures
+// how long the control plane takes to recover -- time from heal to the
+// first applied remote DL MAC decision, and to the master declaring the
+// session fully re-synced. Emits the results as JSON (one object on the
+// last line) for scripted consumption.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/remote_scheduler.h"
+#include "bench/bench_common.h"
+#include "scenario/fault_injector.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace flexran;
+
+struct RecoveryRun {
+  double partition_ms = 0.0;
+  double heal_to_first_remote_decision_ms = -1.0;
+  double heal_to_resync_ms = -1.0;
+  bool fallback_activated = false;
+  bool fallback_recovered = false;
+  std::uint64_t requests_retried = 0;
+  std::uint64_t requests_failed = 0;
+  double dl_mbps_pre = 0.0;
+  double dl_mbps_outage = 0.0;
+  double dl_mbps_post = 0.0;
+};
+
+RecoveryRun measure(double partition_ms) {
+  constexpr double kWarmupS = 1.0;
+  constexpr double kSettleS = 1.5;
+  constexpr sim::TimeUs kControlDelay = sim::from_ms(2.0);
+
+  ctrl::MasterConfig master_config = scenario::per_tti_master_config(/*stats_period_ttis=*/2);
+  master_config.agent_timeout_us = sim::from_ms(50.0);
+  master_config.agent_disconnect_timeout_us = sim::from_ms(200.0);
+  master_config.request_timeout_us = sim::from_ms(30.0);
+  scenario::Testbed testbed(std::move(master_config));
+
+  apps::RemoteSchedulerConfig app_config;
+  app_config.schedule_ahead_sf = 8;
+  testbed.master().add_app(std::make_unique<apps::RemoteSchedulerApp>(app_config));
+
+  scenario::EnbSpec spec = bench::basic_enb(1, "recovery");
+  spec.agent.dl_scheduler = "remote";
+  spec.agent.remote_fallback_ttis = 30;
+  spec.agent.fallback_scheduler = "local_rr";
+  spec.uplink.delay = kControlDelay;
+  spec.downlink.delay = kControlDelay;
+  scenario::Testbed::Enb& enb = testbed.add_enb(spec);
+
+  const auto rnti_a = testbed.add_ue(0, bench::fixed_cqi_ue(15));
+  const auto rnti_b = testbed.add_ue(0, bench::fixed_cqi_ue(9, /*attach_after=*/2));
+  bench::saturate_dl(testbed, 0, rnti_a);
+  bench::saturate_dl(testbed, 0, rnti_b);
+
+  RecoveryRun run;
+  run.partition_ms = partition_ms;
+
+  // Recovery probe, armed at the heal instant by the fault timeline below.
+  struct Probe {
+    bool armed = false;
+    sim::TimeUs heal_at = 0;
+    std::uint64_t decisions_at_heal = 0;
+    sim::TimeUs first_decision_at = -1;
+    sim::TimeUs resynced_at = -1;
+  } probe;
+  agent::Agent* agent = enb.agent.get();
+  const ctrl::AgentId agent_id = enb.agent_id;
+  testbed.on_tti([&](std::int64_t) {
+    if (!probe.armed) return;
+    if (probe.first_decision_at < 0 &&
+        agent->remote_decisions_applied() > probe.decisions_at_heal) {
+      probe.first_decision_at = testbed.sim().now();
+    }
+    if (probe.resynced_at < 0) {
+      const auto* node = testbed.master().rib().find_agent(agent_id);
+      if (node != nullptr && node->state == ctrl::SessionState::up) {
+        probe.resynced_at = testbed.sim().now();
+      }
+    }
+  });
+
+  auto delivered = [&] {
+    return testbed.metrics().total_bytes(1, rnti_a, lte::Direction::downlink) +
+           testbed.metrics().total_bytes(1, rnti_b, lte::Direction::downlink);
+  };
+
+  testbed.run_seconds(kWarmupS);
+  const std::uint64_t bytes_warmup = delivered();
+
+  enb.set_control_down(true);
+  testbed.run_seconds(partition_ms / 1000.0);
+  const std::uint64_t bytes_outage = delivered();
+  run.fallback_activated = agent->fallback_activations() > 0;
+
+  enb.set_control_down(false);
+  probe.armed = true;
+  probe.heal_at = testbed.sim().now();
+  probe.decisions_at_heal = agent->remote_decisions_applied();
+  testbed.run_seconds(kSettleS);
+  const std::uint64_t bytes_post = delivered();
+
+  if (probe.first_decision_at >= 0) {
+    run.heal_to_first_remote_decision_ms =
+        static_cast<double>(probe.first_decision_at - probe.heal_at) / 1000.0;
+  }
+  if (probe.resynced_at >= 0) {
+    run.heal_to_resync_ms = static_cast<double>(probe.resynced_at - probe.heal_at) / 1000.0;
+  }
+  run.fallback_recovered = agent->fallback_recoveries() > 0;
+  run.requests_retried = testbed.master().requests_retried();
+  run.requests_failed = testbed.master().requests_failed();
+  run.dl_mbps_pre = scenario::Metrics::mbps(bytes_warmup, kWarmupS);
+  run.dl_mbps_outage =
+      scenario::Metrics::mbps(bytes_outage - bytes_warmup, partition_ms / 1000.0);
+  run.dl_mbps_post = scenario::Metrics::mbps(bytes_post - bytes_outage, kSettleS);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  flexran::util::Logger::instance().set_level(flexran::util::LogLevel::error);
+  using flexran::bench::print_header;
+  print_header(
+      "Control-channel recovery: partition heal -> first applied remote DL MAC config");
+  std::printf("%14s %22s %16s %10s %10s %10s %10s\n", "partition(ms)", "first decision (ms)",
+              "resync (ms)", "retries", "pre Mb/s", "out Mb/s", "post Mb/s");
+
+  std::vector<RecoveryRun> runs;
+  for (double partition_ms : {50.0, 150.0, 400.0, 800.0}) {
+    RecoveryRun run = measure(partition_ms);
+    std::printf("%14.0f %22.2f %16.2f %10llu %10.2f %10.2f %10.2f\n", run.partition_ms,
+                run.heal_to_first_remote_decision_ms, run.heal_to_resync_ms,
+                static_cast<unsigned long long>(run.requests_retried), run.dl_mbps_pre,
+                run.dl_mbps_outage, run.dl_mbps_post);
+    runs.push_back(run);
+  }
+
+  // Machine-readable result: one JSON object on the final line.
+  std::string json = "{\"benchmark\":\"control_channel_recovery\",\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RecoveryRun& run = runs[i];
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"partition_ms\":%.0f,\"heal_to_first_remote_decision_ms\":%.3f,"
+                  "\"heal_to_resync_ms\":%.3f,\"fallback_activated\":%s,"
+                  "\"fallback_recovered\":%s,\"requests_retried\":%llu,"
+                  "\"requests_failed\":%llu,\"dl_mbps_pre\":%.3f,\"dl_mbps_outage\":%.3f,"
+                  "\"dl_mbps_post\":%.3f}",
+                  i == 0 ? "" : ",", run.partition_ms, run.heal_to_first_remote_decision_ms,
+                  run.heal_to_resync_ms, run.fallback_activated ? "true" : "false",
+                  run.fallback_recovered ? "true" : "false",
+                  static_cast<unsigned long long>(run.requests_retried),
+                  static_cast<unsigned long long>(run.requests_failed), run.dl_mbps_pre,
+                  run.dl_mbps_outage, run.dl_mbps_post);
+    json += buffer;
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "agent/agent.h"
 
+#include <algorithm>
 #include <array>
 
 #include "net/framing.h"
@@ -44,15 +45,63 @@ Agent::~Agent() { data_plane_.set_listener(nullptr); }
 
 void Agent::connect(net::Transport& transport) {
   transport_ = &transport;
+  ++session_epoch_;
+  master_heard_this_session_ = false;
   transport_->set_receive_callback(
       [this](std::vector<std::uint8_t> data) { handle_message(std::move(data)); });
+  transport_->set_disconnect_callback(
+      [this](util::Error error) { on_transport_disconnect(error); });
+  send_hello();
+}
 
+void Agent::send_hello() {
   proto::Hello hello;
   hello.enb_id = config_.enb_id;
   hello.name = config_.name;
   hello.n_cells = 1;
   hello.capabilities = {"mac", "rrc", "delegation"};
+  hello.epoch = session_epoch_;
+  last_hello_subframe_ = api_.current_subframe();
   send_message(hello);
+}
+
+void Agent::disconnect() {
+  if (transport_ == nullptr) return;
+  transport_->set_receive_callback(nullptr);
+  transport_->set_disconnect_callback(nullptr);
+  transport_ = nullptr;
+  // Session-scoped state dies with the session; the master's re-sync on the
+  // next hello reinstalls subscriptions and stats registrations, and queued
+  // schedule-ahead decisions from the old session must not be applied.
+  dl_decision_queue_.clear();
+  subscribed_events_.clear();
+  reports_.clear();
+}
+
+void Agent::on_transport_disconnect(const util::Error& error) {
+  FLEXRAN_LOG(warn, "agent") << "control channel lost: " << error.message;
+  disconnect();
+  if (config_.auto_reconnect) schedule_reconnect(sim::from_ms(config_.reconnect_initial_backoff_ms));
+}
+
+void Agent::schedule_reconnect(sim::TimeUs delay) {
+  if (reconnect_pending_ || connected()) return;
+  reconnect_pending_ = true;
+  sim_.after(delay, [this] { try_reconnect(sim::from_ms(config_.reconnect_initial_backoff_ms)); });
+}
+
+void Agent::try_reconnect(sim::TimeUs next_backoff) {
+  reconnect_pending_ = false;
+  if (connected()) return;
+  ++reconnect_attempts_;
+  net::Transport* transport = reconnect_provider_ ? reconnect_provider_() : nullptr;
+  if (transport != nullptr) {
+    connect(*transport);
+    return;
+  }
+  const auto backoff = std::min(next_backoff, sim::from_ms(config_.reconnect_max_backoff_ms));
+  reconnect_pending_ = true;
+  sim_.after(backoff, [this, backoff] { try_reconnect(backoff * 2); });
 }
 
 template <typename M>
@@ -64,6 +113,7 @@ void Agent::send_message(const M& message, std::uint32_t xid) {
   proto::Envelope envelope;
   envelope.type = M::kType;
   envelope.xid = xid;
+  envelope.epoch = session_epoch_;
   envelope.body = enc.take();
   const auto wire = envelope.encode();
   tx_accounting_.record(proto::categorize(envelope.type, envelope.body),
@@ -96,10 +146,19 @@ void Agent::on_subframe_start(std::int64_t subframe) {
         mac_.set_behavior(MacControlModule::kDlSchedulerSlot, config_.fallback_scheduler);
     if (status.ok()) {
       ++fallback_activations_;
+      fallback_active_ = true;
       FLEXRAN_LOG(warn, "agent") << "master silent for "
                                  << subframe - last_master_contact_subframe_
                                  << " TTIs; falling back to " << config_.fallback_scheduler;
     }
+  }
+
+  // A hello lost to a partition that raced the connect leaves the master
+  // unaware of the new session; re-offer it until the master answers.
+  if (transport_ != nullptr && !master_heard_this_session_ && config_.hello_retry_ttis > 0 &&
+      subframe - last_hello_subframe_ >= config_.hello_retry_ttis) {
+    ++hello_retries_;
+    send_hello();
   }
 
   // Drop decisions whose deadline passed before they could be applied.
@@ -203,11 +262,33 @@ void Agent::on_scheduling_request(lte::Rnti rnti, std::int64_t subframe) {
 
 void Agent::handle_message(std::vector<std::uint8_t> data) {
   ++messages_received_;
-  last_master_contact_subframe_ = api_.current_subframe();
   auto envelope = proto::Envelope::decode(data);
   if (!envelope.ok()) {
     FLEXRAN_LOG(error, "agent") << "bad envelope: " << envelope.error().message;
     return;
+  }
+  // Fence messages addressed to an older session: a command the master sent
+  // before it learned of this agent's restart must not be applied (and does
+  // not count as master contact).
+  if (envelope->epoch != 0 && envelope->epoch != session_epoch_) {
+    ++fenced_messages_;
+    return;
+  }
+  last_master_contact_subframe_ = api_.current_subframe();
+  master_heard_this_session_ = true;
+  // Two-way fallback: master messages resumed, so hand the DL scheduler
+  // back to remote control before processing the message.
+  if (fallback_active_) {
+    fallback_active_ = false;
+    if (config_.dl_scheduler == "remote" &&
+        mac_.active_implementation(MacControlModule::kDlSchedulerSlot) ==
+            config_.fallback_scheduler) {
+      auto status = mac_.set_behavior(MacControlModule::kDlSchedulerSlot, "remote");
+      if (status.ok()) {
+        ++fallback_recoveries_;
+        FLEXRAN_LOG(info, "agent") << "master reachable again; resuming remote DL control";
+      }
+    }
   }
   handle_envelope(*envelope);
 }

@@ -6,6 +6,7 @@
 // act autonomously under delegated control when the master is far away.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -39,8 +40,23 @@ struct AgentConfig {
   /// "remote" and no message has been received from the master for this
   /// many TTIs, the agent autonomously falls back to `fallback_scheduler`
   /// so UEs keep being served through a control-channel outage. 0 = off.
+  /// The fallback is two-way: once master messages resume, the DL scheduler
+  /// is re-promoted to remote control.
   std::int64_t remote_fallback_ttis = 0;
   std::string fallback_scheduler = "local_rr";
+
+  // ---- session fault tolerance (docs/fault_tolerance.md) -------------------
+  /// Reconnect automatically (via the reconnect provider) when the
+  /// transport reports a disconnect.
+  bool auto_reconnect = true;
+  /// First retry delay after a failed reconnect attempt; doubles per
+  /// failure up to the max (exponential backoff).
+  double reconnect_initial_backoff_ms = 20.0;
+  double reconnect_max_backoff_ms = 1000.0;
+  /// If the master has not been heard from at all this session, re-send the
+  /// hello every this many TTIs (covers a hello lost to a partition that
+  /// raced the connect). 0 = never.
+  std::int64_t hello_retry_ttis = 100;
 };
 
 class Agent final : public stack::EnodebDataPlane::Listener {
@@ -50,10 +66,30 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   Agent(const Agent&) = delete;
   Agent& operator=(const Agent&) = delete;
 
-  /// Attaches the transport to the master and sends the hello. The agent
-  /// also installs itself as the data plane's listener.
+  /// Attaches the transport to the master, opens a new session epoch and
+  /// sends the hello. The agent also installs itself as the data plane's
+  /// listener. Call again (possibly with a different transport) to
+  /// reconnect after disconnect().
   void connect(net::Transport& transport);
+  /// Tears the session down: detaches the transport and clears
+  /// session-scoped state (queued remote decisions, event subscriptions,
+  /// stats registrations -- the master reinstalls them on re-sync). Does
+  /// not schedule a reconnect; crash/restart harnesses drive that.
+  void disconnect();
   bool connected() const { return transport_ != nullptr; }
+
+  /// Supplies transports for automatic reconnection. Returning nullptr
+  /// means "master unreachable, try again later" (exponential backoff).
+  using ReconnectProvider = std::function<net::Transport*()>;
+  void set_reconnect_provider(ReconnectProvider provider) {
+    reconnect_provider_ = std::move(provider);
+  }
+  /// Schedules a reconnect attempt `delay` from now (idempotent while one
+  /// is pending). Used on restart and by the transport-loss handler.
+  void schedule_reconnect(sim::TimeUs delay = 0);
+
+  /// Current session epoch (1 = first connection, bumped every reconnect).
+  std::uint32_t session_epoch() const { return session_epoch_; }
 
   AgentApi& api() { return api_; }
   MacControlModule& mac() { return mac_; }
@@ -87,11 +123,21 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   std::uint64_t remote_decisions_applied() const { return remote_decisions_applied_; }
   std::uint64_t messages_received() const { return messages_received_; }
   std::uint64_t fallback_activations() const { return fallback_activations_; }
+  /// Times the DL scheduler was handed back to remote control after a
+  /// fallback, because master messages resumed.
+  std::uint64_t fallback_recoveries() const { return fallback_recoveries_; }
+  /// Master messages dropped because they carried a stale session epoch.
+  std::uint64_t fenced_messages() const { return fenced_messages_; }
+  std::uint64_t reconnect_attempts() const { return reconnect_attempts_; }
+  std::uint64_t hello_retries() const { return hello_retries_; }
   std::size_t queued_decisions() const { return dl_decision_queue_.size(); }
 
  private:
   void handle_message(std::vector<std::uint8_t> data);
   void handle_envelope(const proto::Envelope& envelope);
+  void send_hello();
+  void on_transport_disconnect(const util::Error& error);
+  void try_reconnect(sim::TimeUs next_backoff);
 
   template <typename M>
   void send_message(const M& message, std::uint32_t xid = 0);
@@ -119,7 +165,17 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   std::uint64_t remote_decisions_applied_ = 0;
   std::uint64_t messages_received_ = 0;
   std::uint64_t fallback_activations_ = 0;
+  std::uint64_t fallback_recoveries_ = 0;
+  std::uint64_t fenced_messages_ = 0;
+  std::uint64_t reconnect_attempts_ = 0;
+  std::uint64_t hello_retries_ = 0;
   std::int64_t last_master_contact_subframe_ = 0;
+  std::int64_t last_hello_subframe_ = 0;
+  std::uint32_t session_epoch_ = 0;
+  bool master_heard_this_session_ = false;
+  bool fallback_active_ = false;
+  bool reconnect_pending_ = false;
+  ReconnectProvider reconnect_provider_;
   HandoverSink handover_sink_;
   std::uint64_t handovers_executed_ = 0;
   std::uint32_t next_xid_ = 1;

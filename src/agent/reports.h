@@ -21,6 +21,9 @@ class ReportsManager {
   /// with flags == 0 cancels the registration.
   void register_request(const proto::StatsRequest& request, std::int64_t current_subframe);
   void cancel_request(std::uint32_t request_id) { registrations_.erase(request_id); }
+  /// Drops every registration -- session-scoped state cleared when the
+  /// control channel is torn down; the master reinstalls on re-sync.
+  void clear() { registrations_.clear(); }
   std::size_t active_registrations() const { return registrations_.size(); }
 
   /// Returns the replies due at `subframe` (runs once per TTI).

@@ -1,5 +1,9 @@
 #include "controller/master.h"
 
+#include <algorithm>
+#include <limits>
+#include <type_traits>
+
 #include "net/framing.h"
 #include "util/logging.h"
 
@@ -19,6 +23,7 @@ AgentId MasterController::add_agent(net::Transport& transport) {
   transport.set_receive_callback([this, id](std::vector<std::uint8_t> data) {
     auto envelope = proto::Envelope::decode(data);
     if (!envelope.ok()) {
+      ++rx_decode_errors_;
       FLEXRAN_LOG(error, "master") << "bad envelope from agent " << id << ": "
                                    << envelope.error().message;
       return;
@@ -28,13 +33,21 @@ AgentId MasterController::add_agent(net::Transport& transport) {
       link_it->second.rx.record(proto::categorize(envelope->type, envelope->body),
                                 data.size() + net::kFrameHeaderBytes);
     }
-    pending_.push_back({id, std::move(*envelope)});
+    pending_.push_back({id, envelope->epoch, std::move(*envelope)});
   });
+  transport.set_disconnect_callback(
+      [this, id](util::Error error) { mark_agent_down(id, error.message); });
   rib_.agent(id).id = id;
   return id;
 }
 
 void MasterController::remove_agent(AgentId id) {
+  // Drop everything still referencing the agent: queued updates, queued
+  // events, and in-flight requests (dropped silently, not failed --
+  // removal is deliberate, not an outage).
+  std::erase_if(pending_, [id](const PendingUpdate& update) { return update.agent == id; });
+  std::erase_if(event_queue_, [id](const Event& event) { return event.agent == id; });
+  std::erase_if(inflight_, [id](const auto& entry) { return entry.second.agent == id; });
   links_.erase(id);
   rib_.remove_agent(id);
 }
@@ -53,11 +66,23 @@ void MasterController::run_cycle() {
       if (agent.last_heard > 0 && !agent.stale &&
           sim_.now() - agent.last_heard > config_.agent_timeout_us) {
         agent.stale = true;
+        if (agent.state == SessionState::up) agent.state = SessionState::stale;
         FLEXRAN_LOG(warn, "master") << "agent " << id << " stale (silent for "
                                     << (sim_.now() - agent.last_heard) / 1000 << " ms)";
       }
     }
   }
+  if (config_.agent_disconnect_timeout_us > 0) {
+    for (auto& [id, link] : links_) {
+      (void)link;
+      AgentNode& agent = rib_.agent(id);
+      if (agent.state != SessionState::down && agent.last_heard > 0 &&
+          sim_.now() - agent.last_heard > config_.agent_disconnect_timeout_us) {
+        mark_agent_down(id, "silent past disconnect timeout");
+      }
+    }
+  }
+  sweep_requests();
   if (config_.echo_period_cycles > 0 && cycle % config_.echo_period_cycles == 0) {
     for (const auto& [id, link] : links_) {
       (void)link;
@@ -103,8 +128,36 @@ void MasterController::apply_update(const PendingUpdate& update) {
   using proto::MessageType;
   const proto::Envelope& envelope = update.envelope;
   AgentNode& agent = rib_.agent(update.agent);
+  // Session fencing: a message carrying an epoch older than the agent's
+  // current session is a straggler from before a restart and must not
+  // mutate the RIB. Epoch 0 is the wildcard (pre-epoch senders).
+  if (update.epoch != 0 && update.epoch < agent.epoch) {
+    ++fenced_updates_;
+    return;
+  }
+  if (update.epoch > agent.epoch && envelope.type != MessageType::hello) {
+    // New-session traffic arrived before its hello (the hello was lost in
+    // flight). Adopt the new session and re-sync rather than waiting for
+    // the agent's hello retry.
+    begin_agent_session(update.agent, update.epoch);
+    agent.state = SessionState::resyncing;
+    agent.stale = false;
+    emit_lifecycle_event(update.agent, proto::EventType::agent_reconnected);
+    resync_agent(update.agent);
+  }
   agent.last_heard = sim_.now();
+  if (agent.state == SessionState::down && envelope.type != MessageType::hello) {
+    // Heard again without a restart: the partition healed. Commands sent
+    // into the outage were lost, so re-sync the agent's session state.
+    // (A hello runs its own re-sync in on_agent_hello.)
+    agent.state = SessionState::resyncing;
+    emit_lifecycle_event(update.agent, proto::EventType::agent_reconnected);
+    resync_agent(update.agent);
+  } else if (agent.state == SessionState::stale) {
+    agent.state = SessionState::up;
+  }
   agent.stale = false;
+  if (envelope.xid != 0) complete_request(update.agent, envelope.xid);
 
   switch (envelope.type) {
     case MessageType::hello: {
@@ -127,6 +180,8 @@ void MasterController::apply_update(const PendingUpdate& update) {
       for (const auto& cell : reply->cells) {
         agent.cells[cell.cell_id].config = cell.to_cell_config();
       }
+      // The config reply is the last leg of the re-sync handshake.
+      if (agent.state == SessionState::resyncing) agent.state = SessionState::up;
       break;
     }
     case MessageType::ue_config_reply: {
@@ -147,6 +202,9 @@ void MasterController::apply_update(const PendingUpdate& update) {
     case MessageType::stats_reply: {
       auto reply = proto::unpack<proto::StatsReply>(envelope);
       if (!reply.ok()) break;
+      // Stats replies do not echo the request xid; the first report
+      // completes the tracked request via its request_id.
+      complete_stats_request(update.agent, reply->request_id);
       if (reply->subframe > agent.last_subframe) {
         agent.last_subframe = reply->subframe;
         agent.last_subframe_at = sim_.now();
@@ -206,14 +264,27 @@ void MasterController::apply_update(const PendingUpdate& update) {
 
 void MasterController::on_agent_hello(AgentId id, const proto::Hello& hello) {
   AgentNode& agent = rib_.agent(id);
+  const bool restarted = hello.epoch > agent.epoch && agent.epoch != 0;
+  const bool was_down = agent.state == SessionState::down;
+  if (hello.epoch > agent.epoch) begin_agent_session(id, hello.epoch);
   agent.enb_id = hello.enb_id;
   agent.name = hello.name;
   agent.capabilities = hello.capabilities;
+  agent.stale = false;
+  agent.state = config_.auto_configure ? SessionState::resyncing : SessionState::up;
+  if (restarted || was_down) {
+    emit_lifecycle_event(id, proto::EventType::agent_reconnected);
+  }
+  resync_agent(id);
+}
 
+// -------------------------------------------------------- session lifecycle
+
+void MasterController::resync_agent(AgentId id) {
   if (config_.auto_configure) {
-    (void)send_to(id, proto::EnbConfigRequest{});
-    (void)send_to(id, proto::UeConfigRequest{});
-    (void)send_to(id, proto::LcConfigRequest{});
+    (void)send_to(id, proto::EnbConfigRequest{}, /*track=*/true);
+    (void)send_to(id, proto::UeConfigRequest{}, /*track=*/true);
+    (void)send_to(id, proto::LcConfigRequest{}, /*track=*/true);
   }
   if (config_.default_stats_request.has_value()) {
     (void)request_stats(id, *config_.default_stats_request);
@@ -221,6 +292,113 @@ void MasterController::on_agent_hello(AgentId id, const proto::Hello& hello) {
   if (!config_.subscribe_events.empty()) {
     (void)subscribe_events(id, config_.subscribe_events, true);
   }
+}
+
+void MasterController::begin_agent_session(AgentId id, std::uint32_t epoch) {
+  AgentNode& agent = rib_.agent(id);
+  if (agent.epoch != 0) {
+    ++agent.reconnects;
+    // Fence the previous session: queued updates and in-flight requests
+    // from the old epoch must neither mutate the RIB nor be retried.
+    purge_pending(id, epoch);
+    fail_agent_requests(id, "session restarted");
+    FLEXRAN_LOG(info, "master") << "agent " << id << " restarted: epoch " << agent.epoch
+                                << " -> " << epoch;
+  }
+  agent.epoch = epoch;
+}
+
+void MasterController::mark_agent_down(AgentId id, const std::string& reason) {
+  AgentNode& agent = rib_.agent(id);
+  if (agent.state == SessionState::down) return;
+  agent.state = SessionState::down;
+  agent.stale = true;
+  // The session is over; whatever it still had queued or outstanding dies
+  // with it. A surviving agent is re-synced when it is heard again.
+  purge_pending(id, std::numeric_limits<std::uint32_t>::max());
+  fail_agent_requests(id, "agent disconnected");
+  emit_lifecycle_event(id, proto::EventType::agent_disconnected);
+  FLEXRAN_LOG(warn, "master") << "agent " << id << " down: " << reason;
+}
+
+void MasterController::purge_pending(AgentId id, std::uint32_t below_epoch) {
+  std::erase_if(pending_, [id, below_epoch](const PendingUpdate& update) {
+    return update.agent == id && update.epoch < below_epoch;
+  });
+}
+
+void MasterController::fail_agent_requests(AgentId id, const char* reason) {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.agent != id) {
+      ++it;
+      continue;
+    }
+    ++requests_failed_;
+    FLEXRAN_LOG(warn, "master") << "request xid " << it->first << " ("
+                                << proto::to_string(it->second.type) << ") to agent " << id
+                                << " failed: " << reason;
+    emit_lifecycle_event(id, proto::EventType::request_timeout, it->first);
+    it = inflight_.erase(it);
+  }
+}
+
+void MasterController::complete_request(AgentId agent, std::uint32_t xid) {
+  auto it = inflight_.find(xid);
+  if (it == inflight_.end() || it->second.agent != agent) return;
+  ++requests_completed_;
+  inflight_.erase(it);
+}
+
+void MasterController::complete_stats_request(AgentId agent, std::uint32_t request_id) {
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if (it->second.agent == agent && it->second.type == proto::MessageType::stats_request &&
+        it->second.request_id == request_id) {
+      ++requests_completed_;
+      inflight_.erase(it);
+      return;
+    }
+  }
+}
+
+void MasterController::sweep_requests() {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    PendingRequest& request = it->second;
+    if (sim_.now() < request.deadline) {
+      ++it;
+      continue;
+    }
+    if (request.attempts < config_.request_max_retries) {
+      ++request.attempts;
+      ++requests_retried_;
+      request.timeout *= 2;  // back off: the link may be congested, not dead
+      request.deadline = sim_.now() + request.timeout;
+      auto link = links_.find(request.agent);
+      if (link != links_.end() && link->second.transport != nullptr) {
+        link->second.tx.record(proto::categorize(request.type, {}),
+                               request.wire.size() + net::kFrameHeaderBytes);
+        (void)link->second.transport->send(request.wire);
+      }
+      ++it;
+    } else {
+      ++requests_failed_;
+      FLEXRAN_LOG(warn, "master") << "request xid " << it->first << " ("
+                                  << proto::to_string(request.type) << ") to agent "
+                                  << request.agent << " timed out after " << request.attempts
+                                  << " retries";
+      emit_lifecycle_event(request.agent, proto::EventType::request_timeout, it->first);
+      it = inflight_.erase(it);
+    }
+  }
+}
+
+void MasterController::emit_lifecycle_event(AgentId id, proto::EventType type,
+                                            std::uint32_t xid) {
+  proto::EventNotification note;
+  note.event = type;
+  note.xid = xid;
+  const auto* agent = rib_.find_agent(id);
+  note.subframe = agent != nullptr ? agent->last_subframe : 0;
+  event_queue_.push_back(Event{id, note});
 }
 
 void MasterController::dispatch_events() {
@@ -234,7 +412,7 @@ void MasterController::dispatch_events() {
 // ------------------------------------------------------------------- sends
 
 template <typename M>
-util::Status MasterController::send_to(AgentId agent, const M& message) {
+util::Status MasterController::send_to(AgentId agent, const M& message, bool track) {
   auto it = links_.find(agent);
   if (it == links_.end() || it->second.transport == nullptr) {
     return util::Error::not_found("no transport for agent");
@@ -244,10 +422,25 @@ util::Status MasterController::send_to(AgentId agent, const M& message) {
   proto::Envelope envelope;
   envelope.type = M::kType;
   envelope.xid = next_xid_++;
+  envelope.epoch = rib_.agent(agent).epoch;
   envelope.body = enc.take();
   const auto wire = envelope.encode();
   it->second.tx.record(proto::categorize(envelope.type, envelope.body),
                        wire.size() + net::kFrameHeaderBytes);
+  if (track && config_.request_timeout_us > 0) {
+    PendingRequest request;
+    request.agent = agent;
+    request.type = M::kType;
+    request.xid = envelope.xid;
+    request.epoch = envelope.epoch;
+    if constexpr (std::is_same_v<M, proto::StatsRequest>) {
+      request.request_id = message.request_id;
+    }
+    request.wire = wire;
+    request.timeout = config_.request_timeout_us;
+    request.deadline = sim_.now() + request.timeout;
+    inflight_.emplace(envelope.xid, std::move(request));
+  }
   return it->second.transport->send(wire);
 }
 
@@ -294,7 +487,7 @@ util::Status MasterController::send_scell_command(AgentId agent,
 }
 
 util::Status MasterController::request_stats(AgentId agent, const proto::StatsRequest& request) {
-  return send_to(agent, request);
+  return send_to(agent, request, /*track=*/true);
 }
 
 util::Status MasterController::subscribe_events(AgentId agent,

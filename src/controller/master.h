@@ -39,6 +39,18 @@ struct MasterConfig {
   /// Mark an agent stale when nothing has been heard from it for this long
   /// (0 = never). Stale agents are skipped by well-behaved apps.
   sim::TimeUs agent_timeout_us = 0;
+  /// Declare a stale agent fully disconnected (state -> down, pending
+  /// updates purged, in-flight requests failed, AGENT_DISCONNECTED emitted)
+  /// after this much silence (0 = never). Transport-notified disconnects
+  /// take this path immediately.
+  sim::TimeUs agent_disconnect_timeout_us = 0;
+  /// Track config/stats requests by xid and retry them when no reply
+  /// arrives within this timeout (doubles per retry). 0 = fire-and-forget
+  /// (the seed behavior).
+  sim::TimeUs request_timeout_us = 0;
+  /// Retries before a tracked request is reported failed via a
+  /// request_timeout event.
+  int request_max_retries = 2;
 };
 
 class MasterController final : public NorthboundApi {
@@ -92,6 +104,19 @@ class MasterController final : public NorthboundApi {
   std::size_t rib_bytes() const { return rib_.approx_bytes(); }
   std::int64_t cycles_run() const { return task_manager_.cycles_run(); }
 
+  // ---- fault-tolerance introspection ----------------------------------------
+  /// Requests currently awaiting a reply (xid-keyed table).
+  std::size_t inflight_requests() const { return inflight_.size(); }
+  std::uint64_t requests_completed() const { return requests_completed_; }
+  std::uint64_t requests_retried() const { return requests_retried_; }
+  /// Requests that exhausted their retries or died with a session.
+  std::uint64_t requests_failed() const { return requests_failed_; }
+  /// Queued/arriving updates dropped because they carried an older session
+  /// epoch than the agent's current one.
+  std::uint64_t fenced_updates() const { return fenced_updates_; }
+  /// Messages whose envelope failed to decode (e.g. corrupted in flight).
+  std::uint64_t rx_decode_errors() const { return rx_decode_errors_; }
+
  private:
   struct AgentLink {
     net::Transport* transport = nullptr;  // not owned
@@ -101,11 +126,29 @@ class MasterController final : public NorthboundApi {
 
   struct PendingUpdate {
     AgentId agent = 0;
+    std::uint32_t epoch = 0;
     proto::Envelope envelope;
   };
 
+  /// A tracked request awaiting its reply: retried with doubling timeout,
+  /// failed (and surfaced as a request_timeout event) when retries run out
+  /// or the session it belongs to ends.
+  struct PendingRequest {
+    AgentId agent = 0;
+    proto::MessageType type = proto::MessageType::hello;
+    std::uint32_t xid = 0;
+    std::uint32_t epoch = 0;
+    /// For stats requests: completion is matched on the reply's request_id
+    /// (stats replies do not echo the xid).
+    std::uint32_t request_id = 0;
+    std::vector<std::uint8_t> wire;
+    sim::TimeUs deadline = 0;
+    sim::TimeUs timeout = 0;
+    int attempts = 0;
+  };
+
   template <typename M>
-  util::Status send_to(AgentId agent, const M& message);
+  util::Status send_to(AgentId agent, const M& message, bool track = false);
 
   /// RIB updater slot body: drains pending updates (bounded by budget in
   /// real-time mode via an update-count proxy).
@@ -113,6 +156,23 @@ class MasterController final : public NorthboundApi {
   void apply_update(const PendingUpdate& update);
   void dispatch_events();
   void on_agent_hello(AgentId id, const proto::Hello& hello);
+
+  // ---- session lifecycle ----------------------------------------------------
+  /// Re-sends the configuration fetch, default stats request and event
+  /// subscriptions (the hello handshake minus identity).
+  void resync_agent(AgentId id);
+  /// Transitions the agent to down: purges its queued updates, fails its
+  /// in-flight requests and emits AGENT_DISCONNECTED.
+  void mark_agent_down(AgentId id, const std::string& reason);
+  /// Starts a new session at `epoch`: fences the old session's queued
+  /// updates and in-flight requests.
+  void begin_agent_session(AgentId id, std::uint32_t epoch);
+  void purge_pending(AgentId id, std::uint32_t below_epoch);
+  void fail_agent_requests(AgentId id, const char* reason);
+  void complete_request(AgentId agent, std::uint32_t xid);
+  void complete_stats_request(AgentId agent, std::uint32_t request_id);
+  void sweep_requests();
+  void emit_lifecycle_event(AgentId id, proto::EventType type, std::uint32_t xid = 0);
 
   sim::Simulator& sim_;
   MasterConfig config_;
@@ -124,10 +184,16 @@ class MasterController final : public NorthboundApi {
   std::deque<PendingUpdate> pending_;
   std::deque<Event> event_queue_;
   std::vector<std::unique_ptr<App>> apps_;
+  std::map<std::uint32_t, PendingRequest> inflight_;
 
   AgentId next_agent_id_ = 1;
   std::uint32_t next_xid_ = 1;
   std::uint64_t updates_applied_ = 0;
+  std::uint64_t requests_completed_ = 0;
+  std::uint64_t requests_retried_ = 0;
+  std::uint64_t requests_failed_ = 0;
+  std::uint64_t fenced_updates_ = 0;
+  std::uint64_t rx_decode_errors_ = 0;
   proto::SignalingAccountant empty_accounting_;
 };
 

@@ -2,6 +2,16 @@
 
 namespace flexran::ctrl {
 
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::up: return "up";
+    case SessionState::stale: return "stale";
+    case SessionState::down: return "down";
+    case SessionState::resyncing: return "resyncing";
+  }
+  return "?";
+}
+
 const AgentNode* Rib::find_agent(AgentId id) const {
   auto it = agents_.find(id);
   return it == agents_.end() ? nullptr : &it->second;

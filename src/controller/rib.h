@@ -22,6 +22,14 @@ namespace flexran::ctrl {
 /// Master-local identifier for a connected agent.
 using AgentId = std::uint32_t;
 
+/// Control-channel session state of an agent, as the master sees it
+/// (docs/fault_tolerance.md): up -> stale (silent too long) -> down
+/// (transport lost or silent past the disconnect timeout) -> resyncing
+/// (heard again; configuration being re-fetched) -> up.
+enum class SessionState : std::uint8_t { up, stale, down, resyncing };
+
+const char* to_string(SessionState state);
+
 struct UeNode {
   lte::Rnti rnti = lte::kInvalidRnti;
   lte::UeConfig config;
@@ -58,6 +66,14 @@ struct AgentNode {
   /// timeout sweep; see MasterConfig::agent_timeout_us).
   sim::TimeUs last_heard = 0;
   bool stale = false;
+
+  /// Full session lifecycle (stale mirrors state == SessionState::stale).
+  SessionState state = SessionState::up;
+  /// Session epoch learned from the agent's hello; messages carrying an
+  /// older epoch are fenced by the RIB updater.
+  std::uint32_t epoch = 0;
+  /// How many times this agent re-established its session.
+  std::uint32_t reconnects = 0;
 };
 
 class Rib {

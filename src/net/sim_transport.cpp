@@ -11,12 +11,22 @@ util::Status SimTransport::send(std::span<const std::uint8_t> message) {
   return {};
 }
 
+void SimTransport::inject_disconnect(util::Error error) {
+  if (disconnect_) disconnect_(std::move(error));
+}
+
 void SimTransport::deliver(std::vector<std::uint8_t> framed) {
+  if (corrupt_remaining_ > 0 && framed.size() > kFrameHeaderBytes) {
+    --corrupt_remaining_;
+    ++frames_corrupted_;
+    for (std::size_t i = kFrameHeaderBytes; i < framed.size(); ++i) framed[i] |= 0x80;
+  }
   auto status = assembler_.feed(framed, [this](std::vector<std::uint8_t> payload) {
     if (receive_) receive_(std::move(payload));
   });
   if (!status.ok()) {
     FLEXRAN_LOG(error, "net") << "sim transport frame error: " << status.error().message;
+    if (disconnect_) disconnect_(status.error());
   }
 }
 

@@ -25,6 +25,7 @@ class SimTransport final : public Transport {
  public:
   util::Status send(std::span<const std::uint8_t> message) override;
   void set_receive_callback(ReceiveFn fn) override { receive_ = std::move(fn); }
+  void set_disconnect_callback(DisconnectFn fn) override { disconnect_ = std::move(fn); }
 
   std::uint64_t messages_sent() const override { return messages_sent_; }
   std::uint64_t bytes_sent() const override { return tx_ ? tx_->bytes_sent() : 0; }
@@ -33,11 +34,23 @@ class SimTransport final : public Transport {
   void set_delay(sim::TimeUs delay) {
     if (tx_) tx_->set_delay(delay);
   }
+  sim::TimeUs delay() const { return tx_ ? tx_->config().delay : 0; }
   /// Partition control: while down, outgoing messages are dropped. The
   /// frame assembler tolerates this because whole frames are dropped.
   void set_down(bool down) {
     if (tx_) tx_->set_down(down);
   }
+  bool down() const { return tx_ != nullptr && tx_->down(); }
+
+  // ---- fault injection -----------------------------------------------------
+  /// Fires this endpoint's disconnect callback, as a dead peer (TCP RST)
+  /// would. The transport itself stays usable; lifecycle is the owner's.
+  void inject_disconnect(util::Error error);
+  /// Corrupts the payload of the next `n` frames delivered to this endpoint
+  /// (every byte gets its top bit set, which is guaranteed to fail envelope
+  /// decoding on non-empty bodies -- an unterminated varint).
+  void corrupt_next(int n) { corrupt_remaining_ += n; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
 
  private:
   friend SimTransportPair make_sim_transport_pair(sim::Simulator& sim,
@@ -48,7 +61,10 @@ class SimTransport final : public Transport {
   std::unique_ptr<sim::SimLink> tx_;
   FrameAssembler assembler_;
   ReceiveFn receive_;
+  DisconnectFn disconnect_;
   std::uint64_t messages_sent_ = 0;
+  int corrupt_remaining_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
 };
 
 /// Creates two endpoints joined by independent directional links (so

@@ -9,6 +9,7 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 
 #include "util/logging.h"
 
@@ -69,17 +70,24 @@ util::Status TcpTransport::send(std::span<const std::uint8_t> message) {
 
 void TcpTransport::set_receive_callback(ReceiveFn fn) { receive_ = std::move(fn); }
 
+void TcpTransport::set_disconnect_callback(DisconnectFn fn) { disconnect_ = std::move(fn); }
+
 void TcpTransport::start() {
   reader_ = std::thread([this] { reader_loop(); });
 }
 
 void TcpTransport::reader_loop() {
   std::array<std::uint8_t, 64 * 1024> chunk{};
+  std::optional<util::Error> failure;
   while (!closed_.load()) {
     const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
-    if (n == 0) break;  // peer closed
+    if (n == 0) {
+      failure = util::Error::transport_failure("peer closed connection");
+      break;
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
+      failure = errno_error("recv");
       break;
     }
     auto status = assembler_.feed(std::span(chunk.data(), static_cast<std::size_t>(n)),
@@ -88,10 +96,16 @@ void TcpTransport::reader_loop() {
                                   });
     if (!status.ok()) {
       FLEXRAN_LOG(error, "net") << "tcp frame error: " << status.error().message;
+      failure = status.error();
       break;
     }
   }
-  closed_.store(true);
+  // A local close() shuts the socket down and makes recv fail; that is an
+  // orderly shutdown, not a connection loss, so the owner is not notified.
+  const bool was_local_close = closed_.exchange(true);
+  if (failure.has_value() && !was_local_close && disconnect_) {
+    disconnect_(std::move(*failure));
+  }
 }
 
 void TcpTransport::close() {

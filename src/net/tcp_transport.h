@@ -34,6 +34,10 @@ class TcpTransport final : public Transport {
 
   util::Status send(std::span<const std::uint8_t> message) override;
   void set_receive_callback(ReceiveFn fn) override;
+  /// The callback runs on the reader thread (same contract as receive),
+  /// exactly once, when the peer closes, the socket errors, or the stream
+  /// carries a corrupt frame. Not invoked by a local close().
+  void set_disconnect_callback(DisconnectFn fn) override;
 
   /// Starts the reader thread. Call after set_receive_callback.
   void start();
@@ -54,6 +58,7 @@ class TcpTransport final : public Transport {
   std::mutex send_mutex_;
   FrameAssembler assembler_;
   ReceiveFn receive_;
+  DisconnectFn disconnect_;
   std::atomic<bool> closed_{false};
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};

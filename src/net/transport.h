@@ -20,6 +20,10 @@ namespace flexran::net {
 class Transport {
  public:
   using ReceiveFn = std::function<void(std::vector<std::uint8_t>)>;
+  /// Invoked once when the connection is irrecoverably gone (peer closed,
+  /// socket error, corrupt framing, injected fault). After it fires, the
+  /// owner should stop using the transport and drive its reconnect logic.
+  using DisconnectFn = std::function<void(util::Error)>;
 
   virtual ~Transport() = default;
 
@@ -27,6 +31,8 @@ class Transport {
   virtual util::Status send(std::span<const std::uint8_t> message) = 0;
   /// Registers the message sink; called once before traffic flows.
   virtual void set_receive_callback(ReceiveFn fn) = 0;
+  /// Registers the disconnect sink (optional; default discards).
+  virtual void set_disconnect_callback(DisconnectFn fn) { (void)fn; }
 
   virtual std::uint64_t messages_sent() const = 0;
   /// Bytes on the wire, including framing.

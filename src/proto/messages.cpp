@@ -112,6 +112,9 @@ const char* to_string(EventType event) {
     case EventType::ue_detach: return "ue_detach";
     case EventType::rach_attempt: return "rach_attempt";
     case EventType::scheduling_request: return "scheduling_request";
+    case EventType::agent_disconnected: return "agent_disconnected";
+    case EventType::agent_reconnected: return "agent_reconnected";
+    case EventType::request_timeout: return "request_timeout";
   }
   return "?";
 }
@@ -124,6 +127,7 @@ std::vector<std::uint8_t> Envelope::encode() const {
   enc.field_varint(2, static_cast<std::uint64_t>(type));
   if (xid != 0) enc.field_varint(3, xid);
   enc.field_bytes(4, body);
+  if (epoch != 0) enc.field_varint(5, epoch);
   return enc.take();
 }
 
@@ -146,6 +150,7 @@ Result<Envelope> Envelope::decode(std::span<const std::uint8_t> data) {
         out.body.assign(bytes->begin(), bytes->end());
         return true;
       }
+      case 5: ASSIGN_VARINT(out.epoch, std::uint32_t); return true;
       default: return false;
     }
   });
@@ -161,6 +166,7 @@ void Hello::encode_body(WireEncoder& enc) const {
   enc.field_string(2, name);
   enc.field_varint(3, n_cells);
   for (const auto& cap : capabilities) enc.field_string(4, cap);
+  if (epoch != 0) enc.field_varint(5, epoch);
 }
 
 Result<Hello> Hello::decode_body(std::span<const std::uint8_t> data) {
@@ -182,6 +188,7 @@ Result<Hello> Hello::decode_body(std::span<const std::uint8_t> data) {
         out.capabilities.push_back(std::move(*s));
         return true;
       }
+      case 5: ASSIGN_VARINT(out.epoch, std::uint32_t); return true;
       default: return false;
     }
   });
@@ -857,6 +864,7 @@ void EventNotification::encode_body(WireEncoder& enc) const {
   enc.field_svarint(2, subframe);
   if (rnti != lte::kInvalidRnti) enc.field_varint(3, rnti);
   if (cell_id != 0) enc.field_varint(4, cell_id);
+  if (xid != 0) enc.field_varint(5, xid);
 }
 
 Result<EventNotification> EventNotification::decode_body(std::span<const std::uint8_t> data) {
@@ -868,6 +876,7 @@ Result<EventNotification> EventNotification::decode_body(std::span<const std::ui
       case 2: ASSIGN_SVARINT(out.subframe); return true;
       case 3: ASSIGN_VARINT(out.rnti, lte::Rnti); return true;
       case 4: ASSIGN_VARINT(out.cell_id, lte::CellId); return true;
+      case 5: ASSIGN_VARINT(out.xid, std::uint32_t); return true;
       default: return false;
     }
   });

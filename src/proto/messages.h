@@ -67,6 +67,12 @@ struct Envelope {
   std::uint8_t version = kProtocolVersion;
   MessageType type = MessageType::hello;
   std::uint32_t xid = 0;
+  /// Session epoch: incremented by the agent on every (re)connect and
+  /// echoed by the master once learned. 0 = epoch-unaware sender (accepted
+  /// everywhere, for compatibility with pre-epoch peers). Receivers fence
+  /// messages carrying an epoch older than the current session, so commands
+  /// and reports in flight across an agent restart cannot be misapplied.
+  std::uint32_t epoch = 0;
   std::vector<std::uint8_t> body;
 
   std::vector<std::uint8_t> encode() const;
@@ -81,6 +87,9 @@ struct Hello {
   std::string name;
   std::uint32_t n_cells = 1;
   std::vector<std::string> capabilities;
+  /// Session epoch of this connection (1 on first connect; higher values
+  /// announce a reconnect and make the master run a full re-sync).
+  std::uint32_t epoch = 0;
 
   void encode_body(WireEncoder& enc) const;
   static util::Result<Hello> decode_body(std::span<const std::uint8_t> data);
@@ -366,6 +375,13 @@ enum class EventType : std::uint8_t {
   ue_detach = 3,
   rach_attempt = 4,
   scheduling_request = 5,
+  // Master-internal lifecycle events (never sent on the wire): surfaced to
+  // applications by the Event Notification Service so they can react to an
+  // agent's control channel going away and coming back.
+  agent_disconnected = 6,
+  agent_reconnected = 7,
+  /// A tracked request exhausted its retries; `xid` identifies it.
+  request_timeout = 8,
 };
 
 struct EventNotification {
@@ -374,6 +390,8 @@ struct EventNotification {
   std::int64_t subframe = 0;
   lte::Rnti rnti = lte::kInvalidRnti;
   lte::CellId cell_id = 0;
+  /// For request_timeout events: the xid of the failed request.
+  std::uint32_t xid = 0;
 
   void encode_body(WireEncoder& enc) const;
   static util::Result<EventNotification> decode_body(std::span<const std::uint8_t> data);

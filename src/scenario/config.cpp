@@ -32,6 +32,18 @@ std::string read_string(const util::YamlNode& node, const char* key,
   return value == nullptr ? fallback : value->as_string();
 }
 
+util::Result<FaultKind> parse_fault_kind(const std::string& name) {
+  if (name == "partition") return FaultKind::partition;
+  if (name == "heal") return FaultKind::heal;
+  if (name == "delay_spike") return FaultKind::delay_spike;
+  if (name == "corrupt") return FaultKind::corrupt;
+  if (name == "crash") return FaultKind::crash;
+  if (name == "restart") return FaultKind::restart;
+  if (name == "flap") return FaultKind::flap;
+  return util::Error::invalid_argument(
+      "fault kind must be partition | heal | delay_spike | corrupt | crash | restart | flap");
+}
+
 }  // namespace
 
 util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
@@ -55,6 +67,17 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
   if (!ahead.ok()) return ahead.error();
   spec.schedule_ahead_sf = static_cast<int>(*ahead);
 
+  auto agent_timeout = read_double(root, "agent_timeout_ms", spec.agent_timeout_ms);
+  if (!agent_timeout.ok()) return agent_timeout.error();
+  spec.agent_timeout_ms = *agent_timeout;
+  auto disconnect_timeout =
+      read_double(root, "agent_disconnect_timeout_ms", spec.agent_disconnect_timeout_ms);
+  if (!disconnect_timeout.ok()) return disconnect_timeout.error();
+  spec.agent_disconnect_timeout_ms = *disconnect_timeout;
+  auto request_timeout = read_double(root, "request_timeout_ms", spec.request_timeout_ms);
+  if (!request_timeout.ok()) return request_timeout.error();
+  spec.request_timeout_ms = *request_timeout;
+
   const auto* enbs = root.find("enbs");
   if (enbs == nullptr || !enbs->is_sequence() || enbs->items().empty()) {
     return util::Error::invalid_argument("scenario needs a non-empty 'enbs' sequence");
@@ -70,6 +93,13 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
     auto delay = read_double(item, "control_delay_ms", 0.0);
     if (!delay.ok()) return delay.error();
     enb.control_delay_ms = *delay;
+    auto fallback = read_int(item, "remote_fallback_ttis", enb.remote_fallback_ttis);
+    if (!fallback.ok()) return fallback.error();
+    if (*fallback < 0) {
+      return util::Error::invalid_argument("remote_fallback_ttis must be >= 0");
+    }
+    enb.remote_fallback_ttis = *fallback;
+    enb.fallback_scheduler = read_string(item, "fallback_scheduler", enb.fallback_scheduler);
     spec.enbs.push_back(std::move(enb));
   }
 
@@ -128,11 +158,54 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
       spec.ues.push_back(std::move(ue));
     }
   }
+
+  const auto* faults = root.find("faults");
+  if (faults != nullptr) {
+    if (!faults->is_sequence()) {
+      return util::Error::invalid_argument("'faults' must be a sequence");
+    }
+    for (const auto& item : faults->items()) {
+      FaultEvent fault;
+      auto at = read_double(item, "at_s", fault.at_s);
+      if (!at.ok()) return at.error();
+      if (*at < 0) return util::Error::invalid_argument("fault at_s must be >= 0");
+      fault.at_s = *at;
+      auto kind = parse_fault_kind(read_string(item, "kind", "partition"));
+      if (!kind.ok()) return kind.error();
+      fault.kind = *kind;
+      auto enb = read_int(item, "enb", fault.enb);
+      if (!enb.ok()) return enb.error();
+      fault.enb = static_cast<int>(*enb);
+      if (fault.enb >= 0 && static_cast<std::size_t>(fault.enb) >= spec.enbs.size()) {
+        return util::Error::invalid_argument("fault references unknown enb index " +
+                                             std::to_string(fault.enb));
+      }
+      auto duration = read_double(item, "duration_s", fault.duration_s);
+      if (!duration.ok()) return duration.error();
+      fault.duration_s = *duration;
+      auto delay = read_double(item, "delay_ms", fault.delay_ms);
+      if (!delay.ok()) return delay.error();
+      fault.delay_ms = *delay;
+      auto count = read_int(item, "count", fault.count);
+      if (!count.ok()) return count.error();
+      if (*count < 1) return util::Error::invalid_argument("fault count must be >= 1");
+      fault.count = static_cast<int>(*count);
+      auto fault_period = read_double(item, "period_s", fault.period_s);
+      if (!fault_period.ok()) return fault_period.error();
+      if (*fault_period <= 0) return util::Error::invalid_argument("period_s must be > 0");
+      fault.period_s = *fault_period;
+      spec.faults.push_back(fault);
+    }
+  }
   return spec;
 }
 
 ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
-  Testbed testbed(per_tti_master_config(spec.stats_period_ttis));
+  ctrl::MasterConfig master_config = per_tti_master_config(spec.stats_period_ttis);
+  master_config.agent_timeout_us = sim::from_ms(spec.agent_timeout_ms);
+  master_config.agent_disconnect_timeout_us = sim::from_ms(spec.agent_disconnect_timeout_ms);
+  master_config.request_timeout_us = sim::from_ms(spec.request_timeout_ms);
+  Testbed testbed(std::move(master_config));
   if (spec.remote_scheduler) {
     apps::RemoteSchedulerConfig config;
     config.schedule_ahead_sf = spec.schedule_ahead_sf;
@@ -147,6 +220,8 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
     out.agent.name = enb_spec.name;
     out.agent.dl_scheduler = spec.remote_scheduler ? "remote" : enb_spec.dl_scheduler;
     out.agent.ul_scheduler = enb_spec.ul_scheduler;
+    out.agent.remote_fallback_ttis = enb_spec.remote_fallback_ttis;
+    out.agent.fallback_scheduler = enb_spec.fallback_scheduler;
     out.uplink.delay = sim::from_ms(enb_spec.control_delay_ms);
     out.downlink.delay = sim::from_ms(enb_spec.control_delay_ms);
     enb_index[enb_spec.enb_id] = testbed.enbs().size();
@@ -208,6 +283,9 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
     }
   }
 
+  FaultInjector injector(testbed);
+  injector.schedule_all(spec.faults);
+
   testbed.run_seconds(spec.duration_s);
 
   ScenarioRunSummary summary;
@@ -237,6 +315,18 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
   }
   summary.uplink_signaling_mbps = Metrics::mbps(up_bytes, spec.duration_s);
   summary.downlink_signaling_mbps = Metrics::mbps(down_bytes, spec.duration_s);
+  summary.faults_injected = injector.faults_injected();
+  summary.requests_retried = testbed.master().requests_retried();
+  summary.requests_failed = testbed.master().requests_failed();
+  summary.fenced_updates = testbed.master().fenced_updates();
+  for (auto& enb : testbed.enbs()) {
+    ++summary.agents_total;
+    const auto* node = testbed.master().rib().find_agent(enb->agent_id);
+    if (node != nullptr) {
+      summary.agent_reconnects += node->reconnects;
+      if (node->state == ctrl::SessionState::up) ++summary.agents_up;
+    }
+  }
   return summary;
 }
 
@@ -253,6 +343,16 @@ std::string format_summary(const ScenarioRunSummary& summary) {
       static_cast<long long>(summary.master_cycles),
       static_cast<unsigned long long>(summary.rib_updates), summary.uplink_signaling_mbps,
       summary.downlink_signaling_mbps, summary.duration_s);
+  if (summary.faults_injected > 0) {
+    out += util::format(
+        "chaos: %llu faults, %u agent reconnects, %llu retries, %llu failed requests, "
+        "%llu fenced updates; %d/%d agents re-synced\n",
+        static_cast<unsigned long long>(summary.faults_injected), summary.agent_reconnects,
+        static_cast<unsigned long long>(summary.requests_retried),
+        static_cast<unsigned long long>(summary.requests_failed),
+        static_cast<unsigned long long>(summary.fenced_updates), summary.agents_up,
+        summary.agents_total);
+  }
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/fault_injector.h"
 #include "scenario/testbed.h"
 
 namespace flexran::scenario {
@@ -32,6 +33,10 @@ struct ScenarioEnbSpec {
   std::string dl_scheduler = "local_rr";
   std::string ul_scheduler = "local_rr";
   double control_delay_ms = 0.0;
+  /// Agent autonomy under faults: fall back to a local DL scheduler when
+  /// the master has been silent this many TTIs (0 = off).
+  long long remote_fallback_ttis = 0;
+  std::string fallback_scheduler = "local_rr";
 };
 
 struct ScenarioUeSpec {
@@ -55,6 +60,14 @@ struct ScenarioSpec {
   /// Run the centralized scheduler app at the master.
   bool remote_scheduler = false;
   int schedule_ahead_sf = 2;
+  // ---- fault tolerance (docs/fault_tolerance.md) ----------------------------
+  /// Master: mark agents stale / down after this much silence (0 = never).
+  double agent_timeout_ms = 0.0;
+  double agent_disconnect_timeout_ms = 0.0;
+  /// Master: track requests and retry after this timeout (0 = off).
+  double request_timeout_ms = 0.0;
+  /// Scripted chaos timeline, executed by a FaultInjector during the run.
+  std::vector<FaultEvent> faults;
   std::vector<ScenarioEnbSpec> enbs;
   std::vector<ScenarioUeSpec> ues;
 };
@@ -80,6 +93,15 @@ struct ScenarioRunSummary {
   /// Aggregate agent->master / master->agent signaling, Mb/s.
   double uplink_signaling_mbps = 0.0;
   double downlink_signaling_mbps = 0.0;
+  // ---- fault-tolerance outcome (non-zero only for chaos scenarios) ----------
+  std::uint64_t faults_injected = 0;
+  std::uint32_t agent_reconnects = 0;
+  std::uint64_t requests_retried = 0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t fenced_updates = 0;
+  /// Agents whose session is fully re-synced (state up) at the end.
+  int agents_up = 0;
+  int agents_total = 0;
 };
 
 /// Builds the testbed from the spec, runs it, and collects the summary.

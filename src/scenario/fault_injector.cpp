@@ -1,0 +1,120 @@
+#include "scenario/fault_injector.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace flexran::scenario {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::partition: return "partition";
+    case FaultKind::heal: return "heal";
+    case FaultKind::delay_spike: return "delay_spike";
+    case FaultKind::corrupt: return "corrupt";
+    case FaultKind::crash: return "crash";
+    case FaultKind::restart: return "restart";
+    case FaultKind::flap: return "flap";
+  }
+  return "?";
+}
+
+void FaultInjector::schedule(const FaultEvent& event) {
+  testbed_->sim().at(sim::from_seconds(event.at_s), [this, event] { apply(event); });
+}
+
+template <typename Fn>
+void FaultInjector::for_each_target(int enb, Fn&& fn) {
+  auto& enbs = testbed_->enbs();
+  if (enb >= 0) {
+    if (static_cast<std::size_t>(enb) < enbs.size()) fn(*enbs[enb]);
+    return;
+  }
+  for (auto& target : enbs) fn(*target);
+}
+
+void FaultInjector::note(const FaultEvent& event, const std::string& extra) {
+  LogEntry entry;
+  entry.at = testbed_->sim().now();
+  entry.description = util::format("%s enb=%d%s", to_string(event.kind), event.enb,
+                                   extra.empty() ? "" : (" " + extra).c_str());
+  FLEXRAN_LOG(info, "chaos") << "t=" << sim::to_seconds(entry.at) << "s inject "
+                             << entry.description;
+  log_.push_back(std::move(entry));
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::partition: {
+      note(event, event.duration_s > 0
+                      ? util::format("for %.3fs", event.duration_s)
+                      : std::string());
+      for_each_target(event.enb, [](Testbed::Enb& enb) { enb.set_control_down(true); });
+      if (event.duration_s > 0) {
+        FaultEvent heal = event;
+        heal.kind = FaultKind::heal;
+        heal.at_s = sim::to_seconds(testbed_->sim().now()) + event.duration_s;
+        schedule(heal);
+      }
+      break;
+    }
+    case FaultKind::heal:
+      note(event);
+      for_each_target(event.enb, [](Testbed::Enb& enb) { enb.set_control_down(false); });
+      break;
+    case FaultKind::delay_spike: {
+      note(event, util::format("to %.1fms", event.delay_ms));
+      // Capture per-eNodeB baselines so the revert restores asymmetric
+      // configurations correctly.
+      std::vector<std::pair<Testbed::Enb*, sim::TimeUs>> baselines;
+      for_each_target(event.enb, [&](Testbed::Enb& enb) {
+        baselines.emplace_back(&enb, enb.master_side->delay());
+        enb.set_control_latency(sim::from_ms(event.delay_ms));
+      });
+      if (event.duration_s > 0) {
+        testbed_->sim().after(sim::from_seconds(event.duration_s), [baselines] {
+          for (const auto& [enb, delay] : baselines) enb->set_control_latency(delay);
+        });
+      }
+      break;
+    }
+    case FaultKind::corrupt:
+      note(event, util::format("%d frames", event.count));
+      for_each_target(event.enb, [&](Testbed::Enb& enb) {
+        enb.master_side->corrupt_next(event.count);
+        enb.agent_side->corrupt_next(event.count);
+      });
+      break;
+    case FaultKind::crash:
+      note(event, event.duration_s > 0
+                      ? util::format("restart in %.3fs", event.duration_s)
+                      : std::string());
+      for_each_target(event.enb, [](Testbed::Enb& enb) { enb.crash_agent(); });
+      if (event.duration_s > 0) {
+        FaultEvent restart = event;
+        restart.kind = FaultKind::restart;
+        restart.at_s = sim::to_seconds(testbed_->sim().now()) + event.duration_s;
+        schedule(restart);
+      }
+      break;
+    case FaultKind::restart:
+      note(event);
+      for_each_target(event.enb, [](Testbed::Enb& enb) { enb.restart_agent(); });
+      break;
+    case FaultKind::flap: {
+      note(event, util::format("%d cycles of %.3fs", event.count, event.period_s));
+      const sim::TimeUs period = sim::from_seconds(event.period_s);
+      for (int cycle = 0; cycle < event.count; ++cycle) {
+        const sim::TimeUs down_at = 2 * cycle * period;
+        testbed_->sim().after(down_at, [this, event] {
+          for_each_target(event.enb, [](Testbed::Enb& enb) { enb.set_control_down(true); });
+        });
+        testbed_->sim().after(down_at + period, [this, event] {
+          for_each_target(event.enb, [](Testbed::Enb& enb) { enb.set_control_down(false); });
+        });
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace flexran::scenario

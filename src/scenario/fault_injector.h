@@ -1,0 +1,82 @@
+// Chaos-injection harness (docs/fault_tolerance.md): scripts control-plane
+// faults against a Testbed from a declarative timeline -- partitions, link
+// flaps, delay spikes, message corruption, and agent crash/restart. Every
+// injected fault lands as an ordinary simulator event, so chaos runs are
+// fully deterministic and replayable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/testbed.h"
+
+namespace flexran::scenario {
+
+enum class FaultKind {
+  /// Control channel down both ways; heals after duration_s (if > 0).
+  partition,
+  /// Control channel back up (explicit heal; partitions with a duration
+  /// heal themselves).
+  heal,
+  /// One-way latency jumps to delay_ms; restores after duration_s (if > 0).
+  delay_spike,
+  /// The next `count` frames delivered at each endpoint arrive corrupted.
+  corrupt,
+  /// Agent process crash: session torn down, nothing reconnects until a
+  /// restart fault (or restart_after_s).
+  crash,
+  /// Restart a crashed agent (new session epoch, reconnect with backoff).
+  restart,
+  /// `count` down/up cycles of period_s each (rapid link flapping).
+  flap,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  /// When the fault fires, seconds of simulated time.
+  double at_s = 0.0;
+  FaultKind kind = FaultKind::partition;
+  /// Target eNodeB index in the testbed; -1 = every eNodeB.
+  int enb = -1;
+  /// Auto-revert horizon for partition / delay_spike; crash uses it as
+  /// restart_after_s. 0 = no auto-revert.
+  double duration_s = 0.0;
+  /// delay_spike: one-way latency while spiking.
+  double delay_ms = 0.0;
+  /// corrupt: frames to corrupt per endpoint; flap: down/up cycles.
+  int count = 1;
+  /// flap: length of each down (and each up) phase.
+  double period_s = 0.05;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Testbed& testbed) : testbed_(&testbed) {}
+
+  /// Schedules one fault on the testbed's simulator timeline.
+  void schedule(const FaultEvent& event);
+  void schedule_all(const std::vector<FaultEvent>& events) {
+    for (const auto& event : events) schedule(event);
+  }
+
+  struct LogEntry {
+    sim::TimeUs at = 0;
+    std::string description;
+  };
+  /// Everything injected so far, in firing order.
+  const std::vector<LogEntry>& log() const { return log_; }
+  std::uint64_t faults_injected() const { return log_.size(); }
+
+ private:
+  void apply(const FaultEvent& event);
+  /// Applies `fn` to the targeted eNodeB(s); `enb == -1` fans out.
+  template <typename Fn>
+  void for_each_target(int enb, Fn&& fn);
+  void note(const FaultEvent& event, const std::string& extra = "");
+
+  Testbed* testbed_;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace flexran::scenario

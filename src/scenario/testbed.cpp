@@ -34,6 +34,13 @@ Testbed::Enb& Testbed::add_enb(EnbSpec spec) {
   enb->agent_side = enb->transports.b.get();
   enb->agent_id = master_.add_agent(*enb->master_side);
   enb->agent->connect(*enb->agent_side);
+  net::SimTransport* agent_side = enb->agent_side;
+  enb->agent->set_reconnect_provider([agent_side]() -> net::Transport* {
+    // A real TCP connect to the master fails while the channel is
+    // partitioned; refuse until the uplink heals so reconnect backoff is
+    // exercised the way a deployment would see it.
+    return agent_side->down() ? nullptr : agent_side;
+  });
 
   stack::EnodebDataPlane* dp = enb->data_plane.get();
   const lte::EnbId enb_id = spec.enb.enb_id;

@@ -64,6 +64,13 @@ class Testbed {
       master_side->set_down(down);
       agent_side->set_down(down);
     }
+    /// Simulates an agent process crash: the session ends and all
+    /// session-scoped agent state is lost. Nothing reconnects until
+    /// restart_agent().
+    void crash_agent() { agent->disconnect(); }
+    /// Restarts a crashed agent: reconnects through the reconnect provider
+    /// (new session epoch), backing off while the channel is partitioned.
+    void restart_agent() { agent->schedule_reconnect(); }
   };
 
   explicit Testbed(ctrl::MasterConfig master_config = {});

@@ -1,0 +1,503 @@
+// Control-channel fault tolerance (docs/fault_tolerance.md): session
+// epochs and fencing, master-side disconnect detection and re-sync,
+// request timeout/retry, agent reconnect with backoff, fallback
+// re-promotion, and the end-to-end chaos run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/remote_scheduler.h"
+#include "net/sim_transport.h"
+#include "scenario/fault_injector.h"
+#include "scenario/testbed.h"
+
+namespace flexran {
+namespace {
+
+using ctrl::SessionState;
+
+// Records lifecycle events delivered through the event notification
+// service, as a fault-aware controller application would consume them.
+class LifecycleRecorder final : public ctrl::App {
+ public:
+  std::string_view name() const override { return "lifecycle_recorder"; }
+  void on_event(const ctrl::Event& event, ctrl::NorthboundApi&) override {
+    switch (event.notification.event) {
+      case proto::EventType::agent_disconnected:
+        disconnected.push_back(event.agent);
+        break;
+      case proto::EventType::agent_reconnected:
+        reconnected.push_back(event.agent);
+        break;
+      case proto::EventType::request_timeout:
+        timed_out_xids.push_back(event.notification.xid);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<ctrl::AgentId> disconnected;
+  std::vector<ctrl::AgentId> reconnected;
+  std::vector<std::uint32_t> timed_out_xids;
+};
+
+scenario::EnbSpec basic_spec(lte::EnbId id = 1) {
+  scenario::EnbSpec spec;
+  spec.enb.enb_id = id;
+  spec.enb.cells[0].cell_id = id;
+  spec.agent.name = "ft-" + std::to_string(id);
+  return spec;
+}
+
+stack::UeProfile fixed_ue(int cqi, std::int64_t attach_after = 1) {
+  stack::UeProfile profile;
+  profile.dl_channel = std::make_unique<phy::FixedCqiChannel>(cqi);
+  profile.attach_after_ttis = attach_after;
+  return profile;
+}
+
+std::vector<std::uint8_t> make_stale_stats_reply(std::uint32_t epoch, std::int64_t subframe) {
+  proto::StatsReply reply;
+  reply.request_id = 1;
+  reply.subframe = subframe;
+  proto::WireEncoder enc;
+  reply.encode_body(enc);
+  proto::Envelope envelope;
+  envelope.type = proto::MessageType::stats_reply;
+  envelope.xid = 0;
+  envelope.epoch = epoch;
+  envelope.body = enc.take();
+  return envelope.encode();
+}
+
+// ----------------------------------------------------------- session epochs --
+
+TEST(SessionLifecycle, ReconnectBumpsEpochAndMasterResyncs) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.add_ue(0, fixed_ue(12));
+  testbed.run_ttis(50);
+
+  EXPECT_EQ(enb.agent->session_epoch(), 1u);
+  const auto* node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->epoch, 1u);
+  EXPECT_EQ(node->state, SessionState::up);
+  EXPECT_GT(enb.agent->reports().active_registrations(), 0u);
+
+  enb.crash_agent();
+  EXPECT_FALSE(enb.agent->connected());
+  // Session-scoped agent state dies with the session.
+  EXPECT_EQ(enb.agent->reports().active_registrations(), 0u);
+  EXPECT_EQ(enb.agent->queued_decisions(), 0u);
+
+  testbed.run_ttis(20);
+  enb.restart_agent();
+  testbed.run_ttis(50);
+
+  EXPECT_TRUE(enb.agent->connected());
+  EXPECT_EQ(enb.agent->session_epoch(), 2u);
+  node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->epoch, 2u);
+  EXPECT_EQ(node->reconnects, 1u);
+  EXPECT_EQ(node->state, SessionState::up);
+  EXPECT_FALSE(node->stale);
+  // The master reinstalled the default stats request on re-sync.
+  EXPECT_GT(enb.agent->reports().active_registrations(), 0u);
+}
+
+TEST(SessionLifecycle, StaleEpochUpdatesAreFencedFromRib) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.add_ue(0, fixed_ue(12));
+  testbed.run_ttis(30);
+
+  enb.crash_agent();
+  enb.restart_agent();
+  testbed.run_ttis(30);
+  ASSERT_EQ(enb.agent->session_epoch(), 2u);
+
+  // A straggler from the pre-restart session: old epoch, absurd subframe.
+  const std::int64_t sentinel = 77'777'777;
+  ASSERT_TRUE(enb.agent_side->send(make_stale_stats_reply(/*epoch=*/1, sentinel)).ok());
+  const auto fenced_before = testbed.master().fenced_updates();
+  testbed.run_ttis(20);
+
+  EXPECT_EQ(testbed.master().fenced_updates(), fenced_before + 1);
+  const auto* node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_LT(node->last_subframe, sentinel);
+
+  // Current-epoch traffic still lands.
+  EXPECT_EQ(node->state, SessionState::up);
+}
+
+TEST(SessionLifecycle, AgentFencesStaleMasterMessages) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.run_ttis(30);
+
+  enb.crash_agent();
+  enb.restart_agent();
+  testbed.run_ttis(5);
+  ASSERT_EQ(enb.agent->session_epoch(), 2u);
+
+  // A master command addressed to the previous incarnation of the agent.
+  proto::StatsRequest request;
+  request.request_id = 99;
+  request.mode = proto::ReportMode::periodic;
+  request.periodicity_ttis = 1;
+  request.flags = proto::stats_flags::kAll;
+  proto::WireEncoder enc;
+  request.encode_body(enc);
+  proto::Envelope envelope;
+  envelope.type = proto::MessageType::stats_request;
+  envelope.xid = 4242;
+  envelope.epoch = 1;  // stale
+  envelope.body = enc.take();
+  const auto fenced_before = enb.agent->fenced_messages();
+  ASSERT_TRUE(enb.master_side->send(envelope.encode()).ok());
+  testbed.run_ttis(10);
+
+  EXPECT_EQ(enb.agent->fenced_messages(), fenced_before + 1);
+}
+
+TEST(SessionLifecycle, CorruptedHelloIsRecoveredByHelloRetry) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.run_ttis(30);
+
+  // The restart hello arrives corrupted at the master; nothing else from
+  // the new session is in flight, so only the agent's hello retry (and the
+  // epoch fence on the master's old-epoch sends) can recover the session.
+  enb.master_side->corrupt_next(1);
+  enb.crash_agent();
+  enb.restart_agent();
+  const auto decode_errors_before = testbed.master().rx_decode_errors();
+  testbed.run_ttis(5);
+  EXPECT_EQ(testbed.master().rx_decode_errors(), decode_errors_before + 1);
+
+  testbed.run_ttis(enb.agent->config().hello_retry_ttis + 50);
+  EXPECT_GE(enb.agent->hello_retries(), 1u);
+  const auto* node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->epoch, 2u);
+  EXPECT_EQ(node->state, SessionState::up);
+}
+
+TEST(SessionLifecycle, ReconnectBacksOffWhilePartitioned) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.run_ttis(20);
+
+  enb.set_control_down(true);
+  enb.crash_agent();
+  enb.restart_agent();
+  testbed.run_ttis(300);
+  // The reconnect provider refuses while the channel is down; backoff
+  // keeps attempts bounded (20ms initial, doubling to the 1s cap).
+  EXPECT_GE(enb.agent->reconnect_attempts(), 3u);
+  EXPECT_LE(enb.agent->reconnect_attempts(), 12u);
+  EXPECT_FALSE(enb.agent->connected());
+
+  enb.set_control_down(false);
+  testbed.run_ttis(1200);
+  EXPECT_TRUE(enb.agent->connected());
+  EXPECT_EQ(enb.agent->session_epoch(), 2u);
+  const auto* node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->state, SessionState::up);
+}
+
+// ------------------------------------------------- disconnect detection --
+
+TEST(SessionLifecycle, SilenceWalksUpStaleDownAndBackWithEvents) {
+  ctrl::MasterConfig config = scenario::per_tti_master_config();
+  config.agent_timeout_us = sim::from_ms(30);
+  config.agent_disconnect_timeout_us = sim::from_ms(100);
+  scenario::Testbed testbed(std::move(config));
+  auto* recorder = static_cast<LifecycleRecorder*>(
+      testbed.master().add_app(std::make_unique<LifecycleRecorder>()));
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.run_ttis(20);
+
+  enb.set_control_down(true);
+  testbed.run_ttis(150);  // past the 100 ms disconnect timeout
+  const auto* node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->state, SessionState::down);
+  EXPECT_TRUE(node->stale);
+  ASSERT_EQ(recorder->disconnected.size(), 1u);
+  EXPECT_EQ(recorder->disconnected[0], enb.agent_id);
+  EXPECT_TRUE(recorder->reconnected.empty());
+
+  enb.set_control_down(false);
+  testbed.run_ttis(60);
+  node = testbed.master().rib().find_agent(enb.agent_id);
+  EXPECT_EQ(node->state, SessionState::up);
+  EXPECT_FALSE(node->stale);
+  ASSERT_EQ(recorder->reconnected.size(), 1u);
+  EXPECT_EQ(recorder->reconnected[0], enb.agent_id);
+  // Same session resumed: the partition did not force a new epoch.
+  EXPECT_EQ(node->epoch, 1u);
+  EXPECT_EQ(enb.agent->session_epoch(), 1u);
+}
+
+// ------------------------------------------------------ request tracking --
+
+TEST(RequestTracking, TimedOutRequestIsRetriedAndCompletes) {
+  ctrl::MasterConfig config = scenario::per_tti_master_config();
+  config.agent_timeout_us = sim::from_ms(30);
+  config.agent_disconnect_timeout_us = sim::from_ms(80);
+  config.request_timeout_us = sim::from_ms(20);
+  scenario::Testbed testbed(std::move(config));
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.add_ue(0, fixed_ue(12));
+  testbed.run_ttis(50);
+  ASSERT_EQ(testbed.master().requests_retried(), 0u);
+
+  // Partition long enough to go down, then corrupt the first re-sync
+  // requests after the heal: their replies never come and the timeout /
+  // retry path must recover them.
+  enb.set_control_down(true);
+  testbed.run_ttis(120);
+  enb.agent_side->corrupt_next(2);  // agent_side receives master->agent
+  enb.set_control_down(false);
+  testbed.run_ttis(200);
+
+  EXPECT_GE(testbed.master().requests_retried(), 1u);
+  EXPECT_EQ(testbed.master().requests_failed(), 0u);
+  EXPECT_EQ(testbed.master().inflight_requests(), 0u);
+  const auto* node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->state, SessionState::up);
+}
+
+TEST(RequestTracking, ExhaustedRetriesSurfaceRequestTimeoutEvent) {
+  ctrl::MasterConfig config = scenario::per_tti_master_config();
+  config.request_timeout_us = sim::from_ms(10);
+  config.request_max_retries = 2;
+  scenario::Testbed testbed(std::move(config));
+  auto* recorder = static_cast<LifecycleRecorder*>(
+      testbed.master().add_app(std::make_unique<LifecycleRecorder>()));
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.run_ttis(20);
+
+  enb.set_control_down(true);
+  proto::StatsRequest request;
+  request.request_id = 55;
+  request.mode = proto::ReportMode::one_off;
+  request.flags = proto::stats_flags::kAll;
+  ASSERT_TRUE(testbed.master().request_stats(enb.agent_id, request).ok());
+  EXPECT_EQ(testbed.master().inflight_requests(), 1u);
+
+  testbed.run_ttis(100);
+  EXPECT_EQ(testbed.master().inflight_requests(), 0u);
+  EXPECT_EQ(testbed.master().requests_retried(), 2u);
+  EXPECT_EQ(testbed.master().requests_failed(), 1u);
+  ASSERT_EQ(recorder->timed_out_xids.size(), 1u);
+  EXPECT_NE(recorder->timed_out_xids[0], 0u);
+  enb.set_control_down(false);
+}
+
+TEST(RequestTracking, RemoveAgentPurgesQueuesAndInflight) {
+  // Raw master without a ticker: received updates pile up in pending_ and
+  // queued events stay queued, so remove_agent's purge is observable.
+  sim::Simulator sim;
+  ctrl::MasterConfig config = scenario::per_tti_master_config();
+  config.request_timeout_us = sim::from_ms(50);
+  ctrl::MasterController master(sim, config);
+  auto* recorder =
+      static_cast<LifecycleRecorder*>(master.add_app(std::make_unique<LifecycleRecorder>()));
+  auto link_a = net::make_sim_transport_pair(sim);
+  auto link_b = net::make_sim_transport_pair(sim);
+  const auto first = master.add_agent(*link_a.a);
+  const auto second = master.add_agent(*link_b.a);
+
+  ASSERT_TRUE(link_a.b->send(make_stale_stats_reply(/*epoch=*/0, 100)).ok());
+  ASSERT_TRUE(link_a.b->send(make_stale_stats_reply(/*epoch=*/0, 101)).ok());
+  ASSERT_TRUE(link_b.b->send(make_stale_stats_reply(/*epoch=*/0, 100)).ok());
+  sim.run();
+  EXPECT_EQ(master.pending_updates(), 3u);
+
+  proto::StatsRequest request;
+  request.request_id = 7;
+  request.mode = proto::ReportMode::one_off;
+  request.flags = proto::stats_flags::kAll;
+  ASSERT_TRUE(master.request_stats(first, request).ok());
+  ASSERT_TRUE(master.request_stats(second, request).ok());
+  EXPECT_EQ(master.inflight_requests(), 2u);
+
+  // The transport dies: the agent's session ends. Its in-flight request
+  // fails and its queued updates are purged, but the AGENT_DISCONNECTED
+  // event is now sitting in the event queue.
+  link_a.a->inject_disconnect(util::Error::transport_failure("peer reset"));
+  EXPECT_EQ(master.pending_updates(), 1u);
+  EXPECT_EQ(master.inflight_requests(), 1u);
+  const auto failed = master.requests_failed();
+  EXPECT_EQ(failed, 1u);
+
+  // More state accumulates for the doomed agent before the removal.
+  ASSERT_TRUE(link_a.b->send(make_stale_stats_reply(/*epoch=*/0, 102)).ok());
+  sim.run();
+  ASSERT_TRUE(master.request_stats(first, request).ok());
+  EXPECT_EQ(master.pending_updates(), 2u);
+  EXPECT_EQ(master.inflight_requests(), 2u);
+
+  master.remove_agent(first);
+  EXPECT_EQ(master.pending_updates(), 1u);    // only the other agent's update
+  EXPECT_EQ(master.inflight_requests(), 1u);  // only the other agent's request
+  // Administrative removal drops the request without reporting a failure.
+  EXPECT_EQ(master.requests_failed(), failed);
+
+  master.run_cycle();
+  // The queued lifecycle event was purged with the agent: apps never see
+  // events for an agent that no longer exists.
+  EXPECT_TRUE(recorder->disconnected.empty());
+}
+
+// ------------------------------------------------------ fallback two-way --
+
+TEST(Fallback, RemoteSchedulerRepromotedAfterOutage) {
+  ctrl::MasterConfig config = scenario::per_tti_master_config();
+  scenario::Testbed testbed(std::move(config));
+  apps::RemoteSchedulerConfig app_config;
+  app_config.schedule_ahead_sf = 4;
+  testbed.master().add_app(std::make_unique<apps::RemoteSchedulerApp>(app_config));
+
+  scenario::EnbSpec spec = basic_spec();
+  spec.agent.dl_scheduler = "remote";
+  spec.agent.remote_fallback_ttis = 20;
+  spec.agent.fallback_scheduler = "local_rr";
+  auto& enb = testbed.add_enb(spec);
+  const auto rnti = testbed.add_ue(0, fixed_ue(12));
+  // Keep the DL queue non-empty: the remote scheduler only sends decisions
+  // for UEs with data, and those per-TTI decisions are the master contact
+  // that keeps the agent from falling back.
+  auto* dp = enb.data_plane.get();
+  testbed.on_tti([&testbed, dp, rnti](std::int64_t) {
+    const auto* ue = dp->ue(rnti);
+    if (ue != nullptr && ue->dl_queue.total_bytes() < 60'000) {
+      (void)testbed.epc().downlink(rnti, 60'000);
+    }
+  });
+  testbed.run_ttis(50);
+  ASSERT_EQ(enb.agent->mac().active_implementation(agent::MacControlModule::kDlSchedulerSlot),
+            "remote");
+
+  enb.set_control_down(true);
+  testbed.run_ttis(60);
+  EXPECT_EQ(enb.agent->fallback_activations(), 1u);
+  EXPECT_EQ(enb.agent->mac().active_implementation(agent::MacControlModule::kDlSchedulerSlot),
+            "local_rr");
+
+  enb.set_control_down(false);
+  testbed.run_ttis(60);
+  // Master messages resumed: the DL scheduler is handed back to remote
+  // control without any operator intervention.
+  EXPECT_EQ(enb.agent->fallback_recoveries(), 1u);
+  EXPECT_EQ(enb.agent->mac().active_implementation(agent::MacControlModule::kDlSchedulerSlot),
+            "remote");
+}
+
+// ------------------------------------------------------------- chaos run --
+
+TEST(Chaos, ScriptedFaultsEndFullyRecovered) {
+  ctrl::MasterConfig config = scenario::per_tti_master_config(/*stats_period_ttis=*/2);
+  config.agent_timeout_us = sim::from_ms(50);
+  config.agent_disconnect_timeout_us = sim::from_ms(200);
+  config.request_timeout_us = sim::from_ms(30);
+  scenario::Testbed testbed(std::move(config));
+  auto* recorder = static_cast<LifecycleRecorder*>(
+      testbed.master().add_app(std::make_unique<LifecycleRecorder>()));
+  apps::RemoteSchedulerConfig app_config;
+  app_config.schedule_ahead_sf = 8;
+  testbed.master().add_app(std::make_unique<apps::RemoteSchedulerApp>(app_config));
+
+  for (lte::EnbId id = 1; id <= 2; ++id) {
+    scenario::EnbSpec spec = basic_spec(id);
+    spec.agent.dl_scheduler = "remote";
+    spec.agent.remote_fallback_ttis = 30;
+    spec.agent.fallback_scheduler = "local_rr";
+    spec.uplink.delay = sim::from_ms(2);
+    spec.downlink.delay = sim::from_ms(2);
+    testbed.add_enb(spec);
+  }
+  const auto ue_a = testbed.add_ue(0, fixed_ue(15));
+  const auto ue_b = testbed.add_ue(1, fixed_ue(12, /*attach_after=*/2));
+  auto saturate = [&](std::size_t index, lte::Rnti rnti) {
+    auto* dp = testbed.enb(index).data_plane.get();
+    testbed.on_tti([&testbed, dp, rnti](std::int64_t) {
+      const auto* ue = dp->ue(rnti);
+      if (ue != nullptr && ue->dl_queue.total_bytes() < 60'000) {
+        (void)testbed.epc().downlink(rnti, 60'000);
+      }
+    });
+  };
+  saturate(0, ue_a);
+  saturate(1, ue_b);
+
+  scenario::FaultInjector injector(testbed);
+  injector.schedule_all({
+      {.at_s = 0.5, .kind = scenario::FaultKind::partition, .enb = 0, .duration_s = 0.4},
+      {.at_s = 0.89, .kind = scenario::FaultKind::corrupt, .enb = 0, .count = 2},
+      {.at_s = 1.2, .kind = scenario::FaultKind::delay_spike, .enb = 1, .duration_s = 0.3,
+       .delay_ms = 20.0},
+      {.at_s = 1.8, .kind = scenario::FaultKind::flap, .enb = 0, .count = 3, .period_s = 0.05},
+      {.at_s = 2.5, .kind = scenario::FaultKind::crash, .enb = 1, .duration_s = 0.25},
+  });
+
+  testbed.run_seconds(3.5);  // final heal is the crash restart at ~2.75s
+
+  // After the crashed agent restarts, throw a pre-restart-epoch straggler
+  // at the master; it must not mutate the RIB.
+  auto& crashed = testbed.enb(1);
+  ASSERT_EQ(crashed.agent->session_epoch(), 2u);
+  const std::int64_t sentinel = 88'888'888;
+  const auto fenced_before = testbed.master().fenced_updates();
+  ASSERT_TRUE(crashed.agent_side->send(make_stale_stats_reply(/*epoch=*/1, sentinel)).ok());
+
+  const std::uint64_t bytes_a_before =
+      testbed.metrics().total_bytes(1, ue_a, lte::Direction::downlink);
+  const std::uint64_t bytes_b_before =
+      testbed.metrics().total_bytes(2, ue_b, lte::Direction::downlink);
+  testbed.run_seconds(1.0);
+
+  // 1. Every agent ends re-synced, not stale.
+  for (auto& enb : testbed.enbs()) {
+    const auto* node = testbed.master().rib().find_agent(enb->agent_id);
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->state, SessionState::up) << "agent " << enb->agent_id;
+    EXPECT_FALSE(node->stale);
+    EXPECT_EQ(node->epoch, enb->agent->session_epoch());
+    EXPECT_TRUE(enb->agent->connected());
+  }
+
+  // 2. No pre-restart-epoch message mutated the RIB.
+  EXPECT_EQ(testbed.master().fenced_updates(), fenced_before + 1);
+  EXPECT_LT(testbed.master().rib().find_agent(crashed.agent_id)->last_subframe, sentinel);
+
+  // 3. Every timed-out request was retried to completion or reported
+  //    failed; nothing is left dangling.
+  EXPECT_EQ(testbed.master().inflight_requests(), 0u);
+  EXPECT_EQ(recorder->timed_out_xids.size(), testbed.master().requests_failed());
+
+  // 4. Lifecycle events reached the apps.
+  EXPECT_GE(recorder->reconnected.size(), 1u);
+
+  // 5. UE throughput recovered after the final heal: both cells moved
+  //    real traffic in the last simulated second (remote scheduling at
+  //    CQI >= 12 sustains well over 4 Mb/s; a dead control plane would
+  //    strand the remote-scheduled cells near zero).
+  const double mbps_a = scenario::Metrics::mbps(
+      testbed.metrics().total_bytes(1, ue_a, lte::Direction::downlink) - bytes_a_before, 1.0);
+  const double mbps_b = scenario::Metrics::mbps(
+      testbed.metrics().total_bytes(2, ue_b, lte::Direction::downlink) - bytes_b_before, 1.0);
+  EXPECT_GT(mbps_a, 4.0);
+  EXPECT_GT(mbps_b, 4.0);
+}
+
+}  // namespace
+}  // namespace flexran

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -165,6 +170,39 @@ TEST(SimTransport, RuntimeDelayChange) {
   EXPECT_EQ(arrivals[1], sim::from_ms(35));
 }
 
+TEST(SimTransport, InjectDisconnectFiresCallback) {
+  sim::Simulator simulator;
+  auto pair = make_sim_transport_pair(simulator);
+  int disconnects = 0;
+  std::string reason;
+  pair.b->set_disconnect_callback([&](util::Error error) {
+    reason = error.message;
+    ++disconnects;
+  });
+  pair.b->inject_disconnect(util::Error::transport_failure("injected peer reset"));
+  EXPECT_EQ(disconnects, 1);
+  EXPECT_EQ(reason, "injected peer reset");
+}
+
+TEST(SimTransport, CorruptedFrameFiresDisconnectCallback) {
+  sim::Simulator simulator;
+  auto pair = make_sim_transport_pair(simulator);
+  int received = 0;
+  int disconnects = 0;
+  pair.b->set_receive_callback([&](std::vector<std::uint8_t>) { ++received; });
+  pair.b->set_disconnect_callback([&](util::Error) { ++disconnects; });
+
+  pair.b->corrupt_next(1);
+  ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{1, 2, 3}).ok());
+  ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{4, 5}).ok());
+  simulator.run();
+  // The corrupted frame reaches the assembler but its payload is mangled;
+  // frame boundaries survive, so the next frame still arrives.
+  EXPECT_EQ(pair.b->frames_corrupted(), 1u);
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(disconnects, 0);
+}
+
 // ----------------------------------------------------------- tcp transport --
 
 TEST(TcpTransport, ConnectSendReceive) {
@@ -253,6 +291,103 @@ TEST(TcpTransport, ManyMessagesSurviveSegmentation) {
   EXPECT_TRUE(in_order.load());
 
   (*client)->close();
+  server_side->close();
+}
+
+TEST(TcpTransport, PeerCloseFiresDisconnectCallback) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread server([&] {
+    auto accepted = (*listener)->accept();
+    ASSERT_TRUE(accepted.ok());
+    server_side = std::move(*accepted);
+    server_side->start();
+  });
+  auto client = TcpTransport::connect("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  server.join();
+
+  std::atomic<int> disconnects{0};
+  std::string reason;
+  (*client)->set_disconnect_callback([&](util::Error error) {
+    reason = error.message;
+    disconnects.fetch_add(1);
+  });
+  (*client)->set_receive_callback([](std::vector<std::uint8_t>) {});
+  (*client)->start();
+
+  server_side->close();  // orderly peer shutdown -> recv() == 0 at the client
+  for (int i = 0; i < 200 && disconnects.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(disconnects.load(), 1);
+  EXPECT_NE(reason.find("peer closed"), std::string::npos) << reason;
+  (*client)->close();
+}
+
+TEST(TcpTransport, LocalCloseDoesNotFireDisconnectCallback) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread server([&] {
+    auto accepted = (*listener)->accept();
+    ASSERT_TRUE(accepted.ok());
+    server_side = std::move(*accepted);
+  });
+  auto client = TcpTransport::connect("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  server.join();
+
+  std::atomic<int> disconnects{0};
+  (*client)->set_disconnect_callback([&](util::Error) { disconnects.fetch_add(1); });
+  (*client)->set_receive_callback([](std::vector<std::uint8_t>) {});
+  (*client)->start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  (*client)->close();  // deliberate local teardown, not a failure
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(disconnects.load(), 0);
+  server_side->close();
+}
+
+TEST(TcpTransport, CorruptFrameLengthFiresDisconnectCallback) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread server([&] {
+    auto accepted = (*listener)->accept();
+    ASSERT_TRUE(accepted.ok());
+    server_side = std::move(*accepted);
+  });
+
+  // A raw socket peer lets us write a length prefix far beyond
+  // kMaxFrameBytes -- a corrupt stream no framed sender would produce.
+  const int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*listener)->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  server.join();
+
+  std::atomic<int> disconnects{0};
+  std::string reason;
+  server_side->set_disconnect_callback([&](util::Error error) {
+    reason = error.message;
+    disconnects.fetch_add(1);
+  });
+  server_side->set_receive_callback([](std::vector<std::uint8_t>) {});
+  server_side->start();
+
+  const std::uint8_t bogus_header[4] = {0xff, 0xff, 0xff, 0xff};  // 4 GiB frame
+  ASSERT_EQ(::send(raw, bogus_header, sizeof(bogus_header), 0), 4);
+  for (int i = 0; i < 200 && disconnects.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(disconnects.load(), 1);
+  EXPECT_FALSE(reason.empty());
+  ::close(raw);
   server_side->close();
 }
 

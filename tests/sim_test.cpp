@@ -207,5 +207,107 @@ TEST(SimLink, CountsTraffic) {
   EXPECT_EQ(link.bytes_sent(), 30u);
 }
 
+// ----------------------------------------------------- partition semantics --
+
+TEST(SimLink, PartitionDropsOutright) {
+  Simulator sim;
+  SimLink link(sim, {.delay = from_ms(5)});
+  int received = 0;
+  link.set_deliver([&](std::vector<std::uint8_t>) { ++received; });
+  link.set_down(true);
+  EXPECT_TRUE(link.down());
+  link.send({1});
+  link.send({2});
+  sim.run();
+  // Dropped at send time: no delivery, no retransmission, not counted as
+  // sent traffic.
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(link.packets_dropped(), 2u);
+  EXPECT_EQ(link.packets_retransmitted(), 0u);
+  EXPECT_EQ(link.packets_sent(), 0u);
+  EXPECT_EQ(link.bytes_sent(), 0u);
+}
+
+TEST(SimLink, CountersAccumulateAcrossDownUpToggles) {
+  Simulator sim;
+  SimLink link(sim, {.delay = from_ms(1)});
+  std::vector<int> received;
+  link.set_deliver([&](std::vector<std::uint8_t> data) { received.push_back(data[0]); });
+
+  sim.at(0, [&] { link.send({0}); });
+  sim.at(from_ms(10), [&] {
+    link.set_down(true);
+    link.send({1});  // dropped
+  });
+  sim.at(from_ms(20), [&] {
+    link.set_down(false);
+    link.send({2});
+  });
+  sim.at(from_ms(30), [&] {
+    link.set_down(true);
+    link.send({3});  // dropped
+    link.send({4});  // dropped
+  });
+  sim.at(from_ms(40), [&] {
+    link.set_down(false);
+    link.send({5});
+  });
+  sim.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 2, 5}));
+  EXPECT_EQ(link.packets_dropped(), 3u);
+  EXPECT_EQ(link.packets_sent(), 3u);
+}
+
+TEST(SimLink, InFlightPacketSurvivesPartitionStart) {
+  Simulator sim;
+  SimLink link(sim, {.delay = from_ms(10)});
+  int received = 0;
+  link.set_deliver([&](std::vector<std::uint8_t>) { ++received; });
+  // The packet is on the wire when the partition starts: it was already
+  // past the failure point and still arrives (like a packet beyond the cut
+  // in a real network).
+  sim.at(0, [&] { link.send({1}); });
+  sim.at(from_ms(1), [&] { link.set_down(true); });
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(link.packets_dropped(), 0u);
+}
+
+TEST(SimLink, JitterAndLossTogetherPreserveFifoOrder) {
+  Simulator sim;
+  // Retransmission pushes a lost packet a full RTT back while jitter
+  // scatters its neighbors; FIFO delivery must still hold.
+  SimLink link(sim, {.delay = from_ms(5), .jitter = from_ms(4), .loss = 0.3, .seed = 99});
+  std::vector<int> received;
+  link.set_deliver([&](std::vector<std::uint8_t> data) { received.push_back(data[0]); });
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i) {
+    sim.at(i * from_ms(2), [&link, i] { link.send({static_cast<std::uint8_t>(i % 256)}); });
+  }
+  sim.run();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], i % 256) << "reordered at " << i;
+  }
+  EXPECT_GT(link.packets_retransmitted(), 0u);
+  EXPECT_EQ(link.packets_dropped(), 0u);
+}
+
+TEST(SimLink, LossDuringPartitionWindowDoesNotRetransmit) {
+  Simulator sim;
+  SimLink link(sim, {.delay = from_ms(5), .loss = 0.9, .seed = 7});
+  int received = 0;
+  link.set_deliver([&](std::vector<std::uint8_t>) { ++received; });
+  link.set_down(true);
+  for (int i = 0; i < 50; ++i) link.send({0});
+  link.set_down(false);
+  sim.run();
+  // While the path is gone there is no TCP-style recovery: packets are
+  // dropped before the loss model ever sees them.
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(link.packets_dropped(), 50u);
+  EXPECT_EQ(link.packets_retransmitted(), 0u);
+}
+
 }  // namespace
 }  // namespace flexran::sim

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the tree under ASan+UBSan (and optionally TSan),
+# runs the full ctest suite, and drives the chaos scenario through the
+# instrumented flexran-sim binary.
+#
+# Usage:
+#   tools/check.sh                 # address,undefined (the default)
+#   tools/check.sh thread          # thread sanitizer instead
+#   FLEXRAN_CHECK_JOBS=4 tools/check.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+sanitize="${1:-address,undefined}"
+build_dir="${repo_root}/build-sanitize-${sanitize//,/-}"
+jobs="${FLEXRAN_CHECK_JOBS:-$(nproc)}"
+
+echo "== configure (${sanitize}) -> ${build_dir}"
+cmake -B "${build_dir}" -S "${repo_root}" -DFLEXRAN_SANITIZE="${sanitize}" >/dev/null
+
+echo "== build"
+cmake --build "${build_dir}" -j "${jobs}"
+
+echo "== ctest"
+(cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+
+echo "== chaos scenario under ${sanitize}"
+"${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_recovery.yaml"
+
+echo "== OK (${sanitize})"
