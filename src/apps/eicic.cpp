@@ -128,9 +128,9 @@ void EicicCoordinatorApp::on_start(ctrl::NorthboundApi& api) {
   }
 }
 
-std::uint64_t EicicCoordinatorApp::estimated_backlog(ctrl::NorthboundApi& api,
+std::uint64_t EicicCoordinatorApp::estimated_backlog(const ctrl::RibSnapshot& rib,
                                                      ctrl::AgentId small) {
-  const auto* agent = api.rib().find_agent(small);
+  const auto* agent = rib.find_agent(small);
   if (agent == nullptr) return 0;
   std::uint64_t reported = 0;
   bool pending_retx = false;
@@ -199,7 +199,8 @@ proto::DlMacConfig EicicCoordinatorApp::build_rr_decision(const ctrl::AgentNode&
 void EicicCoordinatorApp::on_cycle(std::int64_t /*cycle*/, ctrl::NorthboundApi& api) {
   if (config_.mode != EicicMode::optimized) return;  // static modes need no cycle work
 
-  const auto* macro = api.rib().find_agent(config_.macro);
+  const auto rib = api.rib_snapshot();
+  const auto* macro = rib->find_agent(config_.macro);
   if (macro == nullptr || macro->last_subframe == 0) return;
 
   const std::int64_t target = macro->last_subframe + config_.schedule_ahead_sf;
@@ -214,9 +215,9 @@ void EicicCoordinatorApp::on_cycle(std::int64_t /*cycle*/, ctrl::NorthboundApi& 
     // Coordinated ABS scheduling: small cells first.
     bool any_small_scheduled = false;
     for (const auto small : config_.small_cells) {
-      const std::uint64_t backlog = estimated_backlog(api, small);
+      const std::uint64_t backlog = estimated_backlog(*rib, small);
       if (backlog == 0) continue;
-      const auto* agent = api.rib().find_agent(small);
+      const auto* agent = rib->find_agent(small);
       if (agent == nullptr) continue;
       auto decision = build_rr_decision(*agent, last, /*use_protected_cqi=*/true, backlog);
       if (decision.dcis.empty()) continue;

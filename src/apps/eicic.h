@@ -79,7 +79,7 @@ class EicicCoordinatorApp final : public ctrl::App {
   /// bytes this app already granted in decisions the report cannot reflect
   /// yet (in flight past the report's subframe). Without this correction
   /// the stale RIB view would waste almost every reclaimable ABS.
-  std::uint64_t estimated_backlog(ctrl::NorthboundApi& api, ctrl::AgentId small);
+  std::uint64_t estimated_backlog(const ctrl::RibSnapshot& rib, ctrl::AgentId small);
   proto::DlMacConfig build_rr_decision(const ctrl::AgentNode& agent, std::int64_t target,
                                        bool use_protected_cqi, std::uint64_t backlog_cap);
 

@@ -10,15 +10,16 @@ bool LsaControllerApp::incumbent_active_at(double now_seconds) const {
 }
 
 void LsaControllerApp::apply(ctrl::NorthboundApi& api, bool active) {
+  const auto rib = api.rib_snapshot();
   std::vector<ctrl::AgentId> scope = config_.agents;
   if (scope.empty()) {
-    for (const auto& [id, agent] : api.rib().agents()) {
+    for (const auto& [id, agent] : rib->agents()) {
       (void)agent;
       scope.push_back(id);
     }
   }
   for (const auto agent_id : scope) {
-    const auto* agent = api.rib().find_agent(agent_id);
+    const auto* agent = rib->find_agent(agent_id);
     proto::CarrierRestriction restriction;
     restriction.cell_id =
         agent != nullptr && !agent->cells.empty() ? agent->cells.begin()->first : 0;

@@ -32,7 +32,8 @@ double sustainable_bitrate_mbps(const CqiBitrateTable& table, double cqi) {
 
 void MecDashApp::on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) {
   if (config_.period_cycles > 0 && cycle % config_.period_cycles != 0) return;
-  const auto* agent = api.rib().find_agent(config_.agent);
+  const auto rib = api.rib_snapshot();
+  const auto* agent = rib->find_agent(config_.agent);
   if (agent == nullptr) return;
   for (const auto& [cell_id, cell] : agent->cells) {
     (void)cell_id;

@@ -3,9 +3,10 @@
 namespace flexran::apps {
 
 std::map<lte::CellId, MobilityManagerApp::CellRef> MobilityManagerApp::index_cells(
-    const ctrl::Rib& rib) const {
+    const ctrl::RibSnapshot& rib) const {
   std::map<lte::CellId, CellRef> index;
-  for (const auto& [agent_id, agent] : rib.agents()) {
+  for (const auto& [agent_id, agent_node] : rib.agents()) {
+    const auto& agent = *agent_node;
     for (const auto& [cell_id, cell] : agent.cells) {
       CellRef ref;
       ref.agent = agent_id;
@@ -19,10 +20,12 @@ std::map<lte::CellId, MobilityManagerApp::CellRef> MobilityManagerApp::index_cel
 
 void MobilityManagerApp::on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) {
   if (config_.period_cycles > 0 && cycle % config_.period_cycles != 0) return;
-  const auto cells = index_cells(api.rib());
+  const auto rib = api.rib_snapshot();
+  const auto cells = index_cells(*rib);
 
-  for (const auto& [agent_id, agent] : api.rib().agents()) {
-    if (agent.stale) continue;
+  for (const auto& [agent_id, agent_node] : rib->agents()) {
+    const auto& agent = *agent_node;
+    if (agent.is_stale()) continue;
     for (const auto& [serving_cell_id, cell] : agent.cells) {
       for (const auto& [rnti, ue] : cell.ues) {
         if (ue.stats.rsrp.empty()) continue;

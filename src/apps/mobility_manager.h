@@ -43,7 +43,7 @@ class MobilityManagerApp final : public ctrl::App {
     std::uint32_t connected_ues = 0;
   };
   /// Cell -> owning agent and load, rebuilt per evaluation.
-  std::map<lte::CellId, CellRef> index_cells(const ctrl::Rib& rib) const;
+  std::map<lte::CellId, CellRef> index_cells(const ctrl::RibSnapshot& rib) const;
 
   MobilityManagerConfig config_;
   /// Time-to-trigger streaks, keyed (agent, rnti).

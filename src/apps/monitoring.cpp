@@ -6,7 +6,9 @@ void MonitoringApp::on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) {
   if (period_ > 0 && cycle % period_ != 0) return;
   ++snapshots_;
   summaries_.clear();
-  for (const auto& [id, agent] : api.rib().agents()) {
+  const auto rib = api.rib_snapshot();
+  for (const auto& [id, agent_node] : rib->agents()) {
+    const auto& agent = *agent_node;
     AgentSummary summary;
     double cqi_sum = 0.0;
     for (const auto& [cell_id, cell] : agent.cells) {

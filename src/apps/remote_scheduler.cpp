@@ -8,18 +8,19 @@
 namespace flexran::apps {
 
 void RemoteSchedulerApp::on_cycle(std::int64_t /*cycle*/, ctrl::NorthboundApi& api) {
+  const auto rib = api.rib_snapshot();
   std::vector<ctrl::AgentId> scope = config_.agents;
   if (scope.empty()) {
-    for (const auto& [id, agent] : api.rib().agents()) {
+    for (const auto& [id, agent] : rib->agents()) {
       (void)agent;
       scope.push_back(id);
     }
   }
 
   for (const auto agent_id : scope) {
-    const auto* agent = api.rib().find_agent(agent_id);
+    const auto* agent = rib->find_agent(agent_id);
     if (agent == nullptr || agent->last_subframe == 0) continue;  // not synced yet
-    if (agent->stale) continue;  // unreachable; its fallback VSF has control
+    if (agent->is_stale()) continue;  // unreachable; its fallback VSF has control
 
     const std::int64_t observed = agent->last_subframe;
     const std::int64_t target = observed + config_.schedule_ahead_sf;

@@ -6,6 +6,16 @@
 //
 // Applications are periodic (driven every task-manager cycle), event-based
 // (driven by the Event Notification Service), or both.
+//
+// Concurrency contract (docs/controller_concurrency.md): on_cycle may run
+// on a worker thread, concurrently with other apps of the same priority
+// tier and with the RIB Updater of the next cycle. Apps therefore read the
+// network state through rib_snapshot() (immutable) and their own members
+// (each app instance runs on at most one thread at a time), and commands
+// issued during on_cycle are enqueued into a per-cycle batch the
+// coordinator flushes in deterministic (priority, registration, enqueue)
+// order -- app code never touches a transport from a worker thread.
+// on_start and on_event always run on the coordinator thread.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +25,7 @@
 #include <vector>
 
 #include "controller/rib.h"
+#include "controller/rib_snapshot.h"
 #include "lte/abs.h"
 #include "proto/messages.h"
 #include "util/result.h"
@@ -32,7 +43,13 @@ class NorthboundApi {
   virtual ~NorthboundApi() = default;
 
   // ---- monitoring ----------------------------------------------------------
-  virtual const Rib& rib() const = 0;
+  /// The network view applications read: an immutable, versioned snapshot
+  /// published by the RIB Updater at the end of its slot. Within one
+  /// on_cycle() call the snapshot is pinned (every read sees the same
+  /// version); the updater may already be building the next version
+  /// concurrently. Never null. Applications have no access to the mutable
+  /// Rib -- the single-writer rule is enforced by the type system.
+  virtual std::shared_ptr<const RibSnapshot> rib_snapshot() const = 0;
   virtual sim::TimeUs now() const = 0;
   /// Latest subframe the agent reported (master's, possibly stale, view).
   virtual std::int64_t agent_subframe(AgentId agent) const = 0;

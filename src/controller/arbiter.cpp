@@ -6,6 +6,7 @@ util::Status ConflictArbiter::claim_dl(AgentId agent, const proto::DlMacConfig& 
   lte::RbAllocation combined;
   for (const auto& dci : config.dcis) {
     if (dci.rbs.overlaps(combined)) {
+      std::lock_guard<std::mutex> lock(mu_);
       ++conflicts_;
       return util::Error::conflict("decision overlaps itself (rnti " +
                                    std::to_string(dci.rnti) + ")");
@@ -13,6 +14,7 @@ util::Status ConflictArbiter::claim_dl(AgentId agent, const proto::DlMacConfig& 
     combined.merge(dci.rbs);
   }
   const auto key = std::pair{agent, config.target_subframe};
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = claims_.find(key);
   if (it != claims_.end() && it->second.overlaps(combined)) {
     ++conflicts_;
@@ -29,10 +31,21 @@ util::Status ConflictArbiter::claim_dl(AgentId agent, const proto::DlMacConfig& 
 }
 
 void ConflictArbiter::prune_before(AgentId agent, std::int64_t subframe) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = claims_.lower_bound(std::pair{agent, std::int64_t{0}});
   while (it != claims_.end() && it->first.first == agent && it->first.second < subframe) {
     it = claims_.erase(it);
   }
+}
+
+std::uint64_t ConflictArbiter::conflicts_detected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conflicts_;
+}
+
+std::size_t ConflictArbiter::open_claims() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claims_.size();
 }
 
 }  // namespace flexran::ctrl

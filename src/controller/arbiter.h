@@ -7,12 +7,19 @@
 // claimed by already-accepted downlink MAC configs. A decision that
 // overlaps existing claims -- or overlaps itself -- is rejected before it
 // reaches the wire. Because the Task Manager runs applications in priority
-// order, time-critical apps naturally claim resources first and lower
-// priority apps get the conflict error.
+// order (a lower priority tier starts only after the tier above finished),
+// time-critical apps naturally claim resources first and lower priority
+// apps get the conflict error.
+//
+// Thread safety: claims happen at command-enqueue time, which with a
+// parallel application slot means concurrently from worker threads (apps
+// of one priority tier) and from the coordinator (the master's direct send
+// path, the prune sweep). All state is guarded by an internal mutex.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "controller/rib.h"
 #include "lte/allocation.h"
@@ -25,16 +32,17 @@ class ConflictArbiter {
  public:
   /// Validates `config` against existing claims and, when clean, records
   /// its PRBs. Errors: conflict (overlap with an earlier claim or within
-  /// the message itself).
+  /// the message itself). Thread-safe; claim-or-reject is atomic.
   util::Status claim_dl(AgentId agent, const proto::DlMacConfig& config);
 
   /// Drops bookkeeping for subframes the agent has already passed.
   void prune_before(AgentId agent, std::int64_t subframe);
 
-  std::uint64_t conflicts_detected() const { return conflicts_; }
-  std::size_t open_claims() const { return claims_.size(); }
+  std::uint64_t conflicts_detected() const;
+  std::size_t open_claims() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::pair<AgentId, std::int64_t>, lte::RbAllocation> claims_;
   std::uint64_t conflicts_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "controller/master.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <type_traits>
 
@@ -14,8 +15,29 @@ MasterController::MasterController(sim::Simulator& sim, MasterConfig config)
       config_(std::move(config)),
       task_manager_(
           config_.task_manager,
-          [this](std::int64_t budget_us) { return drain_pending(budget_us); },
-          [this] { dispatch_events(); }) {}
+          [this](std::int64_t budget_us) {
+            // The updater slot ends by publishing the cycle's snapshot --
+            // the version the applications dispatched this cycle will read.
+            const std::size_t applied = drain_pending(budget_us);
+            publish_snapshot();
+            return applied;
+          },
+          [this] { dispatch_events(); }) {
+  task_manager_.set_snapshot_source([this] { return snapshots_.current(); },
+                                    [this] { return sim_.now(); });
+  task_manager_.set_command_hooks(BatchingNorthbound::Hooks{
+      // Enqueue-time arbitration (worker threads; the arbiter is
+      // thread-safe) so apps observe conflicts synchronously...
+      [this](AgentId agent, const proto::DlMacConfig& dl) -> util::Status {
+        if (!config_.conflict_resolution) return {};
+        return arbiter_.claim_dl(agent, dl);
+      },
+      // ...and the flush-time send skips the claim it already made.
+      [this](AgentId agent, const proto::DlMacConfig& dl) { return send_to(agent, dl); },
+  });
+}
+
+MasterController::~MasterController() { task_manager_.shutdown(); }
 
 AgentId MasterController::add_agent(net::Transport& transport) {
   const AgentId id = next_agent_id_++;
@@ -38,10 +60,14 @@ AgentId MasterController::add_agent(net::Transport& transport) {
   transport.set_disconnect_callback(
       [this, id](util::Error error) { mark_agent_down(id, error.message); });
   rib_.agent(id).id = id;
+  dirty_agents_.insert(id);
+  rib_structure_changed_ = true;
   return id;
 }
 
 void MasterController::remove_agent(AgentId id) {
+  dirty_agents_.erase(id);
+  rib_structure_changed_ = true;
   // Drop everything still referencing the agent: queued updates, queued
   // events, and in-flight requests (dropped silently, not failed --
   // removal is deliberate, not an outage).
@@ -63,10 +89,10 @@ void MasterController::run_cycle() {
     for (auto& [id, link] : links_) {
       (void)link;
       AgentNode& agent = rib_.agent(id);
-      if (agent.last_heard > 0 && !agent.stale &&
+      if (agent.last_heard > 0 && !agent.is_stale() &&
           sim_.now() - agent.last_heard > config_.agent_timeout_us) {
-        agent.stale = true;
-        if (agent.state == SessionState::up) agent.state = SessionState::stale;
+        agent.state = SessionState::stale;
+        dirty_agents_.insert(id);
         FLEXRAN_LOG(warn, "master") << "agent " << id << " stale (silent for "
                                     << (sim_.now() - agent.last_heard) / 1000 << " ms)";
       }
@@ -124,6 +150,16 @@ std::size_t MasterController::drain_pending(std::int64_t budget_us) {
   return applied;
 }
 
+void MasterController::publish_snapshot() {
+  const auto start = std::chrono::steady_clock::now();
+  snapshots_.publish(rib_, dirty_agents_, rib_structure_changed_);
+  dirty_agents_.clear();
+  rib_structure_changed_ = false;
+  snapshot_publish_time_.add(
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 void MasterController::apply_update(const PendingUpdate& update) {
   using proto::MessageType;
   const proto::Envelope& envelope = update.envelope;
@@ -135,13 +171,13 @@ void MasterController::apply_update(const PendingUpdate& update) {
     ++fenced_updates_;
     return;
   }
+  dirty_agents_.insert(update.agent);
   if (update.epoch > agent.epoch && envelope.type != MessageType::hello) {
     // New-session traffic arrived before its hello (the hello was lost in
     // flight). Adopt the new session and re-sync rather than waiting for
     // the agent's hello retry.
     begin_agent_session(update.agent, update.epoch);
     agent.state = SessionState::resyncing;
-    agent.stale = false;
     emit_lifecycle_event(update.agent, proto::EventType::agent_reconnected);
     resync_agent(update.agent);
   }
@@ -156,7 +192,6 @@ void MasterController::apply_update(const PendingUpdate& update) {
   } else if (agent.state == SessionState::stale) {
     agent.state = SessionState::up;
   }
-  agent.stale = false;
   if (envelope.xid != 0) complete_request(update.agent, envelope.xid);
 
   switch (envelope.type) {
@@ -270,7 +305,6 @@ void MasterController::on_agent_hello(AgentId id, const proto::Hello& hello) {
   agent.enb_id = hello.enb_id;
   agent.name = hello.name;
   agent.capabilities = hello.capabilities;
-  agent.stale = false;
   agent.state = config_.auto_configure ? SessionState::resyncing : SessionState::up;
   if (restarted || was_down) {
     emit_lifecycle_event(id, proto::EventType::agent_reconnected);
@@ -312,7 +346,7 @@ void MasterController::mark_agent_down(AgentId id, const std::string& reason) {
   AgentNode& agent = rib_.agent(id);
   if (agent.state == SessionState::down) return;
   agent.state = SessionState::down;
-  agent.stale = true;
+  dirty_agents_.insert(id);
   // The session is over; whatever it still had queued or outstanding dies
   // with it. A surviving agent is re-synced when it is heard again.
   purge_pending(id, std::numeric_limits<std::uint32_t>::max());

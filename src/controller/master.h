@@ -12,9 +12,12 @@
 #include <memory>
 #include <optional>
 
+#include <set>
+
 #include "controller/app.h"
 #include "controller/arbiter.h"
 #include "controller/rib.h"
+#include "controller/rib_snapshot.h"
 #include "controller/task_manager.h"
 #include "net/transport.h"
 #include "proto/accounting.h"
@@ -56,6 +59,9 @@ struct MasterConfig {
 class MasterController final : public NorthboundApi {
  public:
   MasterController(sim::Simulator& sim, MasterConfig config);
+  /// Stops the worker pool before the application registry is destroyed
+  /// (member order would otherwise tear apps down under running workers).
+  ~MasterController() override;
 
   /// Registers the master-side endpoint of an agent connection. Returns the
   /// agent id (also the RIB root key).
@@ -66,6 +72,12 @@ class MasterController final : public NorthboundApi {
   /// mode) or call it at any coarser period (non-RT mode).
   void run_cycle();
 
+  /// Joins the in-flight application slot (if any) and flushes its command
+  /// batches. With a pipelined task manager (workers > 0) a cycle's
+  /// commands reach the wire one cycle later; call this before asserting
+  /// on sent traffic or shutting transports down.
+  void quiesce() { task_manager_.quiesce(); }
+
   // ---- application management ----------------------------------------------
   /// Registers an application; the master keeps ownership.
   App* add_app(std::unique_ptr<App> app);
@@ -74,7 +86,7 @@ class MasterController final : public NorthboundApi {
   util::Status resume_app(std::string_view name) { return task_manager_.set_paused(name, false); }
 
   // ---- NorthboundApi ---------------------------------------------------------
-  const Rib& rib() const override { return rib_; }
+  std::shared_ptr<const RibSnapshot> rib_snapshot() const override { return snapshots_.current(); }
   sim::TimeUs now() const override { return sim_.now(); }
   std::int64_t agent_subframe(AgentId agent) const override;
   util::Status send_dl_mac_config(AgentId agent, const proto::DlMacConfig& config) override;
@@ -93,8 +105,17 @@ class MasterController final : public NorthboundApi {
   util::Status send_policy(AgentId agent, const std::string& yaml) override;
 
   // ---- introspection ----------------------------------------------------------
+  /// The live RIB. Coordinator-thread / test use only -- applications read
+  /// through rib_snapshot() and never see this (single-writer rule).
+  const Rib& rib() const { return rib_; }
   const TaskManager& task_manager() const { return task_manager_; }
   const ConflictArbiter& arbiter() const { return arbiter_; }
+  /// Version of the latest published snapshot.
+  std::uint64_t snapshot_version() const { return snapshots_.current()->version(); }
+  /// Wall time of each snapshot publish (Fig. 8 companion series).
+  const util::RunningStats& snapshot_publish_us() const { return snapshot_publish_time_; }
+  /// Commands that reached the wire through batch flushes.
+  std::uint64_t commands_flushed() const { return task_manager_.commands_flushed(); }
   /// Master -> agent signaling (Fig. 7b).
   const proto::SignalingAccountant& tx_accounting(AgentId agent) const;
   /// Agent -> master signaling as received (Fig. 7a).
@@ -153,6 +174,9 @@ class MasterController final : public NorthboundApi {
   /// RIB updater slot body: drains pending updates (bounded by budget in
   /// real-time mode via an update-count proxy).
   std::size_t drain_pending(std::int64_t budget_us);
+  /// End of the updater slot: publishes this cycle's RibSnapshot (shares
+  /// the subtrees of agents not in dirty_).
+  void publish_snapshot();
   void apply_update(const PendingUpdate& update);
   void dispatch_events();
   void on_agent_hello(AgentId id, const proto::Hello& hello);
@@ -177,6 +201,13 @@ class MasterController final : public NorthboundApi {
   sim::Simulator& sim_;
   MasterConfig config_;
   Rib rib_;
+  SnapshotStore snapshots_;
+  /// Agents whose subtree changed since the last publish (their nodes are
+  /// deep-copied into the next snapshot; everything else is shared).
+  std::set<AgentId> dirty_agents_;
+  /// An agent was added or removed since the last publish.
+  bool rib_structure_changed_ = false;
+  util::RunningStats snapshot_publish_time_;
   TaskManager task_manager_;
   ConflictArbiter arbiter_;
 

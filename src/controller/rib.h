@@ -61,14 +61,16 @@ struct AgentNode {
   /// Smoothed RTT estimate from echo exchanges.
   double rtt_estimate_us = 0.0;
 
-  /// Liveness: when the last message of any kind arrived, and whether the
-  /// master currently considers the agent reachable (set by the master's
-  /// timeout sweep; see MasterConfig::agent_timeout_us).
+  /// Liveness: when the last message of any kind arrived (the master's
+  /// timeout sweep drives the session state from this; see
+  /// MasterConfig::agent_timeout_us).
   sim::TimeUs last_heard = 0;
-  bool stale = false;
 
-  /// Full session lifecycle (stale mirrors state == SessionState::stale).
+  /// Full session lifecycle -- the single source of truth for liveness.
   SessionState state = SessionState::up;
+  /// The master currently considers the agent unreachable. Well-behaved
+  /// apps skip stale agents (their fallback VSFs have control).
+  bool is_stale() const { return state == SessionState::stale || state == SessionState::down; }
   /// Session epoch learned from the agent's hello; messages carrying an
   /// older epoch are fenced by the RIB updater.
   std::uint32_t epoch = 0;

@@ -1,0 +1,65 @@
+#include "controller/rib_snapshot.h"
+
+namespace flexran::ctrl {
+
+const AgentNode* RibSnapshot::find_agent(AgentId id) const {
+  auto it = agents_.find(id);
+  return it == agents_.end() ? nullptr : it->second.get();
+}
+
+const UeNode* RibSnapshot::find_ue(AgentId id, lte::Rnti rnti) const {
+  const AgentNode* agent = find_agent(id);
+  if (agent == nullptr) return nullptr;
+  for (const auto& [cell_id, cell] : agent->cells) {
+    (void)cell_id;
+    auto it = cell.ues.find(rnti);
+    if (it != cell.ues.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+std::size_t RibSnapshot::ue_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, agent] : agents_) {
+    (void)id;
+    for (const auto& [cell_id, cell] : agent->cells) {
+      (void)cell_id;
+      count += cell.ues.size();
+    }
+  }
+  return count;
+}
+
+std::shared_ptr<const RibSnapshot> RibSnapshot::capture(const Rib& rib, std::uint64_t version) {
+  auto snapshot = std::make_shared<RibSnapshot>();
+  snapshot->version_ = version;
+  for (const auto& [id, agent] : rib.agents()) {
+    snapshot->agents_.emplace(id, std::make_shared<const AgentNode>(agent));
+  }
+  return snapshot;
+}
+
+SnapshotStore::SnapshotStore() : current_(std::make_shared<const RibSnapshot>()) {}
+
+std::shared_ptr<const RibSnapshot> SnapshotStore::publish(const Rib& rib,
+                                                          const std::set<AgentId>& dirty,
+                                                          bool structure_changed) {
+  auto previous = current();
+  if (dirty.empty() && !structure_changed) return previous;
+
+  auto next = std::make_shared<RibSnapshot>();
+  next->version_ = previous->version() + 1;
+  for (const auto& [id, agent] : rib.agents()) {
+    auto it = previous->agents_.find(id);
+    if (it != previous->agents_.end() && !dirty.contains(id)) {
+      next->agents_.emplace(id, it->second);  // unchanged subtree: share it
+    } else {
+      next->agents_.emplace(id, std::make_shared<const AgentNode>(agent));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(next);
+  return current_;
+}
+
+}  // namespace flexran::ctrl

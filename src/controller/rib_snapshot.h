@@ -1,0 +1,79 @@
+// Versioned immutable RIB snapshots. The RIB Updater keeps sole ownership
+// of the mutable Rib (the paper's single-writer discipline, Sec. 4.3.3);
+// at the end of each updater slot it publishes an immutable RibSnapshot
+// that applications read lock-free. Where the paper guarantees mutual
+// exclusion by time-slicing one thread, this layer guarantees it by data
+// versioning: the updater slot of cycle N+1 may overlap the application
+// slot of cycle N because the apps of cycle N hold snapshot N, not the
+// live tree. See docs/controller_concurrency.md.
+//
+// Snapshots share structure: an agent subtree that did not change between
+// versions is carried by the same shared_ptr, so publishing is O(dirty
+// agents), not O(RIB).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "controller/rib.h"
+
+namespace flexran::ctrl {
+
+class RibSnapshot {
+ public:
+  using AgentMap = std::map<AgentId, std::shared_ptr<const AgentNode>>;
+
+  /// Monotonic publish counter; bumps only when content actually changed.
+  std::uint64_t version() const { return version_; }
+
+  const AgentMap& agents() const { return agents_; }
+  const AgentNode* find_agent(AgentId id) const;
+  const UeNode* find_ue(AgentId id, lte::Rnti rnti) const;
+  std::size_t agent_count() const { return agents_.size(); }
+  std::size_t ue_count() const;
+
+  /// One-shot deep capture of a Rib (tests, tools, ad-hoc analytics). The
+  /// master publishes through SnapshotStore instead, which shares agent
+  /// subtrees that did not change between versions.
+  static std::shared_ptr<const RibSnapshot> capture(const Rib& rib, std::uint64_t version = 1);
+
+ private:
+  friend class SnapshotStore;
+
+  std::uint64_t version_ = 0;
+  AgentMap agents_;
+};
+
+/// Single-writer publish point: the RIB Updater (coordinator thread) calls
+/// publish(); any thread may call current(). The pointer swap happens
+/// under a tiny mutex -- uncontended in practice, since the hot path
+/// (applications inside a cycle) reads the snapshot *pinned* into its
+/// BatchingNorthbound proxy at dispatch, with no synchronization at all;
+/// current() is called by the coordinator when pinning, and by tests. A
+/// reader holding an old snapshot keeps it alive for as long as it needs.
+class SnapshotStore {
+ public:
+  SnapshotStore();
+
+  /// Publishes the state of `rib`. Agent subtrees not in `dirty` are
+  /// shared with the previous snapshot; when nothing changed (empty dirty
+  /// set, same agent ids, `structure_changed` false) the previous snapshot
+  /// is re-published unchanged and the version does not move.
+  std::shared_ptr<const RibSnapshot> publish(const Rib& rib, const std::set<AgentId>& dirty,
+                                             bool structure_changed);
+
+  /// Latest published snapshot (never null; starts at an empty version 0).
+  std::shared_ptr<const RibSnapshot> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const RibSnapshot> current_;
+};
+
+}  // namespace flexran::ctrl

@@ -83,7 +83,9 @@ class RecordingApp : public App {
 class NullNorthbound : public NorthboundApi {
  public:
   explicit NullNorthbound(Rib& rib) : rib_(&rib) {}
-  const Rib& rib() const override { return *rib_; }
+  std::shared_ptr<const RibSnapshot> rib_snapshot() const override {
+    return RibSnapshot::capture(*rib_);
+  }
   sim::TimeUs now() const override { return 0; }
   std::int64_t agent_subframe(AgentId) const override { return 0; }
   util::Status send_dl_mac_config(AgentId, const proto::DlMacConfig&) override { return {}; }

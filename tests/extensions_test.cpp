@@ -371,15 +371,15 @@ TEST(Resilience, MasterMarksSilentAgentStale) {
   auto& enb = testbed.add_enb(spec());
   testbed.add_ue(0, cqi_ue(10));
   testbed.run_ttis(100);
-  EXPECT_FALSE(testbed.master().rib().find_agent(enb.agent_id)->stale);
+  EXPECT_FALSE(testbed.master().rib().find_agent(enb.agent_id)->is_stale());
 
   enb.set_control_down(true);
   testbed.run_ttis(100);
-  EXPECT_TRUE(testbed.master().rib().find_agent(enb.agent_id)->stale);
+  EXPECT_TRUE(testbed.master().rib().find_agent(enb.agent_id)->is_stale());
 
   enb.set_control_down(false);
   testbed.run_ttis(20);
-  EXPECT_FALSE(testbed.master().rib().find_agent(enb.agent_id)->stale);
+  EXPECT_FALSE(testbed.master().rib().find_agent(enb.agent_id)->is_stale());
 }
 
 TEST(Resilience, AgentFallsBackToLocalSchedulingDuringOutage) {

@@ -103,7 +103,7 @@ TEST(SessionLifecycle, ReconnectBumpsEpochAndMasterResyncs) {
   EXPECT_EQ(node->epoch, 2u);
   EXPECT_EQ(node->reconnects, 1u);
   EXPECT_EQ(node->state, SessionState::up);
-  EXPECT_FALSE(node->stale);
+  EXPECT_FALSE(node->is_stale());
   // The master reinstalled the default stats request on re-sync.
   EXPECT_GT(enb.agent->reports().active_registrations(), 0u);
 }
@@ -228,7 +228,7 @@ TEST(SessionLifecycle, SilenceWalksUpStaleDownAndBackWithEvents) {
   const auto* node = testbed.master().rib().find_agent(enb.agent_id);
   ASSERT_NE(node, nullptr);
   EXPECT_EQ(node->state, SessionState::down);
-  EXPECT_TRUE(node->stale);
+  EXPECT_TRUE(node->is_stale());
   ASSERT_EQ(recorder->disconnected.size(), 1u);
   EXPECT_EQ(recorder->disconnected[0], enb.agent_id);
   EXPECT_TRUE(recorder->reconnected.empty());
@@ -237,7 +237,7 @@ TEST(SessionLifecycle, SilenceWalksUpStaleDownAndBackWithEvents) {
   testbed.run_ttis(60);
   node = testbed.master().rib().find_agent(enb.agent_id);
   EXPECT_EQ(node->state, SessionState::up);
-  EXPECT_FALSE(node->stale);
+  EXPECT_FALSE(node->is_stale());
   ASSERT_EQ(recorder->reconnected.size(), 1u);
   EXPECT_EQ(recorder->reconnected[0], enb.agent_id);
   // Same session resumed: the partition did not force a new epoch.
@@ -470,7 +470,7 @@ TEST(Chaos, ScriptedFaultsEndFullyRecovered) {
     const auto* node = testbed.master().rib().find_agent(enb->agent_id);
     ASSERT_NE(node, nullptr);
     EXPECT_EQ(node->state, SessionState::up) << "agent " << enb->agent_id;
-    EXPECT_FALSE(node->stale);
+    EXPECT_FALSE(node->is_stale());
     EXPECT_EQ(node->epoch, enb->agent->session_epoch());
     EXPECT_TRUE(enb->agent->connected());
   }

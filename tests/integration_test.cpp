@@ -235,7 +235,16 @@ TEST(Integration, TenAgentsFiftyUesEachStayStable) {
   EXPECT_EQ(connected, kAgents * kUesPerAgent);
   // The master's updater kept pace with 10 agents' reporting.
   EXPECT_LT(testbed.master().pending_updates(), 50u);
+  std::fprintf(stderr, "idle_fraction=%.3f updater_us=%.1f apps_us=%.1f\n",
+               testbed.master().task_manager().mean_idle_fraction(),
+               testbed.master().task_manager().updater_time_us().mean(),
+               testbed.master().task_manager().apps_time_us().mean());
+#if !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+  // Wall-clock budget; meaningless under sanitizer instrumentation
+  // slowdown (~10x on the updater slot), where bookkeeping eats the
+  // 1 ms cycle. Uninstrumented, the margin is wide (idle ~0.94).
   EXPECT_GT(testbed.master().task_manager().mean_idle_fraction(), 0.5);
+#endif
 }
 
 }  // namespace

@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Sanitizer gate: builds the tree under ASan+UBSan (and optionally TSan),
-# runs the full ctest suite, and drives the chaos scenario through the
-# instrumented flexran-sim binary.
+# Sanitizer gate, three legs (README "Verification"):
+#   1. plain build + ctest          (cmake -B build && ctest)
+#   2. address,undefined sanitizers (this script, default)
+#   3. thread sanitizer             (this script, `thread` argument)
+#
+# The address leg builds the tree under ASan+UBSan, runs the full ctest
+# suite, and drives the chaos scenario through the instrumented flexran-sim
+# binary. The thread leg builds under TSan and runs the concurrency surface
+# -- the controller, concurrency, integration and fault-tolerance suites
+# (parallel app execution, snapshot publishing, batched command flushing)
+# -- plus the chaos scenario.
 #
 # Usage:
 #   tools/check.sh                 # address,undefined (the default)
-#   tools/check.sh thread          # thread sanitizer instead
+#   tools/check.sh thread          # thread sanitizer leg
 #   FLEXRAN_CHECK_JOBS=4 tools/check.sh
 set -euo pipefail
 
@@ -20,8 +28,17 @@ cmake -B "${build_dir}" -S "${repo_root}" -DFLEXRAN_SANITIZE="${sanitize}" >/dev
 echo "== build"
 cmake --build "${build_dir}" -j "${jobs}"
 
-echo "== ctest"
-(cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+if [[ "${sanitize}" == "thread" ]]; then
+  # TSan finds races, not leaks/UB; run the suites that exercise the
+  # worker pool and the snapshot/command paths, as whole binaries.
+  for t in controller_test concurrency_test integration_test fault_tolerance_test; do
+    echo "== ${t} under ${sanitize}"
+    "${build_dir}/tests/${t}"
+  done
+else
+  echo "== ctest"
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+fi
 
 echo "== chaos scenario under ${sanitize}"
 "${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_recovery.yaml"
