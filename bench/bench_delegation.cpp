@@ -7,6 +7,10 @@
 //    agent between local and remote scheduling at increasing frequency,
 //    down to one swap per second of simulated time and (mechanically) per
 //    TTI; the paper observes no disruption.
+//  * Faulty-VSF containment -- a sweep over the three known-bad DL
+//    scheduler implementations (throwing, budget-busting, invalid
+//    decisions) measuring fallback latency and TTIs left without a
+//    decision (docs/delegation_safety.md; should be 0).
 #include <chrono>
 
 #include "apps/remote_scheduler.h"
@@ -75,6 +79,71 @@ double run_with_swaps(sim::TimeUs swap_period, double seconds, std::uint64_t* sw
       testbed.metrics().total_bytes(1, rnti, lte::Direction::downlink) - before, seconds);
 }
 
+struct FaultyResult {
+  std::uint64_t failures = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t unscheduled = 0;
+  double fallback_mean_us = 0.0;
+  double fallback_max_us = 0.0;
+  double mbps = 0.0;
+};
+
+FaultyResult run_with_faulty_vsf(const std::string& impl, double seconds) {
+  agent::register_faulty_vsfs();
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(bench::basic_enb());
+  const auto rnti = testbed.add_ue(0, bench::fixed_cqi_ue(15));
+  bench::saturate_dl(testbed, 0, rnti);
+  testbed.run_seconds(0.5);  // warm up, attach
+
+  // Delegate the faulty implementation through the normal updation +
+  // policy path, then keep running: the guard must keep the cell scheduled
+  // from the local fallback every TTI.
+  (void)testbed.master().push_vsf(enb.agent_id, "mac", "dl_ue_scheduler", impl);
+  (void)testbed.master().send_policy(
+      enb.agent_id, "mac:\n  dl_ue_scheduler:\n    behavior: " + impl + "\n");
+  const auto before = testbed.metrics().total_bytes(1, rnti, lte::Direction::downlink);
+  testbed.run_seconds(seconds);
+
+  const auto& guard = enb.agent->vsf_guard();
+  FaultyResult result;
+  result.failures = guard.vsf_failures();
+  result.quarantines = guard.quarantines();
+  result.fallbacks = guard.fallback_decisions();
+  result.unscheduled = guard.unscheduled_slots();
+  if (guard.fallback_latency_us().count() > 0) {
+    result.fallback_mean_us = guard.fallback_latency_us().mean();
+    result.fallback_max_us = guard.fallback_latency_us().max();
+  }
+  result.mbps = scenario::Metrics::mbps(
+      testbed.metrics().total_bytes(1, rnti, lte::Direction::downlink) - before, seconds);
+  return result;
+}
+
+void bench_faulty_vsfs() {
+  bench::print_header("Delegated-control containment: faulty-VSF sweep");
+  bench::print_note(
+      "a known-bad DL scheduler is delegated mid-run; the guard falls back to\n"
+      "the local default within the same TTI and quarantines the implementation\n"
+      "after 3 consecutive failures. 'unsched' counts TTIs left without any\n"
+      "decision -- the containment invariant is that it stays 0.");
+  std::printf("\n%-16s %9s %11s %10s %8s %14s %12s\n", "faulty impl", "failures",
+              "quarantines", "fallbacks", "unsched", "fallback us", "DL (Mb/s)");
+  for (const char* impl : {"faulty_crash", "faulty_overrun", "faulty_invalid"}) {
+    const auto r = run_with_faulty_vsf(impl, 2.0);
+    std::printf("%-16s %9lu %11lu %10lu %8lu %7.1f/%6.1f %12.2f\n", impl,
+                static_cast<unsigned long>(r.failures),
+                static_cast<unsigned long>(r.quarantines),
+                static_cast<unsigned long>(r.fallbacks),
+                static_cast<unsigned long>(r.unscheduled), r.fallback_mean_us,
+                r.fallback_max_us, r.mbps);
+  }
+  bench::print_note(
+      "\n(fallback us = mean/max wall-clock from failure detection to a validated\n"
+      "fallback decision; throughput stays at the local-scheduler rate.)");
+}
+
 }  // namespace
 
 int main() {
@@ -101,5 +170,7 @@ int main() {
     const double mbps = run_with_swaps(c.period, kSeconds, &swaps);
     std::printf("%-22s %12.2f %10lu\n", c.label, mbps, static_cast<unsigned long>(swaps));
   }
+
+  bench_faulty_vsfs();
   return 0;
 }

@@ -15,8 +15,12 @@ Agent::Agent(sim::Simulator& sim, stack::EnodebDataPlane& data_plane, AgentConfi
       api_(data_plane),
       mac_(cache_),
       rrc_(cache_),
+      guard_(VsfGuardConfig{config_.vsf_quarantine_threshold, config_.vsf_budget_us,
+                            config_.vsf_wall_clock_cap_us},
+             cache_),
       reports_(api_) {
   register_builtin_vsfs();
+  guard_.set_failure_hook([this](const VsfFailureRecord& record) { on_vsf_failure(record); });
 
   // Pre-load the built-in behaviors into the cache, as if the operator had
   // provisioned them at deployment time, plus the remote stub wired to this
@@ -167,16 +171,19 @@ void Agent::on_subframe_start(std::int64_t subframe) {
     ++missed_deadline_decisions_;
   }
 
-  // Run the active scheduling VSFs through the CMI.
+  // Run the active scheduling VSFs through the CMI, guarded: delegated
+  // code that throws, overruns its budget or emits an invalid allocation
+  // never reaches the MAC -- the guard substitutes the built-in local
+  // default within this same TTI (docs/delegation_safety.md).
   lte::SchedulingDecision combined;
   combined.cell_id = api_.cell_id();
   combined.subframe = subframe;
-  if (auto* dl = mac_.dl_scheduler(); dl != nullptr) {
-    auto decision = dl->schedule_dl(api_, subframe);
+  {
+    auto decision = guard_.run_dl(mac_, config_.fallback_scheduler, api_, subframe);
     combined.dl = std::move(decision.dl);
   }
-  if (auto* ul = mac_.ul_scheduler(); ul != nullptr) {
-    auto decision = ul->schedule_ul(api_, subframe);
+  {
+    auto decision = guard_.run_ul(mac_, config_.ul_fallback_scheduler, api_, subframe);
     combined.ul = std::move(decision.ul);
   }
   // Merge any master-pushed decision targeting this subframe. When the
@@ -196,11 +203,10 @@ void Agent::on_subframe_start(std::int64_t subframe) {
     }
   }
 
-  // RRC: evaluate the handover policy.
-  if (auto* policy = rrc_.handover_policy(); policy != nullptr) {
-    if (auto handover = policy->evaluate(api_, subframe); handover.has_value()) {
-      execute_handover(handover->rnti, handover->target_cell);
-    }
+  // RRC: evaluate the handover policy (guarded like the MAC slots).
+  if (auto handover = guard_.run_handover(rrc_, config_.handover_fallback_policy, api_, subframe);
+      handover.has_value()) {
+    execute_handover(handover->rnti, handover->target_cell);
   }
 
   // Master-agent sync.
@@ -404,9 +410,23 @@ void Agent::handle_envelope(const proto::Envelope& envelope) {
     case MessageType::control_delegation: {
       auto delegation = proto::unpack<proto::ControlDelegation>(envelope);
       if (!delegation.ok()) break;
+      const bool was_quarantined =
+          cache_.is_quarantined(delegation->module, delegation->vsf, delegation->implementation);
       auto status = cache_.store(delegation->module, delegation->vsf, delegation->implementation);
       if (!status.ok()) {
         FLEXRAN_LOG(error, "agent") << "VSF updation failed: " << status.error().message;
+        break;
+      }
+      if (was_quarantined) {
+        // A fresh updation of a quarantined implementation re-instantiated
+        // it; re-link any slot still naming it so no stale pointer remains.
+        for (ControlModule* module :
+             {static_cast<ControlModule*>(&mac_), static_cast<ControlModule*>(&rrc_)}) {
+          if (module->name() == delegation->module &&
+              module->active_implementation(delegation->vsf) == delegation->implementation) {
+            (void)module->set_behavior(delegation->vsf, delegation->implementation);
+          }
+        }
       }
       break;
     }
@@ -414,10 +434,22 @@ void Agent::handle_envelope(const proto::Envelope& envelope) {
       auto policy = proto::unpack<proto::PolicyReconfiguration>(envelope);
       if (!policy.ok()) break;
       auto status = apply_policy(policy->yaml);
-      if (!status.ok()) {
-        FLEXRAN_LOG(error, "agent") << "policy reconfiguration failed: "
+      // Report the verdict to the master, echoing the request xid so it can
+      // match the policy it sent (last-known-good tracking + rollback).
+      proto::EventNotification verdict;
+      verdict.subframe = api_.current_subframe();
+      verdict.cell_id = api_.cell_id();
+      if (status.ok()) {
+        ++policies_applied_;
+        verdict.event = proto::EventType::policy_applied;
+      } else {
+        ++policies_rejected_;
+        verdict.event = proto::EventType::policy_rejected;
+        verdict.detail = status.error().message;
+        FLEXRAN_LOG(error, "agent") << "policy reconfiguration rejected: "
                                     << status.error().message;
       }
+      send_message(verdict, envelope.xid);
       break;
     }
     default:
@@ -425,6 +457,30 @@ void Agent::handle_envelope(const proto::Envelope& envelope) {
                                  << proto::to_string(envelope.type);
       break;
   }
+}
+
+void Agent::on_vsf_failure(const VsfFailureRecord& record) {
+  FLEXRAN_LOG(warn, "agent") << "VSF " << record.module << "/" << record.slot << "/"
+                             << record.implementation << " "
+                             << proto::to_string(record.kind) << " ("
+                             << record.consecutive_failures << " consecutive): "
+                             << record.detail
+                             << (record.quarantined ? " -- QUARANTINED" : "");
+  // Triggered events are sent unconditionally (not subscription-gated):
+  // a misbehaving delegated VSF is exactly the situation in which the
+  // master must hear from the agent without having asked first.
+  proto::EventNotification event;
+  event.event = record.quarantined ? proto::EventType::vsf_quarantined
+                                   : proto::EventType::vsf_failure;
+  event.subframe = record.subframe;
+  event.cell_id = api_.cell_id();
+  event.module = record.module;
+  event.vsf = record.slot;
+  event.implementation = record.implementation;
+  event.failure_kind = record.kind;
+  event.failure_count = record.consecutive_failures;
+  event.detail = record.detail;
+  send_message(event);
 }
 
 void Agent::execute_handover(lte::Rnti rnti, lte::CellId target) {

@@ -17,6 +17,7 @@
 #include "agent/reports.h"
 #include "agent/schedulers.h"
 #include "agent/vsf.h"
+#include "agent/vsf_guard.h"
 #include "net/transport.h"
 #include "proto/accounting.h"
 #include "proto/messages.h"
@@ -57,6 +58,19 @@ struct AgentConfig {
   /// hello every this many TTIs (covers a hello lost to a partition that
   /// raced the connect). 0 = never.
   std::int64_t hello_retry_ttis = 100;
+
+  // ---- delegated-control containment (docs/delegation_safety.md) -----------
+  /// Consecutive guard failures of one implementation before quarantine.
+  std::uint32_t vsf_quarantine_threshold = 3;
+  /// Simulated per-invocation deadline budget in microseconds (one TTI).
+  std::int64_t vsf_budget_us = 1000;
+  /// Wall-clock backstop for real (undeclared) overruns, in microseconds.
+  std::int64_t vsf_wall_clock_cap_us = 250'000;
+  /// Built-in local defaults the guard falls back to within the same TTI.
+  /// The DL fallback is `fallback_scheduler` above (shared with the
+  /// remote-outage fallback, one unified degradation path).
+  std::string ul_fallback_scheduler = "local_rr";
+  std::string handover_fallback_policy = "a3";
 };
 
 class Agent final : public stack::EnodebDataPlane::Listener {
@@ -95,6 +109,8 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   MacControlModule& mac() { return mac_; }
   RrcControlModule& rrc() { return rrc_; }
   VsfCache& vsf_cache() { return cache_; }
+  VsfGuard& vsf_guard() { return guard_; }
+  const VsfGuard& vsf_guard() const { return guard_; }
   ReportsManager& reports() { return reports_; }
   const AgentConfig& config() const { return config_; }
 
@@ -131,6 +147,9 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   std::uint64_t reconnect_attempts() const { return reconnect_attempts_; }
   std::uint64_t hello_retries() const { return hello_retries_; }
   std::size_t queued_decisions() const { return dl_decision_queue_.size(); }
+  /// Policy reconfigurations accepted / rejected by the two-phase apply.
+  std::uint64_t policies_applied() const { return policies_applied_; }
+  std::uint64_t policies_rejected() const { return policies_rejected_; }
 
  private:
   void handle_message(std::vector<std::uint8_t> data);
@@ -144,6 +163,9 @@ class Agent final : public stack::EnodebDataPlane::Listener {
 
   std::optional<lte::SchedulingDecision> take_dl_decision(std::int64_t subframe);
   void execute_handover(lte::Rnti rnti, lte::CellId target);
+  /// Guard failure hook: turns a verdict into a vsf_failure /
+  /// vsf_quarantined triggered event for the master.
+  void on_vsf_failure(const VsfFailureRecord& record);
 
   sim::Simulator& sim_;
   stack::EnodebDataPlane& data_plane_;
@@ -152,6 +174,7 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   VsfCache cache_;
   MacControlModule mac_;
   RrcControlModule rrc_;
+  VsfGuard guard_;
   ReportsManager reports_;
 
   net::Transport* transport_ = nullptr;  // not owned
@@ -169,6 +192,8 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   std::uint64_t fenced_messages_ = 0;
   std::uint64_t reconnect_attempts_ = 0;
   std::uint64_t hello_retries_ = 0;
+  std::uint64_t policies_applied_ = 0;
+  std::uint64_t policies_rejected_ = 0;
   std::int64_t last_master_contact_subframe_ = 0;
   std::int64_t last_hello_subframe_ = 0;
   std::uint32_t session_epoch_ = 0;

@@ -8,6 +8,11 @@ util::Status ControlModule::set_behavior(const std::string& slot_name,
   if (it == slots_.end()) {
     return util::Error::not_found("module " + name_ + " has no slot " + slot_name);
   }
+  if (cache_->is_quarantined(name_, slot_name, implementation)) {
+    return util::Error::conflict("implementation quarantined: " +
+                                 vsf_key(name_, slot_name, implementation) +
+                                 " (push a fresh VSF updation to restore)");
+  }
   Vsf* vsf = cache_->get(name_, slot_name, implementation);
   if (vsf == nullptr) {
     return util::Error::not_found("implementation not in cache: " +
@@ -21,6 +26,24 @@ util::Status ControlModule::set_behavior(const std::string& slot_name,
   return {};
 }
 
+util::Status ControlModule::validate_behavior(const std::string& slot_name,
+                                              const std::string& implementation) const {
+  if (!slots_.contains(slot_name)) {
+    return util::Error::not_found("module " + name_ + " has no slot " + slot_name);
+  }
+  if (cache_->is_quarantined(name_, slot_name, implementation)) {
+    return util::Error::conflict("implementation quarantined: " +
+                                 vsf_key(name_, slot_name, implementation) +
+                                 " (push a fresh VSF updation to restore)");
+  }
+  Vsf* vsf = cache_->get(name_, slot_name, implementation);
+  if (vsf == nullptr) {
+    return util::Error::not_found("implementation not in cache: " +
+                                  vsf_key(name_, slot_name, implementation));
+  }
+  return validate(slot_name, *vsf);
+}
+
 util::Status ControlModule::set_parameter(const std::string& slot_name, std::string_view key,
                                           const util::YamlNode& value) {
   auto it = slots_.find(slot_name);
@@ -31,6 +54,22 @@ util::Status ControlModule::set_parameter(const std::string& slot_name, std::str
     return util::Error::conflict("slot " + slot_name + " has no active implementation");
   }
   return it->second.vsf->set_parameter(key, value);
+}
+
+util::Status ControlModule::validate_parameter(const std::string& slot_name,
+                                               const std::string& behavior,
+                                               std::string_view key,
+                                               const util::YamlNode& value) const {
+  const Slot* s = slot(slot_name);
+  if (s == nullptr) {
+    return util::Error::not_found("module " + name_ + " has no slot " + slot_name);
+  }
+  const Vsf* target =
+      behavior.empty() ? s->vsf : cache_->get(name_, slot_name, behavior);
+  if (target == nullptr) {
+    return util::Error::conflict("slot " + slot_name + " has no active implementation");
+  }
+  return target->validate_parameter(key, value);
 }
 
 std::string ControlModule::active_implementation(const std::string& slot_name) const {
@@ -79,28 +118,80 @@ void RrcControlModule::on_behavior_changed(const std::string& slot, Vsf* vsf) {
 
 // ------------------------------------------------------ policy application
 
-util::Status apply_policy_document(const util::YamlNode& root,
-                                   std::span<ControlModule* const> modules) {
+namespace {
+
+ControlModule* find_module(std::span<ControlModule* const> modules,
+                           const std::string& module_name) {
+  for (ControlModule* candidate : modules) {
+    if (candidate->name() == module_name) return candidate;
+  }
+  return nullptr;
+}
+
+// First phase of atomic application: checks the full document without
+// mutating any module, so a rejection cannot leave a policy half-applied.
+util::Status validate_policy_document(const util::YamlNode& root,
+                                      std::span<ControlModule* const> modules) {
   if (!root.is_map()) return util::Error::invalid_argument("policy root must be a map");
-  // Structure (paper Fig. 3):
-  //   <module>:
-  //     <vsf slot>:
-  //       behavior: <cached implementation>
-  //       parameters: { key: value, ... }
   for (const auto& [module_name, slots] : root.entries()) {
-    ControlModule* module = nullptr;
-    for (ControlModule* candidate : modules) {
-      if (candidate->name() == module_name) {
-        module = candidate;
-        break;
-      }
-    }
+    const ControlModule* module = find_module(modules, module_name);
     if (module == nullptr) {
       return util::Error::not_found("unknown control module: " + module_name);
     }
     if (!slots.is_map()) {
       return util::Error::invalid_argument("module entry must map VSF slots");
     }
+    for (const auto& [slot_name, spec] : slots.entries()) {
+      if (!module->has_slot(slot_name)) {
+        return util::Error::not_found("module " + module_name + " has no slot " + slot_name);
+      }
+      if (!spec.is_map()) {
+        return util::Error::invalid_argument("slot entry " + module_name + "/" + slot_name +
+                                             " must be a map (behavior / parameters)");
+      }
+      std::string behavior_name;
+      if (const auto* behavior = spec.find("behavior"); behavior != nullptr) {
+        if (!behavior->is_scalar()) {
+          return util::Error::invalid_argument("behavior for " + module_name + "/" + slot_name +
+                                               " must be a scalar implementation name");
+        }
+        behavior_name = behavior->as_string();
+        auto status = module->validate_behavior(slot_name, behavior_name);
+        if (!status.ok()) return status;
+      }
+      if (const auto* parameters = spec.find("parameters"); parameters != nullptr) {
+        if (!parameters->is_map()) {
+          return util::Error::invalid_argument("parameters for " + module_name + "/" +
+                                               slot_name + " must be a map");
+        }
+        for (const auto& [key, value] : parameters->entries()) {
+          auto status = module->validate_parameter(slot_name, behavior_name, key, value);
+          if (!status.ok()) return status;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+util::Status apply_policy_document(const util::YamlNode& root,
+                                   std::span<ControlModule* const> modules) {
+  // Structure (paper Fig. 3):
+  //   <module>:
+  //     <vsf slot>:
+  //       behavior: <cached implementation>
+  //       parameters: { key: value, ... }
+  //
+  // Two phases: validate everything, then apply. The apply phase can only
+  // fail if a validate_parameter override disagrees with set_parameter --
+  // a VSF implementation bug -- and in that case we still stop at the
+  // first error.
+  auto valid = validate_policy_document(root, modules);
+  if (!valid.ok()) return valid;
+  for (const auto& [module_name, slots] : root.entries()) {
+    ControlModule* module = find_module(modules, module_name);
     for (const auto& [slot_name, spec] : slots.entries()) {
       if (const auto* behavior = spec.find("behavior"); behavior != nullptr) {
         auto status = module->set_behavior(slot_name, behavior->as_string());

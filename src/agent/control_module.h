@@ -26,15 +26,34 @@ class ControlModule {
 
   /// Links a CMI slot to a cached implementation ("behavior" in Fig. 3).
   /// This is the hot path Sec. 5.4 measures: a cache lookup, a type check
-  /// and a pointer swap.
+  /// and a pointer swap. Quarantined implementations are rejected until the
+  /// master pushes a fresh VSF updation (see VsfCache).
   util::Status set_behavior(const std::string& slot, const std::string& implementation);
+
+  /// Checks that set_behavior(slot, implementation) would succeed -- slot
+  /// exists, implementation cached, not quarantined, right CMI type --
+  /// without swapping anything. First phase of atomic policy application.
+  util::Status validate_behavior(const std::string& slot,
+                                 const std::string& implementation) const;
 
   /// Forwards a parameter to the slot's active implementation.
   util::Status set_parameter(const std::string& slot, std::string_view key,
                              const util::YamlNode& value);
 
+  /// Checks a parameter against the implementation that would be active
+  /// after linking `behavior` (current implementation when `behavior` is
+  /// empty), without applying it.
+  util::Status validate_parameter(const std::string& slot, const std::string& behavior,
+                                  std::string_view key, const util::YamlNode& value) const;
+
   /// Name of the active implementation for a slot ("" = slot empty).
   std::string active_implementation(const std::string& slot) const;
+  /// Active instance for a slot (nullptr = slot empty / unknown). Used by
+  /// VsfGuard, which needs the untyped instance for health accounting.
+  Vsf* active_vsf(const std::string& slot) const {
+    const Slot* s = this->slot(slot);
+    return s == nullptr ? nullptr : s->vsf;
+  }
   bool has_slot(const std::string& slot) const { return slots_.contains(slot); }
 
  protected:
@@ -104,6 +123,12 @@ class RrcControlModule final : public ControlModule {
 /// control modules. Technology-agnostic -- the same function drives LTE
 /// modules inside the Agent and any other RAT's modules (see src/wifi):
 /// the YAML names modules and slots, the modules do the type checking.
+///
+/// Application is atomic: the whole document is validated first (module
+/// and slot names, behavior is a cached/non-quarantined scalar of the
+/// right CMI type, every parameter accepted by its target implementation)
+/// and only then applied, so a malformed or rejected document leaves the
+/// previous policy fully active.
 util::Status apply_policy_document(const util::YamlNode& root,
                                    std::span<ControlModule* const> modules);
 util::Status apply_policy_yaml(const std::string& yaml,

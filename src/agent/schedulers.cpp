@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "lte/tables.h"
 
@@ -153,10 +154,17 @@ lte::SchedulingDecision ProportionalFairDlVsf::schedule_dl(AgentApi& api,
 
 util::Status ProportionalFairDlVsf::set_parameter(std::string_view key,
                                                   const util::YamlNode& value) {
+  auto valid = validate_parameter(key, value);
+  if (!valid.ok()) return valid;
+  max_ues_per_tti_ = static_cast<int>(*value.as_int());
+  return {};
+}
+
+util::Status ProportionalFairDlVsf::validate_parameter(std::string_view key,
+                                                       const util::YamlNode& value) const {
   if (key == "max_ues_per_tti") {
     auto v = value.as_int();
     if (!v.ok() || *v < 1) return util::Error::invalid_argument("max_ues_per_tti must be >= 1");
-    max_ues_per_tti_ = static_cast<int>(*v);
     return {};
   }
   return util::Error::invalid_argument("unknown parameter: " + std::string(key));
@@ -296,19 +304,86 @@ std::optional<HandoverDecision> A3HandoverVsf::evaluate(AgentApi& api, std::int6
 }
 
 util::Status A3HandoverVsf::set_parameter(std::string_view key, const util::YamlNode& value) {
+  auto valid = validate_parameter(key, value);
+  if (!valid.ok()) return valid;
+  if (key == "hysteresis_db") {
+    hysteresis_db_ = *value.as_double();
+  } else {
+    time_to_trigger_ttis_ = static_cast<int>(*value.as_int());
+  }
+  return {};
+}
+
+util::Status A3HandoverVsf::validate_parameter(std::string_view key,
+                                               const util::YamlNode& value) const {
   if (key == "hysteresis_db") {
     auto v = value.as_double();
     if (!v.ok()) return v.error();
-    hysteresis_db_ = *v;
     return {};
   }
   if (key == "time_to_trigger_ttis") {
     auto v = value.as_int();
     if (!v.ok() || *v < 0) return util::Error::invalid_argument("time_to_trigger_ttis >= 0");
-    time_to_trigger_ttis_ = static_cast<int>(*v);
     return {};
   }
   return util::Error::invalid_argument("unknown parameter: " + std::string(key));
+}
+
+// ------------------------------------------------------------- faulty ----
+
+namespace {
+
+/// Misbehaving delegated code for chaos testing and the faulty-VSF bench
+/// sweep. Crash throws out of schedule_dl; overrun declares 5x the 1 ms
+/// TTI budget; invalid emits full-band overlapping grants to an unknown
+/// RNTI at an out-of-range MCS, tripping every validation rule regardless
+/// of the cell bandwidth.
+class FaultyDlVsf final : public DlSchedulerVsf {
+ public:
+  enum class Mode { crash, overrun, invalid };
+  explicit FaultyDlVsf(Mode mode) : mode_(mode) {}
+
+  lte::SchedulingDecision schedule_dl(AgentApi& api, std::int64_t subframe) override {
+    if (mode_ == Mode::crash) throw std::runtime_error("injected VSF crash");
+    lte::SchedulingDecision decision;
+    decision.cell_id = api.cell_id();
+    decision.subframe = subframe;
+    if (mode_ == Mode::invalid) {
+      lte::DlDci bogus;
+      bogus.rnti = 0xFFF0;  // never assigned by the RACH path
+      bogus.rbs.set_range(0, api.dl_prbs());
+      bogus.mcs = lte::kMaxMcs + 3;
+      decision.dl.push_back(bogus);
+      decision.dl.push_back(bogus);  // overlapping with the first
+    }
+    return decision;
+  }
+
+  std::int64_t declared_cost_us() const override {
+    return mode_ == Mode::overrun ? 5000 : 0;  // 5x the 1 ms TTI
+  }
+
+ private:
+  Mode mode_;
+};
+
+}  // namespace
+
+void register_faulty_vsfs() {
+  static const bool registered = [] {
+    auto& factory = VsfFactory::instance();
+    factory.register_implementation("mac", "dl_ue_scheduler", "faulty_crash", [] {
+      return std::make_unique<FaultyDlVsf>(FaultyDlVsf::Mode::crash);
+    });
+    factory.register_implementation("mac", "dl_ue_scheduler", "faulty_overrun", [] {
+      return std::make_unique<FaultyDlVsf>(FaultyDlVsf::Mode::overrun);
+    });
+    factory.register_implementation("mac", "dl_ue_scheduler", "faulty_invalid", [] {
+      return std::make_unique<FaultyDlVsf>(FaultyDlVsf::Mode::invalid);
+    });
+    return true;
+  }();
+  (void)registered;
 }
 
 // ------------------------------------------------------------ registry ----

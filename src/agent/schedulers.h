@@ -19,6 +19,14 @@ namespace flexran::agent {
 ///   mac/ul_ue_scheduler/local_rr, rrc/handover_policy/a3
 void register_builtin_vsfs();
 
+/// Registers deliberately misbehaving DL schedulers with the VsfFactory
+/// (idempotent) for chaos testing and the faulty-VSF bench sweep:
+///   mac/dl_ue_scheduler/faulty_crash    -- throws every invocation
+///   mac/dl_ue_scheduler/faulty_overrun  -- declares 5x the TTI budget
+///   mac/dl_ue_scheduler/faulty_invalid  -- emits out-of-bounds allocations
+/// Never registered by the Agent itself; tests / FaultInjector opt in.
+void register_faulty_vsfs();
+
 // ----------------------------------------------------------- helper -------
 
 /// A scheduler's per-UE demand for one TTI.
@@ -63,6 +71,8 @@ class ProportionalFairDlVsf final : public DlSchedulerVsf {
  public:
   lte::SchedulingDecision schedule_dl(AgentApi& api, std::int64_t subframe) override;
   util::Status set_parameter(std::string_view key, const util::YamlNode& value) override;
+  util::Status validate_parameter(std::string_view key,
+                                  const util::YamlNode& value) const override;
 
  private:
   int max_ues_per_tti_ = 4;
@@ -118,6 +128,8 @@ class A3HandoverVsf final : public HandoverPolicyVsf {
  public:
   std::optional<HandoverDecision> evaluate(AgentApi& api, std::int64_t subframe) override;
   util::Status set_parameter(std::string_view key, const util::YamlNode& value) override;
+  util::Status validate_parameter(std::string_view key,
+                                  const util::YamlNode& value) const override;
 
  private:
   double hysteresis_db_ = 3.0;

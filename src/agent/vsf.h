@@ -37,6 +37,23 @@ class Vsf {
     (void)value;
     return util::Error::invalid_argument("unknown parameter: " + std::string(key));
   }
+
+  /// Checks that set_parameter(key, value) would succeed WITHOUT applying
+  /// it. Policy reconfiguration validates a whole document with this before
+  /// mutating anything, so a bad trailing entry cannot leave a policy
+  /// half-applied. Implementations overriding set_parameter must keep this
+  /// in sync.
+  virtual util::Status validate_parameter(std::string_view key,
+                                          const util::YamlNode& value) const {
+    (void)value;
+    return util::Error::invalid_argument("unknown parameter: " + std::string(key));
+  }
+
+  /// Simulated execution cost of one invocation in microseconds. The guard
+  /// charges this against the per-TTI deadline budget; the default of 0
+  /// models a well-behaved VSF that finishes comfortably within the TTI.
+  /// A wall-clock backstop in VsfGuard catches real (untyped) overruns.
+  virtual std::int64_t declared_cost_us() const { return 0; }
 };
 
 /// MAC CMI slot: UE downlink scheduling. Returns the DCIs for `subframe`
@@ -88,9 +105,20 @@ class VsfFactory {
 /// initially stored in a cache memory at the agent side... the cache can
 /// store many different implementations for a specific VSF, which the
 /// master can swap at runtime").
+///
+/// The cache also tracks per-implementation health for the containment
+/// layer (VsfGuard): consecutive failures accumulate until the guard
+/// quarantines the entry. A quarantined implementation cannot be linked to
+/// a CMI slot (policy reconfiguration to it is rejected) until the master
+/// pushes a fresh VSF updation for the same name, which re-instantiates
+/// the implementation and clears the quarantine.
 class VsfCache {
  public:
-  /// Instantiates and stores an implementation (idempotent per name).
+  /// Instantiates and stores an implementation. Idempotent per name while
+  /// healthy; re-pushing a quarantined name re-instantiates it and clears
+  /// the quarantine (the paper's updation path doubles as the recovery
+  /// path). Callers holding raw pointers to the old instance must re-link
+  /// after a refresh.
   util::Status store(const std::string& module, const std::string& vsf,
                      const std::string& implementation);
   /// Stores an agent-constructed instance directly (used for the built-in
@@ -102,8 +130,30 @@ class VsfCache {
            std::string_view implementation) const;
   std::size_t size() const { return cache_.size(); }
 
+  /// Records one guard-detected failure; returns the new consecutive count.
+  /// Unknown keys return 0 (agent-built instances outside the cache).
+  std::uint32_t record_failure(std::string_view module, std::string_view vsf,
+                               std::string_view implementation);
+  /// Clears the consecutive-failure count after a clean invocation.
+  void record_success(std::string_view module, std::string_view vsf,
+                      std::string_view implementation);
+  /// Marks an implementation quarantined (no-op on unknown keys).
+  void quarantine(std::string_view module, std::string_view vsf,
+                  std::string_view implementation);
+  bool is_quarantined(std::string_view module, std::string_view vsf,
+                      std::string_view implementation) const;
+  std::uint32_t consecutive_failures(std::string_view module, std::string_view vsf,
+                                     std::string_view implementation) const;
+  /// Number of currently quarantined implementations.
+  std::size_t quarantined_count() const;
+
  private:
-  std::map<std::string, std::unique_ptr<Vsf>> cache_;  // "module/vsf/impl"
+  struct Entry {
+    std::unique_ptr<Vsf> instance;
+    std::uint32_t consecutive_failures = 0;
+    bool quarantined = false;
+  };
+  std::map<std::string, Entry, std::less<>> cache_;  // "module/vsf/impl"
 };
 
 /// Canonical cache/registry key.

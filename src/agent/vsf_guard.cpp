@@ -1,0 +1,261 @@
+#include "agent/vsf_guard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+namespace flexran::agent {
+
+namespace {
+
+std::int64_t elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               start)
+      .count();
+}
+
+}  // namespace
+
+VsfGuard::InvokeOutcome VsfGuard::invoke_checked(const Vsf& vsf,
+                                                 const std::function<void()>& body) {
+  const std::int64_t declared = vsf.declared_cost_us();
+  if (declared > config_.budget_us) {
+    return {proto::VsfFailureKind::overrun,
+            "declared cost " + std::to_string(declared) + "us exceeds TTI budget " +
+                std::to_string(config_.budget_us) + "us"};
+  }
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    body();
+  } catch (const std::exception& e) {
+    return {proto::VsfFailureKind::exception, e.what()};
+  } catch (...) {
+    return {proto::VsfFailureKind::exception, "non-standard exception"};
+  }
+  if (const std::int64_t wall = elapsed_us(start); wall > config_.wall_clock_cap_us) {
+    return {proto::VsfFailureKind::overrun,
+            "wall clock " + std::to_string(wall) + "us exceeds cap " +
+                std::to_string(config_.wall_clock_cap_us) + "us"};
+  }
+  return {};
+}
+
+util::Status VsfGuard::validate_decision(const lte::SchedulingDecision& decision,
+                                         const AgentApi& api) {
+  if (decision.empty()) return {};  // fast path: nothing scheduled, nothing to pay
+  ++validations_run_;
+
+  const auto rnti_list = api.ue_rntis();
+  const std::set<lte::Rnti> known(rnti_list.begin(), rnti_list.end());
+
+  lte::RbAllocation used_dl[2];
+  for (const auto& dci : decision.dl) {
+    if (dci.carrier > 1) {
+      return util::Error::invalid_argument("DL grant on unknown carrier " +
+                                           std::to_string(dci.carrier));
+    }
+    const int max_prbs = dci.carrier == 0 ? api.dl_prbs() : api.scell_prbs();
+    if (max_prbs <= 0) {
+      return util::Error::invalid_argument("DL grant on unconfigured carrier " +
+                                           std::to_string(dci.carrier));
+    }
+    if (dci.rbs.empty()) {
+      return util::Error::invalid_argument("DL grant with empty allocation for RNTI " +
+                                           std::to_string(dci.rnti));
+    }
+    if (dci.rbs.highest_set() >= max_prbs) {
+      return util::Error::invalid_argument(
+          "DL grant beyond carrier edge: PRB " + std::to_string(dci.rbs.highest_set()) +
+          " on a " + std::to_string(max_prbs) + "-PRB carrier");
+    }
+    if (dci.rbs.overlaps(used_dl[dci.carrier])) {
+      return util::Error::invalid_argument("overlapping DL allocations for RNTI " +
+                                           std::to_string(dci.rnti));
+    }
+    used_dl[dci.carrier].merge(dci.rbs);
+    if (dci.mcs < 0 || dci.mcs > lte::kMaxMcs) {
+      return util::Error::invalid_argument("DL MCS out of range: " + std::to_string(dci.mcs));
+    }
+    if (!known.contains(dci.rnti)) {
+      return util::Error::invalid_argument("DL grant for unknown RNTI " +
+                                           std::to_string(dci.rnti));
+    }
+  }
+
+  lte::RbAllocation used_ul;
+  for (const auto& dci : decision.ul) {
+    const int max_prbs = api.ul_prbs();
+    if (dci.rbs.empty()) {
+      return util::Error::invalid_argument("UL grant with empty allocation for RNTI " +
+                                           std::to_string(dci.rnti));
+    }
+    if (dci.rbs.highest_set() >= max_prbs) {
+      return util::Error::invalid_argument(
+          "UL grant beyond carrier edge: PRB " + std::to_string(dci.rbs.highest_set()) +
+          " on a " + std::to_string(max_prbs) + "-PRB carrier");
+    }
+    if (dci.rbs.overlaps(used_ul)) {
+      return util::Error::invalid_argument("overlapping UL allocations for RNTI " +
+                                           std::to_string(dci.rnti));
+    }
+    used_ul.merge(dci.rbs);
+    if (dci.mcs < 0 || dci.mcs > lte::kMaxMcs) {
+      return util::Error::invalid_argument("UL MCS out of range: " + std::to_string(dci.mcs));
+    }
+    if (!known.contains(dci.rnti)) {
+      return util::Error::invalid_argument("UL grant for unknown RNTI " +
+                                           std::to_string(dci.rnti));
+    }
+  }
+  return {};
+}
+
+void VsfGuard::note_failure(ControlModule& module, const std::string& slot,
+                            const std::string& impl, const std::string& fallback_impl,
+                            const InvokeOutcome& outcome, std::int64_t subframe) {
+  ++vsf_failures_;
+  VsfFailureRecord record;
+  record.module = module.name();
+  record.slot = slot;
+  record.implementation = impl;
+  record.kind = outcome.kind;
+  record.subframe = subframe;
+  record.detail = outcome.detail;
+  record.consecutive_failures = cache_->record_failure(module.name(), slot, impl);
+
+  if (record.consecutive_failures >= config_.quarantine_threshold &&
+      !cache_->is_quarantined(module.name(), slot, impl)) {
+    cache_->quarantine(module.name(), slot, impl);
+    ++quarantines_;
+    record.quarantined = true;
+    // Relink the slot so the fallback becomes the active implementation
+    // (the quarantined one can no longer be selected). If the fallback is
+    // itself unusable the slot keeps its pointer and every TTI keeps
+    // falling back explicitly.
+    if (impl != fallback_impl) {
+      (void)module.set_behavior(slot, fallback_impl);
+    }
+  }
+  if (hook_) hook_(record);
+}
+
+lte::SchedulingDecision VsfGuard::run_mac_slot(
+    MacControlModule& mac, const std::string& slot, const std::string& fallback_impl,
+    AgentApi& api, std::int64_t subframe,
+    const std::function<lte::SchedulingDecision(Vsf&)>& invoke) {
+  lte::SchedulingDecision decision;
+  decision.cell_id = api.cell_id();
+  decision.subframe = subframe;
+
+  Vsf* active = mac.active_vsf(slot);
+  if (active == nullptr) return decision;
+  const std::string impl = mac.active_implementation(slot);
+
+  auto outcome = invoke_checked(*active, [&] { decision = invoke(*active); });
+  if (!outcome.failed()) {
+    auto valid = validate_decision(decision, api);
+    if (!valid.ok()) outcome = {proto::VsfFailureKind::invalid_decision, valid.error().message};
+  }
+  if (!outcome.failed()) {
+    cache_->record_success(mac.name(), slot, impl);
+    return decision;
+  }
+
+  // Failure: account for it, then produce a safe decision from the local
+  // default within the same TTI.
+  const auto fallback_start = std::chrono::steady_clock::now();
+  note_failure(mac, slot, impl, fallback_impl, outcome, subframe);
+
+  decision = {};
+  decision.cell_id = api.cell_id();
+  decision.subframe = subframe;
+  Vsf* fallback = cache_->get(mac.name(), slot, fallback_impl);
+  if (fallback == nullptr || impl == fallback_impl) {
+    // No healthy fallback distinct from the failed implementation: the TTI
+    // goes unscheduled (still a valid, empty decision).
+    ++unscheduled_slots_;
+    return decision;
+  }
+  auto fb_outcome = invoke_checked(*fallback, [&] { decision = invoke(*fallback); });
+  if (!fb_outcome.failed()) {
+    auto valid = validate_decision(decision, api);
+    if (!valid.ok()) fb_outcome = {proto::VsfFailureKind::invalid_decision, valid.error().message};
+  }
+  if (fb_outcome.failed()) {
+    note_failure(mac, slot, fallback_impl, fallback_impl, fb_outcome, subframe);
+    decision = {};
+    decision.cell_id = api.cell_id();
+    decision.subframe = subframe;
+    ++unscheduled_slots_;
+    return decision;
+  }
+  ++fallback_decisions_;
+  fallback_latency_us_.add(static_cast<double>(elapsed_us(fallback_start)));
+  return decision;
+}
+
+lte::SchedulingDecision VsfGuard::run_dl(MacControlModule& mac, const std::string& fallback_impl,
+                                         AgentApi& api, std::int64_t subframe) {
+  return run_mac_slot(mac, MacControlModule::kDlSchedulerSlot, fallback_impl, api, subframe,
+                      [&](Vsf& vsf) -> lte::SchedulingDecision {
+                        return dynamic_cast<DlSchedulerVsf&>(vsf).schedule_dl(api, subframe);
+                      });
+}
+
+lte::SchedulingDecision VsfGuard::run_ul(MacControlModule& mac, const std::string& fallback_impl,
+                                         AgentApi& api, std::int64_t subframe) {
+  return run_mac_slot(mac, MacControlModule::kUlSchedulerSlot, fallback_impl, api, subframe,
+                      [&](Vsf& vsf) -> lte::SchedulingDecision {
+                        return dynamic_cast<UlSchedulerVsf&>(vsf).schedule_ul(api, subframe);
+                      });
+}
+
+std::optional<HandoverDecision> VsfGuard::run_handover(RrcControlModule& rrc,
+                                                       const std::string& fallback_impl,
+                                                       AgentApi& api, std::int64_t subframe) {
+  HandoverPolicyVsf* active = rrc.handover_policy();
+  if (active == nullptr) return std::nullopt;
+  const std::string slot = RrcControlModule::kHandoverPolicySlot;
+  const std::string impl = rrc.active_implementation(slot);
+
+  std::optional<HandoverDecision> decision;
+  auto outcome = invoke_checked(*active, [&] { decision = active->evaluate(api, subframe); });
+  if (!outcome.failed() && decision.has_value()) {
+    // Light-weight validation: the target must be another cell and the UE
+    // must be known to the MAC.
+    const auto rntis = api.ue_rntis();
+    const bool known =
+        std::find(rntis.begin(), rntis.end(), decision->rnti) != rntis.end();
+    if (!known) {
+      outcome = {proto::VsfFailureKind::invalid_decision,
+                 "handover for unknown RNTI " + std::to_string(decision->rnti)};
+    } else if (decision->target_cell == api.cell_id()) {
+      outcome = {proto::VsfFailureKind::invalid_decision, "handover to the serving cell"};
+    }
+  }
+  if (!outcome.failed()) {
+    cache_->record_success(rrc.name(), slot, impl);
+    return decision;
+  }
+
+  const auto fallback_start = std::chrono::steady_clock::now();
+  note_failure(rrc, slot, impl, fallback_impl, outcome, subframe);
+  decision.reset();
+  Vsf* fallback = cache_->get(rrc.name(), slot, fallback_impl);
+  auto* fb = dynamic_cast<HandoverPolicyVsf*>(fallback);
+  if (fb == nullptr || impl == fallback_impl) {
+    // Handover is best-effort: no fallback means no trigger this TTI, the
+    // data plane keeps running, so this is not an unscheduled slot.
+    return std::nullopt;
+  }
+  auto fb_outcome = invoke_checked(*fb, [&] { decision = fb->evaluate(api, subframe); });
+  if (fb_outcome.failed()) {
+    note_failure(rrc, slot, fallback_impl, fallback_impl, fb_outcome, subframe);
+    return std::nullopt;
+  }
+  ++fallback_decisions_;
+  fallback_latency_us_.add(static_cast<double>(elapsed_us(fallback_start)));
+  return decision;
+}
+
+}  // namespace flexran::agent

@@ -35,7 +35,12 @@ std::string make_slice_policy_yaml(const std::vector<SliceSpec>& slices) {
   return yaml;
 }
 
-util::Status SlicedDlVsf::set_parameter(std::string_view key, const util::YamlNode& value) {
+namespace {
+
+// Shared by set_parameter (commits the result) and validate_parameter
+// (discards it): the whole value parses or nothing is applied.
+util::Result<std::vector<SliceSpec>> parse_slices(std::string_view key,
+                                                  const util::YamlNode& value) {
   if (key != "slices") {
     return util::Error::invalid_argument("unknown parameter: " + std::string(key));
   }
@@ -69,8 +74,8 @@ util::Status SlicedDlVsf::set_parameter(std::string_view key, const util::YamlNo
       }
       return {};
     };
-    if (auto s = parse_rntis("rntis", spec.rntis); !s.ok()) return s;
-    if (auto s = parse_rntis("premium_rntis", spec.premium_rntis); !s.ok()) return s;
+    if (auto s = parse_rntis("rntis", spec.rntis); !s.ok()) return s.error();
+    if (auto s = parse_rntis("premium_rntis", spec.premium_rntis); !s.ok()) return s.error();
     if (const auto* premium = item.find("premium_share"); premium != nullptr) {
       auto v = premium->as_double();
       if (!v.ok()) return v.error();
@@ -78,9 +83,24 @@ util::Status SlicedDlVsf::set_parameter(std::string_view key, const util::YamlNo
     }
     parsed.push_back(std::move(spec));
   }
-  slices_ = std::move(parsed);
+  return parsed;
+}
+
+}  // namespace
+
+util::Status SlicedDlVsf::set_parameter(std::string_view key, const util::YamlNode& value) {
+  auto parsed = parse_slices(key, value);
+  if (!parsed.ok()) return parsed.error();
+  slices_ = std::move(parsed.value());
   rotations_.assign(slices_.size(), 0);
   premium_rotations_.assign(slices_.size(), 0);
+  return {};
+}
+
+util::Status SlicedDlVsf::validate_parameter(std::string_view key,
+                                             const util::YamlNode& value) const {
+  auto parsed = parse_slices(key, value);
+  if (!parsed.ok()) return parsed.error();
   return {};
 }
 

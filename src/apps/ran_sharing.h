@@ -35,6 +35,8 @@ class SlicedDlVsf final : public agent::DlSchedulerVsf {
  public:
   lte::SchedulingDecision schedule_dl(agent::AgentApi& api, std::int64_t subframe) override;
   util::Status set_parameter(std::string_view key, const util::YamlNode& value) override;
+  util::Status validate_parameter(std::string_view key,
+                                  const util::YamlNode& value) const override;
 
   const std::vector<SliceSpec>& slices() const { return slices_; }
 

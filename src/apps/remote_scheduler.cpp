@@ -21,6 +21,7 @@ void RemoteSchedulerApp::on_cycle(std::int64_t /*cycle*/, ctrl::NorthboundApi& a
     const auto* agent = rib->find_agent(agent_id);
     if (agent == nullptr || agent->last_subframe == 0) continue;  // not synced yet
     if (agent->is_stale()) continue;  // unreachable; its fallback VSF has control
+    if (demoted_.contains(agent_id)) continue;  // quarantined; local VSF has control
 
     const std::int64_t observed = agent->last_subframe;
     const std::int64_t target = observed + config_.schedule_ahead_sf;
@@ -46,6 +47,22 @@ void RemoteSchedulerApp::on_cycle(std::int64_t /*cycle*/, ctrl::NorthboundApi& a
         }
       }
     }
+  }
+}
+
+void RemoteSchedulerApp::on_event(const ctrl::Event& event, ctrl::NorthboundApi& /*api*/) {
+  switch (event.notification.event) {
+    case proto::EventType::vsf_quarantined:
+      if (demoted_.insert(event.agent).second) ++demotions_;
+      break;
+    case proto::EventType::policy_applied:
+    case proto::EventType::agent_reconnected:
+      // A valid policy is back in force (the master's rollback landed, or a
+      // fresh session re-ran the handshake): resume remote decisions.
+      demoted_.erase(event.agent);
+      break;
+    default:
+      break;
   }
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "controller/app.h"
@@ -38,10 +39,18 @@ class RemoteSchedulerApp final : public ctrl::App {
   int priority() const override { return 1; }
 
   void on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) override;
+  /// Demotes an agent to local scheduling on vsf_quarantined -- the same
+  /// degradation path the latency fallback takes (the agent's local VSF has
+  /// control, remote decisions would race it). Re-promotes once the agent
+  /// reports a valid policy applied or reconnects with a fresh session.
+  void on_event(const ctrl::Event& event, ctrl::NorthboundApi& api) override;
 
   std::uint64_t decisions_sent() const { return decisions_sent_; }
   void set_schedule_ahead(int subframes) { config_.schedule_ahead_sf = subframes; }
   int schedule_ahead() const { return config_.schedule_ahead_sf; }
+  /// Agents currently demoted to local scheduling after a VSF quarantine.
+  bool is_demoted(ctrl::AgentId agent) const { return demoted_.contains(agent); }
+  std::uint64_t demotions() const { return demotions_; }
 
  private:
   /// Builds one RR decision for `target_subframe` from the agent's RIB
@@ -53,7 +62,9 @@ class RemoteSchedulerApp final : public ctrl::App {
   RemoteSchedulerConfig config_;
   std::map<ctrl::AgentId, std::int64_t> last_target_;
   std::map<ctrl::AgentId, std::size_t> rotation_;
+  std::set<ctrl::AgentId> demoted_;
   std::uint64_t decisions_sent_ = 0;
+  std::uint64_t demotions_ = 0;
 };
 
 }  // namespace flexran::apps

@@ -286,6 +286,16 @@ void MasterController::apply_update(const PendingUpdate& update) {
         ue.rnti = event->rnti;
         ue.last_update = sim_.now();
       }
+      if (event->event == proto::EventType::policy_applied ||
+          event->event == proto::EventType::policy_rejected) {
+        // The agent echoes the policy's envelope xid; surface it in the
+        // event body so apps can correlate too.
+        if (event->xid == 0) event->xid = envelope.xid;
+        note_policy_verdict(update.agent, *event);
+      }
+      if (event->event == proto::EventType::vsf_quarantined) {
+        rollback_policy(update.agent, *event);
+      }
       event_queue_.push_back(Event{update.agent, *event});
       break;
     }
@@ -336,6 +346,10 @@ void MasterController::begin_agent_session(AgentId id, std::uint32_t epoch) {
     // from the old epoch must neither mutate the RIB nor be retried.
     purge_pending(id, epoch);
     fail_agent_requests(id, "session restarted");
+    // Verdicts for the old session's policies will never arrive; the
+    // applied history survives (it is knowledge about implementations,
+    // not about the session).
+    if (auto pit = policies_.find(id); pit != policies_.end()) pit->second.pending.clear();
     FLEXRAN_LOG(info, "master") << "agent " << id << " restarted: epoch " << agent.epoch
                                 << " -> " << epoch;
   }
@@ -351,6 +365,7 @@ void MasterController::mark_agent_down(AgentId id, const std::string& reason) {
   // with it. A surviving agent is re-synced when it is heard again.
   purge_pending(id, std::numeric_limits<std::uint32_t>::max());
   fail_agent_requests(id, "agent disconnected");
+  if (auto pit = policies_.find(id); pit != policies_.end()) pit->second.pending.clear();
   emit_lifecycle_event(id, proto::EventType::agent_disconnected);
   FLEXRAN_LOG(warn, "master") << "agent " << id << " down: " << reason;
 }
@@ -433,6 +448,58 @@ void MasterController::emit_lifecycle_event(AgentId id, proto::EventType type,
   const auto* agent = rib_.find_agent(id);
   note.subframe = agent != nullptr ? agent->last_subframe : 0;
   event_queue_.push_back(Event{id, note});
+}
+
+// ------------------------------------------------- policy rollback state
+
+void MasterController::note_policy_verdict(AgentId id, const proto::EventNotification& event) {
+  auto pit = policies_.find(id);
+  if (pit == policies_.end()) return;
+  auto& state = pit->second;
+  auto it = state.pending.find(event.xid);
+  if (it == state.pending.end()) return;
+  if (event.event == proto::EventType::policy_applied) {
+    // Promote to last-known-good (dedup against the current head so a
+    // rollback re-send does not fill the history with copies).
+    if (state.history.empty() || state.history.front() != it->second) {
+      state.history.push_front(std::move(it->second));
+      if (state.history.size() > kPolicyHistoryCap) state.history.pop_back();
+    }
+  } else {
+    ++policies_rejected_;
+    FLEXRAN_LOG(warn, "master") << "agent " << id << " rejected policy (xid " << event.xid
+                                << "): " << event.detail;
+  }
+  state.pending.erase(it);
+}
+
+void MasterController::rollback_policy(AgentId id, const proto::EventNotification& event) {
+  auto pit = policies_.find(id);
+  if (pit == policies_.end()) return;
+  auto& state = pit->second;
+  // A policy naming the quarantined implementation must not be promoted to
+  // last-known-good even if it once applied cleanly -- purge it, then roll
+  // back to the newest survivor.
+  if (!event.implementation.empty()) {
+    std::erase_if(state.history, [&](const std::string& yaml) {
+      return yaml.find(event.implementation) != std::string::npos;
+    });
+  }
+  if (state.history.empty()) {
+    FLEXRAN_LOG(warn, "master") << "agent " << id << " quarantined "
+                                << event.implementation << " but no known-good policy recorded";
+    return;
+  }
+  ++policy_rollbacks_;
+  FLEXRAN_LOG(warn, "master") << "agent " << id << " quarantined " << event.implementation
+                              << "; rolling back to last-known-good policy";
+  (void)send_policy(id, state.history.front());
+}
+
+std::string MasterController::last_known_good_policy(AgentId agent) const {
+  auto it = policies_.find(agent);
+  if (it == policies_.end() || it->second.history.empty()) return "";
+  return it->second.history.front();
 }
 
 void MasterController::dispatch_events() {
@@ -549,7 +616,12 @@ util::Status MasterController::push_vsf(AgentId agent, const std::string& module
 util::Status MasterController::send_policy(AgentId agent, const std::string& yaml) {
   proto::PolicyReconfiguration policy;
   policy.yaml = yaml;
-  return send_to(agent, policy);
+  // send_to stamps the envelope with next_xid_; record the policy under
+  // that xid so the agent's echoed verdict can resolve it.
+  const std::uint32_t xid = next_xid_;
+  auto status = send_to(agent, policy);
+  if (status.ok()) policies_[agent].pending.emplace(xid, yaml);
+  return status;
 }
 
 const proto::SignalingAccountant& MasterController::tx_accounting(AgentId agent) const {

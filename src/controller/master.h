@@ -138,6 +138,16 @@ class MasterController final : public NorthboundApi {
   /// Messages whose envelope failed to decode (e.g. corrupted in flight).
   std::uint64_t rx_decode_errors() const { return rx_decode_errors_; }
 
+  // ---- delegated-control containment (docs/delegation_safety.md) ------------
+  /// Policies re-sent (rolled back to last-known-good) after an agent
+  /// quarantined a VSF implementation.
+  std::uint64_t policy_rollbacks() const { return policy_rollbacks_; }
+  /// Policies an agent reported rejected (two-phase apply failed).
+  std::uint64_t policies_rejected() const { return policies_rejected_; }
+  /// Newest applied policy for the agent not implicated in a quarantine
+  /// ("" = none recorded).
+  std::string last_known_good_policy(AgentId agent) const;
+
  private:
   struct AgentLink {
     net::Transport* transport = nullptr;  // not owned
@@ -168,6 +178,16 @@ class MasterController final : public NorthboundApi {
     int attempts = 0;
   };
 
+  /// Per-agent policy bookkeeping for rollback: policies sent but not yet
+  /// acknowledged (keyed by envelope xid, which the agent echoes in its
+  /// policy_applied / policy_rejected verdict) and a bounded history of
+  /// applied policies, newest first.
+  struct PolicyState {
+    std::map<std::uint32_t, std::string> pending;
+    std::deque<std::string> history;
+  };
+  static constexpr std::size_t kPolicyHistoryCap = 8;
+
   template <typename M>
   util::Status send_to(AgentId agent, const M& message, bool track = false);
 
@@ -197,6 +217,12 @@ class MasterController final : public NorthboundApi {
   void complete_stats_request(AgentId agent, std::uint32_t request_id);
   void sweep_requests();
   void emit_lifecycle_event(AgentId id, proto::EventType type, std::uint32_t xid = 0);
+  /// Resolves a pending policy against the agent's verdict (applied ->
+  /// history, rejected -> dropped).
+  void note_policy_verdict(AgentId id, const proto::EventNotification& event);
+  /// On vsf_quarantined: purges history entries naming the quarantined
+  /// implementation and re-sends the newest survivor (last-known-good).
+  void rollback_policy(AgentId id, const proto::EventNotification& event);
 
   sim::Simulator& sim_;
   MasterConfig config_;
@@ -216,6 +242,7 @@ class MasterController final : public NorthboundApi {
   std::deque<Event> event_queue_;
   std::vector<std::unique_ptr<App>> apps_;
   std::map<std::uint32_t, PendingRequest> inflight_;
+  std::map<AgentId, PolicyState> policies_;
 
   AgentId next_agent_id_ = 1;
   std::uint32_t next_xid_ = 1;
@@ -225,6 +252,8 @@ class MasterController final : public NorthboundApi {
   std::uint64_t requests_failed_ = 0;
   std::uint64_t fenced_updates_ = 0;
   std::uint64_t rx_decode_errors_ = 0;
+  std::uint64_t policy_rollbacks_ = 0;
+  std::uint64_t policies_rejected_ = 0;
   proto::SignalingAccountant empty_accounting_;
 };
 

@@ -124,4 +124,18 @@ double bler_for_mcs_at_cqi(int mcs, int cqi) {
   return 0.97;
 }
 
+int rbg_size(int dl_prbs) {
+  // 36.213 Table 7.1.6.1-1.
+  if (dl_prbs <= 10) return 1;
+  if (dl_prbs <= 26) return 2;
+  if (dl_prbs <= 63) return 3;
+  return 4;
+}
+
+int rbg_count(int dl_prbs) {
+  if (dl_prbs <= 0) return 0;
+  const int p = rbg_size(dl_prbs);
+  return (dl_prbs + p - 1) / p;
+}
+
 }  // namespace flexran::lte

@@ -65,4 +65,14 @@ double cqi_to_sinr_db(int cqi);
 /// point, falling when conservative and rising steeply when aggressive.
 double bler_for_mcs_at_cqi(int mcs, int cqi);
 
+/// Resource block group size P for a carrier of `dl_prbs` PRBs
+/// (allocation type 0 granularity, 36.213 Table 7.1.6.1-1). The last RBG
+/// is partial when dl_prbs is not divisible by P -- a type-0 allocation
+/// rounded up to whole RBGs must still be clipped to dl_prbs, which the
+/// decision validator (agent::validate_decision) enforces.
+int rbg_size(int dl_prbs);
+
+/// Number of RBGs covering `dl_prbs` PRBs (ceiling division by rbg_size).
+int rbg_count(int dl_prbs);
+
 }  // namespace flexran::lte

@@ -115,6 +115,20 @@ const char* to_string(EventType event) {
     case EventType::agent_disconnected: return "agent_disconnected";
     case EventType::agent_reconnected: return "agent_reconnected";
     case EventType::request_timeout: return "request_timeout";
+    case EventType::vsf_failure: return "vsf_failure";
+    case EventType::vsf_quarantined: return "vsf_quarantined";
+    case EventType::policy_applied: return "policy_applied";
+    case EventType::policy_rejected: return "policy_rejected";
+  }
+  return "?";
+}
+
+const char* to_string(VsfFailureKind kind) {
+  switch (kind) {
+    case VsfFailureKind::none: return "none";
+    case VsfFailureKind::exception: return "exception";
+    case VsfFailureKind::overrun: return "overrun";
+    case VsfFailureKind::invalid_decision: return "invalid_decision";
   }
   return "?";
 }
@@ -865,6 +879,14 @@ void EventNotification::encode_body(WireEncoder& enc) const {
   if (rnti != lte::kInvalidRnti) enc.field_varint(3, rnti);
   if (cell_id != 0) enc.field_varint(4, cell_id);
   if (xid != 0) enc.field_varint(5, xid);
+  if (!module.empty()) enc.field_string(6, module);
+  if (!vsf.empty()) enc.field_string(7, vsf);
+  if (!implementation.empty()) enc.field_string(8, implementation);
+  if (failure_kind != VsfFailureKind::none) {
+    enc.field_varint(9, static_cast<std::uint64_t>(failure_kind));
+  }
+  if (failure_count != 0) enc.field_varint(10, failure_count);
+  if (!detail.empty()) enc.field_string(11, detail);
 }
 
 Result<EventNotification> EventNotification::decode_body(std::span<const std::uint8_t> data) {
@@ -877,6 +899,20 @@ Result<EventNotification> EventNotification::decode_body(std::span<const std::ui
       case 3: ASSIGN_VARINT(out.rnti, lte::Rnti); return true;
       case 4: ASSIGN_VARINT(out.cell_id, lte::CellId); return true;
       case 5: ASSIGN_VARINT(out.xid, std::uint32_t); return true;
+      case 6:
+      case 7:
+      case 8:
+      case 11: {
+        auto s = expect_string(dec, header);
+        if (!s.ok()) return Result<bool>(s.error());
+        (header.field == 6    ? out.module
+         : header.field == 7  ? out.vsf
+         : header.field == 8  ? out.implementation
+                              : out.detail) = std::move(*s);
+        return true;
+      }
+      case 9: ASSIGN_VARINT(out.failure_kind, VsfFailureKind); return true;
+      case 10: ASSIGN_VARINT(out.failure_count, std::uint32_t); return true;
       default: return false;
     }
   });

@@ -382,7 +382,40 @@ enum class EventType : std::uint8_t {
   agent_reconnected = 7,
   /// A tracked request exhausted its retries; `xid` identifies it.
   request_timeout = 8,
+  // Delegated-control containment (docs/delegation_safety.md): triggered
+  // events the agent sends when guarded VSF execution misbehaves or a
+  // policy reconfiguration is (not) applied.
+  /// A guarded VSF invocation failed (exception / deadline overrun /
+  /// invalid decision) and the slot fell back to the local default for the
+  /// TTI. Carries module/vsf/implementation, the failure kind and the
+  /// consecutive-failure count.
+  vsf_failure = 9,
+  /// An implementation crossed the consecutive-failure threshold and was
+  /// quarantined in the agent's VSF cache.
+  vsf_quarantined = 10,
+  /// A policy reconfiguration was validated and applied atomically; `xid`
+  /// echoes the PolicyReconfiguration envelope. The master promotes the
+  /// matching policy to last-known-good.
+  policy_applied = 11,
+  /// A policy reconfiguration failed validation and was NOT applied (the
+  /// old policy stays active); `detail` carries the reason.
+  policy_rejected = 12,
 };
+
+/// Why a guarded VSF invocation failed (vsf_failure / vsf_quarantined).
+enum class VsfFailureKind : std::uint8_t {
+  none = 0,
+  /// The VSF threw an exception.
+  exception = 1,
+  /// The invocation exceeded its deadline budget (declared simulated cost
+  /// or wall-clock backstop).
+  overrun = 2,
+  /// The returned SchedulingDecision failed validation (PRB bounds,
+  /// overlap, unknown RNTI, MCS range).
+  invalid_decision = 3,
+};
+
+const char* to_string(VsfFailureKind kind);
 
 struct EventNotification {
   static constexpr MessageType kType = MessageType::event_notification;
@@ -390,8 +423,20 @@ struct EventNotification {
   std::int64_t subframe = 0;
   lte::Rnti rnti = lte::kInvalidRnti;
   lte::CellId cell_id = 0;
-  /// For request_timeout events: the xid of the failed request.
+  /// For request_timeout events: the xid of the failed request. For
+  /// policy_applied / policy_rejected: the xid of the policy envelope.
   std::uint32_t xid = 0;
+  // ---- delegated-control containment fields (vsf_* / policy_* events) ------
+  /// CMI address of the failing slot, e.g. "mac" / "dl_ue_scheduler".
+  std::string module;
+  std::string vsf;
+  /// The cached implementation that failed or was quarantined.
+  std::string implementation;
+  VsfFailureKind failure_kind = VsfFailureKind::none;
+  /// Consecutive failures recorded against the implementation.
+  std::uint32_t failure_count = 0;
+  /// Human-readable reason (validation error, rejected-policy message).
+  std::string detail;
 
   void encode_body(WireEncoder& enc) const;
   static util::Result<EventNotification> decode_body(std::span<const std::uint8_t> data);

@@ -40,8 +40,12 @@ util::Result<FaultKind> parse_fault_kind(const std::string& name) {
   if (name == "crash") return FaultKind::crash;
   if (name == "restart") return FaultKind::restart;
   if (name == "flap") return FaultKind::flap;
+  if (name == "vsf_crash") return FaultKind::vsf_crash;
+  if (name == "vsf_overrun") return FaultKind::vsf_overrun;
+  if (name == "vsf_invalid") return FaultKind::vsf_invalid;
   return util::Error::invalid_argument(
-      "fault kind must be partition | heal | delay_spike | corrupt | crash | restart | flap");
+      "fault kind must be partition | heal | delay_spike | corrupt | crash | restart | flap | "
+      "vsf_crash | vsf_overrun | vsf_invalid");
 }
 
 }  // namespace
@@ -327,6 +331,22 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
       if (node->state == ctrl::SessionState::up) ++summary.agents_up;
     }
   }
+  summary.policy_rollbacks = testbed.master().policy_rollbacks();
+  for (auto& enb : testbed.enbs()) {
+    const auto& guard = enb->agent->vsf_guard();
+    summary.vsf_failures += guard.vsf_failures();
+    summary.vsf_quarantines += guard.quarantines();
+    summary.vsf_fallback_decisions += guard.fallback_decisions();
+    summary.unscheduled_slots += guard.unscheduled_slots();
+    const std::string impl = enb->agent->mac().active_implementation(
+        agent::MacControlModule::kDlSchedulerSlot);
+    if (!impl.empty() &&
+        !enb->agent->vsf_cache().is_quarantined(agent::MacControlModule::kName,
+                                                agent::MacControlModule::kDlSchedulerSlot,
+                                                impl)) {
+      ++summary.agents_on_valid_policy;
+    }
+  }
   return summary;
 }
 
@@ -352,6 +372,17 @@ std::string format_summary(const ScenarioRunSummary& summary) {
         static_cast<unsigned long long>(summary.requests_failed),
         static_cast<unsigned long long>(summary.fenced_updates), summary.agents_up,
         summary.agents_total);
+  }
+  if (summary.vsf_failures > 0 || summary.vsf_quarantines > 0 || summary.policy_rollbacks > 0) {
+    out += util::format(
+        "containment: %llu VSF failures, %llu quarantines, %llu fallback decisions, "
+        "%llu rollbacks, %llu unscheduled TTIs; %d/%d agents on valid policy\n",
+        static_cast<unsigned long long>(summary.vsf_failures),
+        static_cast<unsigned long long>(summary.vsf_quarantines),
+        static_cast<unsigned long long>(summary.vsf_fallback_decisions),
+        static_cast<unsigned long long>(summary.policy_rollbacks),
+        static_cast<unsigned long long>(summary.unscheduled_slots),
+        summary.agents_on_valid_policy, summary.agents_total);
   }
   return out;
 }

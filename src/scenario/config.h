@@ -102,6 +102,17 @@ struct ScenarioRunSummary {
   /// Agents whose session is fully re-synced (state up) at the end.
   int agents_up = 0;
   int agents_total = 0;
+  // ---- delegated-control containment (docs/delegation_safety.md) ------------
+  std::uint64_t vsf_failures = 0;
+  std::uint64_t vsf_quarantines = 0;
+  std::uint64_t vsf_fallback_decisions = 0;
+  /// TTIs where neither the active VSF nor the fallback produced a valid
+  /// decision. The containment invariant is that this stays 0.
+  std::uint64_t unscheduled_slots = 0;
+  std::uint64_t policy_rollbacks = 0;
+  /// Agents whose active DL scheduler is a non-quarantined implementation
+  /// at the end of the run (should equal agents_total).
+  int agents_on_valid_policy = 0;
 };
 
 /// Builds the testbed from the spec, runs it, and collects the summary.

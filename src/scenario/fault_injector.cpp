@@ -1,5 +1,6 @@
 #include "scenario/fault_injector.h"
 
+#include "agent/schedulers.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -14,6 +15,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::crash: return "crash";
     case FaultKind::restart: return "restart";
     case FaultKind::flap: return "flap";
+    case FaultKind::vsf_crash: return "vsf_crash";
+    case FaultKind::vsf_overrun: return "vsf_overrun";
+    case FaultKind::vsf_invalid: return "vsf_invalid";
   }
   return "?";
 }
@@ -112,6 +116,33 @@ void FaultInjector::apply(const FaultEvent& event) {
           for_each_target(event.enb, [](Testbed::Enb& enb) { enb.set_control_down(false); });
         });
       }
+      break;
+    }
+    case FaultKind::vsf_crash:
+    case FaultKind::vsf_overrun:
+    case FaultKind::vsf_invalid: {
+      const char* impl = event.kind == FaultKind::vsf_crash      ? "faulty_crash"
+                         : event.kind == FaultKind::vsf_overrun ? "faulty_overrun"
+                                                                : "faulty_invalid";
+      note(event, util::format("impl=%s", impl));
+      // The faulty implementations are opt-in (never registered by the
+      // Agent); injecting one makes it resolvable at updation time.
+      agent::register_faulty_vsfs();
+      // Deliver the fault through the legitimate delegation path -- VSF
+      // updation then policy reconfiguration (paper Sec. 4.3.1) -- so the
+      // whole containment chain is exercised: guard fallback, quarantine,
+      // triggered events, and the master's policy rollback.
+      for_each_target(event.enb, [&](Testbed::Enb& enb) {
+        // Seed a known-good policy first (the built-in round-robin ships in
+        // every cache), so the master has something to roll back to when
+        // the quarantine event arrives.
+        (void)testbed_->master().send_policy(
+            enb.agent_id, "mac:\n  dl_ue_scheduler:\n    behavior: local_rr\n");
+        (void)testbed_->master().push_vsf(enb.agent_id, "mac", "dl_ue_scheduler", impl);
+        (void)testbed_->master().send_policy(
+            enb.agent_id,
+            std::string("mac:\n  dl_ue_scheduler:\n    behavior: ") + impl + "\n");
+      });
       break;
     }
   }

@@ -29,6 +29,17 @@ enum class FaultKind {
   restart,
   /// `count` down/up cycles of period_s each (rapid link flapping).
   flap,
+  // Delegated-control faults (docs/delegation_safety.md): push a known-bad
+  // DL scheduler VSF through the normal master-side updation + policy path.
+  // The agent's VsfGuard must contain it: same-TTI fallback, quarantine
+  // after N consecutive failures, and a master-side rollback to the
+  // last-known-good policy.
+  /// VSF that throws on every invocation.
+  vsf_crash,
+  /// VSF whose declared cost busts the per-TTI deadline budget.
+  vsf_overrun,
+  /// VSF emitting decisions that fail validation (overlap, bad RNTI/MCS).
+  vsf_invalid,
 };
 
 const char* to_string(FaultKind kind);

@@ -35,8 +35,11 @@ AirtimeAllocation WeightedAirtimeVsf::schedule(const std::vector<StationView>& s
   return allocation;
 }
 
-util::Status WeightedAirtimeVsf::set_parameter(std::string_view key,
-                                               const util::YamlNode& value) {
+namespace {
+
+// Shared by set_parameter (commits) and validate_parameter (discards).
+util::Result<std::map<StationId, double>> parse_weights(std::string_view key,
+                                                        const util::YamlNode& value) {
   if (key != "weights") {
     return util::Error::invalid_argument("unknown parameter: " + std::string(key));
   }
@@ -57,7 +60,23 @@ util::Status WeightedAirtimeVsf::set_parameter(std::string_view key,
     if (*w < 0) return util::Error::invalid_argument("weight must be >= 0");
     parsed[static_cast<StationId>(*id)] = *w;
   }
-  weights_ = std::move(parsed);
+  return parsed;
+}
+
+}  // namespace
+
+util::Status WeightedAirtimeVsf::set_parameter(std::string_view key,
+                                               const util::YamlNode& value) {
+  auto parsed = parse_weights(key, value);
+  if (!parsed.ok()) return parsed.error();
+  weights_ = std::move(parsed.value());
+  return {};
+}
+
+util::Status WeightedAirtimeVsf::validate_parameter(std::string_view key,
+                                                    const util::YamlNode& value) const {
+  auto parsed = parse_weights(key, value);
+  if (!parsed.ok()) return parsed.error();
   return {};
 }
 

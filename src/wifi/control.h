@@ -40,6 +40,8 @@ class WeightedAirtimeVsf final : public AirtimeSchedulerVsf {
   AirtimeAllocation schedule(const std::vector<StationView>& stations,
                              std::int64_t slot) override;
   util::Status set_parameter(std::string_view key, const util::YamlNode& value) override;
+  util::Status validate_parameter(std::string_view key,
+                                  const util::YamlNode& value) const override;
 
  private:
   std::map<StationId, double> weights_;

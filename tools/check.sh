@@ -43,4 +43,12 @@ fi
 echo "== chaos scenario under ${sanitize}"
 "${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_recovery.yaml"
 
+if [[ "${sanitize}" != "thread" ]]; then
+  # Delegated-control containment: faulty VSFs (throw / overrun / invalid
+  # decisions) must be caught, quarantined and rolled back with zero
+  # unscheduled TTIs -- exceptions and guard bookkeeping under ASan/UBSan.
+  echo "== VSF chaos scenario under ${sanitize}"
+  "${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_vsf.yaml"
+fi
+
 echo "== OK (${sanitize})"
