@@ -130,6 +130,11 @@ void bench_faulty_vsfs() {
       "decision -- the containment invariant is that it stays 0.");
   std::printf("\n%-16s %9s %11s %10s %8s %14s %12s\n", "faulty impl", "failures",
               "quarantines", "fallbacks", "unsched", "fallback us", "DL (Mb/s)");
+  std::string json =
+      "{" +
+      bench::json_header("delegation_containment", "run=2s stats_period=1 quarantine_after=3") +
+      ",\"runs\":[";
+  bool first = true;
   for (const char* impl : {"faulty_crash", "faulty_overrun", "faulty_invalid"}) {
     const auto r = run_with_faulty_vsf(impl, 2.0);
     std::printf("%-16s %9lu %11lu %10lu %8lu %7.1f/%6.1f %12.2f\n", impl,
@@ -138,10 +143,25 @@ void bench_faulty_vsfs() {
                 static_cast<unsigned long>(r.fallbacks),
                 static_cast<unsigned long>(r.unscheduled), r.fallback_mean_us,
                 r.fallback_max_us, r.mbps);
+    char buffer[384];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"impl\":\"%s\",\"failures\":%llu,\"quarantines\":%llu,"
+                  "\"fallbacks\":%llu,\"unscheduled\":%llu,\"fallback_mean_us\":%.2f,"
+                  "\"fallback_max_us\":%.2f,\"dl_mbps\":%.3f}",
+                  first ? "" : ",", impl, static_cast<unsigned long long>(r.failures),
+                  static_cast<unsigned long long>(r.quarantines),
+                  static_cast<unsigned long long>(r.fallbacks),
+                  static_cast<unsigned long long>(r.unscheduled), r.fallback_mean_us,
+                  r.fallback_max_us, r.mbps);
+    json += buffer;
+    first = false;
   }
+  json += "]}";
   bench::print_note(
       "\n(fallback us = mean/max wall-clock from failure detection to a validated\n"
       "fallback decision; throughput stays at the local-scheduler rate.)");
+  // Machine-readable result: one JSON object on the final line.
+  std::printf("%s\n", json.c_str());
 }
 
 }  // namespace

@@ -143,7 +143,11 @@ int main() {
   }
 
   // Machine-readable result: one JSON object on the final line.
-  std::string json = "{\"benchmark\":\"control_channel_recovery\",\"runs\":[";
+  std::string json =
+      "{" +
+      flexran::bench::json_header("control_channel_recovery",
+                                  "control_delay=2ms stats_period=2 fallback=30ttis") +
+      ",\"runs\":[";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const RecoveryRun& run = runs[i];
     char buffer[512];

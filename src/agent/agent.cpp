@@ -122,7 +122,7 @@ void Agent::send_message(const M& message, std::uint32_t xid) {
   const auto wire = envelope.encode();
   tx_accounting_.record(proto::categorize(envelope.type, envelope.body),
                         wire.size() + net::kFrameHeaderBytes);
-  auto status = transport_->send(wire);
+  auto status = transport_->send(proto::traffic_class(envelope.type, envelope.body), wire);
   if (!status.ok()) {
     FLEXRAN_LOG(warn, "agent") << "send failed: " << status.error().message;
   }
@@ -282,6 +282,11 @@ void Agent::handle_message(std::vector<std::uint8_t> data) {
   }
   last_master_contact_subframe_ = api_.current_subframe();
   master_heard_this_session_ = true;
+  // Overload feedback: every master envelope carries the current throttle
+  // hint (0 while the master is healthy). Tracking it here rather than via
+  // a dedicated message means recovery needs no extra signaling -- the
+  // first un-stamped envelope restores full-rate reporting.
+  reports_.set_throttle(std::max<std::uint32_t>(1, envelope->throttle_hint));
   // Two-way fallback: master messages resumed, so hand the DL scheduler
   // back to remote control before processing the message.
   if (fallback_active_) {

@@ -12,7 +12,19 @@ void ReportsManager::register_request(const proto::StatsRequest& request,
   }
   Registration registration;
   registration.request = request;
-  registration.next_due = current_subframe;  // first report is immediate
+  auto existing = registrations_.find(request.request_id);
+  if (existing != registrations_.end()) {
+    // Replacement (e.g. the master renegotiating the period under
+    // overload): schedule from now at the NEW period -- inheriting the
+    // old next_due would fire on the stale cadence once, and an
+    // immediate report would amplify the very load being shed.
+    registration.next_due =
+        current_subframe + std::max<std::int64_t>(1, effective_period(request));
+    registration.last_fingerprint = existing->second.last_fingerprint;
+    registration.fired_once = existing->second.fired_once;
+  } else {
+    registration.next_due = current_subframe;  // first report is immediate
+  }
   registrations_[request.request_id] = std::move(registration);
 }
 
@@ -32,8 +44,7 @@ std::vector<proto::StatsReply> ReportsManager::collect(std::int64_t subframe) {
       case proto::ReportMode::periodic:
         if (subframe >= registration.next_due) {
           due.push_back(build_reply(registration, subframe));
-          registration.next_due =
-              subframe + std::max<std::int64_t>(1, registration.request.periodicity_ttis);
+          registration.next_due = subframe + effective_period(registration.request);
         }
         break;
       case proto::ReportMode::triggered: {
@@ -90,6 +101,11 @@ proto::StatsReply ReportsManager::build_reply(const Registration& registration,
     reply.cell_reports.push_back(api_->cell_stats());
   }
   return reply;
+}
+
+std::int64_t ReportsManager::effective_period(const proto::StatsRequest& request) const {
+  return std::max<std::int64_t>(1, request.periodicity_ttis) *
+         static_cast<std::int64_t>(throttle_);
 }
 
 std::size_t ReportsManager::fingerprint(const proto::StatsReply& reply) {

@@ -5,6 +5,7 @@
 // when the report contents changed since the last transmission).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -29,6 +30,13 @@ class ReportsManager {
   /// Returns the replies due at `subframe` (runs once per TTI).
   std::vector<proto::StatsReply> collect(std::int64_t subframe);
 
+  /// Overload-throttle multiplier applied to every periodic report period
+  /// (docs/overload_protection.md). Carried as a hint in master
+  /// Envelopes; 1 = no throttling. Takes effect at each report's NEXT
+  /// rescheduling, so it never bursts already-due reports.
+  void set_throttle(std::uint32_t multiplier) { throttle_ = std::max(1u, multiplier); }
+  std::uint32_t throttle() const { return throttle_; }
+
  private:
   struct Registration {
     proto::StatsRequest request;
@@ -38,10 +46,12 @@ class ReportsManager {
   };
 
   proto::StatsReply build_reply(const Registration& registration, std::int64_t subframe) const;
+  std::int64_t effective_period(const proto::StatsRequest& request) const;
   static std::size_t fingerprint(const proto::StatsReply& reply);
 
   AgentApi* api_;
   std::map<std::uint32_t, Registration> registrations_;
+  std::uint32_t throttle_ = 1;
 };
 
 }  // namespace flexran::agent

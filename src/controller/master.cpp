@@ -10,6 +10,33 @@
 
 namespace flexran::ctrl {
 
+namespace {
+
+/// Reads just the request_id (field 1) of an encoded StatsReply body --
+/// the coalesce key -- without materializing the full reply.
+std::uint32_t peek_stats_request_id(const std::vector<std::uint8_t>& body) {
+  proto::WireDecoder dec(body);
+  while (!dec.done()) {
+    auto header = dec.next_field();
+    if (!header.ok()) return 0;
+    if (header->field == 1 && header->type == proto::WireType::varint) {
+      auto value = dec.read_varint();
+      return value.ok() ? static_cast<std::uint32_t>(*value) : 0;
+    }
+    if (!dec.skip(header->type).ok()) return 0;
+  }
+  return 0;
+}
+
+/// Packs (agent, kind, request_id) into one coalesce key. Kinds: 1 =
+/// periodic StatsReply (per request_id), 2 = subframe tick (one per
+/// agent; each tick supersedes the previous).
+std::uint64_t ingest_key(AgentId agent, std::uint64_t kind, std::uint32_t request_id) {
+  return (static_cast<std::uint64_t>(agent) << 34) | (kind << 32) | request_id;
+}
+
+}  // namespace
+
 MasterController::MasterController(sim::Simulator& sim, MasterConfig config)
     : sim_(sim),
       config_(std::move(config)),
@@ -19,10 +46,13 @@ MasterController::MasterController(sim::Simulator& sim, MasterConfig config)
             // The updater slot ends by publishing the cycle's snapshot --
             // the version the applications dispatched this cycle will read.
             const std::size_t applied = drain_pending(budget_us);
+            overload_step();
             publish_snapshot();
             return applied;
           },
-          [this] { dispatch_events(); }) {
+          [this] { dispatch_events(); }),
+      overload_monitor_(config_.overload) {
+  pending_.set_budget(config_.overload.ingest);
   task_manager_.set_snapshot_source([this] { return snapshots_.current(); },
                                     [this] { return sim_.now(); });
   task_manager_.set_command_hooks(BatchingNorthbound::Hooks{
@@ -55,7 +85,17 @@ AgentId MasterController::add_agent(net::Transport& transport) {
       link_it->second.rx.record(proto::categorize(envelope->type, envelope->body),
                                 data.size() + net::kFrameHeaderBytes);
     }
-    pending_.push_back({id, envelope->epoch, std::move(*envelope)});
+    const net::TrafficClass cls = proto::traffic_class(envelope->type, envelope->body);
+    std::uint64_t key = 0;
+    if (envelope->type == proto::MessageType::stats_reply) {
+      // A superseded periodic reply coalesces per (agent, request_id);
+      // ticks coalesce per agent (each one supersedes the previous).
+      key = ingest_key(id, 1, peek_stats_request_id(envelope->body));
+    } else if (cls == net::TrafficClass::sync) {
+      key = ingest_key(id, 2, 0);
+    }
+    pending_.push(cls, data.size() + net::kFrameHeaderBytes, key,
+                  PendingUpdate{id, envelope->epoch, std::move(*envelope)});
   });
   transport.set_disconnect_callback(
       [this, id](util::Error error) { mark_agent_down(id, error.message); });
@@ -71,9 +111,11 @@ void MasterController::remove_agent(AgentId id) {
   // Drop everything still referencing the agent: queued updates, queued
   // events, and in-flight requests (dropped silently, not failed --
   // removal is deliberate, not an outage).
-  std::erase_if(pending_, [id](const PendingUpdate& update) { return update.agent == id; });
+  pending_.remove_if([id](const PendingUpdate& update) { return update.agent == id; });
   std::erase_if(event_queue_, [id](const Event& event) { return event.agent == id; });
   std::erase_if(inflight_, [id](const auto& entry) { return entry.second.agent == id; });
+  std::erase_if(original_reports_,
+                [id](const auto& entry) { return entry.first.first == id; });
   links_.erase(id);
   rib_.remove_agent(id);
 }
@@ -141,18 +183,96 @@ std::size_t MasterController::drain_pending(std::int64_t budget_us) {
   }
   std::size_t applied = 0;
   while (applied < limit && !pending_.empty()) {
-    PendingUpdate update = std::move(pending_.front());
-    pending_.pop_front();
-    apply_update(update);
+    auto update = pending_.pop();
+    apply_update(*update);
     ++applied;
   }
   updates_applied_ += applied;
+  if (!pending_.empty() && applied == limit) {
+    // The slot budget ran out with messages still queued: the updater is
+    // saturated, a watchdog input even before anything is shed.
+    updater_saturated_cycle_ = true;
+    ++updater_saturations_;
+  }
   return applied;
+}
+
+void MasterController::overload_step() {
+  if (!config_.overload.ingest.enabled()) return;
+  const auto& budget = config_.overload.ingest;
+  OverloadSample sample;
+  if (budget.max_messages > 0) {
+    sample.depth_fraction = static_cast<double>(pending_.size()) /
+                            static_cast<double>(budget.max_messages);
+  }
+  if (budget.max_bytes > 0) {
+    sample.depth_fraction =
+        std::max(sample.depth_fraction,
+                 static_cast<double>(pending_.bytes()) / static_cast<double>(budget.max_bytes));
+  }
+  const std::uint64_t shed_total = pending_.total_shed();
+  sample.shed_delta = shed_total - last_shed_total_;
+  last_shed_total_ = shed_total;
+  sample.updater_saturated = updater_saturated_cycle_;
+  updater_saturated_cycle_ = false;
+
+  if (!overload_monitor_.observe(sample)) {
+    // While critical persists with continued shedding, keep backing off:
+    // the multiplier doubles once per full window up to the cap.
+    if (overload_monitor_.state() == OverloadState::critical && sample.shed_delta > 0) {
+      if (++critical_shedding_cycles_ >= config_.overload.window_cycles &&
+          throttle_multiplier_ < config_.overload.max_backoff) {
+        critical_shedding_cycles_ = 0;
+        update_throttle(std::min(throttle_multiplier_ * 2, config_.overload.max_backoff));
+      }
+    } else if (sample.shed_delta == 0) {
+      critical_shedding_cycles_ = 0;
+    }
+    return;
+  }
+
+  const OverloadState state = overload_monitor_.state();
+  critical_shedding_cycles_ = 0;
+  switch (state) {
+    case OverloadState::normal: update_throttle(1); break;
+    case OverloadState::elevated: update_throttle(config_.overload.elevated_backoff); break;
+    case OverloadState::critical: update_throttle(config_.overload.critical_backoff); break;
+  }
+  FLEXRAN_LOG(warn, "master") << "overload state -> " << to_string(state)
+                              << " (depth " << pending_.size() << " msgs, shed "
+                              << shed_total << " total, throttle x" << throttle_multiplier_
+                              << ")";
+  proto::EventNotification note;
+  note.event = proto::EventType::overload_state_changed;
+  note.overload_state = static_cast<std::uint8_t>(state);
+  note.detail = to_string(state);
+  event_queue_.push_back(Event{0, note});
+}
+
+void MasterController::update_throttle(std::uint32_t multiplier) {
+  multiplier = std::max(1u, multiplier);
+  if (multiplier == throttle_multiplier_) return;
+  throttle_multiplier_ = multiplier;
+  renegotiate_reports();
+}
+
+void MasterController::renegotiate_reports() {
+  for (const auto& [key, original] : original_reports_) {
+    const auto& [agent, request_id] = key;
+    (void)request_id;
+    proto::StatsRequest stretched = original;
+    stretched.periodicity_ttis =
+        std::max<std::uint32_t>(1, original.periodicity_ttis) * throttle_multiplier_;
+    // Untracked: renegotiation is advisory (the Envelope throttle hint is
+    // the backstop), and a tracked retry storm is the last thing an
+    // overloaded master needs.
+    if (send_to(agent, stretched).ok()) ++throttle_renegotiations_;
+  }
 }
 
 void MasterController::publish_snapshot() {
   const auto start = std::chrono::steady_clock::now();
-  snapshots_.publish(rib_, dirty_agents_, rib_structure_changed_);
+  snapshots_.publish(rib_, dirty_agents_, rib_structure_changed_, overload_monitor_.state());
   dirty_agents_.clear();
   rib_structure_changed_ = false;
   snapshot_publish_time_.add(
@@ -371,7 +491,7 @@ void MasterController::mark_agent_down(AgentId id, const std::string& reason) {
 }
 
 void MasterController::purge_pending(AgentId id, std::uint32_t below_epoch) {
-  std::erase_if(pending_, [id, below_epoch](const PendingUpdate& update) {
+  pending_.remove_if([id, below_epoch](const PendingUpdate& update) {
     return update.agent == id && update.epoch < below_epoch;
   });
 }
@@ -525,6 +645,12 @@ util::Status MasterController::send_to(AgentId agent, const M& message, bool tra
   envelope.xid = next_xid_++;
   envelope.epoch = rib_.agent(agent).epoch;
   envelope.body = enc.take();
+  if (config_.overload.ingest.enabled()) {
+    // Piggyback the overload state + throttle hint on every outgoing
+    // message while non-normal; both encode to nothing when healthy.
+    envelope.queue_status = static_cast<std::uint8_t>(overload_monitor_.state());
+    envelope.throttle_hint = throttle_multiplier_ > 1 ? throttle_multiplier_ : 0;
+  }
   const auto wire = envelope.encode();
   it->second.tx.record(proto::categorize(envelope.type, envelope.body),
                        wire.size() + net::kFrameHeaderBytes);
@@ -542,7 +668,7 @@ util::Status MasterController::send_to(AgentId agent, const M& message, bool tra
     request.deadline = sim_.now() + request.timeout;
     inflight_.emplace(envelope.xid, std::move(request));
   }
-  return it->second.transport->send(wire);
+  return it->second.transport->send(proto::traffic_class(envelope.type, envelope.body), wire);
 }
 
 std::int64_t MasterController::agent_subframe(AgentId agent) const {
@@ -588,6 +714,22 @@ util::Status MasterController::send_scell_command(AgentId agent,
 }
 
 util::Status MasterController::request_stats(AgentId agent, const proto::StatsRequest& request) {
+  if (config_.overload.ingest.enabled()) {
+    if (request.flags == 0) {
+      original_reports_.erase({agent, request.request_id});
+    } else if (request.mode == proto::ReportMode::periodic) {
+      // Capture the as-issued request so throttling can stretch it and
+      // recovery can restore it. Under an active throttle the agent gets
+      // the stretched period right away.
+      original_reports_[{agent, request.request_id}] = request;
+      if (throttle_multiplier_ > 1) {
+        proto::StatsRequest stretched = request;
+        stretched.periodicity_ttis =
+            std::max<std::uint32_t>(1, request.periodicity_ttis) * throttle_multiplier_;
+        return send_to(agent, stretched, /*track=*/true);
+      }
+    }
+  }
   return send_to(agent, request, /*track=*/true);
 }
 

@@ -11,11 +11,13 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include <set>
 
 #include "controller/app.h"
 #include "controller/arbiter.h"
+#include "controller/overload.h"
 #include "controller/rib.h"
 #include "controller/rib_snapshot.h"
 #include "controller/task_manager.h"
@@ -54,6 +56,10 @@ struct MasterConfig {
   /// Retries before a tracked request is reported failed via a
   /// request_timeout event.
   int request_max_retries = 2;
+  /// Overload protection (docs/overload_protection.md): bounded ingest
+  /// queue, watchdog thresholds and report-throttle backoff. The layer is
+  /// entirely off (seed behavior) until `overload.ingest` has a budget.
+  OverloadConfig overload;
 };
 
 class MasterController final : public NorthboundApi {
@@ -148,6 +154,28 @@ class MasterController final : public NorthboundApi {
   /// ("" = none recorded).
   std::string last_known_good_policy(AgentId agent) const;
 
+  // ---- overload protection (docs/overload_protection.md) ---------------------
+  OverloadState overload_state() const { return overload_monitor_.state(); }
+  std::uint64_t overload_transitions() const { return overload_monitor_.transitions(); }
+  /// Ingest-queue high-water marks (bounded by the configured budget).
+  std::size_t pending_peak_messages() const { return pending_.peak_messages(); }
+  std::size_t pending_peak_bytes() const { return pending_.peak_bytes(); }
+  std::size_t pending_bytes() const { return pending_.bytes(); }
+  /// Per-class ingest accounting (admitted / shed / coalesced).
+  const net::ClassCounters& ingest_counters(net::TrafficClass cls) const {
+    return pending_.counters(cls);
+  }
+  std::uint64_t ingest_shed() const { return pending_.total_shed(); }
+  std::uint64_t ingest_coalesced() const { return pending_.total_coalesced(); }
+  /// Unsheddable messages admitted past the budget (should stay 0).
+  std::uint64_t ingest_budget_overflows() const { return pending_.budget_overflows(); }
+  /// Cycles where the updater hit its slot budget with messages queued.
+  std::uint64_t updater_saturations() const { return updater_saturations_; }
+  /// Current report-period multiplier (1 = no throttling).
+  std::uint32_t throttle_multiplier() const { return throttle_multiplier_; }
+  /// Stats requests re-sent to renegotiate report periods.
+  std::uint64_t throttle_renegotiations() const { return throttle_renegotiations_; }
+
  private:
   struct AgentLink {
     net::Transport* transport = nullptr;  // not owned
@@ -194,6 +222,13 @@ class MasterController final : public NorthboundApi {
   /// RIB updater slot body: drains pending updates (bounded by budget in
   /// real-time mode via an update-count proxy).
   std::size_t drain_pending(std::int64_t budget_us);
+  /// Overload watchdog step: runs after the drain, feeds the monitor one
+  /// sample and reacts to state transitions (events, throttling).
+  void overload_step();
+  /// Moves the report-throttle multiplier and renegotiates every captured
+  /// periodic stats request at the new period.
+  void update_throttle(std::uint32_t multiplier);
+  void renegotiate_reports();
   /// End of the updater slot: publishes this cycle's RibSnapshot (shares
   /// the subtrees of agents not in dirty_).
   void publish_snapshot();
@@ -238,11 +273,19 @@ class MasterController final : public NorthboundApi {
   ConflictArbiter arbiter_;
 
   std::map<AgentId, AgentLink> links_;
-  std::deque<PendingUpdate> pending_;
+  /// Ingest queue feeding the RIB Updater. With an overload budget it
+  /// sheds lowest-class-first and coalesces superseded periodic replies;
+  /// without one it is a plain FIFO (seed behavior).
+  net::ClassedQueue<PendingUpdate> pending_;
   std::deque<Event> event_queue_;
   std::vector<std::unique_ptr<App>> apps_;
   std::map<std::uint32_t, PendingRequest> inflight_;
   std::map<AgentId, PolicyState> policies_;
+  /// Periodic stats requests as originally issued, keyed by
+  /// (agent, request_id) -- what throttling stretches and recovery
+  /// restores.
+  std::map<std::pair<AgentId, std::uint32_t>, proto::StatsRequest> original_reports_;
+  OverloadMonitor overload_monitor_;
 
   AgentId next_agent_id_ = 1;
   std::uint32_t next_xid_ = 1;
@@ -254,6 +297,14 @@ class MasterController final : public NorthboundApi {
   std::uint64_t rx_decode_errors_ = 0;
   std::uint64_t policy_rollbacks_ = 0;
   std::uint64_t policies_rejected_ = 0;
+  std::uint64_t last_shed_total_ = 0;
+  bool updater_saturated_cycle_ = false;
+  std::uint64_t updater_saturations_ = 0;
+  std::uint32_t throttle_multiplier_ = 1;
+  std::uint64_t throttle_renegotiations_ = 0;
+  /// Cycles of continued shedding while critical, toward the next
+  /// multiplier doubling.
+  std::size_t critical_shedding_cycles_ = 0;
   proto::SignalingAccountant empty_accounting_;
 };
 

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <set>
 
+#include "controller/overload.h"
 #include "controller/rib.h"
 
 namespace flexran::ctrl {
@@ -28,6 +29,10 @@ class RibSnapshot {
 
   /// Monotonic publish counter; bumps only when content actually changed.
   std::uint64_t version() const { return version_; }
+
+  /// Master overload state at publish time (docs/overload_protection.md).
+  /// Apps read it here to back off their own signaling under pressure.
+  OverloadState overload_state() const { return overload_state_; }
 
   const AgentMap& agents() const { return agents_; }
   const AgentNode* find_agent(AgentId id) const;
@@ -44,6 +49,7 @@ class RibSnapshot {
   friend class SnapshotStore;
 
   std::uint64_t version_ = 0;
+  OverloadState overload_state_ = OverloadState::normal;
   AgentMap agents_;
 };
 
@@ -60,10 +66,12 @@ class SnapshotStore {
 
   /// Publishes the state of `rib`. Agent subtrees not in `dirty` are
   /// shared with the previous snapshot; when nothing changed (empty dirty
-  /// set, same agent ids, `structure_changed` false) the previous snapshot
-  /// is re-published unchanged and the version does not move.
+  /// set, same agent ids, `structure_changed` false, unchanged overload
+  /// state) the previous snapshot is re-published unchanged and the
+  /// version does not move.
   std::shared_ptr<const RibSnapshot> publish(const Rib& rib, const std::set<AgentId>& dirty,
-                                             bool structure_changed);
+                                             bool structure_changed,
+                                             OverloadState overload = OverloadState::normal);
 
   /// Latest published snapshot (never null; starts at an empty version 0).
   std::shared_ptr<const RibSnapshot> current() const {

@@ -96,7 +96,11 @@ void TaskManager::run_cycle(std::int64_t cycle, NorthboundApi& api) {
   // point of snapshot versioning.
   const auto updater_start = std::chrono::steady_clock::now();
   if (updater_) updater_(updater_budget_us());
-  updater_time_.add(elapsed_us(updater_start));
+  const double updater_us = elapsed_us(updater_start);
+  updater_time_.add(updater_us);
+  if (config_.real_time && updater_us > static_cast<double>(updater_budget_us())) {
+    ++updater_overruns_;
+  }
 
   if (config_.workers <= 0) {
     slot_busy_ = true;

@@ -120,6 +120,9 @@ class TaskManager {
   std::uint64_t commands_flushed() const { return commands_flushed_; }
   /// on_cycle calls whose wall time exceeded the application-slot budget.
   std::uint64_t app_overruns() const;
+  /// Real-time cycles where the updater slot's wall time exceeded its
+  /// budget (an overload-watchdog input, docs/overload_protection.md).
+  std::uint64_t updater_overruns() const { return updater_overruns_; }
 
   struct AppStat {
     std::string name;
@@ -163,6 +166,7 @@ class TaskManager {
   util::RunningStats updater_time_;
   util::RunningStats apps_time_;
   std::uint64_t commands_flushed_ = 0;
+  std::uint64_t updater_overruns_ = 0;
 
   /// True while an application slot is executing inline on the coordinator
   /// (reentrancy guard: Entry pointers are being iterated).

@@ -1,0 +1,17 @@
+#include "net/flow_control.h"
+
+namespace flexran::net {
+
+const char* to_string(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::session: return "session";
+    case TrafficClass::command: return "command";
+    case TrafficClass::config: return "config";
+    case TrafficClass::event: return "event";
+    case TrafficClass::sync: return "sync";
+    case TrafficClass::stats: return "stats";
+  }
+  return "?";
+}
+
+}  // namespace flexran::net

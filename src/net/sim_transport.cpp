@@ -11,6 +11,22 @@ util::Status SimTransport::send(std::span<const std::uint8_t> message) {
   return {};
 }
 
+util::Status SimTransport::send(TrafficClass cls, std::span<const std::uint8_t> message) {
+  if (!tx_) return util::Error::transport_failure("sim transport not connected");
+  if (send_budget_.enabled() && sheddable(cls)) {
+    const std::uint64_t frame_bytes = message.size() + kFrameHeaderBytes;
+    if (send_budget_.max_bytes > 0 &&
+        tx_->backlog_bytes() + frame_bytes > send_budget_.max_bytes) {
+      // The link is saturated: dropping a fresh periodic report here beats
+      // delivering it stale behind a multi-ms serializer backlog.
+      ++frames_shed_;
+      ++shed_by_class_[static_cast<std::size_t>(cls)];
+      return {};
+    }
+  }
+  return send(message);
+}
+
 void SimTransport::inject_disconnect(util::Error error) {
   if (disconnect_) disconnect_(std::move(error));
 }
@@ -22,6 +38,7 @@ void SimTransport::deliver(std::vector<std::uint8_t> framed) {
     for (std::size_t i = kFrameHeaderBytes; i < framed.size(); ++i) framed[i] |= 0x80;
   }
   auto status = assembler_.feed(framed, [this](std::vector<std::uint8_t> payload) {
+    ++messages_received_;
     if (receive_) receive_(std::move(payload));
   });
   if (!status.ok()) {

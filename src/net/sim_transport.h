@@ -24,11 +24,26 @@ struct SimTransportPair {
 class SimTransport final : public Transport {
  public:
   util::Status send(std::span<const std::uint8_t> message) override;
+  /// Class-aware send with budget enforcement: when a send budget is set
+  /// and the outgoing link's backlog would exceed it, sheddable classes
+  /// are dropped here (counted per class) instead of queueing behind the
+  /// serializer; unsheddable traffic always goes out.
+  util::Status send(TrafficClass cls, std::span<const std::uint8_t> message) override;
+  void set_send_budget(QueueBudget budget) override { send_budget_ = budget; }
+  const QueueBudget& send_budget() const { return send_budget_; }
+
   void set_receive_callback(ReceiveFn fn) override { receive_ = std::move(fn); }
   void set_disconnect_callback(DisconnectFn fn) override { disconnect_ = std::move(fn); }
 
   std::uint64_t messages_sent() const override { return messages_sent_; }
   std::uint64_t bytes_sent() const override { return tx_ ? tx_->bytes_sent() : 0; }
+  std::uint64_t messages_received() const override { return messages_received_; }
+  /// Frames the outgoing link dropped on the floor (partition).
+  std::uint64_t frames_dropped() const override { return tx_ ? tx_->packets_dropped() : 0; }
+  std::uint64_t frames_shed() const override { return frames_shed_; }
+  std::uint64_t frames_shed(TrafficClass cls) const {
+    return shed_by_class_[static_cast<std::size_t>(cls)];
+  }
 
   /// Runtime latency control for this endpoint's outgoing link.
   void set_delay(sim::TimeUs delay) {
@@ -62,7 +77,11 @@ class SimTransport final : public Transport {
   FrameAssembler assembler_;
   ReceiveFn receive_;
   DisconnectFn disconnect_;
+  QueueBudget send_budget_;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t frames_shed_ = 0;
+  std::array<std::uint64_t, kNumTrafficClasses> shed_by_class_{};
   int corrupt_remaining_ = 0;
   std::uint64_t frames_corrupted_ = 0;
 };

@@ -92,6 +92,7 @@ void TcpTransport::reader_loop() {
     }
     auto status = assembler_.feed(std::span(chunk.data(), static_cast<std::size_t>(n)),
                                   [this](std::vector<std::uint8_t> payload) {
+                                    messages_received_.fetch_add(1);
                                     if (receive_) receive_(std::move(payload));
                                   });
     if (!status.ok()) {

@@ -33,6 +33,9 @@ class TcpTransport final : public Transport {
                                                              std::uint16_t port);
 
   util::Status send(std::span<const std::uint8_t> message) override;
+  // Classified send(TrafficClass, ...) falls through to the base default:
+  // the socket buffer gives TCP native backpressure, so no local shedding.
+  using Transport::send;
   void set_receive_callback(ReceiveFn fn) override;
   /// The callback runs on the reader thread (same contract as receive),
   /// exactly once, when the peer closes, the socket errors, or the stream
@@ -47,6 +50,7 @@ class TcpTransport final : public Transport {
 
   std::uint64_t messages_sent() const override { return messages_sent_.load(); }
   std::uint64_t bytes_sent() const override { return bytes_sent_.load(); }
+  std::uint64_t messages_received() const override { return messages_received_.load(); }
 
  private:
   friend class TcpListener;
@@ -62,6 +66,7 @@ class TcpTransport final : public Transport {
   std::atomic<bool> closed_{false};
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
 };
 
 class TcpListener {

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "net/flow_control.h"
 #include "util/result.h"
 
 namespace flexran::net {
@@ -29,6 +30,18 @@ class Transport {
 
   /// Queues one protocol message for delivery to the peer.
   virtual util::Status send(std::span<const std::uint8_t> message) = 0;
+  /// Class-aware send: a budgeted transport may shed sheddable classes
+  /// under pressure (shedding is flow control, not an error -- the call
+  /// still returns ok). Default ignores the class and forwards to send().
+  virtual util::Status send(TrafficClass cls, std::span<const std::uint8_t> message) {
+    (void)cls;
+    return send(message);
+  }
+  /// Installs the outgoing budget for class-aware shedding. Default no-op:
+  /// TCP already has native backpressure (blocking writes against the
+  /// socket buffer), so only queue-modelled transports act on it.
+  virtual void set_send_budget(QueueBudget budget) { (void)budget; }
+
   /// Registers the message sink; called once before traffic flows.
   virtual void set_receive_callback(ReceiveFn fn) = 0;
   /// Registers the disconnect sink (optional; default discards).
@@ -37,6 +50,12 @@ class Transport {
   virtual std::uint64_t messages_sent() const = 0;
   /// Bytes on the wire, including framing.
   virtual std::uint64_t bytes_sent() const = 0;
+  /// Messages delivered to the receive callback.
+  virtual std::uint64_t messages_received() const { return 0; }
+  /// Frames lost on the path (partition drops), where the transport knows.
+  virtual std::uint64_t frames_dropped() const { return 0; }
+  /// Frames shed locally by the send budget (sheddable classes only).
+  virtual std::uint64_t frames_shed() const { return 0; }
 };
 
 }  // namespace flexran::net

@@ -119,6 +119,7 @@ const char* to_string(EventType event) {
     case EventType::vsf_quarantined: return "vsf_quarantined";
     case EventType::policy_applied: return "policy_applied";
     case EventType::policy_rejected: return "policy_rejected";
+    case EventType::overload_state_changed: return "overload_state_changed";
   }
   return "?";
 }
@@ -142,6 +143,8 @@ std::vector<std::uint8_t> Envelope::encode() const {
   if (xid != 0) enc.field_varint(3, xid);
   enc.field_bytes(4, body);
   if (epoch != 0) enc.field_varint(5, epoch);
+  if (queue_status != 0) enc.field_varint(6, queue_status);
+  if (throttle_hint != 0) enc.field_varint(7, throttle_hint);
   return enc.take();
 }
 
@@ -165,6 +168,8 @@ Result<Envelope> Envelope::decode(std::span<const std::uint8_t> data) {
         return true;
       }
       case 5: ASSIGN_VARINT(out.epoch, std::uint32_t); return true;
+      case 6: ASSIGN_VARINT(out.queue_status, std::uint8_t); return true;
+      case 7: ASSIGN_VARINT(out.throttle_hint, std::uint32_t); return true;
       default: return false;
     }
   });
@@ -887,6 +892,7 @@ void EventNotification::encode_body(WireEncoder& enc) const {
   }
   if (failure_count != 0) enc.field_varint(10, failure_count);
   if (!detail.empty()) enc.field_string(11, detail);
+  if (overload_state != 0) enc.field_varint(12, overload_state);
 }
 
 Result<EventNotification> EventNotification::decode_body(std::span<const std::uint8_t> data) {
@@ -913,6 +919,7 @@ Result<EventNotification> EventNotification::decode_body(std::span<const std::ui
       }
       case 9: ASSIGN_VARINT(out.failure_kind, VsfFailureKind); return true;
       case 10: ASSIGN_VARINT(out.failure_count, std::uint32_t); return true;
+      case 12: ASSIGN_VARINT(out.overload_state, std::uint8_t); return true;
       default: return false;
     }
   });
@@ -1024,6 +1031,36 @@ MessageCategory categorize(MessageType type, const std::vector<std::uint8_t>& bo
     }
     default:
       return MessageCategory::agent_management;
+  }
+}
+
+net::TrafficClass traffic_class(MessageType type, const std::vector<std::uint8_t>& body) {
+  switch (type) {
+    case MessageType::hello:
+    case MessageType::echo_request:
+    case MessageType::echo_reply:
+      return net::TrafficClass::session;
+    case MessageType::dl_mac_config:
+    case MessageType::ul_mac_config:
+    case MessageType::handover_command:
+    case MessageType::abs_config:
+    case MessageType::carrier_restriction:
+    case MessageType::drx_config:
+    case MessageType::scell_command:
+    case MessageType::control_delegation:
+    case MessageType::policy_reconfiguration:
+      return net::TrafficClass::command;
+    case MessageType::stats_reply:
+      return net::TrafficClass::stats;
+    case MessageType::event_notification: {
+      auto event = EventNotification::decode_body(body);
+      if (event.ok() && event->event == EventType::subframe_tick) return net::TrafficClass::sync;
+      return net::TrafficClass::event;
+    }
+    default:
+      // Config exchange, stats requests, event subscriptions: negotiated
+      // state the peer waits on -- never shed.
+      return net::TrafficClass::config;
   }
 }
 

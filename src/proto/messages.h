@@ -17,6 +17,7 @@
 #include "lte/abs.h"
 #include "lte/allocation.h"
 #include "lte/types.h"
+#include "net/flow_control.h"
 #include "proto/wire.h"
 #include "util/result.h"
 
@@ -73,6 +74,18 @@ struct Envelope {
   /// messages carrying an epoch older than the current session, so commands
   /// and reports in flight across an agent restart cannot be misapplied.
   std::uint32_t epoch = 0;
+  /// Master queue status piggybacked on every master -> agent message while
+  /// the master is under pressure (docs/overload_protection.md): the
+  /// numeric OverloadState (0 = normal, 1 = elevated, 2 = critical).
+  /// 0 is omitted on the wire, so a healthy control channel carries no
+  /// overhead and pre-overload peers interoperate unchanged.
+  std::uint8_t queue_status = 0;
+  /// Report-throttle hint: multiplier the agent applies to every periodic
+  /// report period while set (0/1 = no throttling). Covers registrations
+  /// the master never issued itself (e.g. operator tooling driving the
+  /// agent directly); master-issued requests are additionally renegotiated
+  /// through the stats-request machinery.
+  std::uint32_t throttle_hint = 0;
   std::vector<std::uint8_t> body;
 
   std::vector<std::uint8_t> encode() const;
@@ -400,6 +413,11 @@ enum class EventType : std::uint8_t {
   /// A policy reconfiguration failed validation and was NOT applied (the
   /// old policy stays active); `detail` carries the reason.
   policy_rejected = 12,
+  /// Master-internal: the overload watchdog moved the master to a new
+  /// OverloadState (docs/overload_protection.md). `overload_state` carries
+  /// the new state, `detail` its name. Emitted once per transition so apps
+  /// can back off (or resume) their own signaling.
+  overload_state_changed = 13,
 };
 
 /// Why a guarded VSF invocation failed (vsf_failure / vsf_quarantined).
@@ -437,6 +455,9 @@ struct EventNotification {
   std::uint32_t failure_count = 0;
   /// Human-readable reason (validation error, rejected-policy message).
   std::string detail;
+  /// For overload_state_changed: the numeric OverloadState entered
+  /// (0 = normal, 1 = elevated, 2 = critical).
+  std::uint8_t overload_state = 0;
 
   void encode_body(WireEncoder& enc) const;
   static util::Result<EventNotification> decode_body(std::span<const std::uint8_t> data);
@@ -489,6 +510,13 @@ struct PolicyReconfiguration {
 /// Category for Fig. 7 signaling accounting. Event notifications split by
 /// event type: subframe ticks are `sync`, everything else `agent_management`.
 MessageCategory categorize(MessageType type, const std::vector<std::uint8_t>& body);
+
+/// Traffic class for the overload-protection layer (net::TrafficClass,
+/// docs/overload_protection.md). Session and command/config traffic maps
+/// to unsheddable classes; event notifications split by event type:
+/// subframe ticks are `sync` (coalescible, superseded every TTI),
+/// everything else is `event`.
+net::TrafficClass traffic_class(MessageType type, const std::vector<std::uint8_t>& body);
 
 /// Packs a message struct into an encoded envelope.
 template <typename M>

@@ -43,9 +43,10 @@ util::Result<FaultKind> parse_fault_kind(const std::string& name) {
   if (name == "vsf_crash") return FaultKind::vsf_crash;
   if (name == "vsf_overrun") return FaultKind::vsf_overrun;
   if (name == "vsf_invalid") return FaultKind::vsf_invalid;
+  if (name == "report_flood") return FaultKind::report_flood;
   return util::Error::invalid_argument(
       "fault kind must be partition | heal | delay_spike | corrupt | crash | restart | flap | "
-      "vsf_crash | vsf_overrun | vsf_invalid");
+      "vsf_crash | vsf_overrun | vsf_invalid | report_flood");
 }
 
 }  // namespace
@@ -82,6 +83,17 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
   if (!request_timeout.ok()) return request_timeout.error();
   spec.request_timeout_ms = *request_timeout;
 
+  auto ingest_messages = read_int(root, "ingest_max_messages", spec.ingest_max_messages);
+  if (!ingest_messages.ok()) return ingest_messages.error();
+  if (*ingest_messages < 0) {
+    return util::Error::invalid_argument("ingest_max_messages must be >= 0");
+  }
+  spec.ingest_max_messages = *ingest_messages;
+  auto ingest_bytes = read_int(root, "ingest_max_bytes", spec.ingest_max_bytes);
+  if (!ingest_bytes.ok()) return ingest_bytes.error();
+  if (*ingest_bytes < 0) return util::Error::invalid_argument("ingest_max_bytes must be >= 0");
+  spec.ingest_max_bytes = *ingest_bytes;
+
   const auto* enbs = root.find("enbs");
   if (enbs == nullptr || !enbs->is_sequence() || enbs->items().empty()) {
     return util::Error::invalid_argument("scenario needs a non-empty 'enbs' sequence");
@@ -104,6 +116,16 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
     }
     enb.remote_fallback_ttis = *fallback;
     enb.fallback_scheduler = read_string(item, "fallback_scheduler", enb.fallback_scheduler);
+    auto rate = read_double(item, "control_rate_mbps", enb.control_rate_mbps);
+    if (!rate.ok()) return rate.error();
+    if (*rate < 0) return util::Error::invalid_argument("control_rate_mbps must be >= 0");
+    enb.control_rate_mbps = *rate;
+    auto send_budget = read_int(item, "send_budget_bytes", enb.send_budget_bytes);
+    if (!send_budget.ok()) return send_budget.error();
+    if (*send_budget < 0) {
+      return util::Error::invalid_argument("send_budget_bytes must be >= 0");
+    }
+    enb.send_budget_bytes = *send_budget;
     spec.enbs.push_back(std::move(enb));
   }
 
@@ -209,6 +231,9 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
   master_config.agent_timeout_us = sim::from_ms(spec.agent_timeout_ms);
   master_config.agent_disconnect_timeout_us = sim::from_ms(spec.agent_disconnect_timeout_ms);
   master_config.request_timeout_us = sim::from_ms(spec.request_timeout_ms);
+  master_config.overload.ingest.max_messages =
+      static_cast<std::uint64_t>(spec.ingest_max_messages);
+  master_config.overload.ingest.max_bytes = static_cast<std::uint64_t>(spec.ingest_max_bytes);
   Testbed testbed(std::move(master_config));
   if (spec.remote_scheduler) {
     apps::RemoteSchedulerConfig config;
@@ -228,8 +253,16 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
     out.agent.fallback_scheduler = enb_spec.fallback_scheduler;
     out.uplink.delay = sim::from_ms(enb_spec.control_delay_ms);
     out.downlink.delay = sim::from_ms(enb_spec.control_delay_ms);
+    if (enb_spec.control_rate_mbps > 0) {
+      out.uplink.rate_bps = static_cast<std::int64_t>(enb_spec.control_rate_mbps * 1e6);
+    }
     enb_index[enb_spec.enb_id] = testbed.enbs().size();
-    testbed.add_enb(out);
+    auto& enb = testbed.add_enb(out);
+    if (enb_spec.send_budget_bytes > 0) {
+      net::QueueBudget budget;
+      budget.max_bytes = static_cast<std::uint64_t>(enb_spec.send_budget_bytes);
+      enb.agent_side->set_send_budget(budget);
+    }
   }
 
   struct LiveUe {
@@ -347,6 +380,26 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
       ++summary.agents_on_valid_policy;
     }
   }
+  summary.overload_state = testbed.master().overload_state();
+  summary.overload_transitions = testbed.master().overload_transitions();
+  summary.ingest_shed = testbed.master().ingest_shed();
+  summary.ingest_coalesced = testbed.master().ingest_coalesced();
+  summary.ingest_peak_messages = testbed.master().pending_peak_messages();
+  summary.ingest_peak_bytes = testbed.master().pending_peak_bytes();
+  summary.throttle_renegotiations = testbed.master().throttle_renegotiations();
+  summary.updater_saturations = testbed.master().updater_saturations();
+  for (auto& enb : testbed.enbs()) {
+    ScenarioRunSummary::LinkStats link;
+    link.uplink_tx = enb->agent_side->messages_sent();
+    link.uplink_rx = enb->master_side->messages_received();
+    link.uplink_dropped = enb->agent_side->frames_dropped();
+    link.uplink_shed = enb->agent_side->frames_shed();
+    link.downlink_tx = enb->master_side->messages_sent();
+    link.downlink_rx = enb->agent_side->messages_received();
+    link.downlink_dropped = enb->master_side->frames_dropped();
+    link.downlink_shed = enb->master_side->frames_shed();
+    summary.links.push_back(link);
+  }
   return summary;
 }
 
@@ -383,6 +436,35 @@ std::string format_summary(const ScenarioRunSummary& summary) {
         static_cast<unsigned long long>(summary.policy_rollbacks),
         static_cast<unsigned long long>(summary.unscheduled_slots),
         summary.agents_on_valid_policy, summary.agents_total);
+  }
+  if (summary.overload_transitions > 0 || summary.ingest_shed > 0 ||
+      summary.ingest_coalesced > 0) {
+    out += util::format(
+        "overload: state=%s, %llu transitions; ingest shed %llu / coalesced %llu, "
+        "peak queue %llu msgs / %llu bytes; %llu throttle renegotiations, "
+        "%llu saturated updater cycles\n",
+        ctrl::to_string(summary.overload_state),
+        static_cast<unsigned long long>(summary.overload_transitions),
+        static_cast<unsigned long long>(summary.ingest_shed),
+        static_cast<unsigned long long>(summary.ingest_coalesced),
+        static_cast<unsigned long long>(summary.ingest_peak_messages),
+        static_cast<unsigned long long>(summary.ingest_peak_bytes),
+        static_cast<unsigned long long>(summary.throttle_renegotiations),
+        static_cast<unsigned long long>(summary.updater_saturations));
+  }
+  for (std::size_t i = 0; i < summary.links.size(); ++i) {
+    const auto& link = summary.links[i];
+    out += util::format(
+        "link %zu: up tx %llu rx %llu dropped %llu shed %llu | "
+        "down tx %llu rx %llu dropped %llu shed %llu\n",
+        i, static_cast<unsigned long long>(link.uplink_tx),
+        static_cast<unsigned long long>(link.uplink_rx),
+        static_cast<unsigned long long>(link.uplink_dropped),
+        static_cast<unsigned long long>(link.uplink_shed),
+        static_cast<unsigned long long>(link.downlink_tx),
+        static_cast<unsigned long long>(link.downlink_rx),
+        static_cast<unsigned long long>(link.downlink_dropped),
+        static_cast<unsigned long long>(link.downlink_shed));
   }
   return out;
 }

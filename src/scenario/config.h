@@ -37,6 +37,15 @@ struct ScenarioEnbSpec {
   /// the master has been silent this many TTIs (0 = off).
   long long remote_fallback_ttis = 0;
   std::string fallback_scheduler = "local_rr";
+  // ---- overload protection (docs/overload_protection.md) --------------------
+  /// Agent -> master control-link serialization rate, Mb/s (0 = infinite).
+  /// A finite rate makes report storms queue behind the serializer, which
+  /// is what the agent-side send budget sheds against.
+  double control_rate_mbps = 0.0;
+  /// Agent-side send budget in bytes of link backlog: sheddable traffic
+  /// (periodic stats, sync) beyond this is dropped at the transport rather
+  /// than queued behind the serializer (0 = unbounded).
+  long long send_budget_bytes = 0;
 };
 
 struct ScenarioUeSpec {
@@ -66,6 +75,11 @@ struct ScenarioSpec {
   double agent_disconnect_timeout_ms = 0.0;
   /// Master: track requests and retry after this timeout (0 = off).
   double request_timeout_ms = 0.0;
+  // ---- overload protection (docs/overload_protection.md) --------------------
+  /// Master ingest budget for the bounded control-plane queue: messages /
+  /// bytes of pending RIB updates. 0/0 = unbounded, overload machinery off.
+  long long ingest_max_messages = 0;
+  long long ingest_max_bytes = 0;
   /// Scripted chaos timeline, executed by a FaultInjector during the run.
   std::vector<FaultEvent> faults;
   std::vector<ScenarioEnbSpec> enbs;
@@ -113,6 +127,32 @@ struct ScenarioRunSummary {
   /// Agents whose active DL scheduler is a non-quarantined implementation
   /// at the end of the run (should equal agents_total).
   int agents_on_valid_policy = 0;
+  // ---- overload protection outcome (docs/overload_protection.md) ------------
+  /// Master overload state at the end of the run (should be normal again
+  /// once a flood clears) and how often the state machine moved.
+  ctrl::OverloadState overload_state = ctrl::OverloadState::normal;
+  std::uint64_t overload_transitions = 0;
+  /// Bounded-ingest accounting: messages shed / coalesced at admission,
+  /// and the peak queue footprint (the "bounded memory" invariant).
+  std::uint64_t ingest_shed = 0;
+  std::uint64_t ingest_coalesced = 0;
+  std::uint64_t ingest_peak_messages = 0;
+  std::uint64_t ingest_peak_bytes = 0;
+  std::uint64_t throttle_renegotiations = 0;
+  std::uint64_t updater_saturations = 0;
+  /// Per-eNodeB control-link frame counters (same order as the spec's
+  /// enbs), uplink = agent -> master.
+  struct LinkStats {
+    std::uint64_t uplink_tx = 0;
+    std::uint64_t uplink_rx = 0;
+    std::uint64_t uplink_dropped = 0;
+    std::uint64_t uplink_shed = 0;
+    std::uint64_t downlink_tx = 0;
+    std::uint64_t downlink_rx = 0;
+    std::uint64_t downlink_dropped = 0;
+    std::uint64_t downlink_shed = 0;
+  };
+  std::vector<LinkStats> links;
 };
 
 /// Builds the testbed from the spec, runs it, and collects the summary.

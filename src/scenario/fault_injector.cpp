@@ -6,6 +6,12 @@
 
 namespace flexran::scenario {
 
+namespace {
+// Request-id range reserved for report_flood registrations, far above
+// anything the master or scenario apps hand out.
+constexpr std::uint32_t kFloodRequestIdBase = 0xF1000000u;
+}  // namespace
+
 const char* to_string(FaultKind kind) {
   switch (kind) {
     case FaultKind::partition: return "partition";
@@ -18,6 +24,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::vsf_crash: return "vsf_crash";
     case FaultKind::vsf_overrun: return "vsf_overrun";
     case FaultKind::vsf_invalid: return "vsf_invalid";
+    case FaultKind::report_flood: return "report_flood";
   }
   return "?";
 }
@@ -143,6 +150,39 @@ void FaultInjector::apply(const FaultEvent& event) {
             enb.agent_id,
             std::string("mac:\n  dl_ue_scheduler:\n    behavior: ") + impl + "\n");
       });
+      break;
+    }
+    case FaultKind::report_flood: {
+      note(event, util::format("%d regs%s", event.count,
+                               event.duration_s > 0
+                                   ? util::format(" for %.3fs", event.duration_s).c_str()
+                                   : ""));
+      // Registered straight at the ReportsManager, bypassing the master's
+      // request accounting -- this is load the master did not ask for and
+      // cannot renegotiate away, exactly what the Envelope throttle hint
+      // exists for. Request ids live in a reserved range so the flood
+      // never collides with (or cancels) legitimate registrations.
+      for_each_target(event.enb, [&](Testbed::Enb& enb) {
+        const std::int64_t now_sf = enb.agent->api().current_subframe();
+        for (int i = 0; i < event.count; ++i) {
+          proto::StatsRequest request;
+          request.request_id = kFloodRequestIdBase + static_cast<std::uint32_t>(i);
+          request.mode = proto::ReportMode::periodic;
+          request.periodicity_ttis = 1;
+          request.flags = proto::stats_flags::kAll;
+          enb.agent->reports().register_request(request, now_sf);
+        }
+      });
+      if (event.duration_s > 0) {
+        testbed_->sim().after(sim::from_seconds(event.duration_s), [this, event] {
+          for_each_target(event.enb, [&](Testbed::Enb& enb) {
+            for (int i = 0; i < event.count; ++i) {
+              enb.agent->reports().cancel_request(kFloodRequestIdBase +
+                                                  static_cast<std::uint32_t>(i));
+            }
+          });
+        });
+      }
       break;
     }
   }

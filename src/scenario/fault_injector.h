@@ -40,6 +40,13 @@ enum class FaultKind {
   vsf_overrun,
   /// VSF emitting decisions that fail validation (overlap, bad RNTI/MCS).
   vsf_invalid,
+  /// Overload fault (docs/overload_protection.md): registers `count`
+  /// extra every-TTI full-flag periodic reports directly at the agent's
+  /// ReportsManager (as a buggy/malicious northbound tool would), then
+  /// cancels them after duration_s. The master's bounded queues, watchdog
+  /// and throttling must degrade statistics gracefully while commands
+  /// keep flowing.
+  report_flood,
 };
 
 const char* to_string(FaultKind kind);

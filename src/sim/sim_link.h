@@ -46,6 +46,16 @@ class SimLink {
 
   void send(std::vector<std::uint8_t> payload);
 
+  /// Bytes still queued behind the serializer right now -- the link-level
+  /// occupancy a sender's byte budget is checked against. Always 0 on a
+  /// rate-unlimited link (packets serialize instantly).
+  std::uint64_t backlog_bytes() const {
+    const TimeUs now = sim_.now();
+    if (config_.rate_bps <= 0 || tx_free_at_ <= now) return 0;
+    return static_cast<std::uint64_t>(static_cast<double>(tx_free_at_ - now) * 1e-6 *
+                                      static_cast<double>(config_.rate_bps) / 8.0);
+  }
+
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t packets_retransmitted() const { return packets_retransmitted_; }

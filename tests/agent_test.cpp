@@ -159,6 +159,101 @@ TEST_F(ReportsFixture, TriggeredFiresOnlyOnChange) {
   EXPECT_EQ(reports_.collect(4).size(), 0u);
 }
 
+TEST_F(ReportsFixture, TriggeredDetectsChangesPerFlagClass) {
+  // A mutation visible to one flag class fires that registration and
+  // leaves a disjoint one silent.
+  proto::StatsRequest rlc;
+  rlc.request_id = 20;
+  rlc.mode = proto::ReportMode::triggered;
+  rlc.flags = proto::stats_flags::kRlcQueue;
+  proto::StatsRequest bsr;
+  bsr.request_id = 21;
+  bsr.mode = proto::ReportMode::triggered;
+  bsr.flags = proto::stats_flags::kBsr;
+  reports_.register_request(rlc, 0);
+  reports_.register_request(bsr, 0);
+  EXPECT_EQ(reports_.collect(1).size(), 2u);  // baselines
+  EXPECT_EQ(reports_.collect(2).size(), 0u);
+
+  // UL buffer bytes feed only the BSR report; the RLC queue view is blind
+  // to them, so this is the exclusivity probe.
+  enb_.enqueue_ul(rnti_, 700);
+  auto due = reports_.collect(3);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].request_id, 21u);
+
+  // A DL enqueue moves both views: rlc_queue_bytes directly, and bsr_bytes
+  // because the BSR is computed from the DL queue per LC group.
+  enb_.enqueue_dl(rnti_, lte::kDefaultDrb, 500);
+  due = reports_.collect(4);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].request_id, 20u);
+  EXPECT_EQ(due[1].request_id, 21u);
+
+  // CQI sampling (kCqi) and cell load (kCellLoad) classes. The queue
+  // registrations are cancelled first: running a real TTI below drains the
+  // DL queue, which would fire them and muddy the count.
+  for (const std::uint32_t id : {20u, 21u}) reports_.cancel_request(id);
+  proto::StatsRequest cqi;
+  cqi.request_id = 22;
+  cqi.mode = proto::ReportMode::triggered;
+  cqi.flags = proto::stats_flags::kCqi;
+  proto::StatsRequest cell;
+  cell.request_id = 23;
+  cell.mode = proto::ReportMode::triggered;
+  cell.flags = proto::stats_flags::kCellLoad;
+  reports_.register_request(cqi, 5);
+  reports_.register_request(cell, 5);
+  EXPECT_EQ(reports_.collect(5).size(), 2u);  // baselines (CQI unsampled)
+  enb_.subframe_begin(6);                     // samples CQI 0 -> 10
+  due = reports_.collect(6);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].request_id, 22u);
+
+  // Remaining per-UE classes (PHR, HARQ, MAC counters, RSRP): a scope
+  // change -- a new UE joining -- must register as a content change. The
+  // earlier registrations are cancelled so the count below isolates the
+  // four classes under test.
+  for (const std::uint32_t id : {22u, 23u}) reports_.cancel_request(id);
+  for (const std::uint32_t flag :
+       {proto::stats_flags::kPhr, proto::stats_flags::kHarq,
+        proto::stats_flags::kMacCounters, proto::stats_flags::kRsrp}) {
+    proto::StatsRequest request;
+    request.request_id = 30 + flag;
+    request.mode = proto::ReportMode::triggered;
+    request.flags = flag;
+    reports_.register_request(request, 7);
+  }
+  EXPECT_EQ(reports_.collect(7).size(), 4u);  // baselines
+  EXPECT_EQ(reports_.collect(8).size(), 0u);
+  stack::UeProfile extra;
+  extra.dl_channel = std::make_unique<phy::FixedCqiChannel>(7);
+  enb_.add_ue(std::move(extra));
+  EXPECT_EQ(reports_.collect(9).size(), 4u);  // every class sees the change
+  EXPECT_EQ(reports_.collect(10).size(), 0u);
+}
+
+TEST_F(ReportsFixture, TriggeredRebaselinesAfterClear) {
+  proto::StatsRequest request;
+  request.request_id = 24;
+  request.mode = proto::ReportMode::triggered;
+  request.flags = proto::stats_flags::kRlcQueue;
+  reports_.register_request(request, 0);
+  EXPECT_EQ(reports_.collect(1).size(), 1u);
+
+  // Session teardown drops the registration; the master re-installs it on
+  // re-sync. The fresh registration must fire a baseline report even
+  // though the contents never changed -- the master's view was lost with
+  // the session -- and suppression must resume after it.
+  reports_.clear();
+  EXPECT_EQ(reports_.active_registrations(), 0u);
+  reports_.register_request(request, 2);
+  EXPECT_EQ(reports_.collect(3).size(), 1u);
+  EXPECT_EQ(reports_.collect(4).size(), 0u);
+  enb_.enqueue_dl(rnti_, lte::kDefaultDrb, 300);
+  EXPECT_EQ(reports_.collect(5).size(), 1u);
+}
+
 TEST_F(ReportsFixture, UeScopedRequestReportsOnlyListedUes) {
   stack::UeProfile other_profile;
   other_profile.dl_channel = std::make_unique<phy::FixedCqiChannel>(5);
@@ -174,6 +269,64 @@ TEST_F(ReportsFixture, UeScopedRequestReportsOnlyListedUes) {
   ASSERT_EQ(due.size(), 1u);
   ASSERT_EQ(due[0].ue_reports.size(), 1u);
   EXPECT_EQ(due[0].ue_reports[0].rnti, rnti_);
+}
+
+TEST_F(ReportsFixture, PeriodicReplacementReschedulesFromNow) {
+  proto::StatsRequest request;
+  request.request_id = 6;
+  request.mode = proto::ReportMode::periodic;
+  request.periodicity_ttis = 2;
+  reports_.register_request(request, 0);
+  EXPECT_EQ(reports_.collect(0).size(), 1u);  // fresh registration: immediate
+
+  // Replace at sf 1 with a longer period (the master renegotiating under
+  // overload). The replacement must NOT fire immediately, must NOT inherit
+  // the old next_due (sf 2), and must fire at 1 + 5 = 6.
+  request.periodicity_ttis = 5;
+  reports_.register_request(request, 1);
+  EXPECT_EQ(reports_.collect(2).size(), 0u);  // stale cadence suppressed
+  EXPECT_EQ(reports_.collect(5).size(), 0u);
+  EXPECT_EQ(reports_.collect(6).size(), 1u);  // new period, from replacement
+  EXPECT_EQ(reports_.collect(11).size(), 1u);
+}
+
+TEST_F(ReportsFixture, TriggeredReplacementPreservesFingerprint) {
+  proto::StatsRequest request;
+  request.request_id = 7;
+  request.mode = proto::ReportMode::triggered;
+  request.flags = proto::stats_flags::kRlcQueue;
+  reports_.register_request(request, 0);
+  EXPECT_EQ(reports_.collect(1).size(), 1u);  // baseline
+  // Re-registering the same request (e.g. a re-sent frame) keeps the
+  // fingerprint: no spurious re-fire on unchanged contents.
+  reports_.register_request(request, 2);
+  EXPECT_EQ(reports_.collect(3).size(), 0u);
+  enb_.enqueue_dl(rnti_, lte::kDefaultDrb, 500);
+  EXPECT_EQ(reports_.collect(4).size(), 1u);  // change still detected
+}
+
+TEST_F(ReportsFixture, ThrottleStretchesPeriodicReports) {
+  proto::StatsRequest request;
+  request.request_id = 8;
+  request.mode = proto::ReportMode::periodic;
+  request.periodicity_ttis = 2;
+  reports_.register_request(request, 0);
+  EXPECT_EQ(reports_.collect(0).size(), 1u);  // next_due = 2
+
+  reports_.set_throttle(3);
+  // Already-due report fires once, then reschedules at the stretched
+  // period (2 * 3 = 6).
+  EXPECT_EQ(reports_.collect(2).size(), 1u);
+  EXPECT_EQ(reports_.collect(4).size(), 0u);
+  EXPECT_EQ(reports_.collect(8).size(), 1u);
+
+  // Hint 0 clamps back to full rate -- effective at the next
+  // rescheduling, so the already-stretched next_due (14) still stands.
+  reports_.set_throttle(0);
+  EXPECT_EQ(reports_.throttle(), 1u);
+  EXPECT_EQ(reports_.collect(10).size(), 0u);
+  EXPECT_EQ(reports_.collect(14).size(), 1u);
+  EXPECT_EQ(reports_.collect(16).size(), 1u);  // original cadence restored
 }
 
 TEST_F(ReportsFixture, CancelViaZeroFlags) {

@@ -136,6 +136,35 @@ TEST(Envelope, RoundTrip) {
   EXPECT_EQ(decoded->capabilities[1], "rrc");
 }
 
+TEST(Envelope, QueueStatusAndThrottleHintRoundTrip) {
+  EchoRequest req{.subframe = 7, .timestamp_us = 42};
+  WireEncoder body;
+  req.encode_body(body);
+  Envelope envelope;
+  envelope.type = MessageType::echo_request;
+  envelope.body = body.take();
+  envelope.queue_status = 2;
+  envelope.throttle_hint = 8;
+  auto decoded = Envelope::decode(envelope.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded->queue_status, 2u);
+  EXPECT_EQ(decoded->throttle_hint, 8u);
+
+  // Defaults stay off the wire: a normal-state envelope is byte-identical
+  // to the pre-overload encoding.
+  const auto plain = pack(req);
+  auto plain_decoded = Envelope::decode(plain);
+  ASSERT_TRUE(plain_decoded.ok());
+  EXPECT_EQ(plain_decoded->queue_status, 0u);
+  EXPECT_EQ(plain_decoded->throttle_hint, 0u);
+  Envelope unset;
+  unset.type = MessageType::echo_request;
+  WireEncoder body2;
+  req.encode_body(body2);
+  unset.body = body2.take();
+  EXPECT_EQ(unset.encode(), plain);
+}
+
 TEST(Envelope, TypeMismatchRejected) {
   const auto wire = pack(EchoRequest{.subframe = 1, .timestamp_us = 2});
   auto envelope = Envelope::decode(wire);
@@ -365,6 +394,36 @@ TEST(Categories, ByMessageType) {
   EXPECT_EQ(categorize(MessageType::control_delegation, {}), MessageCategory::delegation);
   EXPECT_EQ(categorize(MessageType::hello, {}), MessageCategory::agent_management);
   EXPECT_EQ(categorize(MessageType::echo_reply, {}), MessageCategory::agent_management);
+}
+
+TEST(TrafficClasses, ByMessageType) {
+  using net::TrafficClass;
+  EXPECT_EQ(traffic_class(MessageType::hello, {}), TrafficClass::session);
+  EXPECT_EQ(traffic_class(MessageType::echo_reply, {}), TrafficClass::session);
+  EXPECT_EQ(traffic_class(MessageType::dl_mac_config, {}), TrafficClass::command);
+  EXPECT_EQ(traffic_class(MessageType::policy_reconfiguration, {}), TrafficClass::command);
+  EXPECT_EQ(traffic_class(MessageType::stats_request, {}), TrafficClass::config);
+  EXPECT_EQ(traffic_class(MessageType::enb_config_reply, {}), TrafficClass::config);
+  EXPECT_EQ(traffic_class(MessageType::stats_reply, {}), TrafficClass::stats);
+
+  EventNotification tick;
+  tick.event = EventType::subframe_tick;
+  auto tick_env = Envelope::decode(pack(tick)).value();
+  EXPECT_EQ(traffic_class(tick_env.type, tick_env.body), TrafficClass::sync);
+
+  EventNotification attach;
+  attach.event = EventType::ue_attach;
+  attach.rnti = 9;
+  auto attach_env = Envelope::decode(pack(attach)).value();
+  EXPECT_EQ(traffic_class(attach_env.type, attach_env.body), TrafficClass::event);
+
+  // Only event triggers, sync ticks and stats are sheddable.
+  EXPECT_FALSE(net::sheddable(TrafficClass::session));
+  EXPECT_FALSE(net::sheddable(TrafficClass::command));
+  EXPECT_FALSE(net::sheddable(TrafficClass::config));
+  EXPECT_TRUE(net::sheddable(TrafficClass::event));
+  EXPECT_TRUE(net::sheddable(TrafficClass::sync));
+  EXPECT_TRUE(net::sheddable(TrafficClass::stats));
 }
 
 // ----------------------------------------------------- aggregation savings --

@@ -43,6 +43,12 @@ fi
 echo "== chaos scenario under ${sanitize}"
 "${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_recovery.yaml"
 
+# Overload protection: a report flood must be shed class-aware on the
+# updater thread while apps read snapshots concurrently -- the bounded
+# ingest queue and throttle path under both sanitizer legs.
+echo "== overload chaos scenario under ${sanitize}"
+"${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_overload.yaml"
+
 if [[ "${sanitize}" != "thread" ]]; then
   # Delegated-control containment: faulty VSFs (throw / overrun / invalid
   # decisions) must be caught, quarantined and rolled back with zero
