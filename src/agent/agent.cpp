@@ -119,6 +119,12 @@ void Agent::send_message(const M& message, std::uint32_t xid) {
   envelope.xid = xid;
   envelope.epoch = session_epoch_;
   envelope.body = enc.take();
+  if (pending_ts_echo_us_ != 0) {
+    // Echo the latest master timestamp exactly once (the next outgoing
+    // message closes the master's end-to-end latency measurement).
+    envelope.ts_echo_us = pending_ts_echo_us_;
+    pending_ts_echo_us_ = 0;
+  }
   const auto wire = envelope.encode();
   tx_accounting_.record(proto::categorize(envelope.type, envelope.body),
                         wire.size() + net::kFrameHeaderBytes);
@@ -273,6 +279,12 @@ void Agent::handle_message(std::vector<std::uint8_t> data) {
     FLEXRAN_LOG(error, "agent") << "bad envelope: " << envelope.error().message;
     return;
   }
+  // Mirror of the master's per-link rx accounting (same frame-header-bytes
+  // convention), so both ends of the Fig. 7 breakdown reconcile. Recorded
+  // before epoch fencing, like the master records before its queue.
+  rx_accounting_.record(proto::categorize(envelope->type, envelope->body),
+                        data.size() + net::kFrameHeaderBytes);
+  if (envelope->ts_us != 0) pending_ts_echo_us_ = envelope->ts_us;
   // Fence messages addressed to an older session: a command the master sent
   // before it learned of this agent's restart must not be applied (and does
   // not count as master contact).

@@ -135,6 +135,10 @@ class Agent final : public stack::EnodebDataPlane::Listener {
 
   // ---- introspection -------------------------------------------------------
   const proto::SignalingAccountant& tx_accounting() const { return tx_accounting_; }
+  /// Master -> agent signaling as received, recorded with the same
+  /// frame-header-bytes convention as every other accounting site, so the
+  /// Fig. 7 breakdowns reconcile from both ends of the link.
+  const proto::SignalingAccountant& rx_accounting() const { return rx_accounting_; }
   std::uint64_t missed_deadline_decisions() const { return missed_deadline_decisions_; }
   std::uint64_t remote_decisions_applied() const { return remote_decisions_applied_; }
   std::uint64_t messages_received() const { return messages_received_; }
@@ -184,6 +188,12 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   std::set<proto::EventType> subscribed_events_;
 
   proto::SignalingAccountant tx_accounting_;
+  proto::SignalingAccountant rx_accounting_;
+  /// Latest master envelope timestamp not yet echoed (0 = none): attached
+  /// as ts_echo_us to the next outgoing message, then cleared, feeding the
+  /// master's end-to-end control-latency histogram
+  /// (docs/observability.md). Zero-cost when the master never stamps.
+  std::uint64_t pending_ts_echo_us_ = 0;
   std::uint64_t missed_deadline_decisions_ = 0;
   std::uint64_t remote_decisions_applied_ = 0;
   std::uint64_t messages_received_ = 0;

@@ -51,8 +51,13 @@ MasterController::MasterController(sim::Simulator& sim, MasterConfig config)
             return applied;
           },
           [this] { dispatch_events(); }),
-      overload_monitor_(config_.overload) {
+      overload_monitor_(config_.overload),
+      trace_ring_(config_.obs.trace_cycles) {
   pending_.set_budget(config_.overload.ingest);
+  if (config_.obs.enabled) {
+    task_manager_.set_trace_sink(&trace_ring_);
+    register_obs_probes();
+  }
   task_manager_.set_snapshot_source([this] { return snapshots_.current(); },
                                     [this] { return sim_.now(); });
   task_manager_.set_command_hooks(BatchingNorthbound::Hooks{
@@ -102,6 +107,7 @@ AgentId MasterController::add_agent(net::Transport& transport) {
   rib_.agent(id).id = id;
   dirty_agents_.insert(id);
   rib_structure_changed_ = true;
+  if (config_.obs.enabled) register_agent_probes(id);
   return id;
 }
 
@@ -168,6 +174,7 @@ App* MasterController::add_app(std::unique_ptr<App> app) {
   App* raw = app.get();
   apps_.push_back(std::move(app));
   task_manager_.add_app(raw, *this);
+  if (config_.obs.enabled) register_app_probes(std::string(raw->name()));
   return raw;
 }
 
@@ -283,6 +290,17 @@ void MasterController::publish_snapshot() {
 void MasterController::apply_update(const PendingUpdate& update) {
   using proto::MessageType;
   const proto::Envelope& envelope = update.envelope;
+  if (envelope.ts_echo_us != 0) {
+    // End-to-end control latency: a timestamp we stamped on an outgoing
+    // message, carried to the agent, echoed on its next message, and now
+    // reaching the RIB apply -- wire both ways plus every queueing stage.
+    auto link_it = links_.find(update.agent);
+    if (link_it != links_.end() && link_it->second.latency != nullptr &&
+        sim_.now() >= static_cast<sim::TimeUs>(envelope.ts_echo_us)) {
+      link_it->second.latency->observe(
+          static_cast<double>(sim_.now() - static_cast<sim::TimeUs>(envelope.ts_echo_us)));
+    }
+  }
   AgentNode& agent = rib_.agent(update.agent);
   // Session fencing: a message carrying an epoch older than the agent's
   // current session is a straggler from before a restart and must not
@@ -543,9 +561,12 @@ void MasterController::sweep_requests() {
       request.deadline = sim_.now() + request.timeout;
       auto link = links_.find(request.agent);
       if (link != links_.end() && link->second.transport != nullptr) {
-        link->second.tx.record(proto::categorize(request.type, {}),
+        // Reuse the category and traffic class captured at enqueue time:
+        // recomputing from (type, empty body) misbuckets body-dependent
+        // types, and a classless send would bypass class-aware accounting.
+        link->second.tx.record(request.category,
                                request.wire.size() + net::kFrameHeaderBytes);
-        (void)link->second.transport->send(request.wire);
+        (void)link->second.transport->send(request.cls, request.wire);
       }
       ++it;
     } else {
@@ -651,9 +672,11 @@ util::Status MasterController::send_to(AgentId agent, const M& message, bool tra
     envelope.queue_status = static_cast<std::uint8_t>(overload_monitor_.state());
     envelope.throttle_hint = throttle_multiplier_ > 1 ? throttle_multiplier_ : 0;
   }
+  if (config_.obs.enabled) envelope.ts_us = static_cast<std::uint64_t>(sim_.now());
   const auto wire = envelope.encode();
-  it->second.tx.record(proto::categorize(envelope.type, envelope.body),
-                       wire.size() + net::kFrameHeaderBytes);
+  const proto::MessageCategory category = proto::categorize(envelope.type, envelope.body);
+  const net::TrafficClass cls = proto::traffic_class(envelope.type, envelope.body);
+  it->second.tx.record(category, wire.size() + net::kFrameHeaderBytes);
   if (track && config_.request_timeout_us > 0) {
     PendingRequest request;
     request.agent = agent;
@@ -663,12 +686,14 @@ util::Status MasterController::send_to(AgentId agent, const M& message, bool tra
     if constexpr (std::is_same_v<M, proto::StatsRequest>) {
       request.request_id = message.request_id;
     }
+    request.category = category;
+    request.cls = cls;
     request.wire = wire;
     request.timeout = config_.request_timeout_us;
     request.deadline = sim_.now() + request.timeout;
     inflight_.emplace(envelope.xid, std::move(request));
   }
-  return it->second.transport->send(proto::traffic_class(envelope.type, envelope.body), wire);
+  return it->second.transport->send(cls, wire);
 }
 
 std::int64_t MasterController::agent_subframe(AgentId agent) const {
@@ -774,6 +799,158 @@ const proto::SignalingAccountant& MasterController::tx_accounting(AgentId agent)
 const proto::SignalingAccountant& MasterController::rx_accounting(AgentId agent) const {
   auto it = links_.find(agent);
   return it == links_.end() ? empty_accounting_ : it->second.rx;
+}
+
+// --------------------------------------------- observability registration
+
+namespace {
+constexpr proto::MessageCategory kAllCategories[] = {
+    proto::MessageCategory::agent_management, proto::MessageCategory::sync,
+    proto::MessageCategory::stats, proto::MessageCategory::commands,
+    proto::MessageCategory::delegation};
+constexpr net::TrafficClass kAllClasses[] = {
+    net::TrafficClass::session, net::TrafficClass::command, net::TrafficClass::config,
+    net::TrafficClass::event,   net::TrafficClass::sync,    net::TrafficClass::stats};
+}  // namespace
+
+const obs::Histogram* MasterController::control_latency(AgentId agent) const {
+  auto it = links_.find(agent);
+  return it == links_.end() ? nullptr : it->second.latency;
+}
+
+void MasterController::register_obs_probes() {
+  auto& m = metrics_;
+  // Ingest queue feeding the RIB Updater (bounded class-aware queue).
+  m.register_probe("ingest_depth_messages",
+                   [this] { return static_cast<double>(pending_.size()); });
+  m.register_probe("ingest_depth_bytes",
+                   [this] { return static_cast<double>(pending_.bytes()); });
+  m.register_probe("ingest_peak_messages",
+                   [this] { return static_cast<double>(pending_.peak_messages()); });
+  m.register_probe("ingest_peak_bytes",
+                   [this] { return static_cast<double>(pending_.peak_bytes()); });
+  m.register_probe("ingest_budget_overflows",
+                   [this] { return static_cast<double>(pending_.budget_overflows()); });
+  for (const net::TrafficClass cls : kAllClasses) {
+    const std::string label = net::to_string(cls);
+    m.register_probe(obs::labeled("ingest_enqueued", {{"class", label}}),
+                     [this, cls] { return static_cast<double>(pending_.counters(cls).enqueued); });
+    m.register_probe(obs::labeled("ingest_shed", {{"class", label}}),
+                     [this, cls] { return static_cast<double>(pending_.counters(cls).shed); });
+    m.register_probe(obs::labeled("ingest_shed_bytes", {{"class", label}}), [this, cls] {
+      return static_cast<double>(pending_.counters(cls).shed_bytes);
+    });
+    m.register_probe(obs::labeled("ingest_coalesced", {{"class", label}}), [this, cls] {
+      return static_cast<double>(pending_.counters(cls).coalesced);
+    });
+  }
+  // RIB updater + request table + session lifecycle.
+  m.register_probe("updates_applied", [this] { return static_cast<double>(updates_applied_); });
+  m.register_probe("fenced_updates", [this] { return static_cast<double>(fenced_updates_); });
+  m.register_probe("rx_decode_errors",
+                   [this] { return static_cast<double>(rx_decode_errors_); });
+  m.register_probe("inflight_requests",
+                   [this] { return static_cast<double>(inflight_.size()); });
+  m.register_probe("requests_completed",
+                   [this] { return static_cast<double>(requests_completed_); });
+  m.register_probe("requests_retried",
+                   [this] { return static_cast<double>(requests_retried_); });
+  m.register_probe("requests_failed", [this] { return static_cast<double>(requests_failed_); });
+  m.register_probe("policy_rollbacks",
+                   [this] { return static_cast<double>(policy_rollbacks_); });
+  m.register_probe("policies_rejected",
+                   [this] { return static_cast<double>(policies_rejected_); });
+  // Overload watchdog (docs/overload_protection.md).
+  m.register_probe("overload_state", [this] {
+    return static_cast<double>(static_cast<int>(overload_monitor_.state()));
+  });
+  m.register_probe("overload_transitions",
+                   [this] { return static_cast<double>(overload_monitor_.transitions()); });
+  m.register_probe("updater_saturations",
+                   [this] { return static_cast<double>(updater_saturations_); });
+  m.register_probe("throttle_multiplier",
+                   [this] { return static_cast<double>(throttle_multiplier_); });
+  m.register_probe("throttle_renegotiations",
+                   [this] { return static_cast<double>(throttle_renegotiations_); });
+  // Task manager / control loop (Fig. 8 series + cycle-trace stages).
+  m.register_probe("cycles_run",
+                   [this] { return static_cast<double>(task_manager_.cycles_run()); });
+  m.register_probe("commands_flushed",
+                   [this] { return static_cast<double>(task_manager_.commands_flushed()); });
+  m.register_probe("app_overruns",
+                   [this] { return static_cast<double>(task_manager_.app_overruns()); });
+  m.register_probe("updater_overruns",
+                   [this] { return static_cast<double>(task_manager_.updater_overruns()); });
+  m.register_probe("idle_fraction", [this] { return task_manager_.mean_idle_fraction(); });
+  m.register_probe("snapshot_version",
+                   [this] { return static_cast<double>(snapshot_version()); });
+  m.register_probe("snapshot_publish_us_mean",
+                   [this] { return snapshot_publish_time_.mean(); });
+  m.register_probe("cycle_updater_us_mean", [this] { return trace_ring_.updater_us().mean(); });
+  m.register_probe("cycle_updater_us_max", [this] { return trace_ring_.updater_us().max(); });
+  m.register_probe("cycle_event_us_mean", [this] { return trace_ring_.event_us().mean(); });
+  m.register_probe("cycle_apps_us_mean", [this] { return trace_ring_.apps_us().mean(); });
+  m.register_probe("cycle_apps_us_max", [this] { return trace_ring_.apps_us().max(); });
+  m.register_probe("cycle_flush_us_mean", [this] { return trace_ring_.flush_us().mean(); });
+  m.register_probe("cycle_flush_us_max", [this] { return trace_ring_.flush_us().max(); });
+}
+
+void MasterController::register_agent_probes(AgentId id) {
+  auto& m = metrics_;
+  const std::string agent_label = std::to_string(id);
+  for (const proto::MessageCategory category : kAllCategories) {
+    const std::string cat_label = proto::to_string(category);
+    m.register_probe(
+        obs::labeled("signaling_tx_bytes", {{"agent", agent_label}, {"category", cat_label}}),
+        [this, id, category] {
+          return static_cast<double>(tx_accounting(id).bytes(category));
+        });
+    m.register_probe(
+        obs::labeled("signaling_tx_messages",
+                     {{"agent", agent_label}, {"category", cat_label}}),
+        [this, id, category] {
+          return static_cast<double>(tx_accounting(id).messages(category));
+        });
+    m.register_probe(
+        obs::labeled("signaling_rx_bytes", {{"agent", agent_label}, {"category", cat_label}}),
+        [this, id, category] {
+          return static_cast<double>(rx_accounting(id).bytes(category));
+        });
+    m.register_probe(
+        obs::labeled("signaling_rx_messages",
+                     {{"agent", agent_label}, {"category", cat_label}}),
+        [this, id, category] {
+          return static_cast<double>(rx_accounting(id).messages(category));
+        });
+  }
+  // End-to-end control-latency histogram, fed by the Envelope timestamp
+  // echo in apply_update. Buckets 250us .. ~512ms (doubling).
+  links_[id].latency = &m.histogram(obs::labeled("control_latency_us", {{"agent", agent_label}}),
+                                    obs::exponential_bounds(250.0, 2.0, 12));
+}
+
+void MasterController::register_app_probes(const std::string& name) {
+  auto& m = metrics_;
+  auto stat_probe = [this, name](auto select) {
+    return [this, name, select]() -> double {
+      for (const auto& stat : task_manager_.app_stats()) {
+        if (stat.name == name) return select(stat);
+      }
+      return 0.0;
+    };
+  };
+  m.register_probe(obs::labeled("app_runs", {{"app", name}}),
+                   stat_probe([](const TaskManager::AppStat& s) {
+                     return static_cast<double>(s.runs);
+                   }));
+  m.register_probe(obs::labeled("app_wall_us_mean", {{"app", name}}),
+                   stat_probe([](const TaskManager::AppStat& s) { return s.mean_wall_us; }));
+  m.register_probe(obs::labeled("app_wall_us_max", {{"app", name}}),
+                   stat_probe([](const TaskManager::AppStat& s) { return s.max_wall_us; }));
+  m.register_probe(obs::labeled("app_overruns", {{"app", name}}),
+                   stat_probe([](const TaskManager::AppStat& s) {
+                     return static_cast<double>(s.overruns);
+                   }));
 }
 
 }  // namespace flexran::ctrl

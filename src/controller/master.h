@@ -22,10 +22,23 @@
 #include "controller/rib_snapshot.h"
 #include "controller/task_manager.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/accounting.h"
 #include "sim/simulator.h"
 
 namespace flexran::ctrl {
+
+/// Unified observability layer (docs/observability.md). Off by default:
+/// with `enabled == false` the master neither stamps envelopes, records
+/// latency, traces cycles nor registers probes -- behavior and wire
+/// traffic are identical to a build without the layer (the repo's
+/// `0/0 = off` convention).
+struct ObsConfig {
+  bool enabled = false;
+  /// Control-loop trace ring capacity (most recent cycles kept verbatim).
+  std::size_t trace_cycles = 4096;
+};
 
 struct MasterConfig {
   TaskManagerConfig task_manager;
@@ -60,6 +73,9 @@ struct MasterConfig {
   /// queue, watchdog thresholds and report-throttle backoff. The layer is
   /// entirely off (seed behavior) until `overload.ingest` has a budget.
   OverloadConfig overload;
+  /// Metrics registry + control-loop tracing + Envelope timestamp echo
+  /// (docs/observability.md). Off = seed-identical.
+  ObsConfig obs;
 };
 
 class MasterController final : public NorthboundApi {
@@ -176,11 +192,27 @@ class MasterController final : public NorthboundApi {
   /// Stats requests re-sent to renegotiate report periods.
   std::uint64_t throttle_renegotiations() const { return throttle_renegotiations_; }
 
+  // ---- observability (docs/observability.md) ---------------------------------
+  bool obs_enabled() const { return config_.obs.enabled; }
+  /// The unified metrics registry. Master-owned instruments and probes are
+  /// registered only while `obs.enabled`; external components (scenario
+  /// layer, benches) may register theirs at any time.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Per-cycle control-loop traces (empty unless `obs.enabled`).
+  const obs::TraceRing& cycle_traces() const { return trace_ring_; }
+  /// End-to-end control latency (send -> agent -> echo -> RIB apply) for
+  /// one agent; nullptr when observability is off or the agent is unknown.
+  const obs::Histogram* control_latency(AgentId agent) const;
+
  private:
   struct AgentLink {
     net::Transport* transport = nullptr;  // not owned
     proto::SignalingAccountant tx;
     proto::SignalingAccountant rx;
+    /// End-to-end control-latency histogram (registry-owned); non-null only
+    /// while observability is enabled.
+    obs::Histogram* latency = nullptr;
   };
 
   struct PendingUpdate {
@@ -200,6 +232,13 @@ class MasterController final : public NorthboundApi {
     /// For stats requests: completion is matched on the reply's request_id
     /// (stats replies do not echo the xid).
     std::uint32_t request_id = 0;
+    /// Signaling category and traffic class, captured from the real message
+    /// body at enqueue time. The retry path must reuse these -- recomputing
+    /// the category from the stored wire with an empty body misbuckets any
+    /// body-dependent type, and a classless resend would bypass class-aware
+    /// budget accounting.
+    proto::MessageCategory category = proto::MessageCategory::agent_management;
+    net::TrafficClass cls = net::TrafficClass::config;
     std::vector<std::uint8_t> wire;
     sim::TimeUs deadline = 0;
     sim::TimeUs timeout = 0;
@@ -218,6 +257,15 @@ class MasterController final : public NorthboundApi {
 
   template <typename M>
   util::Status send_to(AgentId agent, const M& message, bool track = false);
+
+  /// Registers the master-level pull probes (ingest queue, task manager,
+  /// overload, request table, cycle-trace stage stats). obs.enabled only.
+  void register_obs_probes();
+  /// Registers one agent's probes: signaling tx/rx per category and the
+  /// end-to-end control-latency histogram. obs.enabled only.
+  void register_agent_probes(AgentId id);
+  /// Registers one app's wall-time probes. obs.enabled only.
+  void register_app_probes(const std::string& name);
 
   /// RIB updater slot body: drains pending updates (bounded by budget in
   /// real-time mode via an update-count proxy).
@@ -306,6 +354,10 @@ class MasterController final : public NorthboundApi {
   /// multiplier doubling.
   std::size_t critical_shedding_cycles_ = 0;
   proto::SignalingAccountant empty_accounting_;
+
+  // ---- observability ---------------------------------------------------------
+  obs::MetricsRegistry metrics_;
+  obs::TraceRing trace_ring_;
 };
 
 }  // namespace flexran::ctrl

@@ -95,7 +95,7 @@ void TaskManager::run_cycle(std::int64_t cycle, NorthboundApi& api) {
   // snapshot while the updater mutates the live RIB -- that overlap is the
   // point of snapshot versioning.
   const auto updater_start = std::chrono::steady_clock::now();
-  if (updater_) updater_(updater_budget_us());
+  const std::size_t applied = updater_ ? updater_(updater_budget_us()) : 0;
   const double updater_us = elapsed_us(updater_start);
   updater_time_.add(updater_us);
   if (config_.real_time && updater_us > static_cast<double>(updater_budget_us())) {
@@ -104,7 +104,7 @@ void TaskManager::run_cycle(std::int64_t cycle, NorthboundApi& api) {
 
   if (config_.workers <= 0) {
     slot_busy_ = true;
-    run_slot_inline(cycle, api);
+    run_slot_inline(cycle, api, updater_us, applied);
     slot_busy_ = false;
     apply_deferred();
     return;
@@ -116,18 +116,35 @@ void TaskManager::run_cycle(std::int64_t cycle, NorthboundApi& api) {
   const auto events_start = std::chrono::steady_clock::now();
   if (event_dispatch_) event_dispatch_();
   const double event_us = elapsed_us(events_start);
+  if (trace_ != nullptr) {
+    // Apps/flush timings are filled in when this cycle's slot is retired
+    // (the next join_and_flush, or the degrade path in dispatch_slot).
+    pending_trace_ = obs::CycleTrace{cycle, updater_us, event_us, 0.0, 0.0, applied, 0};
+    pending_trace_valid_ = true;
+  }
   dispatch_slot(cycle, event_us);
 }
 
-void TaskManager::run_slot_inline(std::int64_t cycle, NorthboundApi& api) {
+void TaskManager::run_slot_inline(std::int64_t cycle, NorthboundApi& api, double updater_us,
+                                  std::size_t updates_applied) {
   (void)api;
   // Slot 2: Event Notification Service, then the applications in priority
   // order (non-preemptive). Each app runs pinned to the cycle's snapshot
   // and its batch flushes immediately after it returns, preserving the
   // original per-app command ordering on the wire.
+  const bool tracing = trace_ != nullptr;
   const auto apps_start = std::chrono::steady_clock::now();
-  if (event_dispatch_) event_dispatch_();
+  double event_us = 0.0;
+  if (tracing) {
+    const auto events_start = std::chrono::steady_clock::now();
+    if (event_dispatch_) event_dispatch_();
+    event_us = elapsed_us(events_start);
+  } else if (event_dispatch_) {
+    event_dispatch_();
+  }
   const std::int64_t budget = app_slot_budget_us();
+  double flush_us = 0.0;
+  std::uint64_t flushed = 0;
   for (Entry* entry : runnable_entries()) {
     const auto snapshot = snapshot_fn_ ? snapshot_fn_() : nullptr;
     if (snapshot != nullptr) {
@@ -138,9 +155,25 @@ void TaskManager::run_slot_inline(std::int64_t cycle, NorthboundApi& api) {
     const double wall = elapsed_us(app_start);
     entry->wall_us.add(wall);
     if (budget > 0 && wall > static_cast<double>(budget)) ++entry->overruns;
-    if (snapshot != nullptr) commands_flushed_ += entry->proxy->flush();
+    if (snapshot != nullptr) {
+      if (tracing) {
+        const auto flush_start = std::chrono::steady_clock::now();
+        const std::size_t n = entry->proxy->flush();
+        flush_us += elapsed_us(flush_start);
+        commands_flushed_ += n;
+        flushed += n;
+      } else {
+        commands_flushed_ += entry->proxy->flush();
+      }
+    }
   }
-  apps_time_.add(elapsed_us(apps_start));
+  const double slot_us = elapsed_us(apps_start);
+  apps_time_.add(slot_us);
+  if (tracing) {
+    trace_->add({cycle, updater_us, event_us,
+                 std::max(0.0, slot_us - event_us - flush_us), flush_us, updates_applied,
+                 flushed});
+  }
 }
 
 void TaskManager::dispatch_slot(std::int64_t cycle, double event_us) {
@@ -160,7 +193,13 @@ void TaskManager::dispatch_slot(std::int64_t cycle, double event_us) {
       entry->wall_us.add(wall);
       if (budget > 0 && wall > static_cast<double>(budget)) ++entry->overruns;
     }
-    apps_time_.add(event_us + elapsed_us(start));
+    const double slot_us = elapsed_us(start);
+    apps_time_.add(event_us + slot_us);
+    if (trace_ != nullptr && pending_trace_valid_) {
+      pending_trace_.apps_us = slot_us;
+      trace_->add(pending_trace_);
+      pending_trace_valid_ = false;
+    }
     slot_busy_ = false;
     apply_deferred();
     return;
@@ -208,7 +247,15 @@ void TaskManager::join_and_flush() {
   const auto flush_start = std::chrono::steady_clock::now();
   for (Entry* entry : inflight_entries_) flushed += entry->proxy->flush();
   commands_flushed_ += flushed;
-  apps_time_.add(inflight_event_us_ + slot_wall + elapsed_us(flush_start));
+  const double flush_us = elapsed_us(flush_start);
+  apps_time_.add(inflight_event_us_ + slot_wall + flush_us);
+  if (trace_ != nullptr && pending_trace_valid_) {
+    pending_trace_.apps_us = slot_wall;
+    pending_trace_.flush_us = flush_us;
+    pending_trace_.commands_flushed = flushed;
+    trace_->add(pending_trace_);
+    pending_trace_valid_ = false;
+  }
   inflight_ = false;
   inflight_entries_.clear();
   apply_deferred();

@@ -37,6 +37,7 @@
 #include "controller/app.h"
 #include "controller/command_batch.h"
 #include "controller/rib_snapshot.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace flexran::ctrl {
@@ -79,6 +80,11 @@ class TaskManager {
   /// DL arbitration hooks threaded into every app proxy; set before the
   /// first add_app.
   void set_command_hooks(BatchingNorthbound::Hooks hooks) { hooks_ = std::move(hooks); }
+  /// Attaches control-loop tracing (docs/observability.md): one CycleTrace
+  /// per cycle covering updater slot, event dispatch, application slot and
+  /// command-batch flush. nullptr (the default) disables tracing and all
+  /// of its extra clock reads.
+  void set_trace_sink(obs::TraceRing* trace) { trace_ = trace; }
 
   /// Registers an application; apps run each cycle ordered by priority()
   /// (lowest value first). Ownership stays with the caller (master). The
@@ -148,7 +154,8 @@ class TaskManager {
   /// Non-paused entries in schedule order (the slot's working set; a copy,
   /// so reentrant add/remove cannot invalidate the iteration).
   std::vector<Entry*> runnable_entries() const;
-  void run_slot_inline(std::int64_t cycle, NorthboundApi& api);
+  void run_slot_inline(std::int64_t cycle, NorthboundApi& api, double updater_us,
+                       std::size_t updates_applied);
   void dispatch_slot(std::int64_t cycle, double event_us);
   void join_and_flush();
   void apply_deferred();
@@ -160,6 +167,12 @@ class TaskManager {
   SnapshotFn snapshot_fn_;
   NowFn now_fn_;
   BatchingNorthbound::Hooks hooks_;
+
+  obs::TraceRing* trace_ = nullptr;  // not owned; nullptr = tracing off
+  /// Pipelined mode: the trace of the dispatched-but-unretired cycle,
+  /// completed (apps/flush timings) when its slot is joined.
+  obs::CycleTrace pending_trace_;
+  bool pending_trace_valid_ = false;
 
   std::vector<std::unique_ptr<Entry>> apps_;  // sorted by priority (stable)
   std::int64_t cycles_ = 0;

@@ -1,0 +1,269 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace flexran::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = std::bit_cast<double>(expected) + delta;
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(updated),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// `name{k=v,...}` -> `name{k="v",...}` (Prometheus exposition quoting).
+std::string prometheus_name(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return name;
+  std::string out = name.substr(0, brace + 1);
+  std::size_t i = brace + 1;
+  while (i < name.size() && name[i] != '}') {
+    const auto eq = name.find('=', i);
+    auto end = name.find(',', i);
+    if (end == std::string::npos || end > name.find('}', i)) end = name.find('}', i);
+    if (eq == std::string::npos || eq > end) break;
+    out.append(name, i, eq - i + 1);
+    out.push_back('"');
+    out.append(name, eq + 1, end - eq - 1);
+    out.push_back('"');
+    if (name[end] == ',') out.push_back(',');
+    i = end + 1;
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Same quoting, with an extra label appended inside the block (for
+/// histogram quantile lines).
+std::string prometheus_name_with(const std::string& name, const std::string& extra) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + extra + "}";
+  std::string quoted = prometheus_name(name);
+  quoted.insert(quoted.size() - 1, "," + extra);
+  return quoted;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void Gauge::set(double v) {
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, sample);
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  return i <= bounds_.size() ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target, then linear interpolation across the bucket that
+  // contains it (the standard fixed-bucket estimator).
+  const double rank = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double fraction = std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::string labeled(std::string name,
+                    std::initializer_list<std::pair<const char*, std::string>> labels) {
+  if (labels.size() == 0) return name;
+  name.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) name.push_back(',');
+    first = false;
+    name += key;
+    name.push_back('=');
+    name += value;
+  }
+  name.push_back('}');
+  return name;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+void MetricsRegistry::register_probe(const std::string& name, std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_[name] = std::move(fn);
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() + probes_.size();
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += prometheus_name(name) + " " + format_number(static_cast<double>(counter->value())) +
+           "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += prometheus_name(name) + " " + format_number(gauge->value()) + "\n";
+  }
+  for (const auto& [name, probe] : probes_) {
+    out += prometheus_name(name) + " " + format_number(probe()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += prometheus_name(name + "_count") + " " +
+           format_number(static_cast<double>(histogram->count())) + "\n";
+    out += prometheus_name(name + "_sum") + " " + format_number(histogram->sum()) + "\n";
+    for (const auto& [q, label] :
+         {std::pair<double, const char*>{0.5, "quantile=\"0.5\""},
+          std::pair<double, const char*>{0.95, "quantile=\"0.95\""},
+          std::pair<double, const char*>{0.99, "quantile=\"0.99\""}}) {
+      out += prometheus_name_with(name, label) + " " + format_number(histogram->quantile(q)) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json(std::int64_t t_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& name, const std::string& value) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += value;
+  };
+  if (t_us >= 0) append("t_us", format_number(static_cast<double>(t_us)));
+  for (const auto& [name, counter] : counters_) {
+    append(name, format_number(static_cast<double>(counter->value())));
+  }
+  for (const auto& [name, gauge] : gauges_) append(name, format_number(gauge->value()));
+  for (const auto& [name, probe] : probes_) append(name, format_number(probe()));
+  for (const auto& [name, histogram] : histograms_) {
+    std::string value = "{\"count\":" + format_number(static_cast<double>(histogram->count())) +
+                        ",\"sum\":" + format_number(histogram->sum()) +
+                        ",\"p50\":" + format_number(histogram->p50()) +
+                        ",\"p95\":" + format_number(histogram->p95()) +
+                        ",\"p99\":" + format_number(histogram->p99()) + "}";
+    append(name, value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace flexran::obs

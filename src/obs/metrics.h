@@ -1,0 +1,134 @@
+// Unified observability layer (docs/observability.md): a process-wide
+// metrics registry of named counters, gauges and fixed-bucket latency
+// histograms. Instruments are registered once (under a mutex) and then
+// sampled lock-free on the hot path: Counter::inc / Gauge::set /
+// Histogram::observe are a relaxed atomic op each, safe from any thread.
+//
+// The registry also supports pull-model "probes" -- callbacks evaluated
+// only at export time -- which is how the pre-existing ad-hoc counters
+// (SignalingAccountant buckets, ClassedQueue shed/coalesce counters,
+// TaskManager wall stats, OverloadMonitor state, SimTransport link
+// counters) are migrated without adding a single instruction to their
+// hot paths. Export formats: a Prometheus-style text snapshot and a JSON
+// object (one flat map keyed by instrument name).
+//
+// Instrument names follow Prometheus conventions with an optional label
+// block appended as `name{key=value,...}` (values unquoted internally;
+// prometheus_text() adds the quoting).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexran::obs {
+
+/// Monotonic counter; relaxed atomic increment on the hot path.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (a double, stored bit-cast so set/read stay lock-free).
+class Gauge {
+ public:
+  void set(double v);
+  double value() const;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // bit pattern of 0.0 is 0
+};
+
+/// Fixed-bucket latency histogram. Bucket `i` counts samples in
+/// (bounds[i-1], bounds[i]]; one implicit overflow bucket catches samples
+/// above the last bound. observe() is a branch-free-ish binary search plus
+/// two relaxed atomic adds -- no locks, callable concurrently.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double sample);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double mean() const;
+  /// q in [0, 1]; linear interpolation inside the selected bucket. Returns
+  /// 0 on an empty histogram; overflow-bucket quantiles clamp to the last
+  /// bound (the histogram cannot resolve beyond it).
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; index bounds().size() is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // bit pattern of the double sum
+};
+
+/// `count` bounds starting at `start`, each `factor` times the previous --
+/// the usual latency-bucket layout (e.g. 10us .. ~10ms for factor 2).
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count);
+
+/// Renders `name{k=v,...}` (no quotes; empty label list = bare name).
+std::string labeled(std::string name,
+                    std::initializer_list<std::pair<const char*, std::string>> labels);
+
+/// Named-instrument registry. Registration (counter/gauge/histogram/
+/// register_probe) takes a mutex and is expected at setup time; returned
+/// references stay valid for the registry's lifetime, so hot paths hold a
+/// pointer and never re-look-up. Export walks every instrument and
+/// evaluates every probe under the mutex.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Get-or-create; `upper_bounds` is used only on first creation.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// Pull-model gauge: `fn` runs at export time. Registering an existing
+  /// name replaces the probe.
+  void register_probe(const std::string& name, std::function<double()> fn);
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Instruments + probes registered.
+  std::size_t size() const;
+
+  /// Prometheus text exposition: one `name{labels} value` line per counter,
+  /// gauge and probe; histograms expand to `_count`, `_sum` and quantile
+  /// lines.
+  std::string prometheus_text() const;
+  /// One flat JSON object; histograms render as nested objects with count,
+  /// sum, p50/p95/p99. `t_us >= 0` adds a "t_us" timestamp member.
+  std::string json(std::int64_t t_us = -1) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<double()>> probes_;
+};
+
+}  // namespace flexran::obs

@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace flexran::obs {
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::add(const CycleTrace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_] = trace;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+  updater_us_.add(trace.updater_us);
+  event_us_.add(trace.event_us);
+  apps_us_.add(trace.apps_us);
+  flush_us_.add(trace.flush_us);
+}
+
+std::uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::vector<CycleTrace> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CycleTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+util::RunningStats TraceRing::updater_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return updater_us_;
+}
+
+util::RunningStats TraceRing::event_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return event_us_;
+}
+
+util::RunningStats TraceRing::apps_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return apps_us_;
+}
+
+util::RunningStats TraceRing::flush_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_us_;
+}
+
+}  // namespace flexran::obs

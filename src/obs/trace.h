@@ -1,0 +1,65 @@
+// Control-loop tracing (docs/observability.md): one CycleTrace record per
+// Task Manager cycle, spanning the updater slot, the Event Notification
+// Service, the application slot, and the command-batch flush onto the
+// wire. Records land in a fixed-capacity ring (most recent N cycles kept
+// verbatim) plus per-stage RunningStats over every cycle ever recorded.
+//
+// Single-writer by construction: only the Task Manager coordinator thread
+// calls add(), matching its cycle loop. Readers (exporters, benches,
+// tests) take the ring mutex, which the writer holds only for the O(1)
+// append -- tracing is off entirely (no clock reads, no ring) unless a
+// TraceRing is attached, preserving the repo's zero-cost-when-off
+// convention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace flexran::obs {
+
+/// Stage timings for one Task Manager cycle, in microseconds of wall time.
+struct CycleTrace {
+  std::int64_t cycle = 0;
+  double updater_us = 0.0;   // RIB updater slot (drain + overload step + publish)
+  double event_us = 0.0;     // Event Notification Service dispatch
+  double apps_us = 0.0;      // application slot (all tiers)
+  double flush_us = 0.0;     // command-batch flush onto the wire
+  std::size_t updates_applied = 0;   // agent messages drained into the RIB
+  std::uint64_t commands_flushed = 0;  // commands sent at slot retirement
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  void add(const CycleTrace& trace);
+
+  /// Cycles ever recorded (>= size() once the ring wraps).
+  std::uint64_t recorded() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Retained records, oldest first.
+  std::vector<CycleTrace> snapshot() const;
+
+  util::RunningStats updater_us() const;
+  util::RunningStats event_us() const;
+  util::RunningStats apps_us() const;
+  util::RunningStats flush_us() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<CycleTrace> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+  util::RunningStats updater_us_;
+  util::RunningStats event_us_;
+  util::RunningStats apps_us_;
+  util::RunningStats flush_us_;
+};
+
+}  // namespace flexran::obs

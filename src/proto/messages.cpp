@@ -145,6 +145,8 @@ std::vector<std::uint8_t> Envelope::encode() const {
   if (epoch != 0) enc.field_varint(5, epoch);
   if (queue_status != 0) enc.field_varint(6, queue_status);
   if (throttle_hint != 0) enc.field_varint(7, throttle_hint);
+  if (ts_us != 0) enc.field_varint(8, ts_us);
+  if (ts_echo_us != 0) enc.field_varint(9, ts_echo_us);
   return enc.take();
 }
 
@@ -170,6 +172,8 @@ Result<Envelope> Envelope::decode(std::span<const std::uint8_t> data) {
       case 5: ASSIGN_VARINT(out.epoch, std::uint32_t); return true;
       case 6: ASSIGN_VARINT(out.queue_status, std::uint8_t); return true;
       case 7: ASSIGN_VARINT(out.throttle_hint, std::uint32_t); return true;
+      case 8: ASSIGN_VARINT(out.ts_us, std::uint64_t); return true;
+      case 9: ASSIGN_VARINT(out.ts_echo_us, std::uint64_t); return true;
       default: return false;
     }
   });

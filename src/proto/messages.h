@@ -86,6 +86,15 @@ struct Envelope {
   /// agent directly); master-issued requests are additionally renegotiated
   /// through the stats-request machinery.
   std::uint32_t throttle_hint = 0;
+  /// Sender timestamp in simulated microseconds, stamped by the master on
+  /// outgoing messages while observability is enabled
+  /// (docs/observability.md). 0 (omitted) = not stamped.
+  std::uint64_t ts_us = 0;
+  /// Timestamp echo: the agent returns the most recent master `ts_us` it
+  /// received, once, on its next outgoing message. The master records
+  /// `now - ts_echo_us` into the per-agent end-to-end control-latency
+  /// histogram. 0 (omitted) = nothing to echo.
+  std::uint64_t ts_echo_us = 0;
   std::vector<std::uint8_t> body;
 
   std::vector<std::uint8_t> encode() const;

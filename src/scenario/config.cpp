@@ -4,6 +4,7 @@
 #include <map>
 
 #include "apps/remote_scheduler.h"
+#include "scenario/obs_export.h"
 #include "traffic/udp.h"
 #include "util/strings.h"
 #include "util/yaml_lite.h"
@@ -93,6 +94,14 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
   if (!ingest_bytes.ok()) return ingest_bytes.error();
   if (*ingest_bytes < 0) return util::Error::invalid_argument("ingest_max_bytes must be >= 0");
   spec.ingest_max_bytes = *ingest_bytes;
+
+  spec.observability = read_string(root, "observability", "false") == "true";
+  auto metrics_period = read_double(root, "metrics_period_s", spec.metrics_period_s);
+  if (!metrics_period.ok()) return metrics_period.error();
+  if (*metrics_period <= 0) {
+    return util::Error::invalid_argument("metrics_period_s must be > 0");
+  }
+  spec.metrics_period_s = *metrics_period;
 
   const auto* enbs = root.find("enbs");
   if (enbs == nullptr || !enbs->is_sequence() || enbs->items().empty()) {
@@ -234,6 +243,7 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
   master_config.overload.ingest.max_messages =
       static_cast<std::uint64_t>(spec.ingest_max_messages);
   master_config.overload.ingest.max_bytes = static_cast<std::uint64_t>(spec.ingest_max_bytes);
+  master_config.obs.enabled = spec.observability;
   Testbed testbed(std::move(master_config));
   if (spec.remote_scheduler) {
     apps::RemoteSchedulerConfig config;
@@ -323,9 +333,30 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
   FaultInjector injector(testbed);
   injector.schedule_all(spec.faults);
 
+  ScenarioRunSummary summary;
+  summary.observability = spec.observability;
+  if (spec.observability) {
+    // All eNodeBs exist now; bridge their agent/link counters into the
+    // master's registry and collect a JSON dump every metrics period. The
+    // probes (and the on_tti export) only run while the testbed is alive.
+    register_testbed_probes(testbed);
+    const auto period_ttis =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(spec.metrics_period_s * 1000.0));
+    testbed.on_tti([&testbed, &summary, period_ttis](std::int64_t tti) {
+      if (tti % period_ttis == 0) {
+        summary.metrics_json.push_back(
+            testbed.master().metrics().json(testbed.sim().now()));
+      }
+    });
+  }
+
   testbed.run_seconds(spec.duration_s);
 
-  ScenarioRunSummary summary;
+  if (spec.observability) {
+    summary.metrics_json.push_back(testbed.master().metrics().json(testbed.sim().now()));
+    summary.metrics_prometheus = testbed.master().metrics().prometheus_text();
+    summary.metrics_block = format_metrics_block(testbed);
+  }
   summary.duration_s = spec.duration_s;
   for (const auto& ue : live) {
     UeRunResult result;
@@ -466,6 +497,7 @@ std::string format_summary(const ScenarioRunSummary& summary) {
         static_cast<unsigned long long>(link.downlink_dropped),
         static_cast<unsigned long long>(link.downlink_shed));
   }
+  if (!summary.metrics_block.empty()) out += summary.metrics_block;
   return out;
 }
 

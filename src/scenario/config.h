@@ -80,6 +80,13 @@ struct ScenarioSpec {
   /// bytes of pending RIB updates. 0/0 = unbounded, overload machinery off.
   long long ingest_max_messages = 0;
   long long ingest_max_bytes = 0;
+  // ---- observability (docs/observability.md) --------------------------------
+  /// Enable the unified metrics layer: master registry + probes, cycle
+  /// tracing, Envelope timestamp echo, periodic JSON dumps. Off (default)
+  /// is seed-identical.
+  bool observability = false;
+  /// Period of the JSON metrics dumps collected during the run.
+  double metrics_period_s = 1.0;
   /// Scripted chaos timeline, executed by a FaultInjector during the run.
   std::vector<FaultEvent> faults;
   std::vector<ScenarioEnbSpec> enbs;
@@ -153,6 +160,17 @@ struct ScenarioRunSummary {
     std::uint64_t downlink_shed = 0;
   };
   std::vector<LinkStats> links;
+  // ---- observability (docs/observability.md) --------------------------------
+  /// True when the run had the metrics layer enabled (the fields below are
+  /// empty otherwise).
+  bool observability = false;
+  /// Periodic registry dumps, one JSON object per metrics period (the last
+  /// entry is the end-of-run state).
+  std::vector<std::string> metrics_json;
+  /// Prometheus text snapshot of the final registry state.
+  std::string metrics_prometheus;
+  /// Human-readable unified metrics block appended to the summary table.
+  std::string metrics_block;
 };
 
 /// Builds the testbed from the spec, runs it, and collects the summary.

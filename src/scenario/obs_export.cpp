@@ -1,0 +1,134 @@
+#include "scenario/obs_export.h"
+
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace flexran::scenario {
+
+namespace {
+
+constexpr proto::MessageCategory kAllCategories[] = {
+    proto::MessageCategory::agent_management, proto::MessageCategory::sync,
+    proto::MessageCategory::stats, proto::MessageCategory::commands,
+    proto::MessageCategory::delegation};
+constexpr net::TrafficClass kAllClasses[] = {
+    net::TrafficClass::session, net::TrafficClass::command, net::TrafficClass::config,
+    net::TrafficClass::event,   net::TrafficClass::sync,    net::TrafficClass::stats};
+
+}  // namespace
+
+void register_testbed_probes(Testbed& testbed) {
+  auto& m = testbed.master().metrics();
+  for (std::size_t i = 0; i < testbed.enbs().size(); ++i) {
+    Testbed::Enb* enb = testbed.enbs()[i].get();
+    const std::string agent_label = std::to_string(enb->agent_id);
+    const std::string link_label = std::to_string(i);
+
+    // Agent-side signaling accountants -- the far end of the master's
+    // signaling_{tx,rx} probes; equality across the pair is the rx-parity
+    // invariant the accounting tests assert.
+    for (const proto::MessageCategory category : kAllCategories) {
+      const std::string cat_label = proto::to_string(category);
+      m.register_probe(obs::labeled("agent_signaling_tx_bytes",
+                                    {{"agent", agent_label}, {"category", cat_label}}),
+                       [enb, category] {
+                         return static_cast<double>(enb->agent->tx_accounting().bytes(category));
+                       });
+      m.register_probe(obs::labeled("agent_signaling_rx_bytes",
+                                    {{"agent", agent_label}, {"category", cat_label}}),
+                       [enb, category] {
+                         return static_cast<double>(enb->agent->rx_accounting().bytes(category));
+                       });
+    }
+    m.register_probe(obs::labeled("agent_messages_received", {{"agent", agent_label}}),
+                     [enb] { return static_cast<double>(enb->agent->messages_received()); });
+    m.register_probe(obs::labeled("agent_fenced_messages", {{"agent", agent_label}}),
+                     [enb] { return static_cast<double>(enb->agent->fenced_messages()); });
+    m.register_probe(obs::labeled("agent_reconnect_attempts", {{"agent", agent_label}}),
+                     [enb] { return static_cast<double>(enb->agent->reconnect_attempts()); });
+    m.register_probe(obs::labeled("agent_missed_deadlines", {{"agent", agent_label}}), [enb] {
+      return static_cast<double>(enb->agent->missed_deadline_decisions());
+    });
+    m.register_probe(obs::labeled("agent_queued_decisions", {{"agent", agent_label}}),
+                     [enb] { return static_cast<double>(enb->agent->queued_decisions()); });
+
+    // Control-link frame counters (SimTransport), uplink = agent -> master.
+    struct Direction {
+      const char* name;
+      net::SimTransport* tx_end;
+      net::SimTransport* rx_end;
+    };
+    for (const auto& dir : {Direction{"up", enb->agent_side, enb->master_side},
+                            Direction{"down", enb->master_side, enb->agent_side}}) {
+      const std::string dir_label = dir.name;
+      net::SimTransport* tx_end = dir.tx_end;
+      net::SimTransport* rx_end = dir.rx_end;
+      m.register_probe(
+          obs::labeled("link_frames_tx", {{"link", link_label}, {"dir", dir_label}}),
+          [tx_end] { return static_cast<double>(tx_end->messages_sent()); });
+      m.register_probe(
+          obs::labeled("link_frames_rx", {{"link", link_label}, {"dir", dir_label}}),
+          [rx_end] { return static_cast<double>(rx_end->messages_received()); });
+      m.register_probe(
+          obs::labeled("link_frames_dropped", {{"link", link_label}, {"dir", dir_label}}),
+          [tx_end] { return static_cast<double>(tx_end->frames_dropped()); });
+      m.register_probe(
+          obs::labeled("link_frames_shed", {{"link", link_label}, {"dir", dir_label}}),
+          [tx_end] { return static_cast<double>(tx_end->frames_shed()); });
+      m.register_probe(
+          obs::labeled("link_frames_corrupted", {{"link", link_label}, {"dir", dir_label}}),
+          [tx_end] { return static_cast<double>(tx_end->frames_corrupted()); });
+      for (const net::TrafficClass cls : kAllClasses) {
+        m.register_probe(
+            obs::labeled("link_frames_shed_class", {{"link", link_label},
+                                                    {"dir", dir_label},
+                                                    {"class", net::to_string(cls)}}),
+            [tx_end, cls] { return static_cast<double>(tx_end->frames_shed(cls)); });
+      }
+    }
+  }
+}
+
+std::string format_metrics_block(Testbed& testbed) {
+  auto& master = testbed.master();
+  const auto& traces = master.cycle_traces();
+  std::string out = util::format("metrics: %zu series, %llu cycles traced\n",
+                                 master.metrics().size(),
+                                 static_cast<unsigned long long>(traces.recorded()));
+  const auto updater = traces.updater_us();
+  const auto event = traces.event_us();
+  const auto apps = traces.apps_us();
+  const auto flush = traces.flush_us();
+  out += util::format(
+      "  cycle us (mean/max): updater %.1f/%.1f, events %.1f/%.1f, apps %.1f/%.1f, "
+      "flush %.1f/%.1f\n",
+      updater.mean(), updater.max(), event.mean(), event.max(), apps.mean(), apps.max(),
+      flush.mean(), flush.max());
+  for (auto& enb : testbed.enbs()) {
+    const auto* latency = master.control_latency(enb->agent_id);
+    if (latency == nullptr || latency->count() == 0) continue;
+    out += util::format(
+        "  control latency agent %u: p50 %.0f us, p95 %.0f us, p99 %.0f us (%llu samples)\n",
+        static_cast<unsigned>(enb->agent_id), latency->p50(), latency->p95(), latency->p99(),
+        static_cast<unsigned long long>(latency->count()));
+  }
+  std::string tx_part;
+  std::string rx_part;
+  for (const proto::MessageCategory category : kAllCategories) {
+    std::uint64_t tx = 0;
+    std::uint64_t rx = 0;
+    for (auto& enb : testbed.enbs()) {
+      tx += master.tx_accounting(enb->agent_id).bytes(category);
+      rx += master.rx_accounting(enb->agent_id).bytes(category);
+    }
+    tx_part += util::format(" %s %llu", proto::to_string(category),
+                            static_cast<unsigned long long>(tx));
+    rx_part += util::format(" %s %llu", proto::to_string(category),
+                            static_cast<unsigned long long>(rx));
+  }
+  out += "  signaling bytes tx (master->agent):" + tx_part + "\n";
+  out += "  signaling bytes rx (agent->master):" + rx_part + "\n";
+  return out;
+}
+
+}  // namespace flexran::scenario

@@ -592,5 +592,47 @@ TEST(AgentEndToEnd, SignalingAccountingSeparatesCategories) {
             tx.bytes(proto::MessageCategory::agent_management));
 }
 
+TEST(AgentEndToEnd, RxAccountingReconcilesWithMasterTx) {
+  // Fig. 7 reconciliation from both ends of the wire: every byte the
+  // master records as sent to this agent shows up in the agent's rx
+  // accountant, in the same category, with the same frame-header-bytes
+  // convention. (Zero-delay loss-free link, so nothing is in flight once
+  // the run stops.)
+  Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(default_spec());
+  testbed.add_ue(0, cqi_ue(10));
+  testbed.run_ttis(100);
+  testbed.master().quiesce();
+
+  const auto& master_tx = testbed.master().tx_accounting(enb.agent_id);
+  const auto& agent_rx = enb.agent->rx_accounting();
+  ASSERT_GT(master_tx.total_messages(), 0u);
+  for (auto category :
+       {proto::MessageCategory::agent_management, proto::MessageCategory::sync,
+        proto::MessageCategory::stats, proto::MessageCategory::commands,
+        proto::MessageCategory::delegation}) {
+    EXPECT_EQ(agent_rx.bytes(category), master_tx.bytes(category))
+        << proto::to_string(category);
+    EXPECT_EQ(agent_rx.messages(category), master_tx.messages(category))
+        << proto::to_string(category);
+  }
+}
+
+TEST(AgentEndToEnd, AccountedBytesMatchFramedLinkBytes) {
+  // The shared convention is `wire.size() + net::kFrameHeaderBytes` per
+  // message, which is exactly what the framed link carries: accounted
+  // totals must equal the transport's byte counter with no fudge factor.
+  Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(default_spec());
+  testbed.add_ue(0, cqi_ue(10));
+  testbed.run_ttis(100);
+
+  EXPECT_EQ(enb.agent->tx_accounting().total_bytes(), enb.agent_side->bytes_sent());
+  EXPECT_EQ(enb.agent->tx_accounting().total_messages(), enb.agent_side->messages_sent());
+  // Same convention on the receive side: what the agent counted as
+  // received equals what the master side framed and sent (loss-free link).
+  EXPECT_EQ(enb.agent->rx_accounting().total_bytes(), enb.master_side->bytes_sent());
+}
+
 }  // namespace
 }  // namespace flexran::agent

@@ -302,6 +302,54 @@ TEST(RequestTracking, ExhaustedRetriesSurfaceRequestTimeoutEvent) {
   enb.set_control_down(false);
 }
 
+TEST(RequestTracking, RetriesKeepOriginalSignalingCategory) {
+  // Regression for the retry-path accounting bug: sweep_requests used to
+  // re-categorize the stored wire image with an EMPTY body
+  // (`categorize(request.type, {})`), which both mis-buckets
+  // body-dependent message types (see Accounting.CategorizeIsBodyDependent
+  // ForEvents in proto_test) and re-derives the traffic class the resend
+  // uses. The category and class are now stored with the pending request
+  // at enqueue time; every retry must land in the same bucket as the
+  // original send, with the same framed byte size.
+  ctrl::MasterConfig config = scenario::per_tti_master_config();
+  config.auto_configure = false;       // keep the config bucket quiet
+  config.echo_period_cycles = 0;       // no periodic management traffic
+  config.default_stats_request.reset();
+  config.request_timeout_us = sim::from_ms(10);
+  config.request_max_retries = 2;
+  scenario::Testbed testbed(std::move(config));
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.run_ttis(20);
+  const auto& tx = testbed.master().tx_accounting(enb.agent_id);
+  const std::uint64_t stats_msgs_before = tx.messages(proto::MessageCategory::stats);
+  ASSERT_EQ(stats_msgs_before, 0u);
+
+  // Partition, then issue a tracked stats request: the original send plus
+  // every retry fires into the void.
+  enb.set_control_down(true);
+  proto::StatsRequest request;
+  request.request_id = 77;
+  request.mode = proto::ReportMode::one_off;
+  request.flags = proto::stats_flags::kAll;
+  ASSERT_TRUE(testbed.master().request_stats(enb.agent_id, request).ok());
+  testbed.run_ttis(2);
+  testbed.master().quiesce();
+  const std::uint64_t first_bytes = tx.bytes(proto::MessageCategory::stats);
+  ASSERT_EQ(tx.messages(proto::MessageCategory::stats), 1u);
+  ASSERT_GT(first_bytes, 0u);
+
+  testbed.run_ttis(100);
+  EXPECT_EQ(testbed.master().requests_retried(), 2u);
+  // All retries accounted in the stats bucket (not re-derived into another
+  // category), each with the identical wire + frame-header size.
+  EXPECT_EQ(tx.messages(proto::MessageCategory::stats), 3u);
+  EXPECT_EQ(tx.bytes(proto::MessageCategory::stats), 3 * first_bytes);
+  // Nothing leaked into the other buckets.
+  EXPECT_EQ(tx.messages(proto::MessageCategory::commands), 0u);
+  EXPECT_EQ(tx.messages(proto::MessageCategory::delegation), 0u);
+  enb.set_control_down(false);
+}
+
 TEST(RequestTracking, RemoveAgentPurgesQueuesAndInflight) {
   // Raw master without a ticker: received updates pile up in pending_ and
   // queued events stay queued, so remove_agent's purge is observable.

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flexran::obs {
+namespace {
+
+// ---------------------------------------------------------- instruments --
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetReadRoundTrip) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.25);
+  EXPECT_EQ(g.value(), 3.25);
+  g.set(-1e9);
+  EXPECT_EQ(g.value(), -1e9);
+}
+
+TEST(HistogramTest, BucketEdgesAreInclusiveUpper) {
+  // Bucket i counts samples in (bounds[i-1], bounds[i]]; the boundary
+  // sample lands in the bucket it bounds, one past it in the next.
+  Histogram h({10.0, 20.0, 40.0});
+  h.observe(10.0);  // bucket 0 (<= 10)
+  h.observe(10.1);  // bucket 1
+  h.observe(20.0);  // bucket 1 (<= 20)
+  h.observe(40.0);  // bucket 2
+  h.observe(41.0);  // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0 + 10.1 + 20.0 + 40.0 + 41.0);
+}
+
+TEST(HistogramTest, QuantileOnEmptyIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, QuantileSingleSample) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(50.0);
+  // Every quantile of a one-sample distribution selects that sample's
+  // bucket; the estimate must stay within the bucket's range.
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_GE(h.quantile(q), 10.0) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 100.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileUniformSpread) {
+  // 100 samples uniformly over (0, 100]; with bounds at every 10 the
+  // nearest-rank + interpolation estimate should track q * 100 closely.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_NEAR(h.p50(), 50.0, 10.0);
+  EXPECT_NEAR(h.p95(), 95.0, 10.0);
+  EXPECT_NEAR(h.p99(), 99.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistogramTest, OverflowQuantileClampsToLastBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(1000.0);
+  // The histogram cannot resolve beyond its last bound.
+  EXPECT_EQ(h.p50(), 2.0);
+  EXPECT_EQ(h.p99(), 2.0);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const auto bounds = exponential_bounds(250.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 250.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 500.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 1000.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 2000.0);
+}
+
+TEST(LabeledTest, RendersLabelBlock) {
+  EXPECT_EQ(labeled("x", {}), "x");
+  EXPECT_EQ(labeled("x", {{"a", "1"}}), "x{a=1}");
+  EXPECT_EQ(labeled("x", {{"a", "1"}, {"b", "two"}}), "x{a=1,b=two}");
+}
+
+// ------------------------------------------------------------- registry --
+
+TEST(RegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("c");
+  Counter& b = registry.counter("c");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(registry.find_counter("c")->value(), 1u);
+
+  Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("h", {9.0});  // bounds ignored on reuse
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h2.bounds().size(), 2u);
+
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+  EXPECT_EQ(registry.find_gauge("missing"), nullptr);
+  EXPECT_EQ(registry.find_histogram("missing"), nullptr);
+}
+
+TEST(RegistryTest, SizeCountsInstrumentsAndProbes) {
+  MetricsRegistry registry;
+  registry.counter("a");
+  registry.gauge("b");
+  registry.histogram("c", {1.0});
+  registry.register_probe("d", [] { return 4.0; });
+  registry.register_probe("d", [] { return 5.0; });  // replace, not add
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(RegistryTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.counter(labeled("requests_total", {{"agent", "1"}})).inc(3);
+  registry.gauge("load").set(0.5);
+  registry.register_probe("probe_val", [] { return 7.0; });
+  auto& h = registry.histogram("lat_us", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("requests_total{agent=\"1\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("load 0.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("probe_val 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_count 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_sum 55"), std::string::npos) << text;
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos) << text;
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos) << text;
+}
+
+TEST(RegistryTest, JsonFormat) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(2);
+  registry.gauge("g").set(1.5);
+  registry.register_probe("p", [] { return 9.0; });
+  registry.histogram("h", {10.0}).observe(4.0);
+
+  const std::string json = registry.json(/*t_us=*/1234);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"t_us\":1234"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h\":{\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+
+  // No timestamp member unless requested.
+  EXPECT_EQ(registry.json().find("t_us"), std::string::npos);
+}
+
+TEST(RegistryTest, ProbesEvaluatedAtExportTime) {
+  MetricsRegistry registry;
+  int calls = 0;
+  registry.register_probe("live", [&calls] { return static_cast<double>(++calls); });
+  EXPECT_EQ(calls, 0);  // registration alone never runs the probe
+  (void)registry.json();
+  EXPECT_EQ(calls, 1);
+  (void)registry.prometheus_text();
+  EXPECT_EQ(calls, 2);
+}
+
+// ----------------------------------------------------------- trace ring --
+
+TEST(TraceRingTest, KeepsMostRecentAndAggregatesAll) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.add({/*cycle=*/i, /*updater_us=*/static_cast<double>(i), 0.0, 0.0, 0.0, 0, 0});
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().cycle, 6);  // oldest retained
+  EXPECT_EQ(kept.back().cycle, 9);   // most recent
+  // Stats cover all 10 cycles, not just the retained window.
+  EXPECT_EQ(ring.updater_us().count(), 10u);
+  EXPECT_DOUBLE_EQ(ring.updater_us().mean(), 4.5);
+  EXPECT_DOUBLE_EQ(ring.updater_us().max(), 9.0);
+}
+
+TEST(TraceRingTest, EmptyRing) {
+  TraceRing ring(8);
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.updater_us().count(), 0u);
+}
+
+// ---------------------------------------------------------- concurrency --
+
+TEST(ConcurrencyTest, CountersAndHistogramsUnderContention) {
+  // Exercised under TSan by tools/check.sh thread: concurrent inc/observe
+  // must be race-free, and no increment may be lost.
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("contended");
+  Histogram& histogram = registry.histogram("contended_lat", exponential_bounds(1.0, 2.0, 10));
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter.inc();
+        histogram.observe(static_cast<double>((t * 37 + i) % 600));
+      }
+    });
+  }
+  // Concurrent reader: exports while writers are live must be safe.
+  std::atomic<bool> stop{false};
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) (void)registry.json();
+  });
+  for (auto& thread : threads) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace flexran::obs

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "net/framing.h"
+#include "proto/accounting.h"
 #include "proto/messages.h"
 #include "proto/wire.h"
 
@@ -464,6 +466,106 @@ TEST(WireSize, EmptyDciListIsTiny) {
   msg.cell_id = 1;
   msg.target_subframe = 1;
   EXPECT_LT(pack(msg).size(), 16u);
+}
+
+// ----------------------------------------------------- timestamp echo --
+
+TEST(Envelope, TimestampEchoRoundTrip) {
+  EchoRequest req{.subframe = 3, .timestamp_us = 5};
+  WireEncoder body;
+  req.encode_body(body);
+  Envelope envelope;
+  envelope.type = MessageType::echo_request;
+  envelope.body = body.take();
+  envelope.ts_us = 123456789;
+  envelope.ts_echo_us = 42;
+  auto decoded = Envelope::decode(envelope.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded->ts_us, 123456789u);
+  EXPECT_EQ(decoded->ts_echo_us, 42u);
+}
+
+TEST(Envelope, TimestampFieldsOmittedWhenZero) {
+  // Observability off must be wire-identical to the seed encoding: the
+  // zero-valued timestamp fields stay off the wire entirely.
+  EchoRequest req{.subframe = 3, .timestamp_us = 5};
+  const auto plain = pack(req);
+  Envelope envelope;
+  envelope.type = MessageType::echo_request;
+  WireEncoder body;
+  req.encode_body(body);
+  envelope.body = body.take();
+  envelope.ts_us = 0;
+  envelope.ts_echo_us = 0;
+  EXPECT_EQ(envelope.encode(), plain);
+  auto decoded = Envelope::decode(plain);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->ts_us, 0u);
+  EXPECT_EQ(decoded->ts_echo_us, 0u);
+}
+
+// ------------------------------------------------------- accounting --
+
+TEST(Accounting, BucketsPerCategory) {
+  SignalingAccountant accountant;
+  accountant.record(MessageCategory::stats, 100);
+  accountant.record(MessageCategory::stats, 50);
+  accountant.record(MessageCategory::sync, 7);
+  accountant.record(MessageCategory::commands, 20);
+  accountant.record(MessageCategory::delegation, 300);
+  accountant.record(MessageCategory::agent_management, 1);
+
+  EXPECT_EQ(accountant.bytes(MessageCategory::stats), 150u);
+  EXPECT_EQ(accountant.messages(MessageCategory::stats), 2u);
+  EXPECT_EQ(accountant.bytes(MessageCategory::sync), 7u);
+  EXPECT_EQ(accountant.messages(MessageCategory::sync), 1u);
+  EXPECT_EQ(accountant.bytes(MessageCategory::commands), 20u);
+  EXPECT_EQ(accountant.bytes(MessageCategory::delegation), 300u);
+  EXPECT_EQ(accountant.bytes(MessageCategory::agent_management), 1u);
+  EXPECT_EQ(accountant.total_bytes(), 478u);
+  EXPECT_EQ(accountant.total_messages(), 6u);
+}
+
+TEST(Accounting, ResetClearsAllBuckets) {
+  SignalingAccountant accountant;
+  accountant.record(MessageCategory::stats, 100);
+  accountant.record(MessageCategory::sync, 10);
+  accountant.reset();
+  EXPECT_EQ(accountant.total_bytes(), 0u);
+  EXPECT_EQ(accountant.total_messages(), 0u);
+  for (auto category :
+       {MessageCategory::agent_management, MessageCategory::sync, MessageCategory::stats,
+        MessageCategory::commands, MessageCategory::delegation}) {
+    EXPECT_EQ(accountant.bytes(category), 0u);
+    EXPECT_EQ(accountant.messages(category), 0u);
+  }
+}
+
+TEST(Accounting, FrameHeaderConvention) {
+  // Both master and agent record `wire.size() + net::kFrameHeaderBytes` per
+  // message, so accounted bytes equal the framed bytes that actually cross
+  // the control link (the Fig. 7 reconciliation invariant).
+  const auto wire = pack(EchoRequest{.subframe = 1, .timestamp_us = 2});
+  SignalingAccountant accountant;
+  accountant.record(categorize(MessageType::echo_request, wire),
+                    wire.size() + net::kFrameHeaderBytes);
+  EXPECT_EQ(accountant.total_bytes(), wire.size() + net::kFrameHeaderBytes);
+}
+
+TEST(Accounting, CategorizeIsBodyDependentForEvents) {
+  // The retry-path bug this PR fixes: re-categorizing a request with an
+  // EMPTY body instead of its real body gives the wrong bucket for
+  // body-dependent types. A ue_attach notification is agent management,
+  // but `categorize(type, {})` sees a default-constructed body (whose
+  // event decodes as subframe_tick) and mis-buckets it as sync. Retries
+  // must reuse the category computed from the real body at enqueue time.
+  EventNotification attach;
+  attach.event = EventType::ue_attach;
+  attach.rnti = 4;
+  auto envelope = Envelope::decode(pack(attach)).value();
+  EXPECT_EQ(categorize(envelope.type, envelope.body), MessageCategory::agent_management);
+  EXPECT_EQ(categorize(envelope.type, {}), MessageCategory::sync);
+  EXPECT_NE(categorize(envelope.type, envelope.body), categorize(envelope.type, {}));
 }
 
 }  // namespace

@@ -179,5 +179,58 @@ TEST(ScenarioConfig, RunsRemoteSchedulingScenario) {
   EXPECT_GT(summary.downlink_signaling_mbps, 0.1);
 }
 
+TEST(ScenarioConfig, ObservabilityCollectsMetricsDumps) {
+  auto spec = parse_scenario(
+      "duration_s: 2\n"
+      "observability: true\n"
+      "metrics_period_s: 0.5\n"
+      "enbs:\n"
+      "  - enb_id: 1\n"
+      "ues:\n"
+      "  - enb: 1\n"
+      "    cqi: 12\n"
+      "    traffic: full_buffer\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->observability);
+  EXPECT_DOUBLE_EQ(spec->metrics_period_s, 0.5);
+  const auto summary = run_scenario(*spec);
+  EXPECT_TRUE(summary.observability);
+
+  // 2 s at a 0.5 s period: dumps at 0, 0.5, 1.0, 1.5 plus the end-of-run
+  // dump.
+  ASSERT_EQ(summary.metrics_json.size(), 5u);
+  const std::string& last = summary.metrics_json.back();
+  EXPECT_EQ(last.front(), '{');
+  EXPECT_EQ(last.back(), '}');
+  EXPECT_NE(last.find("\"t_us\":"), std::string::npos);
+  EXPECT_NE(last.find("\"cycles_run\":2000"), std::string::npos) << last;
+  EXPECT_NE(last.find("signaling_rx_bytes{agent=1,category=stats}"), std::string::npos);
+  EXPECT_NE(last.find("agent_signaling_tx_bytes{agent=1,category=stats}"),
+            std::string::npos);
+  EXPECT_NE(last.find("link_frames_tx{link=0,dir=up}"), std::string::npos);
+  EXPECT_NE(last.find("control_latency_us{agent=1}"), std::string::npos);
+
+  EXPECT_NE(summary.metrics_prometheus.find("cycles_run 2000"), std::string::npos);
+  EXPECT_NE(summary.metrics_block.find("metrics:"), std::string::npos);
+  EXPECT_NE(summary.metrics_block.find("cycle us (mean/max)"), std::string::npos);
+  const auto text = format_summary(summary);
+  EXPECT_NE(text.find("metrics:"), std::string::npos);
+}
+
+TEST(ScenarioConfig, ObservabilityOffLeavesSummaryEmpty) {
+  auto spec = parse_scenario(
+      "duration_s: 1\n"
+      "enbs:\n"
+      "  - enb_id: 1\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->observability);
+  const auto summary = run_scenario(*spec);
+  EXPECT_FALSE(summary.observability);
+  EXPECT_TRUE(summary.metrics_json.empty());
+  EXPECT_TRUE(summary.metrics_prometheus.empty());
+  EXPECT_TRUE(summary.metrics_block.empty());
+  EXPECT_EQ(format_summary(summary).find("metrics:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace flexran::scenario

@@ -31,7 +31,7 @@ cmake --build "${build_dir}" -j "${jobs}"
 if [[ "${sanitize}" == "thread" ]]; then
   # TSan finds races, not leaks/UB; run the suites that exercise the
   # worker pool and the snapshot/command paths, as whole binaries.
-  for t in controller_test concurrency_test integration_test fault_tolerance_test; do
+  for t in controller_test concurrency_test integration_test fault_tolerance_test obs_test; do
     echo "== ${t} under ${sanitize}"
     "${build_dir}/tests/${t}"
   done
@@ -56,5 +56,12 @@ if [[ "${sanitize}" != "thread" ]]; then
   echo "== VSF chaos scenario under ${sanitize}"
   "${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_vsf.yaml"
 fi
+
+# Observability: metrics registry, cycle tracing and the timestamp echo
+# enabled on a chaos run -- probes read every migrated counter while the
+# pipelined controller is under load, on both sanitizer legs.
+echo "== metrics-enabled chaos scenario under ${sanitize}"
+"${build_dir}/tools/flexran-sim" --metrics-json=/dev/null --metrics-prom=/dev/null \
+  "${repo_root}/scenarios/chaos_metrics.yaml"
 
 echo "== OK (${sanitize})"

@@ -1,11 +1,14 @@
 // flexran_sim: run a declarative FlexRAN scenario from a YAML file.
 //
-//   flexran_sim scenario.yaml      # run the given scenario
-//   flexran_sim --demo             # run a built-in two-cell demo
+//   flexran_sim scenario.yaml                 # run the given scenario
+//   flexran_sim --demo                        # run a built-in two-cell demo
+//   flexran_sim --metrics-json[=FILE] s.yaml  # also dump periodic metrics JSON
+//   flexran_sim --metrics-prom[=FILE] s.yaml  # also dump a Prometheus snapshot
 //   flexran_sim --help
 //
 // Scenario format: see src/scenario/config.h and docs/PROTOCOL.md.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -45,36 +48,80 @@ ues:
 
 void print_usage() {
   std::printf(
-      "usage: flexran_sim <scenario.yaml> | --demo\n\n"
+      "usage: flexran_sim [--metrics-json[=FILE]] [--metrics-prom[=FILE]] "
+      "<scenario.yaml> | --demo\n\n"
       "Runs a FlexRAN scenario (master controller + agent-enabled eNodeBs +\n"
       "UEs + traffic) inside the discrete-event simulator and prints per-UE\n"
       "throughput and controller statistics.\n\n"
       "Scenario keys: duration_s, stats_period_ttis, remote_scheduler,\n"
-      "schedule_ahead_sf, enbs[] (enb_id, name, dl_scheduler, ul_scheduler,\n"
-      "control_delay_ms), ues[] (enb, cqi, ul_cqi, traffic, rate_mbps).\n");
+      "schedule_ahead_sf, observability, metrics_period_s, enbs[] (enb_id,\n"
+      "name, dl_scheduler, ul_scheduler, control_delay_ms), ues[] (enb, cqi,\n"
+      "ul_cqi, traffic, rate_mbps).\n\n"
+      "--metrics-json emits the periodic registry dumps (one JSON object per\n"
+      "line); --metrics-prom emits a Prometheus text snapshot of the final\n"
+      "state. Both imply `observability: true` and write to stdout unless a\n"
+      "=FILE destination is given. See docs/observability.md.\n");
+}
+
+/// Writes `text` to `path`, or to stdout when `path` is empty.
+bool emit(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "flexran_sim: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
+  bool want_json = false;
+  bool want_prom = false;
+  std::string json_path;
+  std::string prom_path;
+  std::string scenario_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--metrics-json" || arg.rfind("--metrics-json=", 0) == 0) {
+      want_json = true;
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        json_path = arg.substr(eq + 1);
+      }
+    } else if (arg == "--metrics-prom" || arg.rfind("--metrics-prom=", 0) == 0) {
+      want_prom = true;
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        prom_path = arg.substr(eq + 1);
+      }
+    } else if (scenario_arg.empty()) {
+      scenario_arg = arg;
+    } else {
+      print_usage();
+      return 2;
+    }
+  }
+  if (scenario_arg.empty()) {
     print_usage();
     return 2;
   }
-  const std::string arg = argv[1];
-  if (arg == "--help" || arg == "-h") {
-    print_usage();
-    return 0;
-  }
 
   std::string yaml;
-  if (arg == "--demo") {
+  if (scenario_arg == "--demo") {
     yaml = kDemoScenario;
     std::printf("running built-in demo scenario:\n%s\n", kDemoScenario);
   } else {
-    std::ifstream file(arg);
+    std::ifstream file(scenario_arg);
     if (!file) {
-      std::fprintf(stderr, "flexran_sim: cannot open %s\n", arg.c_str());
+      std::fprintf(stderr, "flexran_sim: cannot open %s\n", scenario_arg.c_str());
       return 1;
     }
     std::ostringstream buffer;
@@ -87,7 +134,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "flexran_sim: bad scenario: %s\n", spec.error().message.c_str());
     return 1;
   }
+  if (want_json || want_prom) spec->observability = true;
   const auto summary = flexran::scenario::run_scenario(*spec);
   std::fputs(flexran::scenario::format_summary(summary).c_str(), stdout);
+  if (want_json) {
+    std::string dumps;
+    for (const auto& dump : summary.metrics_json) dumps += dump + "\n";
+    if (!emit(json_path, dumps)) return 1;
+  }
+  if (want_prom && !emit(prom_path, summary.metrics_prometheus)) return 1;
   return 0;
 }
