@@ -98,6 +98,7 @@ void Agent::try_reconnect(sim::TimeUs next_backoff) {
   reconnect_pending_ = false;
   if (connected()) return;
   ++reconnect_attempts_;
+  if (reconnect_attempt_times_.size() < 64) reconnect_attempt_times_.push_back(sim_.now());
   net::Transport* transport = reconnect_provider_ ? reconnect_provider_() : nullptr;
   if (transport != nullptr) {
     connect(*transport);
@@ -105,7 +106,28 @@ void Agent::try_reconnect(sim::TimeUs next_backoff) {
   }
   const auto backoff = std::min(next_backoff, sim::from_ms(config_.reconnect_max_backoff_ms));
   reconnect_pending_ = true;
-  sim_.after(backoff, [this, backoff] { try_reconnect(backoff * 2); });
+  // Jitter decorrelates the retry herd: after a master outage every agent
+  // observed the loss in the same TTI, and un-jittered doubling would keep
+  // them retrying in lockstep forever.
+  sim_.after(jittered_backoff(backoff), [this, backoff] { try_reconnect(backoff * 2); });
+}
+
+sim::TimeUs Agent::jittered_backoff(sim::TimeUs backoff) const {
+  if (config_.reconnect_jitter <= 0.0) return backoff;
+  // Stable identity hash (FNV-1a over the name, seeded with the enb id,
+  // finished with a splitmix-style avalanche): the same agent always gets
+  // the same spread, two agents almost surely get different ones --
+  // deterministic, so chaos runs stay replayable.
+  std::uint64_t h = 0xcbf29ce484222325ull ^ static_cast<std::uint64_t>(config_.enb_id);
+  for (const char c : config_.name) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  const double fraction = static_cast<double>(h % 4096) / 4096.0;  // [0, 1)
+  const double scale = 1.0 + std::min(config_.reconnect_jitter, 1.0) * fraction;
+  return static_cast<sim::TimeUs>(static_cast<double>(backoff) * scale);
 }
 
 template <typename M>
@@ -164,8 +186,10 @@ void Agent::on_subframe_start(std::int64_t subframe) {
   }
 
   // A hello lost to a partition that raced the connect leaves the master
-  // unaware of the new session; re-offer it until the master answers.
+  // unaware of the new session; re-offer it until the master answers. A
+  // retry-after hold (master re-sync admission gate) pauses the loop.
   if (transport_ != nullptr && !master_heard_this_session_ && config_.hello_retry_ttis > 0 &&
+      sim_.now() >= hello_hold_until_ &&
       subframe - last_hello_subframe_ >= config_.hello_retry_ttis) {
     ++hello_retries_;
     send_hello();
@@ -285,6 +309,47 @@ void Agent::handle_message(std::vector<std::uint8_t> data) {
   rx_accounting_.record(proto::categorize(envelope->type, envelope->body),
                         data.size() + net::kFrameHeaderBytes);
   if (envelope->ts_us != 0) pending_ts_echo_us_ = envelope->ts_us;
+  // Master incarnation fencing (the mirror image of the session-epoch fence
+  // below, docs/fault_tolerance.md "Master restart"): a message from an
+  // older incarnation is a straggler from a dead master and must not be
+  // applied (nor count as master contact); a higher incarnation means the
+  // master restarted and lost this agent's session -- re-offer the hello so
+  // the new incarnation runs a full re-sync.
+  if (envelope->master_epoch != 0) {
+    if (envelope->master_epoch < master_incarnation_) {
+      ++fenced_incarnation_messages_;
+      return;
+    }
+    if (envelope->master_epoch > master_incarnation_) {
+      const bool restarted = master_incarnation_ != 0;
+      master_incarnation_ = envelope->master_epoch;
+      if (restarted) {
+        ++master_restarts_seen_;
+        FLEXRAN_LOG(warn, "agent") << "master restarted (incarnation "
+                                   << master_incarnation_ << "); offering re-sync";
+        if (envelope->retry_after_ms == 0) {
+          send_hello();
+        } else {
+          // The restarted master's admission gate deferred us: hold the
+          // hello for the hinted (jittered) backoff, then re-offer it if
+          // this incarnation still has not re-synced us by other means.
+          const sim::TimeUs hold = jittered_backoff(
+              sim::from_ms(static_cast<double>(envelope->retry_after_ms)));
+          sim_.after(hold, [this, incarnation = master_incarnation_] {
+            if (connected() && master_incarnation_ == incarnation) send_hello();
+          });
+        }
+      }
+    }
+  }
+  if (envelope->retry_after_ms != 0) {
+    // Re-sync deferral hint: pause the hello retry loop for the hinted
+    // backoff (jittered, so the deferred cohort does not retry in lockstep
+    // either). The master drives the deferred re-sync itself.
+    ++resync_deferrals_;
+    hello_hold_until_ = sim_.now() + jittered_backoff(sim::from_ms(
+                                         static_cast<double>(envelope->retry_after_ms)));
+  }
   // Fence messages addressed to an older session: a command the master sent
   // before it learned of this agent's restart must not be applied (and does
   // not count as master contact).

@@ -11,6 +11,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "agent/agent_api.h"
 #include "agent/control_module.h"
@@ -58,6 +59,14 @@ struct AgentConfig {
   /// hello every this many TTIs (covers a hello lost to a partition that
   /// raced the connect). 0 = never.
   std::int64_t hello_retry_ttis = 100;
+  /// Deterministic per-agent spread multiplied into every reconnect backoff
+  /// (and retry-after hold): each delay is scaled by a factor in
+  /// [1, 1 + reconnect_jitter) derived from a stable hash of the agent's
+  /// identity. After a master restart the whole fleet retries; without
+  /// jitter all agents that observed the outage at the same TTI would
+  /// retry in lockstep forever (the backoff doubles identically). 0 =
+  /// lockstep (the seed behavior).
+  double reconnect_jitter = 0.5;
 
   // ---- delegated-control containment (docs/delegation_safety.md) -----------
   /// Consecutive guard failures of one implementation before quarantine.
@@ -150,6 +159,23 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   std::uint64_t fenced_messages() const { return fenced_messages_; }
   std::uint64_t reconnect_attempts() const { return reconnect_attempts_; }
   std::uint64_t hello_retries() const { return hello_retries_; }
+  /// Highest master incarnation observed (docs/fault_tolerance.md "Master
+  /// restart"); 0 = incarnation-unaware master.
+  std::uint32_t master_incarnation() const { return master_incarnation_; }
+  /// Master messages dropped because they carried an older incarnation
+  /// (traffic from a dead master straggling in after a restart).
+  std::uint64_t fenced_incarnation_messages() const { return fenced_incarnation_messages_; }
+  /// Master restarts detected through an incarnation bump.
+  std::uint64_t master_restarts_seen() const { return master_restarts_seen_; }
+  /// Retry-after hints honored (re-sync deferred by the master's gate).
+  std::uint64_t resync_deferrals() const { return resync_deferrals_; }
+  /// Simulated times of reconnect attempts (capped; for jitter tests).
+  const std::vector<sim::TimeUs>& reconnect_attempt_times() const {
+    return reconnect_attempt_times_;
+  }
+  /// The per-agent jittered view of a backoff delay (exposed so tests can
+  /// assert that distinct agents spread out without replaying the clock).
+  sim::TimeUs jittered_backoff(sim::TimeUs backoff) const;
   std::size_t queued_decisions() const { return dl_decision_queue_.size(); }
   /// Policy reconfigurations accepted / rejected by the two-phase apply.
   std::uint64_t policies_applied() const { return policies_applied_; }
@@ -207,6 +233,15 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   std::int64_t last_master_contact_subframe_ = 0;
   std::int64_t last_hello_subframe_ = 0;
   std::uint32_t session_epoch_ = 0;
+  /// Highest master incarnation seen; older-incarnation messages fence.
+  std::uint32_t master_incarnation_ = 0;
+  std::uint64_t fenced_incarnation_messages_ = 0;
+  std::uint64_t master_restarts_seen_ = 0;
+  std::uint64_t resync_deferrals_ = 0;
+  /// While set, the hello retry loop stays quiet (a restarted master's
+  /// admission gate asked us to hold).
+  sim::TimeUs hello_hold_until_ = 0;
+  std::vector<sim::TimeUs> reconnect_attempt_times_;
   bool master_heard_this_session_ = false;
   bool fallback_active_ = false;
   bool reconnect_pending_ = false;

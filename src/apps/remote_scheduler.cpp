@@ -9,6 +9,11 @@ namespace flexran::apps {
 
 void RemoteSchedulerApp::on_cycle(std::int64_t /*cycle*/, ctrl::NorthboundApi& api) {
   const auto rib = api.rib_snapshot();
+  // Readiness barrier (docs/fault_tolerance.md "Master restart"): a
+  // recovering snapshot shows a half-rebuilt fleet whose agent state is
+  // whatever survived the crash -- issue nothing until the barrier drops.
+  // Agents keep serving UEs through their fallback VSFs meanwhile.
+  if (rib->recovering()) return;
   std::vector<ctrl::AgentId> scope = config_.agents;
   if (scope.empty()) {
     for (const auto& [id, agent] : rib->agents()) {

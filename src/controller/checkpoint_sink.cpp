@@ -1,0 +1,39 @@
+#include "controller/checkpoint_sink.h"
+
+#include <cstdio>
+
+namespace flexran::ctrl {
+
+util::Status FileCheckpointSink::save(std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return util::Error::transport_failure("cannot open " + tmp);
+  const std::size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return util::Error::transport_failure("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Error::transport_failure("cannot rename " + tmp + " -> " + path_);
+  }
+  return {};
+}
+
+util::Result<std::vector<std::uint8_t>> FileCheckpointSink::load() {
+  std::FILE* file = std::fopen(path_.c_str(), "rb");
+  if (file == nullptr) return util::Error::not_found("no checkpoint at " + path_);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return util::Error::transport_failure("read error on " + path_);
+  return bytes;
+}
+
+}  // namespace flexran::ctrl

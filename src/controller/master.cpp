@@ -70,6 +70,18 @@ MasterController::MasterController(sim::Simulator& sim, MasterConfig config)
       // ...and the flush-time send skips the claim it already made.
       [this](AgentId agent, const proto::DlMacConfig& dl) { return send_to(agent, dl); },
   });
+  if (config_.recovery.enabled) {
+    incarnation_ = 1;
+    resync_tokens_ = config_.recovery.resync_burst;
+  }
+  // A fresh master constructed over a checkpoint starts in recovery: it
+  // knows the fleet it is waiting for, and each returning agent needs only
+  // a delta re-sync.
+  load_checkpoint();
+  if (config_.recovery.enabled && !recovery_expected_.empty()) {
+    recovering_ = true;
+    recovery_started_at_ = sim_.now();
+  }
 }
 
 MasterController::~MasterController() { task_manager_.shutdown(); }
@@ -114,6 +126,14 @@ AgentId MasterController::add_agent(net::Transport& transport) {
 void MasterController::remove_agent(AgentId id) {
   dirty_agents_.erase(id);
   rib_structure_changed_ = true;
+  // Recovery bookkeeping: a removed agent neither holds the readiness
+  // quorum nor waits for a re-sync token.
+  resync_waiting_.erase(id);
+  std::erase(resync_queue_, id);
+  resync_started_at_.erase(id);
+  warm_restored_.erase(id);
+  recovery_expected_.erase(id);
+  recovery_resynced_.erase(id);
   // Drop everything still referencing the agent: queued updates, queued
   // events, and in-flight requests (dropped silently, not failed --
   // removal is deliberate, not an outage).
@@ -137,6 +157,11 @@ void MasterController::run_cycle() {
     for (auto& [id, link] : links_) {
       (void)link;
       AgentNode& agent = rib_.agent(id);
+      // An agent deferred by the re-sync admission gate is silent at the
+      // master's own request (the retry-after hint paused its hellos):
+      // exempt it from the silence sweep or the deferral would walk it
+      // stale -> down and purge it from the very queue it is waiting in.
+      if (resync_waiting_.contains(id)) continue;
       if (agent.last_heard > 0 && !agent.is_stale() &&
           sim_.now() - agent.last_heard > config_.agent_timeout_us) {
         agent.state = SessionState::stale;
@@ -150,6 +175,7 @@ void MasterController::run_cycle() {
     for (auto& [id, link] : links_) {
       (void)link;
       AgentNode& agent = rib_.agent(id);
+      if (resync_waiting_.contains(id)) continue;  // deferred: silence is ours
       if (agent.state != SessionState::down && agent.last_heard > 0 &&
           sim_.now() - agent.last_heard > config_.agent_disconnect_timeout_us) {
         mark_agent_down(id, "silent past disconnect timeout");
@@ -157,6 +183,16 @@ void MasterController::run_cycle() {
     }
   }
   sweep_requests();
+  if (config_.recovery.enabled) {
+    admit_resyncs();
+    if (recovering_ && config_.recovery.readiness_timeout_us > 0 &&
+        sim_.now() - recovery_started_at_ >= config_.recovery.readiness_timeout_us) {
+      // A dead agent must not hold the barrier forever: declare ready on
+      // whatever fraction of the fleet made it back.
+      finish_recovery("timeout");
+    }
+  }
+  maybe_checkpoint();
   if (config_.echo_period_cycles > 0 && cycle % config_.echo_period_cycles == 0) {
     for (const auto& [id, link] : links_) {
       (void)link;
@@ -279,7 +315,8 @@ void MasterController::renegotiate_reports() {
 
 void MasterController::publish_snapshot() {
   const auto start = std::chrono::steady_clock::now();
-  snapshots_.publish(rib_, dirty_agents_, rib_structure_changed_, overload_monitor_.state());
+  snapshots_.publish(rib_, dirty_agents_, rib_structure_changed_, overload_monitor_.state(),
+                     recovering_);
   dirty_agents_.clear();
   rib_structure_changed_ = false;
   snapshot_publish_time_.add(
@@ -317,7 +354,7 @@ void MasterController::apply_update(const PendingUpdate& update) {
     begin_agent_session(update.agent, update.epoch);
     agent.state = SessionState::resyncing;
     emit_lifecycle_event(update.agent, proto::EventType::agent_reconnected);
-    resync_agent(update.agent);
+    request_resync(update.agent);
   }
   agent.last_heard = sim_.now();
   if (agent.state == SessionState::down && envelope.type != MessageType::hello) {
@@ -326,7 +363,7 @@ void MasterController::apply_update(const PendingUpdate& update) {
     // (A hello runs its own re-sync in on_agent_hello.)
     agent.state = SessionState::resyncing;
     emit_lifecycle_event(update.agent, proto::EventType::agent_reconnected);
-    resync_agent(update.agent);
+    request_resync(update.agent);
   } else if (agent.state == SessionState::stale) {
     agent.state = SessionState::up;
   }
@@ -354,7 +391,10 @@ void MasterController::apply_update(const PendingUpdate& update) {
         agent.cells[cell.cell_id].config = cell.to_cell_config();
       }
       // The config reply is the last leg of the re-sync handshake.
-      if (agent.state == SessionState::resyncing) agent.state = SessionState::up;
+      if (agent.state == SessionState::resyncing) {
+        agent.state = SessionState::up;
+        mark_resynced(update.agent);
+      }
       break;
     }
     case MessageType::ue_config_reply: {
@@ -457,13 +497,21 @@ void MasterController::on_agent_hello(AgentId id, const proto::Hello& hello) {
   if (restarted || was_down) {
     emit_lifecycle_event(id, proto::EventType::agent_reconnected);
   }
-  resync_agent(id);
+  request_resync(id);
 }
 
 // -------------------------------------------------------- session lifecycle
 
 void MasterController::resync_agent(AgentId id) {
-  if (config_.auto_configure) {
+  AgentNode& agent = rib_.agent(id);
+  if (agent.state == SessionState::resyncing && !resync_started_at_.contains(id)) {
+    resync_started_at_[id] = sim_.now();
+  }
+  // Warm restore: the agent's configuration came from the checkpoint, so
+  // the three config fetch round-trips are skipped -- the delta re-sync is
+  // just re-arming reports and subscriptions.
+  const bool delta = warm_restored_.contains(id) && !agent.cells.empty();
+  if (config_.auto_configure && !delta) {
     (void)send_to(id, proto::EnbConfigRequest{}, /*track=*/true);
     (void)send_to(id, proto::UeConfigRequest{}, /*track=*/true);
     (void)send_to(id, proto::LcConfigRequest{}, /*track=*/true);
@@ -473,6 +521,14 @@ void MasterController::resync_agent(AgentId id) {
   }
   if (!config_.subscribe_events.empty()) {
     (void)subscribe_events(id, config_.subscribe_events, true);
+  }
+  if (delta || !config_.auto_configure) {
+    // Nothing left to wait for: the session is immediately serviceable.
+    if (agent.state == SessionState::resyncing) {
+      agent.state = SessionState::up;
+      dirty_agents_.insert(id);
+    }
+    mark_resynced(id);
   }
 }
 
@@ -499,6 +555,11 @@ void MasterController::mark_agent_down(AgentId id, const std::string& reason) {
   if (agent.state == SessionState::down) return;
   agent.state = SessionState::down;
   dirty_agents_.insert(id);
+  // A downed agent neither waits for a re-sync token nor keeps its
+  // re-sync clock running (it restarts from scratch when heard again).
+  resync_waiting_.erase(id);
+  std::erase(resync_queue_, id);
+  resync_started_at_.erase(id);
   // The session is over; whatever it still had queued or outstanding dies
   // with it. A surviving agent is re-synced when it is heard again.
   purge_pending(id, std::numeric_limits<std::uint32_t>::max());
@@ -643,6 +704,254 @@ std::string MasterController::last_known_good_policy(AgentId agent) const {
   return it->second.history.front();
 }
 
+// ---------------------------------------------------------- crash recovery
+
+void MasterController::restart() {
+  task_manager_.quiesce();
+  ++master_restarts_;
+  // Everything volatile dies with the old incarnation -- exactly what a
+  // real master process loses in a crash. The transport registry survives:
+  // a restarted master re-accepts its connections, and here the agents'
+  // endpoints stay attached under the same ids.
+  pending_.remove_if([](const PendingUpdate&) { return true; });
+  event_queue_.clear();
+  inflight_.clear();
+  policies_.clear();
+  original_reports_.clear();
+  resync_queue_.clear();
+  resync_waiting_.clear();
+  resync_started_at_.clear();
+  warm_restored_.clear();
+  recovery_expected_.clear();
+  recovery_resynced_.clear();
+  for (const auto& [id, link] : links_) {
+    (void)link;
+    arbiter_.prune_before(id, std::numeric_limits<std::int64_t>::max());
+  }
+  throttle_multiplier_ = 1;
+  critical_shedding_cycles_ = 0;
+  checkpoint_loaded_ = false;
+  // Forget the RIB, keeping a down-state husk per live connection so the
+  // readiness barrier knows the fleet it is waiting for.
+  rib_ = Rib{};
+  for (const auto& [id, link] : links_) {
+    (void)link;
+    AgentNode& node = rib_.agent(id);
+    node.id = id;
+    node.state = SessionState::down;
+    recovery_expected_.insert(id);
+    dirty_agents_.insert(id);
+  }
+  rib_structure_changed_ = true;
+  if (config_.recovery.enabled) {
+    ++incarnation_;
+    resync_tokens_ = config_.recovery.resync_burst;
+    last_token_refill_ = sim_.now();
+  }
+  load_checkpoint();
+  if (config_.recovery.enabled && !recovery_expected_.empty()) {
+    recovering_ = true;
+    recovery_started_at_ = sim_.now();
+    recovery_ready_at_ = 0;
+  }
+  FLEXRAN_LOG(warn, "master") << "restarted (incarnation " << incarnation_ << ", "
+                              << (checkpoint_loaded_ ? "warm" : "cold") << ", expecting "
+                              << recovery_expected_.size() << " agents)";
+  // Announce the new incarnation so agents learn of the restart from the
+  // first frame instead of discovering it through fenced traffic.
+  for (const auto& [id, link] : links_) {
+    (void)link;
+    proto::EchoRequest echo;
+    echo.timestamp_us = sim_.now();
+    (void)send_to(id, echo);
+  }
+}
+
+void MasterController::request_resync(AgentId id) {
+  if (!config_.recovery.enabled || config_.recovery.resync_tokens_per_s <= 0.0) {
+    resync_agent(id);  // pacing off: the seed path
+    return;
+  }
+  refill_resync_tokens();
+  if (resync_tokens_ >= 1.0 && resync_queue_.empty()) {
+    resync_tokens_ -= 1.0;
+    ++resyncs_admitted_;
+    resync_agent(id);
+    return;
+  }
+  // No token (or a queue ahead): defer. The agent stays `resyncing`; every
+  // envelope it receives meanwhile carries the retry-after hint, and the
+  // master drives the re-sync itself once a token frees up.
+  if (resync_waiting_.insert(id).second) {
+    resync_queue_.push_back(id);
+    ++resyncs_paced_;
+    // Deliver the hint promptly rather than waiting for scheduled traffic.
+    proto::EchoRequest echo;
+    echo.timestamp_us = sim_.now();
+    (void)send_to(id, echo);
+  }
+}
+
+void MasterController::refill_resync_tokens() {
+  if (config_.recovery.resync_tokens_per_s <= 0.0) return;
+  const sim::TimeUs now = sim_.now();
+  if (last_token_refill_ == 0) {
+    last_token_refill_ = now;
+    return;
+  }
+  const double elapsed_s = static_cast<double>(now - last_token_refill_) / 1e6;
+  last_token_refill_ = now;
+  resync_tokens_ = std::min(config_.recovery.resync_burst,
+                            resync_tokens_ + elapsed_s * config_.recovery.resync_tokens_per_s);
+}
+
+void MasterController::admit_resyncs() {
+  refill_resync_tokens();
+  while (!resync_queue_.empty() && resync_tokens_ >= 1.0) {
+    const AgentId id = resync_queue_.front();
+    resync_queue_.pop_front();
+    resync_waiting_.erase(id);
+    const AgentNode* known = rib_.find_agent(id);
+    if (known == nullptr || known->state == SessionState::down) continue;
+    // The wait does not count as silence: restart the sweep clock now or
+    // a long deferral would trip the disconnect timeout before the just
+    // -issued config fetches can answer.
+    rib_.agent(id).last_heard = sim_.now();
+    resync_tokens_ -= 1.0;
+    ++resyncs_admitted_;
+    resync_agent(id);
+  }
+}
+
+void MasterController::mark_resynced(AgentId id) {
+  if (auto it = resync_started_at_.find(id); it != resync_started_at_.end()) {
+    if (resync_duration_ != nullptr) {
+      resync_duration_->observe(static_cast<double>(sim_.now() - it->second));
+    }
+    resync_started_at_.erase(it);
+  }
+  // Whatever warm state sped up this re-sync is consumed: a later re-sync
+  // (agent crash, partition) must fetch fresh configuration.
+  warm_restored_.erase(id);
+  if (!recovering_) return;
+  if (recovery_resynced_.insert(id).second) {
+    // The session is serviceable again: re-own the delegated control state
+    // by re-pushing the last-known-good policy from the checkpoint.
+    if (auto pit = policies_.find(id); pit != policies_.end() && !pit->second.history.empty()) {
+      if (send_policy(id, pit->second.history.front()).ok()) ++policies_repushed_;
+    }
+  }
+  if (!recovery_expected_.empty() &&
+      static_cast<double>(recovery_resynced_.size()) >=
+          config_.recovery.readiness_quorum * static_cast<double>(recovery_expected_.size())) {
+    finish_recovery("quorum");
+  }
+}
+
+void MasterController::finish_recovery(const char* how) {
+  if (!recovering_) return;
+  recovering_ = false;
+  recovery_ready_at_ = sim_.now();
+  FLEXRAN_LOG(info, "master") << "recovery complete (" << how << "): "
+                              << recovery_resynced_.size() << "/" << recovery_expected_.size()
+                              << " agents re-synced in "
+                              << (recovery_ready_at_ - recovery_started_at_) / 1000 << " ms";
+}
+
+void MasterController::load_checkpoint() {
+  const auto& sink = config_.recovery.checkpoint_sink;
+  if (sink == nullptr) return;
+  auto bytes = sink->load();
+  if (!bytes.ok()) return;  // nothing saved yet: cold start
+  auto checkpoint = proto::MasterCheckpoint::decode(*bytes);
+  if (!checkpoint.ok()) {
+    FLEXRAN_LOG(error, "master") << "checkpoint rejected: " << checkpoint.error().message;
+    return;
+  }
+  checkpoint_loaded_ = true;
+  if (config_.recovery.enabled) {
+    // Fencing must stay monotonic across the restart: resume above the
+    // incarnation that wrote the checkpoint.
+    incarnation_ = std::max(incarnation_, checkpoint->incarnation + 1);
+  }
+  for (auto& saved : checkpoint->agents) {
+    const AgentId id = saved.id;
+    AgentNode& node = rib_.agent(id);
+    node.id = id;
+    node.enb_id = saved.config.enb_id;
+    node.name = saved.name;
+    node.capabilities = saved.capabilities;
+    node.epoch = saved.epoch;
+    if (node.state != SessionState::down) node.state = SessionState::down;
+    for (const auto& cell : saved.config.cells) {
+      node.cells[cell.cell_id].config = cell.to_cell_config();
+    }
+    for (auto& report : saved.reports) {
+      original_reports_[{id, report.request_id}] = std::move(report);
+    }
+    if (!saved.policy_history.empty()) {
+      policies_[id].history.assign(saved.policy_history.begin(), saved.policy_history.end());
+    }
+    warm_restored_.insert(id);
+    recovery_expected_.insert(id);
+    dirty_agents_.insert(id);
+  }
+  rib_structure_changed_ = true;
+  FLEXRAN_LOG(info, "master") << "loaded checkpoint: " << checkpoint->agents.size()
+                              << " agents, incarnation " << checkpoint->incarnation;
+}
+
+void MasterController::maybe_checkpoint() {
+  if (config_.recovery.checkpoint_period_us <= 0 ||
+      config_.recovery.checkpoint_sink == nullptr) {
+    return;
+  }
+  if (sim_.now() - last_checkpoint_at_ < config_.recovery.checkpoint_period_us) return;
+  (void)save_checkpoint();
+}
+
+util::Status MasterController::save_checkpoint() {
+  const auto& sink = config_.recovery.checkpoint_sink;
+  if (sink == nullptr) return util::Error::invalid_argument("no checkpoint sink configured");
+  last_checkpoint_at_ = sim_.now();
+  auto status = sink->save(build_checkpoint().encode());
+  if (status.ok()) {
+    ++checkpoints_saved_;
+  } else {
+    FLEXRAN_LOG(error, "master") << "checkpoint save failed: " << status.error().message;
+  }
+  return status;
+}
+
+proto::MasterCheckpoint MasterController::build_checkpoint() const {
+  proto::MasterCheckpoint checkpoint;
+  checkpoint.incarnation = incarnation_;
+  checkpoint.saved_at_us = static_cast<std::uint64_t>(sim_.now());
+  for (const auto& [id, agent] : rib_.agents()) {
+    // Only durable state: identity, configuration, epoch. Agents that never
+    // completed a hello have nothing worth restoring.
+    if (agent.epoch == 0 && agent.name.empty()) continue;
+    proto::CheckpointAgent saved;
+    saved.id = id;
+    saved.name = agent.name;
+    saved.capabilities = agent.capabilities;
+    saved.epoch = agent.epoch;
+    saved.config.enb_id = agent.enb_id;
+    for (const auto& [cell_id, cell] : agent.cells) {
+      (void)cell_id;
+      saved.config.cells.push_back(proto::CellConfigMsg::from(cell.config));
+    }
+    for (const auto& [key, report] : original_reports_) {
+      if (key.first == id) saved.reports.push_back(report);
+    }
+    if (auto it = policies_.find(id); it != policies_.end()) {
+      saved.policy_history.assign(it->second.history.begin(), it->second.history.end());
+    }
+    checkpoint.agents.push_back(std::move(saved));
+  }
+  return checkpoint;
+}
+
 void MasterController::dispatch_events() {
   while (!event_queue_.empty()) {
     Event event = std::move(event_queue_.front());
@@ -673,8 +982,29 @@ util::Status MasterController::send_to(AgentId agent, const M& message, bool tra
     envelope.throttle_hint = throttle_multiplier_ > 1 ? throttle_multiplier_ : 0;
   }
   if (config_.obs.enabled) envelope.ts_us = static_cast<std::uint64_t>(sim_.now());
-  const auto wire = envelope.encode();
+  if (config_.recovery.enabled) {
+    // Stamp the incarnation on every send so agents can fence traffic from
+    // a dead master and detect a restart from the first frame. Agents whose
+    // full re-sync the admission gate deferred also get the retry-after
+    // hint piggybacked (the throttle-hint idiom).
+    envelope.master_epoch = incarnation_;
+    if (resync_waiting_.contains(agent)) {
+      envelope.retry_after_ms =
+          static_cast<std::uint32_t>(config_.recovery.resync_retry_after_ms);
+    }
+  }
   const proto::MessageCategory category = proto::categorize(envelope.type, envelope.body);
+  if (recovering_ && category == proto::MessageCategory::commands) {
+    // App readiness gating: no command reaches an agent that has not yet
+    // re-synced with this incarnation. Apps acting before the barrier drops
+    // would be scheduling against a half-rebuilt world view.
+    const auto* node = rib_.find_agent(agent);
+    if (node == nullptr || node->state != SessionState::up) {
+      ++commands_held_;
+      return util::Error::conflict("recovering: agent not re-synced");
+    }
+  }
+  const auto wire = envelope.encode();
   const net::TrafficClass cls = proto::traffic_class(envelope.type, envelope.body);
   it->second.tx.record(category, wire.size() + net::kFrameHeaderBytes);
   if (track && config_.request_timeout_us > 0) {
@@ -893,6 +1223,24 @@ void MasterController::register_obs_probes() {
   m.register_probe("cycle_apps_us_max", [this] { return trace_ring_.apps_us().max(); });
   m.register_probe("cycle_flush_us_mean", [this] { return trace_ring_.flush_us().mean(); });
   m.register_probe("cycle_flush_us_max", [this] { return trace_ring_.flush_us().max(); });
+  // Crash recovery (docs/fault_tolerance.md "Master restart"): the
+  // recovering gauge, pacing counters and the time-to-resync histogram
+  // (1ms .. ~16s, doubling -- re-syncs span wire RTTs to paced backlogs).
+  m.register_probe("recovering", [this] { return recovering_ ? 1.0 : 0.0; });
+  m.register_probe("master_restarts",
+                   [this] { return static_cast<double>(master_restarts_); });
+  m.register_probe("resyncs_paced", [this] { return static_cast<double>(resyncs_paced_); });
+  m.register_probe("resyncs_admitted",
+                   [this] { return static_cast<double>(resyncs_admitted_); });
+  m.register_probe("resyncs_waiting",
+                   [this] { return static_cast<double>(resync_queue_.size()); });
+  m.register_probe("commands_held_recovering",
+                   [this] { return static_cast<double>(commands_held_); });
+  m.register_probe("checkpoints_saved",
+                   [this] { return static_cast<double>(checkpoints_saved_); });
+  m.register_probe("policies_repushed",
+                   [this] { return static_cast<double>(policies_repushed_); });
+  resync_duration_ = &m.histogram("resync_duration_us", obs::exponential_bounds(1000.0, 2.0, 14));
 }
 
 void MasterController::register_agent_probes(AgentId id) {

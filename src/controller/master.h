@@ -17,12 +17,14 @@
 
 #include "controller/app.h"
 #include "controller/arbiter.h"
+#include "controller/checkpoint_sink.h"
 #include "controller/overload.h"
 #include "controller/rib.h"
 #include "controller/rib_snapshot.h"
 #include "controller/task_manager.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "proto/checkpoint.h"
 #include "obs/trace.h"
 #include "proto/accounting.h"
 #include "sim/simulator.h"
@@ -38,6 +40,37 @@ struct ObsConfig {
   bool enabled = false;
   /// Control-loop trace ring capacity (most recent cycles kept verbatim).
   std::size_t trace_cycles = 4096;
+};
+
+/// Master crash recovery (docs/fault_tolerance.md "Master restart"). Off
+/// by default: with `enabled == false` no incarnation epoch is stamped on
+/// the wire, re-syncs are never paced, and no readiness barrier is raised
+/// -- behavior and traffic are seed-identical (the `0/0 = off` convention).
+/// `restart()` still works without the layer, just without fencing.
+struct RecoveryConfig {
+  /// Master incarnation epochs + admission pacing + app readiness gating.
+  bool enabled = false;
+  /// Token-bucket admission gate on concurrent full re-syncs after a
+  /// restart: sustained admissions per second (0 = unpaced) and bucket
+  /// capacity (how many re-syncs may be admitted back to back).
+  double resync_tokens_per_s = 0.0;
+  double resync_burst = 4.0;
+  /// Retry-after hint piggybacked to agents whose re-sync was deferred by
+  /// the gate (Envelope::retry_after_ms): how long they should hold their
+  /// hello retries. The master re-syncs them itself when a token frees up.
+  double resync_retry_after_ms = 50.0;
+  /// Readiness barrier: recovery ends (the snapshot drops `recovering`)
+  /// once this fraction of the expected fleet has re-synced...
+  double readiness_quorum = 1.0;
+  /// ...or after this long, whichever comes first (0 = quorum only; a
+  /// permanently dead agent must not hold the barrier forever).
+  sim::TimeUs readiness_timeout_us = sim::from_ms(2000.0);
+  /// Warm checkpoint: serialize durable master state to `checkpoint_sink`
+  /// every `checkpoint_period_us` (0 = never write). A checkpoint found in
+  /// the sink at construction or restart() is loaded, cutting recovery to
+  /// a delta re-sync (stats + subscriptions, no config fetch).
+  sim::TimeUs checkpoint_period_us = 0;
+  std::shared_ptr<CheckpointSink> checkpoint_sink;
 };
 
 struct MasterConfig {
@@ -76,6 +109,9 @@ struct MasterConfig {
   /// Metrics registry + control-loop tracing + Envelope timestamp echo
   /// (docs/observability.md). Off = seed-identical.
   ObsConfig obs;
+  /// Master crash recovery (docs/fault_tolerance.md "Master restart").
+  /// Off = seed-identical.
+  RecoveryConfig recovery;
 };
 
 class MasterController final : public NorthboundApi {
@@ -93,6 +129,24 @@ class MasterController final : public NorthboundApi {
   /// Runs one task-manager cycle; wire this to the TtiTicker (real-time
   /// mode) or call it at any coarser period (non-RT mode).
   void run_cycle();
+
+  /// Simulates a master process crash + immediate restart in place
+  /// (docs/fault_tolerance.md "Master restart"): every piece of volatile
+  /// state -- RIB contents, queued and in-flight messages, pending
+  /// policies, event queue -- is dropped, exactly what a real restart
+  /// loses. The transport registry survives (a restarted master re-accepts
+  /// its listening sockets; here the agents' connections stay attached
+  /// under the same ids). With recovery enabled the incarnation epoch is
+  /// bumped and announced so agents fence stale traffic and re-hello; a
+  /// checkpoint in the configured sink is loaded for a warm (delta)
+  /// recovery. Note: the incarnation is monotonic in-memory; a real
+  /// deployment would derive it from a durable source (the checkpoint
+  /// provides that here).
+  void restart();
+
+  /// Forces a checkpoint save right now (normally driven by
+  /// `recovery.checkpoint_period_us`). Errors if no sink is configured.
+  util::Status save_checkpoint();
 
   /// Joins the in-flight application slot (if any) and flushes its command
   /// batches. With a pipelined task manager (workers > 0) a cycle's
@@ -159,6 +213,35 @@ class MasterController final : public NorthboundApi {
   std::uint64_t fenced_updates() const { return fenced_updates_; }
   /// Messages whose envelope failed to decode (e.g. corrupted in flight).
   std::uint64_t rx_decode_errors() const { return rx_decode_errors_; }
+
+  // ---- crash recovery (docs/fault_tolerance.md "Master restart") -------------
+  /// Current master incarnation (0 while recovery is disabled).
+  std::uint32_t incarnation() const { return incarnation_; }
+  /// True while the readiness barrier is up: the RIB is still being
+  /// rebuilt from agent re-syncs after a restart.
+  bool recovering() const { return recovering_; }
+  std::uint64_t master_restarts() const { return master_restarts_; }
+  /// Re-syncs deferred by the admission gate / later admitted from the
+  /// deferral queue.
+  std::uint64_t resyncs_paced() const { return resyncs_paced_; }
+  std::uint64_t resyncs_admitted() const { return resyncs_admitted_; }
+  /// Agents currently parked in the deferral queue.
+  std::size_t resyncs_waiting() const { return resync_queue_.size(); }
+  /// Commands refused at the wire because their target had not re-synced
+  /// with this incarnation yet.
+  std::uint64_t commands_held() const { return commands_held_; }
+  std::uint64_t checkpoints_saved() const { return checkpoints_saved_; }
+  /// Last-known-good policies re-pushed as re-syncs completed.
+  std::uint64_t policies_repushed() const { return policies_repushed_; }
+  /// A checkpoint was loaded at construction or the last restart().
+  bool checkpoint_loaded() const { return checkpoint_loaded_; }
+  /// Agents that completed their re-sync since the last restart.
+  std::size_t agents_resynced() const { return recovery_resynced_.size(); }
+  /// Wall-clock (simulated) duration of the last completed recovery;
+  /// 0 = none completed yet (or still recovering).
+  sim::TimeUs last_recovery_duration() const {
+    return recovery_ready_at_ == 0 ? 0 : recovery_ready_at_ - recovery_started_at_;
+  }
 
   // ---- delegated-control containment (docs/delegation_safety.md) ------------
   /// Policies re-sent (rolled back to last-known-good) after an agent
@@ -307,6 +390,27 @@ class MasterController final : public NorthboundApi {
   /// implementation and re-sends the newest survivor (last-known-good).
   void rollback_policy(AgentId id, const proto::EventNotification& event);
 
+  // ---- crash recovery -------------------------------------------------------
+  /// Admission-gated entry to resync_agent: consumes a token or parks the
+  /// agent in the deferral queue with a retry-after hint. With pacing off
+  /// (no token rate) this is resync_agent directly.
+  void request_resync(AgentId id);
+  /// Refills the token bucket from elapsed simulated time and admits
+  /// deferred agents while tokens last.
+  void admit_resyncs();
+  void refill_resync_tokens();
+  /// Resync-completion hook (resyncing -> up): records the time-to-resync,
+  /// re-pushes the last-known-good policy during recovery and checks the
+  /// readiness quorum.
+  void mark_resynced(AgentId id);
+  void finish_recovery(const char* how);
+  /// Loads a checkpoint from the sink into the RIB (identities, configs,
+  /// report registrations, policy histories); no-op without a sink or
+  /// stored checkpoint.
+  void load_checkpoint();
+  void maybe_checkpoint();
+  proto::MasterCheckpoint build_checkpoint() const;
+
   sim::Simulator& sim_;
   MasterConfig config_;
   Rib rib_;
@@ -354,6 +458,41 @@ class MasterController final : public NorthboundApi {
   /// multiplier doubling.
   std::size_t critical_shedding_cycles_ = 0;
   proto::SignalingAccountant empty_accounting_;
+
+  // ---- crash recovery --------------------------------------------------------
+  /// Incarnation epoch stamped on every send while recovery is enabled
+  /// (starts at 1; restart() and checkpoint loads only move it up).
+  std::uint32_t incarnation_ = 0;
+  bool recovering_ = false;
+  sim::TimeUs recovery_started_at_ = 0;
+  sim::TimeUs recovery_ready_at_ = 0;
+  /// The fleet the readiness barrier waits for: live links at restart plus
+  /// agents restored from the checkpoint.
+  std::set<AgentId> recovery_expected_;
+  std::set<AgentId> recovery_resynced_;
+  /// Agents whose configuration came from the checkpoint: their next
+  /// re-sync is a delta (stats + subscriptions only).
+  std::set<AgentId> warm_restored_;
+  /// Admission gate: deferral queue (FIFO) + membership set for dedup and
+  /// O(log n) retry-after stamping in send_to.
+  std::deque<AgentId> resync_queue_;
+  std::set<AgentId> resync_waiting_;
+  double resync_tokens_ = 0.0;
+  sim::TimeUs last_token_refill_ = 0;
+  /// When each in-progress re-sync started (feeds the time-to-resync
+  /// histogram and the scenario summary).
+  std::map<AgentId, sim::TimeUs> resync_started_at_;
+  sim::TimeUs last_checkpoint_at_ = 0;
+  bool checkpoint_loaded_ = false;
+  std::uint64_t master_restarts_ = 0;
+  std::uint64_t resyncs_paced_ = 0;
+  std::uint64_t resyncs_admitted_ = 0;
+  std::uint64_t commands_held_ = 0;
+  std::uint64_t checkpoints_saved_ = 0;
+  std::uint64_t policies_repushed_ = 0;
+  /// Time-to-resync histogram (registry-owned); non-null only while
+  /// observability is enabled.
+  obs::Histogram* resync_duration_ = nullptr;
 
   // ---- observability ---------------------------------------------------------
   obs::MetricsRegistry metrics_;

@@ -44,15 +44,18 @@ SnapshotStore::SnapshotStore() : current_(std::make_shared<const RibSnapshot>())
 std::shared_ptr<const RibSnapshot> SnapshotStore::publish(const Rib& rib,
                                                           const std::set<AgentId>& dirty,
                                                           bool structure_changed,
-                                                          OverloadState overload) {
+                                                          OverloadState overload,
+                                                          bool recovering) {
   auto previous = current();
-  if (dirty.empty() && !structure_changed && previous->overload_state() == overload) {
+  if (dirty.empty() && !structure_changed && previous->overload_state() == overload &&
+      previous->recovering() == recovering) {
     return previous;
   }
 
   auto next = std::make_shared<RibSnapshot>();
   next->version_ = previous->version() + 1;
   next->overload_state_ = overload;
+  next->recovering_ = recovering;
   for (const auto& [id, agent] : rib.agents()) {
     auto it = previous->agents_.find(id);
     if (it != previous->agents_.end() && !dirty.contains(id)) {

@@ -34,6 +34,13 @@ class RibSnapshot {
   /// Apps read it here to back off their own signaling under pressure.
   OverloadState overload_state() const { return overload_state_; }
 
+  /// True while a restarted master is still rebuilding its world view from
+  /// agent re-syncs (docs/fault_tolerance.md "Master restart"). The app
+  /// readiness barrier: well-behaved apps issue no commands against a
+  /// snapshot that is recovering -- the agents it shows are a half-rebuilt
+  /// subset and their state is whatever survived the crash.
+  bool recovering() const { return recovering_; }
+
   const AgentMap& agents() const { return agents_; }
   const AgentNode* find_agent(AgentId id) const;
   const UeNode* find_ue(AgentId id, lte::Rnti rnti) const;
@@ -50,6 +57,7 @@ class RibSnapshot {
 
   std::uint64_t version_ = 0;
   OverloadState overload_state_ = OverloadState::normal;
+  bool recovering_ = false;
   AgentMap agents_;
 };
 
@@ -67,11 +75,12 @@ class SnapshotStore {
   /// Publishes the state of `rib`. Agent subtrees not in `dirty` are
   /// shared with the previous snapshot; when nothing changed (empty dirty
   /// set, same agent ids, `structure_changed` false, unchanged overload
-  /// state) the previous snapshot is re-published unchanged and the
-  /// version does not move.
+  /// and recovering state) the previous snapshot is re-published unchanged
+  /// and the version does not move.
   std::shared_ptr<const RibSnapshot> publish(const Rib& rib, const std::set<AgentId>& dirty,
                                              bool structure_changed,
-                                             OverloadState overload = OverloadState::normal);
+                                             OverloadState overload = OverloadState::normal,
+                                             bool recovering = false);
 
   /// Latest published snapshot (never null; starts at an empty version 0).
   std::shared_ptr<const RibSnapshot> current() const {

@@ -1,0 +1,163 @@
+#include "proto/checkpoint.h"
+
+namespace flexran::proto {
+
+namespace {
+
+using util::Error;
+using util::Result;
+using util::Status;
+
+/// Local copy of the messages.cpp decode-loop helper (that one lives in an
+/// anonymous namespace): iterates fields, dispatching to `handler`, which
+/// returns false for unknown fields (skipped, forward-compatible).
+template <typename Handler>
+Status decode_fields(std::span<const std::uint8_t> data, Handler&& handler) {
+  WireDecoder dec(data);
+  while (!dec.done()) {
+    auto header = dec.next_field();
+    if (!header.ok()) return header.error();
+    auto handled = handler(dec, *header);
+    if (!handled.ok()) return handled.error();
+    if (!*handled) {
+      auto skipped = dec.skip(header->type);
+      if (!skipped.ok()) return skipped;
+    }
+  }
+  return {};
+}
+
+Result<std::uint64_t> expect_varint(WireDecoder& dec, const WireDecoder::FieldHeader& header) {
+  if (header.type != WireType::varint) return Error::decode_failure("expected varint");
+  return dec.read_varint();
+}
+
+Result<std::string> expect_string(WireDecoder& dec, const WireDecoder::FieldHeader& header) {
+  if (header.type != WireType::length_delimited) return Error::decode_failure("expected bytes");
+  return dec.read_string();
+}
+
+Result<std::span<const std::uint8_t>> expect_bytes(WireDecoder& dec,
+                                                   const WireDecoder::FieldHeader& header) {
+  if (header.type != WireType::length_delimited) return Error::decode_failure("expected bytes");
+  return dec.read_bytes();
+}
+
+#define ASSIGN_VARINT(target, cast_type)                   \
+  do {                                                     \
+    auto v_ = expect_varint(dec, header);                  \
+    if (!v_.ok()) return Result<bool>(v_.error());         \
+    (target) = static_cast<cast_type>(*v_);                \
+  } while (0)
+
+WireEncoder encode_agent(const CheckpointAgent& agent) {
+  WireEncoder enc;
+  enc.field_varint(1, agent.id);
+  enc.field_string(2, agent.name);
+  for (const auto& cap : agent.capabilities) enc.field_string(3, cap);
+  if (agent.epoch != 0) enc.field_varint(4, agent.epoch);
+  WireEncoder config;
+  agent.config.encode_body(config);
+  enc.field_message(5, config);
+  for (const auto& report : agent.reports) {
+    WireEncoder sub;
+    report.encode_body(sub);
+    enc.field_message(6, sub);
+  }
+  for (const auto& policy : agent.policy_history) enc.field_string(7, policy);
+  return enc;
+}
+
+Result<CheckpointAgent> decode_agent(std::span<const std::uint8_t> data) {
+  CheckpointAgent out;
+  auto status = decode_fields(data, [&](WireDecoder& dec,
+                                        const WireDecoder::FieldHeader& header) -> Result<bool> {
+    switch (header.field) {
+      case 1: ASSIGN_VARINT(out.id, std::uint32_t); return true;
+      case 2: {
+        auto s = expect_string(dec, header);
+        if (!s.ok()) return Result<bool>(s.error());
+        out.name = std::move(*s);
+        return true;
+      }
+      case 3: {
+        auto s = expect_string(dec, header);
+        if (!s.ok()) return Result<bool>(s.error());
+        out.capabilities.push_back(std::move(*s));
+        return true;
+      }
+      case 4: ASSIGN_VARINT(out.epoch, std::uint32_t); return true;
+      case 5: {
+        auto bytes = expect_bytes(dec, header);
+        if (!bytes.ok()) return Result<bool>(bytes.error());
+        auto config = EnbConfigReply::decode_body(*bytes);
+        if (!config.ok()) return Result<bool>(config.error());
+        out.config = std::move(*config);
+        return true;
+      }
+      case 6: {
+        auto bytes = expect_bytes(dec, header);
+        if (!bytes.ok()) return Result<bool>(bytes.error());
+        auto report = StatsRequest::decode_body(*bytes);
+        if (!report.ok()) return Result<bool>(report.error());
+        out.reports.push_back(std::move(*report));
+        return true;
+      }
+      case 7: {
+        auto s = expect_string(dec, header);
+        if (!s.ok()) return Result<bool>(s.error());
+        out.policy_history.push_back(std::move(*s));
+        return true;
+      }
+      default: return false;
+    }
+  });
+  if (!status.ok()) return status.error();
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> MasterCheckpoint::encode() const {
+  WireEncoder enc;
+  enc.field_varint(1, version);
+  if (incarnation != 0) enc.field_varint(2, incarnation);
+  if (saved_at_us != 0) enc.field_varint(3, saved_at_us);
+  for (const auto& agent : agents) enc.field_message(4, encode_agent(agent));
+  return enc.take();
+}
+
+Result<MasterCheckpoint> MasterCheckpoint::decode(std::span<const std::uint8_t> data) {
+  MasterCheckpoint out;
+  bool saw_version = false;
+  auto status = decode_fields(data, [&](WireDecoder& dec,
+                                        const WireDecoder::FieldHeader& header) -> Result<bool> {
+    switch (header.field) {
+      case 1: {
+        ASSIGN_VARINT(out.version, std::uint32_t);
+        saw_version = true;
+        return true;
+      }
+      case 2: ASSIGN_VARINT(out.incarnation, std::uint32_t); return true;
+      case 3: ASSIGN_VARINT(out.saved_at_us, std::uint64_t); return true;
+      case 4: {
+        auto bytes = expect_bytes(dec, header);
+        if (!bytes.ok()) return Result<bool>(bytes.error());
+        auto agent = decode_agent(*bytes);
+        if (!agent.ok()) return Result<bool>(agent.error());
+        out.agents.push_back(std::move(*agent));
+        return true;
+      }
+      default: return false;
+    }
+  });
+  if (!status.ok()) return status.error();
+  if (!saw_version) return Error::decode_failure("checkpoint missing version");
+  if (out.version != kVersion) {
+    return Error::unsupported("checkpoint version " + std::to_string(out.version) +
+                              " (expected " + std::to_string(kVersion) + ")");
+  }
+  return out;
+}
+
+}  // namespace flexran::proto

@@ -1,0 +1,62 @@
+// Warm-checkpoint codec (docs/fault_tolerance.md "Master restart"): a
+// periodic, versioned serialization of the master's *durable* state --
+// agent identities and configurations, installed report registrations,
+// and the last-known-good policy history. Volatile state (live stats,
+// in-flight requests, session liveness) is deliberately excluded: it is
+// rebuilt from agent re-syncs after a restart. A master constructed over
+// a checkpoint needs only a delta re-sync (stats + subscriptions) per
+// agent instead of the full three-way configuration fetch.
+//
+// The encoding reuses the wire-format primitives from proto/wire.h, so a
+// checkpoint is decodable with the same hardening guarantees as any
+// control-channel frame: truncation and corruption surface as clean
+// util::Result errors, never as crashes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/messages.h"
+#include "proto/wire.h"
+#include "util/result.h"
+
+namespace flexran::proto {
+
+/// Durable per-agent state. The configuration rides as an embedded
+/// EnbConfigReply (enb_id + per-cell configs) so the checkpoint reuses the
+/// existing config codec instead of inventing a parallel one.
+struct CheckpointAgent {
+  std::uint32_t id = 0;
+  std::string name;
+  std::vector<std::string> capabilities;
+  /// Last session epoch the master had learned from this agent.
+  std::uint32_t epoch = 0;
+  /// Cell-level configuration exactly as last reported.
+  EnbConfigReply config;
+  /// Report registrations the master had installed (re-arming these after
+  /// a warm restore is part of the delta re-sync).
+  std::vector<StatsRequest> reports;
+  /// Last-known-good policy history, newest first (capped master-side).
+  std::vector<std::string> policy_history;
+};
+
+struct MasterCheckpoint {
+  /// Format version; decode rejects anything it does not understand with a
+  /// clean error (a newer master never misreads an older file silently).
+  static constexpr std::uint32_t kVersion = 1;
+  std::uint32_t version = kVersion;
+  /// Incarnation of the master that wrote the checkpoint; a restarted
+  /// master resumes at `incarnation + 1` so fencing stays monotonic across
+  /// the restart.
+  std::uint32_t incarnation = 0;
+  /// Simulated time the checkpoint was taken (diagnostic only).
+  std::uint64_t saved_at_us = 0;
+  std::vector<CheckpointAgent> agents;
+
+  std::vector<std::uint8_t> encode() const;
+  static util::Result<MasterCheckpoint> decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace flexran::proto

@@ -147,6 +147,8 @@ std::vector<std::uint8_t> Envelope::encode() const {
   if (throttle_hint != 0) enc.field_varint(7, throttle_hint);
   if (ts_us != 0) enc.field_varint(8, ts_us);
   if (ts_echo_us != 0) enc.field_varint(9, ts_echo_us);
+  if (master_epoch != 0) enc.field_varint(10, master_epoch);
+  if (retry_after_ms != 0) enc.field_varint(11, retry_after_ms);
   return enc.take();
 }
 
@@ -174,6 +176,8 @@ Result<Envelope> Envelope::decode(std::span<const std::uint8_t> data) {
       case 7: ASSIGN_VARINT(out.throttle_hint, std::uint32_t); return true;
       case 8: ASSIGN_VARINT(out.ts_us, std::uint64_t); return true;
       case 9: ASSIGN_VARINT(out.ts_echo_us, std::uint64_t); return true;
+      case 10: ASSIGN_VARINT(out.master_epoch, std::uint32_t); return true;
+      case 11: ASSIGN_VARINT(out.retry_after_ms, std::uint32_t); return true;
       default: return false;
     }
   });

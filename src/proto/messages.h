@@ -95,6 +95,22 @@ struct Envelope {
   /// `now - ts_echo_us` into the per-agent end-to-end control-latency
   /// histogram. 0 (omitted) = nothing to echo.
   std::uint64_t ts_echo_us = 0;
+  /// Master incarnation epoch (docs/fault_tolerance.md "Master restart"):
+  /// bumped on every master (re)start and stamped on every master send
+  /// while crash recovery is enabled. The mirror image of the agent-side
+  /// session `epoch` above: agents fence messages from an older incarnation
+  /// (commands issued by a dead master must not be applied) and treat a
+  /// higher one as "master restarted -- re-hello and full re-sync".
+  /// 0 is omitted on the wire: an incarnation-unaware sender is accepted
+  /// everywhere and a recovery-disabled deployment is wire-identical.
+  std::uint32_t master_epoch = 0;
+  /// Re-sync admission deferral hint, milliseconds: stamped by a restarted
+  /// master on messages to an agent whose full re-sync the token-bucket
+  /// admission gate has deferred (piggybacked like `throttle_hint`). The
+  /// agent holds its hello retries for roughly this long; the master drives
+  /// the deferred re-sync itself once a token frees up. 0 (omitted) = no
+  /// deferral in effect.
+  std::uint32_t retry_after_ms = 0;
   std::vector<std::uint8_t> body;
 
   std::vector<std::uint8_t> encode() const;

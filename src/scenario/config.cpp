@@ -45,9 +45,10 @@ util::Result<FaultKind> parse_fault_kind(const std::string& name) {
   if (name == "vsf_overrun") return FaultKind::vsf_overrun;
   if (name == "vsf_invalid") return FaultKind::vsf_invalid;
   if (name == "report_flood") return FaultKind::report_flood;
+  if (name == "master_crash") return FaultKind::master_crash;
   return util::Error::invalid_argument(
       "fault kind must be partition | heal | delay_spike | corrupt | crash | restart | flap | "
-      "vsf_crash | vsf_overrun | vsf_invalid | report_flood");
+      "vsf_crash | vsf_overrun | vsf_invalid | report_flood | master_crash");
 }
 
 }  // namespace
@@ -102,6 +103,44 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
     return util::Error::invalid_argument("metrics_period_s must be > 0");
   }
   spec.metrics_period_s = *metrics_period;
+
+  spec.master_recovery = read_string(root, "master_recovery", "false") == "true";
+  auto resync_rate = read_double(root, "resync_tokens_per_s", spec.resync_tokens_per_s);
+  if (!resync_rate.ok()) return resync_rate.error();
+  if (*resync_rate < 0) {
+    return util::Error::invalid_argument("resync_tokens_per_s must be >= 0");
+  }
+  spec.resync_tokens_per_s = *resync_rate;
+  auto resync_burst = read_double(root, "resync_burst", spec.resync_burst);
+  if (!resync_burst.ok()) return resync_burst.error();
+  if (*resync_burst < 1) return util::Error::invalid_argument("resync_burst must be >= 1");
+  spec.resync_burst = *resync_burst;
+  auto retry_after = read_double(root, "resync_retry_after_ms", spec.resync_retry_after_ms);
+  if (!retry_after.ok()) return retry_after.error();
+  if (*retry_after < 0) {
+    return util::Error::invalid_argument("resync_retry_after_ms must be >= 0");
+  }
+  spec.resync_retry_after_ms = *retry_after;
+  auto quorum = read_double(root, "readiness_quorum", spec.readiness_quorum);
+  if (!quorum.ok()) return quorum.error();
+  if (*quorum <= 0 || *quorum > 1) {
+    return util::Error::invalid_argument("readiness_quorum must be in (0, 1]");
+  }
+  spec.readiness_quorum = *quorum;
+  auto readiness_timeout =
+      read_double(root, "readiness_timeout_ms", spec.readiness_timeout_ms);
+  if (!readiness_timeout.ok()) return readiness_timeout.error();
+  if (*readiness_timeout < 0) {
+    return util::Error::invalid_argument("readiness_timeout_ms must be >= 0");
+  }
+  spec.readiness_timeout_ms = *readiness_timeout;
+  spec.warm_checkpoint = read_string(root, "warm_checkpoint", "false") == "true";
+  auto ckpt_period = read_double(root, "checkpoint_period_s", spec.checkpoint_period_s);
+  if (!ckpt_period.ok()) return ckpt_period.error();
+  if (*ckpt_period <= 0) {
+    return util::Error::invalid_argument("checkpoint_period_s must be > 0");
+  }
+  spec.checkpoint_period_s = *ckpt_period;
 
   const auto* enbs = root.find("enbs");
   if (enbs == nullptr || !enbs->is_sequence() || enbs->items().empty()) {
@@ -244,6 +283,20 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
       static_cast<std::uint64_t>(spec.ingest_max_messages);
   master_config.overload.ingest.max_bytes = static_cast<std::uint64_t>(spec.ingest_max_bytes);
   master_config.obs.enabled = spec.observability;
+  if (spec.master_recovery) {
+    master_config.recovery.enabled = true;
+    master_config.recovery.resync_tokens_per_s = spec.resync_tokens_per_s;
+    master_config.recovery.resync_burst = spec.resync_burst;
+    master_config.recovery.resync_retry_after_ms = spec.resync_retry_after_ms;
+    master_config.recovery.readiness_quorum = spec.readiness_quorum;
+    master_config.recovery.readiness_timeout_us = sim::from_ms(spec.readiness_timeout_ms);
+    if (spec.warm_checkpoint) {
+      // An in-memory sink survives the in-place restart (the scenario's
+      // "process" is the Testbed) and keeps scenario runs hermetic.
+      master_config.recovery.checkpoint_sink = std::make_shared<ctrl::MemoryCheckpointSink>();
+      master_config.recovery.checkpoint_period_us = sim::from_seconds(spec.checkpoint_period_s);
+    }
+  }
   Testbed testbed(std::move(master_config));
   if (spec.remote_scheduler) {
     apps::RemoteSchedulerConfig config;
@@ -419,6 +472,16 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
   summary.ingest_peak_bytes = testbed.master().pending_peak_bytes();
   summary.throttle_renegotiations = testbed.master().throttle_renegotiations();
   summary.updater_saturations = testbed.master().updater_saturations();
+  summary.master_restarts = testbed.master().master_restarts();
+  summary.resyncs_paced = testbed.master().resyncs_paced();
+  summary.commands_held = testbed.master().commands_held();
+  summary.checkpoints_saved = testbed.master().checkpoints_saved();
+  summary.policies_repushed = testbed.master().policies_repushed();
+  summary.recovering_at_end = testbed.master().recovering();
+  summary.time_to_ready_ms = sim::to_seconds(testbed.master().last_recovery_duration()) * 1e3;
+  for (auto& enb : testbed.enbs()) {
+    summary.fenced_incarnation_messages += enb->agent->fenced_incarnation_messages();
+  }
   for (auto& enb : testbed.enbs()) {
     ScenarioRunSummary::LinkStats link;
     link.uplink_tx = enb->agent_side->messages_sent();
@@ -482,6 +545,19 @@ std::string format_summary(const ScenarioRunSummary& summary) {
         static_cast<unsigned long long>(summary.ingest_peak_bytes),
         static_cast<unsigned long long>(summary.throttle_renegotiations),
         static_cast<unsigned long long>(summary.updater_saturations));
+  }
+  if (summary.master_restarts > 0) {
+    out += util::format(
+        "recovery: %llu master restarts, ready in %.1f ms (%s); %llu paced re-syncs, "
+        "%llu commands held, %llu incarnation-fenced messages, %llu checkpoints, "
+        "%llu policies re-pushed\n",
+        static_cast<unsigned long long>(summary.master_restarts), summary.time_to_ready_ms,
+        summary.recovering_at_end ? "STILL RECOVERING" : "recovered",
+        static_cast<unsigned long long>(summary.resyncs_paced),
+        static_cast<unsigned long long>(summary.commands_held),
+        static_cast<unsigned long long>(summary.fenced_incarnation_messages),
+        static_cast<unsigned long long>(summary.checkpoints_saved),
+        static_cast<unsigned long long>(summary.policies_repushed));
   }
   for (std::size_t i = 0; i < summary.links.size(); ++i) {
     const auto& link = summary.links[i];

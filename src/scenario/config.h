@@ -87,6 +87,25 @@ struct ScenarioSpec {
   bool observability = false;
   /// Period of the JSON metrics dumps collected during the run.
   double metrics_period_s = 1.0;
+  // ---- master crash recovery (docs/fault_tolerance.md "Master restart") -----
+  /// Enable incarnation epochs, paced re-sync admission and the app
+  /// readiness barrier. Off (default) is seed-identical on the wire.
+  bool master_recovery = false;
+  /// Re-sync admission rate (agents/s) after a master restart; 0 = unpaced.
+  double resync_tokens_per_s = 0.0;
+  /// Token-bucket burst: agents admitted back-to-back before pacing bites.
+  double resync_burst = 4.0;
+  /// Backoff hint piggybacked to deferred agents while they wait.
+  double resync_retry_after_ms = 50.0;
+  /// Recovery ends when this fraction of known agents has re-synced ...
+  double readiness_quorum = 1.0;
+  /// ... or after this long, whichever comes first (0 = quorum only).
+  double readiness_timeout_ms = 2000.0;
+  /// Keep a warm checkpoint (in-memory sink) so a restart recovers via a
+  /// delta re-sync instead of full config re-fetch.
+  bool warm_checkpoint = false;
+  /// Checkpoint period; only meaningful with warm_checkpoint.
+  double checkpoint_period_s = 0.5;
   /// Scripted chaos timeline, executed by a FaultInjector during the run.
   std::vector<FaultEvent> faults;
   std::vector<ScenarioEnbSpec> enbs;
@@ -147,6 +166,18 @@ struct ScenarioRunSummary {
   std::uint64_t ingest_peak_bytes = 0;
   std::uint64_t throttle_renegotiations = 0;
   std::uint64_t updater_saturations = 0;
+  // ---- master crash recovery outcome (docs/fault_tolerance.md) --------------
+  std::uint64_t master_restarts = 0;
+  std::uint64_t resyncs_paced = 0;
+  std::uint64_t commands_held = 0;
+  /// Agent-side fence: messages from a stale master incarnation dropped.
+  std::uint64_t fenced_incarnation_messages = 0;
+  std::uint64_t checkpoints_saved = 0;
+  std::uint64_t policies_repushed = 0;
+  /// True when the run ended with recovery still in progress (bad).
+  bool recovering_at_end = false;
+  /// Crash-to-readiness-barrier time of the last recovery, ms (0 = none).
+  double time_to_ready_ms = 0.0;
   /// Per-eNodeB control-link frame counters (same order as the spec's
   /// enbs), uplink = agent -> master.
   struct LinkStats {

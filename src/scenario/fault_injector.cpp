@@ -25,6 +25,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::vsf_overrun: return "vsf_overrun";
     case FaultKind::vsf_invalid: return "vsf_invalid";
     case FaultKind::report_flood: return "report_flood";
+    case FaultKind::master_crash: return "master_crash";
   }
   return "?";
 }
@@ -183,6 +184,21 @@ void FaultInjector::apply(const FaultEvent& event) {
           });
         });
       }
+      break;
+    }
+    case FaultKind::master_crash: {
+      note(event, event.duration_s > 0
+                      ? util::format("restart in %.3fs", event.duration_s)
+                      : std::string("restart immediately"));
+      // The dead window: nothing is processed or delivered in either
+      // direction -- exactly what the fleet observes of a crashed master.
+      for (auto& enb : testbed_->enbs()) enb->set_control_down(true);
+      testbed_->sim().after(sim::from_seconds(event.duration_s), [this] {
+        // Heal the links first so the restarted master's incarnation
+        // announcement reaches the fleet.
+        for (auto& enb : testbed_->enbs()) enb->set_control_down(false);
+        testbed_->master().restart();
+      });
       break;
     }
   }

@@ -47,6 +47,13 @@ enum class FaultKind {
   /// and throttling must degrade statistics gracefully while commands
   /// keep flowing.
   report_flood,
+  /// Master process crash (docs/fault_tolerance.md "Master restart"): all
+  /// control links go dead both ways for duration_s, then the master
+  /// restarts in place -- volatile state (RIB, sessions, in-flight
+  /// requests, pending policies) is lost, a new incarnation is announced,
+  /// and the fleet re-syncs under admission pacing. `enb` is ignored (the
+  /// master is global).
+  master_crash,
 };
 
 const char* to_string(FaultKind kind);

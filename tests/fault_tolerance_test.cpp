@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "apps/remote_scheduler.h"
+#include "controller/checkpoint_sink.h"
 #include "net/sim_transport.h"
+#include "proto/checkpoint.h"
 #include "scenario/fault_injector.h"
 #include "scenario/testbed.h"
 
@@ -545,6 +547,279 @@ TEST(Chaos, ScriptedFaultsEndFullyRecovered) {
       testbed.metrics().total_bytes(2, ue_b, lte::Direction::downlink) - bytes_b_before, 1.0);
   EXPECT_GT(mbps_a, 4.0);
   EXPECT_GT(mbps_b, 4.0);
+}
+
+// ------------------------------------------------- master crash recovery --
+
+ctrl::MasterConfig recovery_config(double tokens_per_s,
+                                   std::shared_ptr<ctrl::CheckpointSink> sink = nullptr,
+                                   sim::TimeUs checkpoint_period = 0) {
+  ctrl::MasterConfig config = scenario::per_tti_master_config();
+  config.agent_timeout_us = sim::from_ms(30);
+  config.agent_disconnect_timeout_us = sim::from_ms(100);
+  config.recovery.enabled = true;
+  config.recovery.resync_tokens_per_s = tokens_per_s;
+  config.recovery.resync_burst = 1.0;
+  config.recovery.resync_retry_after_ms = 20.0;
+  config.recovery.readiness_quorum = 1.0;
+  config.recovery.readiness_timeout_us = sim::from_ms(3000);
+  config.recovery.checkpoint_sink = std::move(sink);
+  config.recovery.checkpoint_period_us = checkpoint_period;
+  return config;
+}
+
+std::vector<std::uint8_t> make_master_frame(std::uint32_t master_epoch, std::uint32_t xid) {
+  proto::StatsRequest request;
+  request.request_id = 4000 + xid;
+  request.mode = proto::ReportMode::periodic;
+  request.periodicity_ttis = 1;
+  proto::WireEncoder enc;
+  request.encode_body(enc);
+  proto::Envelope envelope;
+  envelope.type = proto::MessageType::stats_request;
+  envelope.xid = xid;
+  envelope.master_epoch = master_epoch;
+  envelope.body = enc.take();
+  return envelope.encode();
+}
+
+// The session state machine, walked transition by transition (the table in
+// docs/fault_tolerance.md): up -> stale (silence), stale -> down
+// (disconnect timeout), down -> resyncing (traffic heals), resyncing -> up
+// (config reply); then a master restart resets every session to down and
+// paced admission holds the overflow agent in `resyncing` until a token
+// frees up.
+TEST(MasterRecovery, SessionStateMachineWalksTheTable) {
+  // One token every 200 ms: with burst 1, the second re-sync must wait.
+  scenario::Testbed testbed(recovery_config(/*tokens_per_s=*/5.0));
+  auto& enb_a = testbed.add_enb(basic_spec(1));
+  auto& enb_b = testbed.add_enb(basic_spec(2));
+  testbed.run_ttis(400);  // both sessions up; the startup burst has refilled
+
+  auto state_of = [&](scenario::Testbed::Enb& enb) {
+    const auto* node = testbed.master().rib().find_agent(enb.agent_id);
+    return node == nullptr ? SessionState::down : node->state;
+  };
+  ASSERT_EQ(state_of(enb_a), SessionState::up);
+  ASSERT_EQ(state_of(enb_b), SessionState::up);
+
+  // up -> stale: silence past agent_timeout (30 ms).
+  enb_a.set_control_down(true);
+  testbed.run_ttis(60);
+  EXPECT_EQ(state_of(enb_a), SessionState::stale);
+  EXPECT_EQ(state_of(enb_b), SessionState::up);
+
+  // stale -> down: silence past the disconnect timeout (100 ms).
+  testbed.run_ttis(100);
+  EXPECT_EQ(state_of(enb_a), SessionState::down);
+
+  // down -> resyncing -> up: the heal delivers agent traffic, the master
+  // re-syncs the session (one agent, one token: admitted immediately).
+  enb_a.set_control_down(false);
+  testbed.run_ttis(300);
+  EXPECT_EQ(state_of(enb_a), SessionState::up);
+
+  // Master restart: every session resets to a down husk, then both agents
+  // offer re-sync against the new incarnation. Burst 1 admits one agent;
+  // the other is deferred and parks in `resyncing` until the next token
+  // (~200 ms out).
+  ASSERT_EQ(testbed.master().incarnation(), 1u);
+  testbed.master().restart();
+  EXPECT_EQ(testbed.master().incarnation(), 2u);
+  EXPECT_TRUE(testbed.master().recovering());
+  EXPECT_EQ(state_of(enb_a), SessionState::down);
+  EXPECT_EQ(state_of(enb_b), SessionState::down);
+
+  testbed.run_ttis(60);
+  const bool a_waiting = state_of(enb_a) == SessionState::resyncing;
+  const bool b_waiting = state_of(enb_b) == SessionState::resyncing;
+  EXPECT_TRUE(a_waiting || b_waiting) << "one re-sync should be deferred";
+  EXPECT_GE(testbed.master().resyncs_paced(), 1u);
+
+  testbed.run_ttis(500);
+  EXPECT_EQ(state_of(enb_a), SessionState::up);
+  EXPECT_EQ(state_of(enb_b), SessionState::up);
+  EXPECT_FALSE(testbed.master().recovering());
+  EXPECT_EQ(testbed.master().agents_resynced(), 2u);
+  EXPECT_GT(testbed.master().last_recovery_duration(), 0);
+  // Both agents adopted the new incarnation and saw exactly one restart.
+  EXPECT_EQ(enb_a.agent->master_incarnation(), 2u);
+  EXPECT_EQ(enb_b.agent->master_restarts_seen(), 1u);
+}
+
+// Incarnation fencing, the agent side: a frame stamped with the dead
+// master's incarnation must be dropped without touching agent state, while
+// a higher incarnation triggers adoption and a re-hello.
+TEST(MasterRecovery, AgentFencesOldIncarnationAndAdoptsNewer) {
+  scenario::Testbed testbed(recovery_config(/*tokens_per_s=*/1000.0));
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.run_ttis(100);
+  ASSERT_EQ(enb.agent->master_incarnation(), 1u);
+
+  testbed.master().restart();
+  testbed.run_ttis(300);
+  ASSERT_EQ(enb.agent->master_incarnation(), 2u);
+  ASSERT_EQ(enb.agent->master_restarts_seen(), 1u);
+
+  // A command the dead incarnation had in flight: fenced, not applied.
+  const auto fenced_before = enb.agent->fenced_incarnation_messages();
+  const auto registrations_before = enb.agent->reports().active_registrations();
+  ASSERT_TRUE(enb.master_side->send(make_master_frame(/*master_epoch=*/1, /*xid=*/7)).ok());
+  testbed.run_ttis(10);
+  EXPECT_EQ(enb.agent->fenced_incarnation_messages(), fenced_before + 1);
+  EXPECT_EQ(enb.agent->reports().active_registrations(), registrations_before);
+
+  // The same frame from the live incarnation is applied normally.
+  ASSERT_TRUE(enb.master_side->send(make_master_frame(/*master_epoch=*/2, /*xid=*/8)).ok());
+  testbed.run_ttis(10);
+  EXPECT_EQ(enb.agent->reports().active_registrations(), registrations_before + 1);
+}
+
+// Deterministic per-agent reconnect jitter: two agents crashing at the
+// same instant must not retry in lockstep (a fleet reconnecting after a
+// master outage would otherwise stampede in synchronized waves).
+TEST(MasterRecovery, ReconnectJitterDesynchronizesAgents) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb_a = testbed.add_enb(basic_spec(1));
+  auto& enb_b = testbed.add_enb(basic_spec(2));
+  testbed.run_ttis(20);
+
+  // The jitter scale is a pure function of agent identity: stable across
+  // calls, different across agents.
+  const auto backoff = sim::from_ms(20);
+  EXPECT_EQ(enb_a.agent->jittered_backoff(backoff), enb_a.agent->jittered_backoff(backoff));
+  EXPECT_NE(enb_a.agent->jittered_backoff(backoff), enb_b.agent->jittered_backoff(backoff));
+  EXPECT_GE(enb_a.agent->jittered_backoff(backoff), backoff);
+
+  // End to end: both agents crash and reconnect against a dead channel at
+  // the same instant; their retry timelines must diverge.
+  for (auto* enb : {&enb_a, &enb_b}) {
+    enb->set_control_down(true);
+    enb->crash_agent();
+    enb->restart_agent();
+  }
+  testbed.run_ttis(400);
+  const auto& times_a = enb_a.agent->reconnect_attempt_times();
+  const auto& times_b = enb_b.agent->reconnect_attempt_times();
+  ASSERT_GE(times_a.size(), 3u);
+  ASSERT_GE(times_b.size(), 3u);
+  EXPECT_NE(times_a, times_b);
+
+  for (auto* enb : {&enb_a, &enb_b}) enb->set_control_down(false);
+  testbed.run_ttis(1200);
+  EXPECT_TRUE(enb_a.agent->connected());
+  EXPECT_TRUE(enb_b.agent->connected());
+}
+
+// Cold restart end to end: volatile state is gone, the fleet re-syncs
+// against the new incarnation, and the command gate refuses app commands
+// aimed at agents that have not re-synced yet.
+TEST(MasterRecovery, ColdRestartRebuildsAndHoldsCommands) {
+  scenario::Testbed testbed(recovery_config(/*tokens_per_s=*/1000.0));
+  auto& enb_a = testbed.add_enb(basic_spec(1));
+  auto& enb_b = testbed.add_enb(basic_spec(2));
+  testbed.run_ttis(100);
+
+  testbed.master().restart();
+  EXPECT_EQ(testbed.master().master_restarts(), 1u);
+  EXPECT_TRUE(testbed.master().recovering());
+  EXPECT_FALSE(testbed.master().checkpoint_loaded());
+
+  // A command against a not-yet-re-synced agent is held, not delivered.
+  const auto held_before = testbed.master().commands_held();
+  proto::DlMacConfig decision;
+  decision.cell_id = 1;
+  decision.target_subframe = 1;
+  auto status = testbed.master().send_dl_mac_config(enb_a.agent_id, decision);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(testbed.master().commands_held(), held_before + 1);
+
+  testbed.run_ttis(500);
+  EXPECT_FALSE(testbed.master().recovering());
+  EXPECT_EQ(testbed.master().agents_resynced(), 2u);
+  for (auto* enb : {&enb_a, &enb_b}) {
+    const auto* node = testbed.master().rib().find_agent(enb->agent_id);
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->state, SessionState::up);
+    // The cold rebuild recovered the full configuration from re-sync.
+    EXPECT_FALSE(node->cells.empty());
+    EXPECT_FALSE(node->name.empty());
+  }
+  // Commands flow again once recovery is over.
+  EXPECT_TRUE(testbed.master().send_dl_mac_config(enb_a.agent_id, decision).ok());
+}
+
+// Warm restart: the checkpoint restores agent configs and policy history,
+// the fleet takes the delta re-sync path, and last-known-good policies are
+// re-pushed as each agent comes back.
+TEST(MasterRecovery, WarmRestartLoadsCheckpointAndRepushesPolicies) {
+  auto sink = std::make_shared<ctrl::MemoryCheckpointSink>();
+  scenario::Testbed testbed(
+      recovery_config(/*tokens_per_s=*/1000.0, sink, sim::from_ms(100)));
+  auto& enb_a = testbed.add_enb(basic_spec(1));
+  auto& enb_b = testbed.add_enb(basic_spec(2));
+  testbed.run_ttis(150);
+  for (auto* enb : {&enb_a, &enb_b}) {
+    ASSERT_TRUE(testbed.master()
+                    .send_policy(enb->agent_id,
+                                 "mac:\n  dl_ue_scheduler:\n    behavior: local_rr\n")
+                    .ok());
+  }
+  testbed.run_ttis(200);  // policies applied + at least one checkpoint after
+  ASSERT_GT(testbed.master().checkpoints_saved(), 0u);
+  ASSERT_TRUE(sink->has_checkpoint());
+
+  testbed.master().restart();
+  EXPECT_TRUE(testbed.master().checkpoint_loaded());
+  // The checkpoint seeded the RIB before any agent spoke: names, configs
+  // and epochs survive the crash.
+  for (auto* enb : {&enb_a, &enb_b}) {
+    const auto* node = testbed.master().rib().find_agent(enb->agent_id);
+    ASSERT_NE(node, nullptr);
+    EXPECT_FALSE(node->cells.empty());
+    EXPECT_EQ(node->epoch, enb->agent->session_epoch());
+  }
+
+  testbed.run_ttis(400);
+  EXPECT_FALSE(testbed.master().recovering());
+  EXPECT_EQ(testbed.master().agents_resynced(), 2u);
+  EXPECT_EQ(testbed.master().policies_repushed(), 2u);
+  for (auto* enb : {&enb_a, &enb_b}) {
+    const auto* node = testbed.master().rib().find_agent(enb->agent_id);
+    EXPECT_EQ(node->state, SessionState::up);
+  }
+  // Durable incarnation floor: even a sink written at incarnation N must
+  // produce a restart at > N.
+  EXPECT_GE(testbed.master().incarnation(), 2u);
+}
+
+// The checkpoint codec round-trips durable master state byte-for-byte
+// through a file sink (the deployment path; Memory sinks cover the tests).
+TEST(MasterRecovery, FileCheckpointSinkRoundTrips) {
+  const std::string path = ::testing::TempDir() + "flexran_ckpt_test.bin";
+  ctrl::FileCheckpointSink sink(path);
+  proto::MasterCheckpoint checkpoint;
+  checkpoint.incarnation = 7;
+  checkpoint.saved_at_us = 123456;
+  proto::CheckpointAgent agent;
+  agent.id = 1;
+  agent.name = "macro-a";
+  agent.epoch = 3;
+  agent.policy_history.push_back("mac:\n  dl_ue_scheduler:\n    behavior: local_rr\n");
+  checkpoint.agents.push_back(agent);
+
+  const auto bytes = checkpoint.encode();
+  ASSERT_TRUE(sink.save(bytes).ok());
+  auto loaded = sink.load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, bytes);
+  auto decoded = proto::MasterCheckpoint::decode(*loaded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->incarnation, 7u);
+  ASSERT_EQ(decoded->agents.size(), 1u);
+  EXPECT_EQ(decoded->agents[0].name, "macro-a");
+  EXPECT_EQ(decoded->agents[0].policy_history.size(), 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,368 @@
+// Decode hardening (docs/fault_tolerance.md): every wire decoder must
+// survive hostile input -- truncated frames, random byte corruption, and
+// reordered fields -- returning a clean util::Result instead of crashing
+// or reading out of bounds. The whole suite runs under the ASan/UBSan leg
+// of tools/check.sh, so an out-of-bounds read or UB in a decoder fails the
+// gate even when the decode happens to "succeed".
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lte/abs.h"
+#include "proto/checkpoint.h"
+#include "proto/messages.h"
+#include "proto/wire.h"
+
+namespace {
+
+using namespace flexran;
+using namespace flexran::proto;
+
+/// One decoder surface under test: a valid encoding plus a type-erased
+/// decode that reports success/failure (the value itself is irrelevant --
+/// the sanitizers judge the memory behavior).
+struct Surface {
+  std::string name;
+  std::vector<std::uint8_t> valid;
+  std::function<bool(std::span<const std::uint8_t>)> decode;
+};
+
+template <typename M>
+Surface body_surface(std::string name, const M& sample) {
+  WireEncoder enc;
+  sample.encode_body(enc);
+  return {std::move(name), enc.take(),
+          [](std::span<const std::uint8_t> data) { return M::decode_body(data).ok(); }};
+}
+
+std::vector<Surface> all_surfaces() {
+  std::vector<Surface> surfaces;
+
+  Envelope envelope;
+  envelope.type = MessageType::stats_reply;
+  envelope.xid = 77;
+  envelope.epoch = 3;
+  envelope.queue_status = 1;
+  envelope.throttle_hint = 4;
+  envelope.ts_us = 123456;
+  envelope.ts_echo_us = 123000;
+  envelope.master_epoch = 2;
+  envelope.retry_after_ms = 40;
+  envelope.body = {0x08, 0x01};
+  surfaces.push_back({"Envelope", envelope.encode(),
+                      [](std::span<const std::uint8_t> data) {
+                        return Envelope::decode(data).ok();
+                      }});
+
+  Hello hello;
+  hello.enb_id = 17;
+  hello.name = "macro-17";
+  hello.n_cells = 2;
+  hello.capabilities = {"mac", "rrc", "pdcp"};
+  hello.epoch = 5;
+  surfaces.push_back(body_surface("Hello", hello));
+
+  EchoRequest echo_request;
+  echo_request.subframe = 1234;
+  echo_request.timestamp_us = 987654;
+  surfaces.push_back(body_surface("EchoRequest", echo_request));
+
+  EchoReply echo_reply;
+  echo_reply.subframe = 1234;
+  echo_reply.echoed_timestamp_us = 987654;
+  surfaces.push_back(body_surface("EchoReply", echo_reply));
+
+  EnbConfigReply enb_config;
+  enb_config.enb_id = 17;
+  for (int i = 0; i < 2; ++i) {
+    CellConfigMsg cell;
+    cell.cell_id = static_cast<lte::CellId>(i + 1);
+    cell.bandwidth_mhz = 20.0;
+    cell.pci = static_cast<std::uint16_t>(100 + i);
+    enb_config.cells.push_back(cell);
+  }
+  surfaces.push_back(body_surface("EnbConfigReply", enb_config));
+
+  UeConfigReply ue_config;
+  UeConfigMsg ue;
+  ue.rnti = 70;
+  ue.primary_cell = 1;
+  ue.carrier_aggregation = true;
+  ue_config.ues.push_back(ue);
+  surfaces.push_back(body_surface("UeConfigReply", ue_config));
+
+  LcConfigReply lc_config;
+  LcConfigMsg lc;
+  lc.rnti = 70;
+  lc.lc_group = 2;
+  lc_config.channels.push_back(lc);
+  surfaces.push_back(body_surface("LcConfigReply", lc_config));
+
+  StatsRequest stats_request;
+  stats_request.request_id = 9;
+  stats_request.mode = ReportMode::periodic;
+  stats_request.periodicity_ttis = 5;
+  stats_request.ues = {70, 71};
+  surfaces.push_back(body_surface("StatsRequest", stats_request));
+
+  StatsReply stats_reply;
+  stats_reply.request_id = 9;
+  stats_reply.subframe = 4321;
+  UeStatsReport report;
+  report.rnti = 70;
+  report.bsr_bytes = {100, 200, 0, 50};
+  report.wb_cqi = 12;
+  report.rlc_queue_bytes = 4000;
+  report.rsrp.push_back({1, -95.5});
+  report.rsrp.push_back({2, -101.0});
+  stats_reply.ue_reports.push_back(report);
+  CellStatsReport cell_report;
+  cell_report.cell_id = 1;
+  cell_report.dl_prbs_in_use = 40;
+  cell_report.active_ues = 2;
+  stats_reply.cell_reports.push_back(cell_report);
+  surfaces.push_back(body_surface("StatsReply", stats_reply));
+
+  DlMacConfig dl_mac;
+  dl_mac.cell_id = 1;
+  dl_mac.target_subframe = 5000;
+  lte::DlDci dci;
+  dci.rnti = 70;
+  dci.rbs.set_range(0, 25);
+  dci.mcs = 20;
+  dl_mac.dcis.push_back(dci);
+  surfaces.push_back(body_surface("DlMacConfig", dl_mac));
+
+  UlMacConfig ul_mac;
+  ul_mac.cell_id = 1;
+  ul_mac.target_subframe = 5000;
+  lte::UlDci ul_dci;
+  ul_dci.rnti = 70;
+  ul_dci.rbs.set_range(10, 8);
+  ul_dci.mcs = 12;
+  ul_mac.dcis.push_back(ul_dci);
+  surfaces.push_back(body_surface("UlMacConfig", ul_mac));
+
+  HandoverCommand handover;
+  handover.rnti = 70;
+  handover.source_cell = 1;
+  handover.target_cell = 2;
+  surfaces.push_back(body_surface("HandoverCommand", handover));
+
+  AbsConfig abs;
+  abs.cell_id = 1;
+  abs.pattern = lte::AbsPattern::per_frame(2);
+  abs.mute_during_abs = true;
+  surfaces.push_back(body_surface("AbsConfig", abs));
+
+  CarrierRestriction restriction;
+  restriction.cell_id = 1;
+  restriction.max_dl_prbs = 30;
+  surfaces.push_back(body_surface("CarrierRestriction", restriction));
+
+  DrxConfig drx;
+  drx.rnti = 70;
+  drx.cycle_ttis = 40;
+  drx.on_duration_ttis = 8;
+  surfaces.push_back(body_surface("DrxConfig", drx));
+
+  ScellCommand scell;
+  scell.rnti = 70;
+  scell.activate = false;
+  surfaces.push_back(body_surface("ScellCommand", scell));
+
+  EventNotification event;
+  event.event = EventType::vsf_failure;
+  event.subframe = 6000;
+  event.rnti = 70;
+  event.xid = 12;
+  event.module = "mac";
+  event.vsf = "dl_ue_scheduler";
+  event.implementation = "faulty_crash";
+  event.failure_kind = VsfFailureKind::exception;
+  event.failure_count = 3;
+  event.detail = "threw std::runtime_error";
+  surfaces.push_back(body_surface("EventNotification", event));
+
+  EventSubscription subscription;
+  subscription.events = {EventType::ue_attach, EventType::rach_attempt};
+  subscription.enable = true;
+  surfaces.push_back(body_surface("EventSubscription", subscription));
+
+  ControlDelegation delegation;
+  delegation.module = "mac";
+  delegation.vsf = "dl_ue_scheduler";
+  delegation.implementation = "local_pf";
+  delegation.version = 2;
+  delegation.blob = {0xde, 0xad, 0xbe, 0xef};
+  surfaces.push_back(body_surface("ControlDelegation", delegation));
+
+  PolicyReconfiguration policy;
+  policy.yaml = "mac:\n  dl_ue_scheduler:\n    behavior: local_rr\n";
+  surfaces.push_back(body_surface("PolicyReconfiguration", policy));
+
+  MasterCheckpoint checkpoint;
+  checkpoint.incarnation = 3;
+  checkpoint.saved_at_us = 2'000'000;
+  CheckpointAgent agent;
+  agent.id = 1;
+  agent.name = "macro-a";
+  agent.capabilities = {"mac", "rrc"};
+  agent.epoch = 2;
+  agent.config = enb_config;
+  agent.reports.push_back(stats_request);
+  agent.policy_history.push_back(policy.yaml);
+  checkpoint.agents.push_back(agent);
+  surfaces.push_back({"MasterCheckpoint", checkpoint.encode(),
+                      [](std::span<const std::uint8_t> data) {
+                        return MasterCheckpoint::decode(data).ok();
+                      }});
+
+  return surfaces;
+}
+
+/// Splits a wire buffer into its top-level fields (header + value slices).
+/// Returns empty on malformed input.
+std::vector<std::vector<std::uint8_t>> split_fields(std::span<const std::uint8_t> data) {
+  std::vector<std::vector<std::uint8_t>> fields;
+  std::size_t pos = 0;
+  auto varint = [&](std::uint64_t& out) {
+    out = 0;
+    int shift = 0;
+    while (pos < data.size() && shift < 64) {
+      const std::uint8_t byte = data[pos++];
+      out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return true;
+      shift += 7;
+    }
+    return false;
+  };
+  while (pos < data.size()) {
+    const std::size_t start = pos;
+    std::uint64_t tag = 0;
+    if (!varint(tag)) return {};
+    const auto type = static_cast<WireType>(tag & 0x7);
+    std::uint64_t value = 0;
+    switch (type) {
+      case WireType::varint:
+        if (!varint(value)) return {};
+        break;
+      case WireType::fixed64:
+        if (pos + 8 > data.size()) return {};
+        pos += 8;
+        break;
+      case WireType::length_delimited:
+        if (!varint(value) || pos + value > data.size()) return {};
+        pos += value;
+        break;
+      case WireType::fixed32:
+        if (pos + 4 > data.size()) return {};
+        pos += 4;
+        break;
+      default:
+        return {};
+    }
+    fields.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(start),
+                        data.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  return fields;
+}
+
+// Every valid sample decodes; establishes the baseline the mutations start
+// from (a surface whose valid form fails would make the fuzz moot).
+TEST(ProtoRobustness, ValidSamplesDecode) {
+  for (const auto& surface : all_surfaces()) {
+    EXPECT_TRUE(surface.decode(surface.valid)) << surface.name;
+    EXPECT_FALSE(surface.valid.empty()) << surface.name;
+  }
+}
+
+// Truncation at every byte boundary: prefixes that cut a varint or a
+// length-delimited field mid-value must fail cleanly; prefixes that land
+// on a field boundary are simply shorter valid messages. Either way: no
+// crash, no sanitizer finding.
+TEST(ProtoRobustness, TruncationAtEveryPrefix) {
+  for (const auto& surface : all_surfaces()) {
+    for (std::size_t len = 0; len < surface.valid.size(); ++len) {
+      std::span<const std::uint8_t> prefix(surface.valid.data(), len);
+      (void)surface.decode(prefix);  // must return, not crash
+    }
+    // Cutting into the final field's value (not at a boundary) must fail.
+    if (surface.valid.size() > 1) {
+      std::span<const std::uint8_t> cut(surface.valid.data(), surface.valid.size() - 1);
+      const auto fields = split_fields(cut);
+      if (fields.empty()) {
+        EXPECT_FALSE(surface.decode(cut)) << surface.name;
+      }
+    }
+  }
+}
+
+// Deterministic byte corruption: single-byte overwrites at every offset
+// with adversarial values, plus a PRNG flip sweep. Decoders may accept a
+// mutation that still parses (field numbers are free), but must never
+// crash or trip the sanitizers.
+TEST(ProtoRobustness, CorruptedBytesNeverCrash) {
+  for (const auto& surface : all_surfaces()) {
+    for (const std::uint8_t poison : {0x00, 0xff, 0x80, 0x7f}) {
+      for (std::size_t i = 0; i < surface.valid.size(); ++i) {
+        std::vector<std::uint8_t> mutated = surface.valid;
+        mutated[i] = poison;
+        (void)surface.decode(mutated);
+      }
+    }
+    // xorshift PRNG sweep: multi-byte corruption patterns.
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (int round = 0; round < 256; ++round) {
+      std::vector<std::uint8_t> mutated = surface.valid;
+      for (int flip = 0; flip < 4; ++flip) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        mutated[state % mutated.size()] ^=
+            static_cast<std::uint8_t>(1u << ((state >> 8) % 8));
+      }
+      (void)surface.decode(mutated);
+    }
+  }
+}
+
+// Protobuf wire format guarantees field order is free: splitting a valid
+// message into its top-level fields and re-joining them reversed must
+// still decode (repeated-field contents may reorder; that is fine).
+TEST(ProtoRobustness, ShuffledFieldsStillDecode) {
+  for (const auto& surface : all_surfaces()) {
+    const auto fields = split_fields(surface.valid);
+    ASSERT_FALSE(fields.empty()) << surface.name;
+    std::vector<std::uint8_t> reversed;
+    for (auto it = fields.rbegin(); it != fields.rend(); ++it) {
+      reversed.insert(reversed.end(), it->begin(), it->end());
+    }
+    EXPECT_TRUE(surface.decode(reversed)) << surface.name;
+  }
+}
+
+// The checkpoint codec's versioning: a missing or future version field is
+// a clean, typed refusal (a master must never warm-load state it cannot
+// interpret).
+TEST(ProtoRobustness, CheckpointVersionGate) {
+  MasterCheckpoint checkpoint;
+  checkpoint.incarnation = 1;
+  auto bytes = checkpoint.encode();
+  ASSERT_TRUE(MasterCheckpoint::decode(bytes).ok());
+
+  WireEncoder future;
+  future.field_varint(1, MasterCheckpoint::kVersion + 1);
+  auto future_bytes = future.take();
+  auto decoded = MasterCheckpoint::decode(future_bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, util::Error::Code::unsupported);
+
+  const std::vector<std::uint8_t> empty;
+  EXPECT_FALSE(MasterCheckpoint::decode(empty).ok());
+}
+
+}  // namespace

@@ -57,6 +57,13 @@ if [[ "${sanitize}" != "thread" ]]; then
   "${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_vsf.yaml"
 fi
 
+# Master crash recovery: mid-run master restart under report-flood load
+# with an overlapping agent partition -- incarnation fencing, checkpoint
+# restore, paced re-sync admission and the app readiness barrier, on both
+# sanitizer legs (restart() touches every controller subsystem).
+echo "== master-crash chaos scenario under ${sanitize}"
+"${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_master.yaml"
+
 # Observability: metrics registry, cycle tracing and the timestamp echo
 # enabled on a chaos run -- probes read every migrated counter while the
 # pipelined controller is under load, on both sanitizer legs.
