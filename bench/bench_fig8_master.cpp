@@ -8,6 +8,12 @@
 // time-sliced loop, then 1/2/4/8 workers) against agent counts and emits
 // the series as JSON (BENCH_fig8_workers.json) so the perf trajectory is
 // tracked across revisions.
+//
+// Part 3 sweeps the two-tier control plane (docs/sharded_control.md): a
+// fixed fleet of simulated agents and a fixed pool of stalling analytics
+// apps, partitioned across 1/2/4/8 ShardCores under one Coordinator in a
+// single process. The per-shard series rides in the same JSON file.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <thread>
@@ -15,8 +21,10 @@
 #include "apps/monitoring.h"
 #include "apps/remote_scheduler.h"
 #include "bench/bench_common.h"
+#include "controller/coordinator.h"
 #include "controller/rib_snapshot.h"
 #include "controller/task_manager.h"
+#include "net/sim_transport.h"
 #include "traffic/udp.h"
 
 using namespace flexran;
@@ -263,6 +271,134 @@ SweepResult run_sweep(int workers, int n_agents, int cycles, std::int64_t stall_
   return result;
 }
 
+// ---------------------------------------------------------- shard sweep --
+
+/// Analytics app for the shard sweep: scans the snapshot its shard
+/// publishes and stalls on a simulated external service call, like the
+/// worker-sweep StallApp but shard-resident. The app pool is fixed while
+/// the shard count varies, so the sweep measures how partitioning the SAME
+/// application workload across shard app slots shortens the cycle.
+class ShardAnalyticsApp final : public ctrl::App {
+ public:
+  ShardAnalyticsApp(int index, std::int64_t stall_us)
+      : stall_us_(stall_us), name_("analytics-" + std::to_string(index)) {}
+  std::string_view name() const override { return name_; }
+  int priority() const override { return 1; }
+  void on_cycle(std::int64_t, ctrl::NorthboundApi& api) override {
+    const auto snapshot = api.rib_snapshot();
+    for (const auto& [id, agent] : snapshot->agents()) {
+      (void)id;
+      for (const auto& [cell_id, cell] : agent->cells) {
+        (void)cell_id;
+        checksum_ += cell.ues.size();
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_us_));
+  }
+
+ private:
+  std::int64_t stall_us_;
+  std::string name_;
+  std::uint64_t checksum_ = 0;
+};
+
+struct ShardDetail {
+  std::size_t agents = 0;
+  std::uint64_t updates = 0;
+  double updater_us = 0.0;
+  double app_slot_us = 0.0;
+};
+
+struct ShardSweepResult {
+  std::size_t shards = 1;
+  int agents = 0;
+  double cycles_per_sec = 0.0;
+  double mean_cycle_us = 0.0;
+  std::uint64_t updates = 0;
+  std::vector<ShardDetail> per_shard;
+};
+
+/// One wire-encoded StatsReply (2 UEs), the frame every simulated agent
+/// replays. Epoch 0 matches the session epoch add_agent starts with.
+std::vector<std::uint8_t> shard_sweep_stats_frame() {
+  proto::StatsReply reply;
+  reply.request_id = 1;
+  reply.subframe = 1;
+  for (lte::Rnti rnti = 70; rnti < 72; ++rnti) {
+    proto::UeStatsReport report;
+    report.rnti = rnti;
+    report.wb_cqi = 10;
+    report.dl_bytes_delivered = 1500;
+    reply.ue_reports.push_back(report);
+  }
+  proto::WireEncoder enc;
+  reply.encode_body(enc);
+  proto::Envelope envelope;
+  envelope.type = proto::MessageType::stats_reply;
+  envelope.xid = 0;
+  envelope.body = enc.take();
+  return envelope.encode();
+}
+
+ShardSweepResult run_shard_sweep(std::size_t shards, int n_agents, int cycles,
+                                 int n_apps, std::int64_t stall_us, int report_period) {
+  sim::Simulator simulator;
+  ctrl::CoordinatorConfig config;
+  config.shards = shards;
+  config.shard.auto_configure = false;  // agents are injected, no hello
+  config.shard.echo_period_cycles = 0;
+  config.shard.task_manager.real_time = false;
+  config.shard.task_manager.workers = 1;  // one app-slot worker per shard
+  ctrl::Coordinator coordinator(simulator, config);
+
+  // Block placement: agent i on shard i*S/N, so each analytics app's
+  // agent range lives wholly on the shard the app is registered with.
+  std::vector<net::SimTransportPair> links;
+  links.reserve(static_cast<std::size_t>(n_agents));
+  for (int i = 0; i < n_agents; ++i) {
+    links.push_back(net::make_sim_transport_pair(simulator));
+    const auto shard = static_cast<std::size_t>(i) * shards / static_cast<std::size_t>(n_agents);
+    coordinator.add_agent(*links.back().a, static_cast<std::uint64_t>(i + 1), shard);
+  }
+  for (int a = 0; a < n_apps; ++a) {
+    const auto shard = static_cast<std::size_t>(a) * shards / static_cast<std::size_t>(n_apps);
+    coordinator.shard(shard).add_app(std::make_unique<ShardAnalyticsApp>(a, stall_us));
+  }
+
+  const auto frame = shard_sweep_stats_frame();
+  sim::TimeUs t = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Staggered periodic reporting: 1/report_period of the fleet per TTI.
+    for (int i = cycle % report_period; i < n_agents; i += report_period) {
+      (void)links[static_cast<std::size_t>(i)].b->send(frame);
+    }
+    t += 1000;
+    simulator.run_until(t);  // deliver this TTI's reports
+    coordinator.run_cycle();
+  }
+  coordinator.quiesce();
+  const double wall_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start).count();
+
+  ShardSweepResult result;
+  result.shards = shards;
+  result.agents = n_agents;
+  result.cycles_per_sec = cycles / (wall_us / 1e6);
+  result.mean_cycle_us = wall_us / cycles;
+  result.updates = coordinator.updates_applied();
+  for (std::size_t s = 0; s < coordinator.shard_count(); ++s) {
+    const auto& core = coordinator.shard(s);
+    ShardDetail detail;
+    detail.agents = core.rib().agents().size();
+    detail.updates = core.updates_applied();
+    detail.updater_us = core.task_manager().updater_time_us().mean();
+    detail.app_slot_us = core.task_manager().apps_time_us().mean();
+    result.per_shard.push_back(detail);
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -316,6 +452,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Part 3: shard sweep ------------------------------------------------
+  const int kShardAgents = 1024;
+  const int kShardCycles = 150;
+  const int kShardApps = 8;
+  const std::int64_t kShardStallUs = 500;
+  const int kReportPeriod = 4;
+  bench::print_header("Shard sweep -- two-tier control plane (1024 agents, 8 analytics apps)");
+  bench::print_note(
+      "One process, one Coordinator over N ShardCores (1 app-slot worker\n"
+      "each). 1024 simulated agents replay a periodic StatsReply (1/4 of the\n"
+      "fleet per TTI); a fixed pool of 8 priority-1 analytics apps each\n"
+      "stalls 500 us per cycle on a simulated external service call. Sharding\n"
+      "partitions that app pool across shard app slots, so the stalls -- which\n"
+      "a single master serializes -- overlap across shard workers; on a\n"
+      "single-core host that overlap, not CPU parallelism, is the win.");
+
+  std::vector<ShardSweepResult> shard_results;
+  std::printf("\n%8s %8s %14s %14s %14s %16s\n", "shards", "agents", "cycles/s", "cycle (us)",
+              "updates/cyc", "worst slot (us)");
+  double single_master_cps = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const auto r = run_shard_sweep(shards, kShardAgents, kShardCycles, kShardApps, kShardStallUs,
+                                   kReportPeriod);
+    shard_results.push_back(r);
+    if (shards == 1) single_master_cps = r.cycles_per_sec;
+    double worst_slot = 0.0;
+    for (const auto& d : r.per_shard) worst_slot = std::max(worst_slot, d.app_slot_us);
+    std::printf("%8zu %8d %14.0f %14.1f %14.0f %16.1f", r.shards, r.agents, r.cycles_per_sec,
+                r.mean_cycle_us, static_cast<double>(r.updates) / kShardCycles, worst_slot);
+    if (shards > 1 && single_master_cps > 0.0) {
+      std::printf("   (%.2fx vs 1 shard)", r.cycles_per_sec / single_master_cps);
+    }
+    std::printf("\n");
+  }
+  for (const auto& r : shard_results) {
+    if (r.shards >= 4 && r.cycles_per_sec <= single_master_cps) {
+      std::printf("WARNING: %zu shards did not beat the single master (%.0f <= %.0f cycles/s)\n",
+                  r.shards, r.cycles_per_sec, single_master_cps);
+    }
+  }
+
   const char* json_path = argc > 1 ? argv[1] : "BENCH_fig8_workers.json";
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"fig8_worker_sweep\",\n"
@@ -336,7 +513,29 @@ int main(int argc, char** argv) {
          << ", \"commands_flushed\": " << r.commands << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"shard_sweep\": {\n"
+       << "    \"agents\": " << kShardAgents << ", \"cycles\": " << kShardCycles
+       << ", \"apps\": " << kShardApps << ", \"stall_us\": " << kShardStallUs
+       << ", \"report_period_ttis\": " << kReportPeriod << ",\n"
+       << "    \"note\": \"fixed fleet + fixed app pool partitioned across N ShardCores "
+          "under one Coordinator; speedup = overlap of app-slot stalls across shard "
+          "workers\",\n"
+       << "    \"results\": [\n";
+  for (std::size_t i = 0; i < shard_results.size(); ++i) {
+    const auto& r = shard_results[i];
+    json << "      {\"shards\": " << r.shards << ", \"agents\": " << r.agents
+         << ", \"cycles_per_sec\": " << static_cast<std::uint64_t>(r.cycles_per_sec)
+         << ", \"mean_cycle_us\": " << r.mean_cycle_us << ", \"updates\": " << r.updates
+         << ", \"per_shard\": [";
+    for (std::size_t s = 0; s < r.per_shard.size(); ++s) {
+      const auto& d = r.per_shard[s];
+      json << (s > 0 ? ", " : "") << "{\"shard\": " << s << ", \"agents\": " << d.agents
+           << ", \"updates\": " << d.updates << ", \"mean_updater_us\": " << d.updater_us
+           << ", \"mean_app_slot_us\": " << d.app_slot_us << "}";
+    }
+    json << "]}" << (i + 1 < shard_results.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  }\n}\n";
   std::printf("\nJSON series written to %s\n", json_path);
   return 0;
 }

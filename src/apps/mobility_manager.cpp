@@ -21,6 +21,10 @@ std::map<lte::CellId, MobilityManagerApp::CellRef> MobilityManagerApp::index_cel
 void MobilityManagerApp::on_cycle(std::int64_t cycle, ctrl::NorthboundApi& api) {
   if (config_.period_cycles > 0 && cycle % config_.period_cycles != 0) return;
   const auto rib = api.rib_snapshot();
+  // Readiness gate: while the master (or, on a composite view, any shard)
+  // is still re-syncing after a restart, measurement state is partial and a
+  // handover decided on it could bounce a UE to a cell we cannot see yet.
+  if (rib->recovering()) return;
   const auto cells = index_cells(*rib);
 
   for (const auto& [agent_id, agent_node] : rib->agents()) {

@@ -21,6 +21,12 @@ util::Status FileCheckpointSink::save(std::span<const std::uint8_t> bytes) {
   return {};
 }
 
+std::string FileCheckpointSink::shard_path(const std::string& dir, std::size_t shard) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path.push_back('/');
+  return path + "shard-" + std::to_string(shard) + ".ckpt";
+}
+
 util::Result<std::vector<std::uint8_t>> FileCheckpointSink::load() {
   std::FILE* file = std::fopen(path_.c_str(), "rb");
   if (file == nullptr) return util::Error::not_found("no checkpoint at " + path_);

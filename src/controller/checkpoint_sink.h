@@ -36,6 +36,12 @@ class FileCheckpointSink : public CheckpointSink {
 
   const std::string& path() const { return path_; }
 
+  /// Per-shard checkpoint file under a shared directory:
+  /// `<dir>/shard-<index>.ckpt`. N shards checkpointing into one directory
+  /// must never clobber each other -- the filename, not the caller, carries
+  /// the shard identity.
+  static std::string shard_path(const std::string& dir, std::size_t shard);
+
  private:
   std::string path_;
 };

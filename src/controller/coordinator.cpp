@@ -1,0 +1,333 @@
+#include "controller/coordinator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace flexran::ctrl {
+
+namespace {
+/// FNV-1a over the stable key's bytes. Deliberately not std::hash: the
+/// placement must be stable across processes and standard-library
+/// implementations, or a restarted deployment would reshuffle its fleet.
+std::uint64_t fnv1a(std::uint64_t key) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (key >> (i * 8)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+}  // namespace
+
+std::size_t Coordinator::assign_shard(std::uint64_t stable_key, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(fnv1a(stable_key) % shard_count);
+}
+
+Coordinator::Coordinator(sim::Simulator& sim, CoordinatorConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  const std::size_t count = config_.shards == 0 ? 1 : config_.shards;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    MasterConfig shard_config = config_.shard;
+    if (count > 1) {
+      // Multi-shard: label every metric identity with the shard index and
+      // share one registry so the process exports a single surface.
+      shard_config.shard = static_cast<int>(i);
+      if (shard_config.obs.enabled && shard_config.obs.registry == nullptr) {
+        shard_config.obs.registry = &metrics_;
+      }
+    }
+    if (config_.checkpoint_sink_factory) {
+      shard_config.recovery.checkpoint_sink = config_.checkpoint_sink_factory(i);
+    }
+    shards_.push_back(std::make_unique<ShardCore>(sim_, std::move(shard_config)));
+  }
+}
+
+AgentId Coordinator::add_agent(net::Transport& transport, std::uint64_t stable_key,
+                               std::optional<std::size_t> shard_override) {
+  std::size_t index = shard_override.value_or(assign_shard(stable_key, shards_.size()));
+  if (index >= shards_.size()) {
+    FLEXRAN_LOG(warn, "coordinator") << "shard override " << index << " out of range, hashing";
+    index = assign_shard(stable_key, shards_.size());
+  }
+  // Ids are allocated globally so they are unique across shards and the
+  // composite view (a shard's own sequence would collide with its peers').
+  const AgentId id = next_agent_id_++;
+  shards_[index]->add_agent(transport, id);
+  assignment_[id] = index;
+  return id;
+}
+
+void Coordinator::remove_agent(AgentId id) {
+  auto it = assignment_.find(id);
+  if (it == assignment_.end()) return;
+  shards_[it->second]->remove_agent(id);
+  assignment_.erase(it);
+}
+
+void Coordinator::run_cycle() {
+  for (auto& shard : shards_) shard->run_cycle();
+  const std::int64_t cycle = cycles_++;
+  if (apps_.empty()) return;
+  // Global slot: mirrored shard events first (each shard's own apps
+  // already saw them), then the composite on_cycle pass.
+  while (!pending_events_.empty()) {
+    Event event = std::move(pending_events_.front());
+    pending_events_.pop_front();
+    for (const auto& app : apps_) app->on_event(event, *this);
+  }
+  for (const auto& app : apps_) app->on_cycle(cycle, *this);
+}
+
+void Coordinator::quiesce() {
+  for (auto& shard : shards_) shard->quiesce();
+}
+
+App* Coordinator::add_app(std::unique_ptr<App> app) {
+  install_event_taps();
+  apps_.push_back(std::move(app));
+  App* raw = apps_.back().get();
+  raw->on_start(*this);
+  return raw;
+}
+
+void Coordinator::install_event_taps() {
+  if (taps_installed_) return;
+  taps_installed_ = true;
+  for (auto& shard : shards_) {
+    shard->set_event_tap([this](const Event& event) { pending_events_.push_back(event); });
+  }
+}
+
+std::optional<std::size_t> Coordinator::shard_of(AgentId id) const {
+  auto it = assignment_.find(id);
+  if (it == assignment_.end()) return std::nullopt;
+  return it->second;
+}
+
+ShardCore* Coordinator::owner(AgentId id) {
+  auto it = assignment_.find(id);
+  return it == assignment_.end() ? nullptr : shards_[it->second].get();
+}
+
+const ShardCore* Coordinator::owner(AgentId id) const {
+  auto it = assignment_.find(id);
+  return it == assignment_.end() ? nullptr : shards_[it->second].get();
+}
+
+// ------------------------------------------------------------- composite
+
+std::shared_ptr<const RibSnapshot> Coordinator::rib_snapshot() const {
+  if (shards_.size() == 1) return shards_.front()->rib_snapshot();
+  std::vector<std::shared_ptr<const RibSnapshot>> parts;
+  parts.reserve(shards_.size());
+  bool stale = composite_ == nullptr || composed_versions_.size() != shards_.size();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    parts.push_back(shards_[i]->rib_snapshot());
+    if (!stale && parts[i]->version() != composed_versions_[i]) stale = true;
+  }
+  if (!stale) return composite_;
+  composite_ = RibSnapshot::compose(parts);
+  composed_versions_.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) composed_versions_[i] = parts[i]->version();
+  ++composites_built_;
+  return composite_;
+}
+
+// ----------------------------------------------------------------- routing
+
+sim::TimeUs Coordinator::now() const { return sim_.now(); }
+
+std::int64_t Coordinator::agent_subframe(AgentId agent) const {
+  const ShardCore* shard = owner(agent);
+  return shard == nullptr ? 0 : shard->agent_subframe(agent);
+}
+
+namespace {
+util::Status unassigned(AgentId agent) {
+  return util::Error::not_found("agent " + std::to_string(agent) +
+                                " not assigned to any shard");
+}
+}  // namespace
+
+util::Status Coordinator::send_dl_mac_config(AgentId agent, const proto::DlMacConfig& config) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->send_dl_mac_config(agent, config);
+}
+
+util::Status Coordinator::send_ul_mac_config(AgentId agent, const proto::UlMacConfig& config) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->send_ul_mac_config(agent, config);
+}
+
+util::Status Coordinator::send_handover(AgentId agent, const proto::HandoverCommand& command) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->send_handover(agent, command);
+}
+
+util::Status Coordinator::send_abs_config(AgentId agent, const proto::AbsConfig& config) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->send_abs_config(agent, config);
+}
+
+util::Status Coordinator::send_carrier_restriction(AgentId agent,
+                                                   const proto::CarrierRestriction& config) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->send_carrier_restriction(agent, config);
+}
+
+util::Status Coordinator::send_drx_config(AgentId agent, const proto::DrxConfig& config) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->send_drx_config(agent, config);
+}
+
+util::Status Coordinator::send_scell_command(AgentId agent, const proto::ScellCommand& command) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->send_scell_command(agent, command);
+}
+
+util::Status Coordinator::request_stats(AgentId agent, const proto::StatsRequest& request) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->request_stats(agent, request);
+}
+
+util::Status Coordinator::subscribe_events(AgentId agent, std::vector<proto::EventType> events,
+                                           bool enable) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent)
+                          : shard->subscribe_events(agent, std::move(events), enable);
+}
+
+util::Status Coordinator::push_vsf(AgentId agent, const std::string& module,
+                                   const std::string& vsf, const std::string& implementation) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent)
+                          : shard->push_vsf(agent, module, vsf, implementation);
+}
+
+util::Status Coordinator::send_policy(AgentId agent, const std::string& yaml) {
+  ShardCore* shard = owner(agent);
+  return shard == nullptr ? unassigned(agent) : shard->send_policy(agent, yaml);
+}
+
+// ------------------------------------------------------------ introspection
+
+const AgentNode* Coordinator::find_agent(AgentId id) const {
+  const ShardCore* shard = owner(id);
+  return shard == nullptr ? nullptr : shard->rib().find_agent(id);
+}
+
+const proto::SignalingAccountant& Coordinator::tx_accounting(AgentId agent) const {
+  const ShardCore* shard = owner(agent);
+  return shard == nullptr ? empty_accounting_ : shard->tx_accounting(agent);
+}
+
+const proto::SignalingAccountant& Coordinator::rx_accounting(AgentId agent) const {
+  const ShardCore* shard = owner(agent);
+  return shard == nullptr ? empty_accounting_ : shard->rx_accounting(agent);
+}
+
+const obs::Histogram* Coordinator::control_latency(AgentId agent) const {
+  const ShardCore* shard = owner(agent);
+  return shard == nullptr ? nullptr : shard->control_latency(agent);
+}
+
+template <typename Fn>
+static std::uint64_t sum_over(const std::vector<std::unique_ptr<ShardCore>>& shards, Fn fn) {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards) total += fn(*shard);
+  return total;
+}
+
+std::uint64_t Coordinator::updates_applied() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.updates_applied(); });
+}
+std::uint64_t Coordinator::requests_retried() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.requests_retried(); });
+}
+std::uint64_t Coordinator::requests_failed() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.requests_failed(); });
+}
+std::uint64_t Coordinator::fenced_updates() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.fenced_updates(); });
+}
+std::uint64_t Coordinator::policy_rollbacks() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.policy_rollbacks(); });
+}
+std::uint64_t Coordinator::policies_rejected() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.policies_rejected(); });
+}
+std::uint64_t Coordinator::overload_transitions() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.overload_transitions(); });
+}
+std::uint64_t Coordinator::ingest_shed() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.ingest_shed(); });
+}
+std::uint64_t Coordinator::ingest_coalesced() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.ingest_coalesced(); });
+}
+std::size_t Coordinator::pending_peak_messages() const {
+  return static_cast<std::size_t>(
+      sum_over(shards_, [](const ShardCore& s) { return s.pending_peak_messages(); }));
+}
+std::size_t Coordinator::pending_peak_bytes() const {
+  return static_cast<std::size_t>(
+      sum_over(shards_, [](const ShardCore& s) { return s.pending_peak_bytes(); }));
+}
+std::uint64_t Coordinator::updater_saturations() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.updater_saturations(); });
+}
+std::uint64_t Coordinator::throttle_renegotiations() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.throttle_renegotiations(); });
+}
+std::uint64_t Coordinator::master_restarts() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.master_restarts(); });
+}
+std::uint64_t Coordinator::resyncs_paced() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.resyncs_paced(); });
+}
+std::uint64_t Coordinator::commands_held() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.commands_held(); });
+}
+std::uint64_t Coordinator::checkpoints_saved() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.checkpoints_saved(); });
+}
+std::uint64_t Coordinator::policies_repushed() const {
+  return sum_over(shards_, [](const ShardCore& s) { return s.policies_repushed(); });
+}
+
+OverloadState Coordinator::overload_state() const {
+  OverloadState worst = OverloadState::normal;
+  for (const auto& shard : shards_) {
+    if (shard->overload_state() > worst) worst = shard->overload_state();
+  }
+  return worst;
+}
+
+bool Coordinator::any_recovering() const {
+  for (const auto& shard : shards_) {
+    if (shard->recovering()) return true;
+  }
+  return false;
+}
+
+sim::TimeUs Coordinator::last_recovery_duration() const {
+  sim::TimeUs longest = 0;
+  for (const auto& shard : shards_) {
+    longest = std::max(longest, shard->last_recovery_duration());
+  }
+  return longest;
+}
+
+obs::MetricsRegistry& Coordinator::metrics() {
+  return shards_.size() == 1 ? shards_.front()->metrics() : metrics_;
+}
+
+const obs::MetricsRegistry& Coordinator::metrics() const {
+  return shards_.size() == 1 ? shards_.front()->metrics() : metrics_;
+}
+
+}  // namespace flexran::ctrl

@@ -1,0 +1,192 @@
+// Two-tier control plane, upper tier (docs/sharded_control.md): a thin
+// Coordinator over N ShardCore instances in one process. Each shard is a
+// complete master -- transport links, RIB + single-writer updater, task
+// manager, overload and recovery machinery -- over a disjoint agent set;
+// the Coordinator only (a) assigns agents to shards (stable hash of the
+// agent's stable key, with explicit override), (b) aggregates the shards'
+// RibSnapshots into a versioned global composite view for cross-shard
+// applications, and (c) routes northbound commands and events to the
+// owning shard. It holds no radio state of its own, so it never becomes
+// the serialization point the sharding exists to remove.
+//
+// Mirrors the O-RAN shape (PAPERS.md: Polese et al.): shards are near-RT
+// controllers owning their E2 nodes per-TTI; the Coordinator is the
+// non-real-time tier above them hosting network-wide apps.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controller/shard_core.h"
+
+namespace flexran::ctrl {
+
+struct CoordinatorConfig {
+  /// Number of ShardCore instances (>= 1; 0 is clamped to 1).
+  std::size_t shards = 1;
+  /// Per-shard configuration template. The Coordinator stamps each copy
+  /// with its shard index (metric labels) and, with more than one shard
+  /// and obs enabled, points every copy at the shared registry.
+  MasterConfig shard;
+  /// Per-shard checkpoint sink factory (nullptr = every shard keeps the
+  /// template's `recovery.checkpoint_sink`, which N > 1 shards would
+  /// clobber -- use FileCheckpointSink::shard_path or one sink per shard).
+  std::function<std::shared_ptr<CheckpointSink>(std::size_t shard)> checkpoint_sink_factory;
+};
+
+/// The upper tier. Implements NorthboundApi so network-wide (composite
+/// view) applications are plain `ctrl::App`s: they read the union snapshot
+/// and their commands are routed to the owning shard.
+///
+/// Threading: everything here runs on the thread driving run_cycle() (the
+/// "coordinator thread" of every shard's task manager). Global apps run
+/// inline after the shards' cycles, so their sends hit shard transports
+/// from that same thread; per-shard apps keep the worker-pool batching
+/// contract of their own core, untouched.
+class Coordinator final : public NorthboundApi {
+ public:
+  Coordinator(sim::Simulator& sim, CoordinatorConfig config);
+
+  /// Stable hash placement: which shard owns `stable_key` among
+  /// `shard_count` shards. Exposed so tests and operators can predict
+  /// placement. FNV-1a over the key bytes -- stable across runs and
+  /// processes, uniform enough for eNodeB identifiers.
+  static std::size_t assign_shard(std::uint64_t stable_key, std::size_t shard_count);
+
+  /// Registers an agent connection. `stable_key` identifies the eNodeB
+  /// durably (e.g. its enb_id) and drives hash placement; `shard_override`
+  /// pins the agent to an explicit shard instead (operator override, e.g.
+  /// to co-locate an interference cluster). Returns the globally unique
+  /// agent id, valid across every shard and the composite snapshot.
+  AgentId add_agent(net::Transport& transport, std::uint64_t stable_key = 0,
+                    std::optional<std::size_t> shard_override = std::nullopt);
+  void remove_agent(AgentId id);
+
+  /// Runs one cycle on every shard, then the global application slot:
+  /// shard events mirrored since the last cycle are dispatched to the
+  /// global apps, then each global app's on_cycle runs against the
+  /// composite snapshot.
+  void run_cycle();
+
+  /// Joins every shard's in-flight application slot (see ShardCore::quiesce).
+  void quiesce();
+
+  /// Registers a network-wide application on the composite view. The shard
+  /// event taps are installed lazily on first registration -- with no
+  /// global apps the Coordinator mirrors nothing and adds zero work.
+  App* add_app(std::unique_ptr<App> app);
+
+  // ---- topology --------------------------------------------------------------
+  std::size_t shard_count() const { return shards_.size(); }
+  ShardCore& shard(std::size_t index) { return *shards_[index]; }
+  const ShardCore& shard(std::size_t index) const { return *shards_[index]; }
+  /// Owning shard index for an agent id (nullopt = unknown agent).
+  std::optional<std::size_t> shard_of(AgentId id) const;
+  std::size_t agent_count() const { return assignment_.size(); }
+
+  // ---- NorthboundApi (routed to the owning shard) ----------------------------
+  /// The composite view: union of the per-shard snapshots, rebuilt only
+  /// when some shard published a new version (otherwise the cached
+  /// composite is returned unchanged, so an idle fleet costs nothing).
+  /// Version is the sum of shard versions; `recovering` is true while any
+  /// shard recovers; overload is the worst shard state.
+  std::shared_ptr<const RibSnapshot> rib_snapshot() const override;
+  sim::TimeUs now() const override;
+  std::int64_t agent_subframe(AgentId agent) const override;
+  util::Status send_dl_mac_config(AgentId agent, const proto::DlMacConfig& config) override;
+  util::Status send_ul_mac_config(AgentId agent, const proto::UlMacConfig& config) override;
+  util::Status send_handover(AgentId agent, const proto::HandoverCommand& command) override;
+  util::Status send_abs_config(AgentId agent, const proto::AbsConfig& config) override;
+  util::Status send_carrier_restriction(AgentId agent,
+                                        const proto::CarrierRestriction& config) override;
+  util::Status send_drx_config(AgentId agent, const proto::DrxConfig& config) override;
+  util::Status send_scell_command(AgentId agent, const proto::ScellCommand& command) override;
+  util::Status request_stats(AgentId agent, const proto::StatsRequest& request) override;
+  util::Status subscribe_events(AgentId agent, std::vector<proto::EventType> events,
+                                bool enable) override;
+  util::Status push_vsf(AgentId agent, const std::string& module, const std::string& vsf,
+                        const std::string& implementation) override;
+  util::Status send_policy(AgentId agent, const std::string& yaml) override;
+
+  // ---- routed / aggregated introspection -------------------------------------
+  /// Per-agent accessors route to the owning shard (empty/null for unknown
+  /// agents); fleet counters sum over shards. The scenario layer reads the
+  /// whole control plane through these whether it runs 1 shard or 16.
+  const AgentNode* find_agent(AgentId id) const;
+  const proto::SignalingAccountant& tx_accounting(AgentId agent) const;
+  const proto::SignalingAccountant& rx_accounting(AgentId agent) const;
+  const obs::Histogram* control_latency(AgentId agent) const;
+  std::int64_t cycles_run() const { return cycles_; }
+  std::uint64_t updates_applied() const;
+  std::uint64_t requests_retried() const;
+  std::uint64_t requests_failed() const;
+  std::uint64_t fenced_updates() const;
+  std::uint64_t policy_rollbacks() const;
+  std::uint64_t policies_rejected() const;
+  OverloadState overload_state() const;
+  std::uint64_t overload_transitions() const;
+  std::uint64_t ingest_shed() const;
+  std::uint64_t ingest_coalesced() const;
+  /// Summed high-water marks: the process-wide bounded-memory footprint is
+  /// the sum of the per-shard budgets.
+  std::size_t pending_peak_messages() const;
+  std::size_t pending_peak_bytes() const;
+  std::uint64_t updater_saturations() const;
+  std::uint64_t throttle_renegotiations() const;
+  std::uint64_t master_restarts() const;
+  std::uint64_t resyncs_paced() const;
+  std::uint64_t commands_held() const;
+  std::uint64_t checkpoints_saved() const;
+  std::uint64_t policies_repushed() const;
+  bool any_recovering() const;
+  /// Longest last-recovery duration across shards.
+  sim::TimeUs last_recovery_duration() const;
+  /// Composite rebuilds (cache misses in rib_snapshot()).
+  std::uint64_t composites_built() const { return composites_built_; }
+
+  // ---- observability ----------------------------------------------------------
+  /// The process-wide registry: the shared one (shards > 1) or shard 0's
+  /// own. One export surface regardless of the shard count.
+  obs::MetricsRegistry& metrics();
+  const obs::MetricsRegistry& metrics() const;
+
+ private:
+  ShardCore* owner(AgentId id);
+  const ShardCore* owner(AgentId id) const;
+  void install_event_taps();
+
+  sim::Simulator& sim_;
+  CoordinatorConfig config_;
+  /// Shared registry for shards > 1 (ObsConfig::registry); unused with a
+  /// single shard, which keeps its own registry exactly like a standalone
+  /// master.
+  obs::MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<ShardCore>> shards_;
+  /// Global agent id -> owning shard index.
+  std::map<AgentId, std::size_t> assignment_;
+  AgentId next_agent_id_ = 1;
+  std::int64_t cycles_ = 0;
+
+  // ---- global application slot ----------------------------------------------
+  std::vector<std::unique_ptr<App>> apps_;
+  /// Shard events mirrored by the taps, in arrival order, dispatched at
+  /// the head of the next global slot.
+  std::deque<Event> pending_events_;
+  bool taps_installed_ = false;
+
+  // ---- composite snapshot cache ----------------------------------------------
+  /// Rebuilt lazily when a shard's version moved; `const` because
+  /// rib_snapshot() is (coordinator thread only, like ShardCore::rib()).
+  mutable std::shared_ptr<const RibSnapshot> composite_;
+  mutable std::vector<std::uint64_t> composed_versions_;
+  mutable std::uint64_t composites_built_ = 0;
+
+  proto::SignalingAccountant empty_accounting_;
+};
+
+}  // namespace flexran::ctrl

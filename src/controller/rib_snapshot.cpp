@@ -39,6 +39,23 @@ std::shared_ptr<const RibSnapshot> RibSnapshot::capture(const Rib& rib, std::uin
   return snapshot;
 }
 
+std::shared_ptr<const RibSnapshot> RibSnapshot::compose(
+    const std::vector<std::shared_ptr<const RibSnapshot>>& shards) {
+  auto composite = std::make_shared<RibSnapshot>();
+  for (const auto& shard : shards) {
+    if (shard == nullptr) continue;
+    composite->version_ += shard->version();
+    if (shard->overload_state() > composite->overload_state_) {
+      composite->overload_state_ = shard->overload_state();
+    }
+    composite->recovering_ = composite->recovering_ || shard->recovering();
+    for (const auto& [id, agent] : shard->agents_) {
+      composite->agents_.emplace(id, agent);  // shares the subtree
+    }
+  }
+  return composite;
+}
+
 SnapshotStore::SnapshotStore() : current_(std::make_shared<const RibSnapshot>()) {}
 
 std::shared_ptr<const RibSnapshot> SnapshotStore::publish(const Rib& rib,

@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <vector>
 
 #include "controller/overload.h"
 #include "controller/rib.h"
@@ -51,6 +52,18 @@ class RibSnapshot {
   /// master publishes through SnapshotStore instead, which shares agent
   /// subtrees that did not change between versions.
   static std::shared_ptr<const RibSnapshot> capture(const Rib& rib, std::uint64_t version = 1);
+
+  /// Composite of per-shard snapshots (docs/sharded_control.md): the union
+  /// of the shards' agent maps, sharing every agent subtree by pointer --
+  /// composition is O(agents) pointer copies, no tree is deep-copied.
+  /// Version is the sum of the shard versions (each is monotonic, so the
+  /// composite version is monotonic and moves whenever any shard moved).
+  /// Overload is the worst shard state; recovering is true while *any*
+  /// shard is recovering -- the readiness barrier for cross-shard apps is
+  /// the conjunction of the per-shard barriers. Shards own disjoint agent
+  /// sets by construction; a duplicate id keeps the first shard's node.
+  static std::shared_ptr<const RibSnapshot> compose(
+      const std::vector<std::shared_ptr<const RibSnapshot>>& shards);
 
  private:
   friend class SnapshotStore;

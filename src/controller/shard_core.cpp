@@ -1,4 +1,4 @@
-#include "controller/master.h"
+#include "controller/shard_core.h"
 
 #include <algorithm>
 #include <chrono>
@@ -37,7 +37,7 @@ std::uint64_t ingest_key(AgentId agent, std::uint64_t kind, std::uint32_t reques
 
 }  // namespace
 
-MasterController::MasterController(sim::Simulator& sim, MasterConfig config)
+ShardCore::ShardCore(sim::Simulator& sim, MasterConfig config)
     : sim_(sim),
       config_(std::move(config)),
       task_manager_(
@@ -53,6 +53,7 @@ MasterController::MasterController(sim::Simulator& sim, MasterConfig config)
           [this] { dispatch_events(); }),
       overload_monitor_(config_.overload),
       trace_ring_(config_.obs.trace_cycles) {
+  if (config_.obs.registry != nullptr) registry_ = config_.obs.registry;
   pending_.set_budget(config_.overload.ingest);
   if (config_.obs.enabled) {
     task_manager_.set_trace_sink(&trace_ring_);
@@ -84,10 +85,11 @@ MasterController::MasterController(sim::Simulator& sim, MasterConfig config)
   }
 }
 
-MasterController::~MasterController() { task_manager_.shutdown(); }
+ShardCore::~ShardCore() { task_manager_.shutdown(); }
 
-AgentId MasterController::add_agent(net::Transport& transport) {
-  const AgentId id = next_agent_id_++;
+AgentId ShardCore::add_agent(net::Transport& transport, AgentId explicit_id) {
+  const AgentId id = explicit_id != 0 ? explicit_id : next_agent_id_++;
+  if (explicit_id != 0 && explicit_id >= next_agent_id_) next_agent_id_ = explicit_id + 1;
   links_[id].transport = &transport;
   transport.set_receive_callback([this, id](std::vector<std::uint8_t> data) {
     auto envelope = proto::Envelope::decode(data);
@@ -123,7 +125,7 @@ AgentId MasterController::add_agent(net::Transport& transport) {
   return id;
 }
 
-void MasterController::remove_agent(AgentId id) {
+void ShardCore::remove_agent(AgentId id) {
   dirty_agents_.erase(id);
   rib_structure_changed_ = true;
   // Recovery bookkeeping: a removed agent neither holds the readiness
@@ -146,7 +148,7 @@ void MasterController::remove_agent(AgentId id) {
   rib_.remove_agent(id);
 }
 
-void MasterController::run_cycle() {
+void ShardCore::run_cycle() {
   const std::int64_t cycle = task_manager_.cycles_run();
   if (config_.conflict_resolution) {
     for (const auto& [id, agent] : rib_.agents()) {
@@ -206,7 +208,7 @@ void MasterController::run_cycle() {
   task_manager_.run_cycle(cycle, *this);
 }
 
-App* MasterController::add_app(std::unique_ptr<App> app) {
+App* ShardCore::add_app(std::unique_ptr<App> app) {
   App* raw = app.get();
   apps_.push_back(std::move(app));
   task_manager_.add_app(raw, *this);
@@ -216,7 +218,7 @@ App* MasterController::add_app(std::unique_ptr<App> app) {
 
 // ------------------------------------------------------------- RIB updater
 
-std::size_t MasterController::drain_pending(std::int64_t budget_us) {
+std::size_t ShardCore::drain_pending(std::int64_t budget_us) {
   // In real-time mode the updater may not overrun its slot. Message-apply
   // cost is sub-microsecond; a conservative 4 updates/us proxy bounds the
   // slot without a clock read per message.
@@ -240,7 +242,7 @@ std::size_t MasterController::drain_pending(std::int64_t budget_us) {
   return applied;
 }
 
-void MasterController::overload_step() {
+void ShardCore::overload_step() {
   if (!config_.overload.ingest.enabled()) return;
   const auto& budget = config_.overload.ingest;
   OverloadSample sample;
@@ -292,14 +294,14 @@ void MasterController::overload_step() {
   event_queue_.push_back(Event{0, note});
 }
 
-void MasterController::update_throttle(std::uint32_t multiplier) {
+void ShardCore::update_throttle(std::uint32_t multiplier) {
   multiplier = std::max(1u, multiplier);
   if (multiplier == throttle_multiplier_) return;
   throttle_multiplier_ = multiplier;
   renegotiate_reports();
 }
 
-void MasterController::renegotiate_reports() {
+void ShardCore::renegotiate_reports() {
   for (const auto& [key, original] : original_reports_) {
     const auto& [agent, request_id] = key;
     (void)request_id;
@@ -313,7 +315,7 @@ void MasterController::renegotiate_reports() {
   }
 }
 
-void MasterController::publish_snapshot() {
+void ShardCore::publish_snapshot() {
   const auto start = std::chrono::steady_clock::now();
   snapshots_.publish(rib_, dirty_agents_, rib_structure_changed_, overload_monitor_.state(),
                      recovering_);
@@ -324,7 +326,7 @@ void MasterController::publish_snapshot() {
           .count());
 }
 
-void MasterController::apply_update(const PendingUpdate& update) {
+void ShardCore::apply_update(const PendingUpdate& update) {
   using proto::MessageType;
   const proto::Envelope& envelope = update.envelope;
   if (envelope.ts_echo_us != 0) {
@@ -485,7 +487,7 @@ void MasterController::apply_update(const PendingUpdate& update) {
   }
 }
 
-void MasterController::on_agent_hello(AgentId id, const proto::Hello& hello) {
+void ShardCore::on_agent_hello(AgentId id, const proto::Hello& hello) {
   AgentNode& agent = rib_.agent(id);
   const bool restarted = hello.epoch > agent.epoch && agent.epoch != 0;
   const bool was_down = agent.state == SessionState::down;
@@ -502,7 +504,7 @@ void MasterController::on_agent_hello(AgentId id, const proto::Hello& hello) {
 
 // -------------------------------------------------------- session lifecycle
 
-void MasterController::resync_agent(AgentId id) {
+void ShardCore::resync_agent(AgentId id) {
   AgentNode& agent = rib_.agent(id);
   if (agent.state == SessionState::resyncing && !resync_started_at_.contains(id)) {
     resync_started_at_[id] = sim_.now();
@@ -532,7 +534,7 @@ void MasterController::resync_agent(AgentId id) {
   }
 }
 
-void MasterController::begin_agent_session(AgentId id, std::uint32_t epoch) {
+void ShardCore::begin_agent_session(AgentId id, std::uint32_t epoch) {
   AgentNode& agent = rib_.agent(id);
   if (agent.epoch != 0) {
     ++agent.reconnects;
@@ -550,7 +552,7 @@ void MasterController::begin_agent_session(AgentId id, std::uint32_t epoch) {
   agent.epoch = epoch;
 }
 
-void MasterController::mark_agent_down(AgentId id, const std::string& reason) {
+void ShardCore::mark_agent_down(AgentId id, const std::string& reason) {
   AgentNode& agent = rib_.agent(id);
   if (agent.state == SessionState::down) return;
   agent.state = SessionState::down;
@@ -569,13 +571,13 @@ void MasterController::mark_agent_down(AgentId id, const std::string& reason) {
   FLEXRAN_LOG(warn, "master") << "agent " << id << " down: " << reason;
 }
 
-void MasterController::purge_pending(AgentId id, std::uint32_t below_epoch) {
+void ShardCore::purge_pending(AgentId id, std::uint32_t below_epoch) {
   pending_.remove_if([id, below_epoch](const PendingUpdate& update) {
     return update.agent == id && update.epoch < below_epoch;
   });
 }
 
-void MasterController::fail_agent_requests(AgentId id, const char* reason) {
+void ShardCore::fail_agent_requests(AgentId id, const char* reason) {
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     if (it->second.agent != id) {
       ++it;
@@ -590,14 +592,14 @@ void MasterController::fail_agent_requests(AgentId id, const char* reason) {
   }
 }
 
-void MasterController::complete_request(AgentId agent, std::uint32_t xid) {
+void ShardCore::complete_request(AgentId agent, std::uint32_t xid) {
   auto it = inflight_.find(xid);
   if (it == inflight_.end() || it->second.agent != agent) return;
   ++requests_completed_;
   inflight_.erase(it);
 }
 
-void MasterController::complete_stats_request(AgentId agent, std::uint32_t request_id) {
+void ShardCore::complete_stats_request(AgentId agent, std::uint32_t request_id) {
   for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
     if (it->second.agent == agent && it->second.type == proto::MessageType::stats_request &&
         it->second.request_id == request_id) {
@@ -608,7 +610,7 @@ void MasterController::complete_stats_request(AgentId agent, std::uint32_t reque
   }
 }
 
-void MasterController::sweep_requests() {
+void ShardCore::sweep_requests() {
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     PendingRequest& request = it->second;
     if (sim_.now() < request.deadline) {
@@ -642,7 +644,7 @@ void MasterController::sweep_requests() {
   }
 }
 
-void MasterController::emit_lifecycle_event(AgentId id, proto::EventType type,
+void ShardCore::emit_lifecycle_event(AgentId id, proto::EventType type,
                                             std::uint32_t xid) {
   proto::EventNotification note;
   note.event = type;
@@ -654,7 +656,7 @@ void MasterController::emit_lifecycle_event(AgentId id, proto::EventType type,
 
 // ------------------------------------------------- policy rollback state
 
-void MasterController::note_policy_verdict(AgentId id, const proto::EventNotification& event) {
+void ShardCore::note_policy_verdict(AgentId id, const proto::EventNotification& event) {
   auto pit = policies_.find(id);
   if (pit == policies_.end()) return;
   auto& state = pit->second;
@@ -675,7 +677,7 @@ void MasterController::note_policy_verdict(AgentId id, const proto::EventNotific
   state.pending.erase(it);
 }
 
-void MasterController::rollback_policy(AgentId id, const proto::EventNotification& event) {
+void ShardCore::rollback_policy(AgentId id, const proto::EventNotification& event) {
   auto pit = policies_.find(id);
   if (pit == policies_.end()) return;
   auto& state = pit->second;
@@ -698,7 +700,7 @@ void MasterController::rollback_policy(AgentId id, const proto::EventNotificatio
   (void)send_policy(id, state.history.front());
 }
 
-std::string MasterController::last_known_good_policy(AgentId agent) const {
+std::string ShardCore::last_known_good_policy(AgentId agent) const {
   auto it = policies_.find(agent);
   if (it == policies_.end() || it->second.history.empty()) return "";
   return it->second.history.front();
@@ -706,7 +708,7 @@ std::string MasterController::last_known_good_policy(AgentId agent) const {
 
 // ---------------------------------------------------------- crash recovery
 
-void MasterController::restart() {
+void ShardCore::restart() {
   task_manager_.quiesce();
   ++master_restarts_;
   // Everything volatile dies with the old incarnation -- exactly what a
@@ -767,7 +769,7 @@ void MasterController::restart() {
   }
 }
 
-void MasterController::request_resync(AgentId id) {
+void ShardCore::request_resync(AgentId id) {
   if (!config_.recovery.enabled || config_.recovery.resync_tokens_per_s <= 0.0) {
     resync_agent(id);  // pacing off: the seed path
     return;
@@ -792,7 +794,7 @@ void MasterController::request_resync(AgentId id) {
   }
 }
 
-void MasterController::refill_resync_tokens() {
+void ShardCore::refill_resync_tokens() {
   if (config_.recovery.resync_tokens_per_s <= 0.0) return;
   const sim::TimeUs now = sim_.now();
   if (last_token_refill_ == 0) {
@@ -805,7 +807,7 @@ void MasterController::refill_resync_tokens() {
                             resync_tokens_ + elapsed_s * config_.recovery.resync_tokens_per_s);
 }
 
-void MasterController::admit_resyncs() {
+void ShardCore::admit_resyncs() {
   refill_resync_tokens();
   while (!resync_queue_.empty() && resync_tokens_ >= 1.0) {
     const AgentId id = resync_queue_.front();
@@ -823,7 +825,7 @@ void MasterController::admit_resyncs() {
   }
 }
 
-void MasterController::mark_resynced(AgentId id) {
+void ShardCore::mark_resynced(AgentId id) {
   if (auto it = resync_started_at_.find(id); it != resync_started_at_.end()) {
     if (resync_duration_ != nullptr) {
       resync_duration_->observe(static_cast<double>(sim_.now() - it->second));
@@ -848,7 +850,7 @@ void MasterController::mark_resynced(AgentId id) {
   }
 }
 
-void MasterController::finish_recovery(const char* how) {
+void ShardCore::finish_recovery(const char* how) {
   if (!recovering_) return;
   recovering_ = false;
   recovery_ready_at_ = sim_.now();
@@ -858,7 +860,7 @@ void MasterController::finish_recovery(const char* how) {
                               << (recovery_ready_at_ - recovery_started_at_) / 1000 << " ms";
 }
 
-void MasterController::load_checkpoint() {
+void ShardCore::load_checkpoint() {
   const auto& sink = config_.recovery.checkpoint_sink;
   if (sink == nullptr) return;
   auto bytes = sink->load();
@@ -901,7 +903,7 @@ void MasterController::load_checkpoint() {
                               << " agents, incarnation " << checkpoint->incarnation;
 }
 
-void MasterController::maybe_checkpoint() {
+void ShardCore::maybe_checkpoint() {
   if (config_.recovery.checkpoint_period_us <= 0 ||
       config_.recovery.checkpoint_sink == nullptr) {
     return;
@@ -910,7 +912,7 @@ void MasterController::maybe_checkpoint() {
   (void)save_checkpoint();
 }
 
-util::Status MasterController::save_checkpoint() {
+util::Status ShardCore::save_checkpoint() {
   const auto& sink = config_.recovery.checkpoint_sink;
   if (sink == nullptr) return util::Error::invalid_argument("no checkpoint sink configured");
   last_checkpoint_at_ = sim_.now();
@@ -923,7 +925,7 @@ util::Status MasterController::save_checkpoint() {
   return status;
 }
 
-proto::MasterCheckpoint MasterController::build_checkpoint() const {
+proto::MasterCheckpoint ShardCore::build_checkpoint() const {
   proto::MasterCheckpoint checkpoint;
   checkpoint.incarnation = incarnation_;
   checkpoint.saved_at_us = static_cast<std::uint64_t>(sim_.now());
@@ -952,18 +954,21 @@ proto::MasterCheckpoint MasterController::build_checkpoint() const {
   return checkpoint;
 }
 
-void MasterController::dispatch_events() {
+void ShardCore::dispatch_events() {
   while (!event_queue_.empty()) {
     Event event = std::move(event_queue_.front());
     event_queue_.pop_front();
     for (const auto& app : apps_) app->on_event(event, *this);
+    // The Coordinator's mirror runs last: global apps see the event only
+    // after the owning shard's apps did (same order as a single master).
+    if (event_tap_) event_tap_(event);
   }
 }
 
 // ------------------------------------------------------------------- sends
 
 template <typename M>
-util::Status MasterController::send_to(AgentId agent, const M& message, bool track) {
+util::Status ShardCore::send_to(AgentId agent, const M& message, bool track) {
   auto it = links_.find(agent);
   if (it == links_.end() || it->second.transport == nullptr) {
     return util::Error::not_found("no transport for agent");
@@ -1026,12 +1031,12 @@ util::Status MasterController::send_to(AgentId agent, const M& message, bool tra
   return it->second.transport->send(cls, wire);
 }
 
-std::int64_t MasterController::agent_subframe(AgentId agent) const {
+std::int64_t ShardCore::agent_subframe(AgentId agent) const {
   const auto* node = rib_.find_agent(agent);
   return node == nullptr ? 0 : node->last_subframe;
 }
 
-util::Status MasterController::send_dl_mac_config(AgentId agent,
+util::Status ShardCore::send_dl_mac_config(AgentId agent,
                                                   const proto::DlMacConfig& config) {
   if (config_.conflict_resolution) {
     auto claimed = arbiter_.claim_dl(agent, config);
@@ -1040,35 +1045,35 @@ util::Status MasterController::send_dl_mac_config(AgentId agent,
   return send_to(agent, config);
 }
 
-util::Status MasterController::send_ul_mac_config(AgentId agent,
+util::Status ShardCore::send_ul_mac_config(AgentId agent,
                                                   const proto::UlMacConfig& config) {
   return send_to(agent, config);
 }
 
-util::Status MasterController::send_handover(AgentId agent,
+util::Status ShardCore::send_handover(AgentId agent,
                                              const proto::HandoverCommand& command) {
   return send_to(agent, command);
 }
 
-util::Status MasterController::send_abs_config(AgentId agent, const proto::AbsConfig& config) {
+util::Status ShardCore::send_abs_config(AgentId agent, const proto::AbsConfig& config) {
   return send_to(agent, config);
 }
 
-util::Status MasterController::send_carrier_restriction(AgentId agent,
+util::Status ShardCore::send_carrier_restriction(AgentId agent,
                                                         const proto::CarrierRestriction& config) {
   return send_to(agent, config);
 }
 
-util::Status MasterController::send_drx_config(AgentId agent, const proto::DrxConfig& config) {
+util::Status ShardCore::send_drx_config(AgentId agent, const proto::DrxConfig& config) {
   return send_to(agent, config);
 }
 
-util::Status MasterController::send_scell_command(AgentId agent,
+util::Status ShardCore::send_scell_command(AgentId agent,
                                                   const proto::ScellCommand& command) {
   return send_to(agent, command);
 }
 
-util::Status MasterController::request_stats(AgentId agent, const proto::StatsRequest& request) {
+util::Status ShardCore::request_stats(AgentId agent, const proto::StatsRequest& request) {
   if (config_.overload.ingest.enabled()) {
     if (request.flags == 0) {
       original_reports_.erase({agent, request.request_id});
@@ -1088,7 +1093,7 @@ util::Status MasterController::request_stats(AgentId agent, const proto::StatsRe
   return send_to(agent, request, /*track=*/true);
 }
 
-util::Status MasterController::subscribe_events(AgentId agent,
+util::Status ShardCore::subscribe_events(AgentId agent,
                                                 std::vector<proto::EventType> events,
                                                 bool enable) {
   proto::EventSubscription subscription;
@@ -1097,7 +1102,7 @@ util::Status MasterController::subscribe_events(AgentId agent,
   return send_to(agent, subscription);
 }
 
-util::Status MasterController::push_vsf(AgentId agent, const std::string& module,
+util::Status ShardCore::push_vsf(AgentId agent, const std::string& module,
                                         const std::string& vsf,
                                         const std::string& implementation) {
   proto::ControlDelegation delegation;
@@ -1110,7 +1115,7 @@ util::Status MasterController::push_vsf(AgentId agent, const std::string& module
   return send_to(agent, delegation);
 }
 
-util::Status MasterController::send_policy(AgentId agent, const std::string& yaml) {
+util::Status ShardCore::send_policy(AgentId agent, const std::string& yaml) {
   proto::PolicyReconfiguration policy;
   policy.yaml = yaml;
   // send_to stamps the envelope with next_xid_; record the policy under
@@ -1121,12 +1126,12 @@ util::Status MasterController::send_policy(AgentId agent, const std::string& yam
   return status;
 }
 
-const proto::SignalingAccountant& MasterController::tx_accounting(AgentId agent) const {
+const proto::SignalingAccountant& ShardCore::tx_accounting(AgentId agent) const {
   auto it = links_.find(agent);
   return it == links_.end() ? empty_accounting_ : it->second.tx;
 }
 
-const proto::SignalingAccountant& MasterController::rx_accounting(AgentId agent) const {
+const proto::SignalingAccountant& ShardCore::rx_accounting(AgentId agent) const {
   auto it = links_.find(agent);
   return it == links_.end() ? empty_accounting_ : it->second.rx;
 }
@@ -1143,129 +1148,135 @@ constexpr net::TrafficClass kAllClasses[] = {
     net::TrafficClass::event,   net::TrafficClass::sync,    net::TrafficClass::stats};
 }  // namespace
 
-const obs::Histogram* MasterController::control_latency(AgentId agent) const {
+const obs::Histogram* ShardCore::control_latency(AgentId agent) const {
   auto it = links_.find(agent);
   return it == links_.end() ? nullptr : it->second.latency;
 }
 
-void MasterController::register_obs_probes() {
-  auto& m = metrics_;
+std::string ShardCore::probe_name(
+    std::string name, std::vector<std::pair<std::string, std::string>> labels) const {
+  if (config_.shard >= 0) labels.emplace_back("shard", std::to_string(config_.shard));
+  return obs::labeled(std::move(name), labels);
+}
+
+void ShardCore::register_obs_probes() {
+  auto& m = *registry_;
   // Ingest queue feeding the RIB Updater (bounded class-aware queue).
-  m.register_probe("ingest_depth_messages",
+  m.register_probe(probe_name("ingest_depth_messages"),
                    [this] { return static_cast<double>(pending_.size()); });
-  m.register_probe("ingest_depth_bytes",
+  m.register_probe(probe_name("ingest_depth_bytes"),
                    [this] { return static_cast<double>(pending_.bytes()); });
-  m.register_probe("ingest_peak_messages",
+  m.register_probe(probe_name("ingest_peak_messages"),
                    [this] { return static_cast<double>(pending_.peak_messages()); });
-  m.register_probe("ingest_peak_bytes",
+  m.register_probe(probe_name("ingest_peak_bytes"),
                    [this] { return static_cast<double>(pending_.peak_bytes()); });
-  m.register_probe("ingest_budget_overflows",
+  m.register_probe(probe_name("ingest_budget_overflows"),
                    [this] { return static_cast<double>(pending_.budget_overflows()); });
   for (const net::TrafficClass cls : kAllClasses) {
     const std::string label = net::to_string(cls);
-    m.register_probe(obs::labeled("ingest_enqueued", {{"class", label}}),
+    m.register_probe(probe_name("ingest_enqueued", {{"class", label}}),
                      [this, cls] { return static_cast<double>(pending_.counters(cls).enqueued); });
-    m.register_probe(obs::labeled("ingest_shed", {{"class", label}}),
+    m.register_probe(probe_name("ingest_shed", {{"class", label}}),
                      [this, cls] { return static_cast<double>(pending_.counters(cls).shed); });
-    m.register_probe(obs::labeled("ingest_shed_bytes", {{"class", label}}), [this, cls] {
+    m.register_probe(probe_name("ingest_shed_bytes", {{"class", label}}), [this, cls] {
       return static_cast<double>(pending_.counters(cls).shed_bytes);
     });
-    m.register_probe(obs::labeled("ingest_coalesced", {{"class", label}}), [this, cls] {
+    m.register_probe(probe_name("ingest_coalesced", {{"class", label}}), [this, cls] {
       return static_cast<double>(pending_.counters(cls).coalesced);
     });
   }
   // RIB updater + request table + session lifecycle.
-  m.register_probe("updates_applied", [this] { return static_cast<double>(updates_applied_); });
-  m.register_probe("fenced_updates", [this] { return static_cast<double>(fenced_updates_); });
-  m.register_probe("rx_decode_errors",
+  m.register_probe(probe_name("updates_applied"), [this] { return static_cast<double>(updates_applied_); });
+  m.register_probe(probe_name("fenced_updates"), [this] { return static_cast<double>(fenced_updates_); });
+  m.register_probe(probe_name("rx_decode_errors"),
                    [this] { return static_cast<double>(rx_decode_errors_); });
-  m.register_probe("inflight_requests",
+  m.register_probe(probe_name("inflight_requests"),
                    [this] { return static_cast<double>(inflight_.size()); });
-  m.register_probe("requests_completed",
+  m.register_probe(probe_name("requests_completed"),
                    [this] { return static_cast<double>(requests_completed_); });
-  m.register_probe("requests_retried",
+  m.register_probe(probe_name("requests_retried"),
                    [this] { return static_cast<double>(requests_retried_); });
-  m.register_probe("requests_failed", [this] { return static_cast<double>(requests_failed_); });
-  m.register_probe("policy_rollbacks",
+  m.register_probe(probe_name("requests_failed"), [this] { return static_cast<double>(requests_failed_); });
+  m.register_probe(probe_name("policy_rollbacks"),
                    [this] { return static_cast<double>(policy_rollbacks_); });
-  m.register_probe("policies_rejected",
+  m.register_probe(probe_name("policies_rejected"),
                    [this] { return static_cast<double>(policies_rejected_); });
   // Overload watchdog (docs/overload_protection.md).
-  m.register_probe("overload_state", [this] {
+  m.register_probe(probe_name("overload_state"), [this] {
     return static_cast<double>(static_cast<int>(overload_monitor_.state()));
   });
-  m.register_probe("overload_transitions",
+  m.register_probe(probe_name("overload_transitions"),
                    [this] { return static_cast<double>(overload_monitor_.transitions()); });
-  m.register_probe("updater_saturations",
+  m.register_probe(probe_name("updater_saturations"),
                    [this] { return static_cast<double>(updater_saturations_); });
-  m.register_probe("throttle_multiplier",
+  m.register_probe(probe_name("throttle_multiplier"),
                    [this] { return static_cast<double>(throttle_multiplier_); });
-  m.register_probe("throttle_renegotiations",
+  m.register_probe(probe_name("throttle_renegotiations"),
                    [this] { return static_cast<double>(throttle_renegotiations_); });
   // Task manager / control loop (Fig. 8 series + cycle-trace stages).
-  m.register_probe("cycles_run",
+  m.register_probe(probe_name("cycles_run"),
                    [this] { return static_cast<double>(task_manager_.cycles_run()); });
-  m.register_probe("commands_flushed",
+  m.register_probe(probe_name("commands_flushed"),
                    [this] { return static_cast<double>(task_manager_.commands_flushed()); });
-  m.register_probe("app_overruns",
+  m.register_probe(probe_name("app_overruns"),
                    [this] { return static_cast<double>(task_manager_.app_overruns()); });
-  m.register_probe("updater_overruns",
+  m.register_probe(probe_name("updater_overruns"),
                    [this] { return static_cast<double>(task_manager_.updater_overruns()); });
-  m.register_probe("idle_fraction", [this] { return task_manager_.mean_idle_fraction(); });
-  m.register_probe("snapshot_version",
+  m.register_probe(probe_name("idle_fraction"), [this] { return task_manager_.mean_idle_fraction(); });
+  m.register_probe(probe_name("snapshot_version"),
                    [this] { return static_cast<double>(snapshot_version()); });
-  m.register_probe("snapshot_publish_us_mean",
+  m.register_probe(probe_name("snapshot_publish_us_mean"),
                    [this] { return snapshot_publish_time_.mean(); });
-  m.register_probe("cycle_updater_us_mean", [this] { return trace_ring_.updater_us().mean(); });
-  m.register_probe("cycle_updater_us_max", [this] { return trace_ring_.updater_us().max(); });
-  m.register_probe("cycle_event_us_mean", [this] { return trace_ring_.event_us().mean(); });
-  m.register_probe("cycle_apps_us_mean", [this] { return trace_ring_.apps_us().mean(); });
-  m.register_probe("cycle_apps_us_max", [this] { return trace_ring_.apps_us().max(); });
-  m.register_probe("cycle_flush_us_mean", [this] { return trace_ring_.flush_us().mean(); });
-  m.register_probe("cycle_flush_us_max", [this] { return trace_ring_.flush_us().max(); });
+  m.register_probe(probe_name("cycle_updater_us_mean"), [this] { return trace_ring_.updater_us().mean(); });
+  m.register_probe(probe_name("cycle_updater_us_max"), [this] { return trace_ring_.updater_us().max(); });
+  m.register_probe(probe_name("cycle_event_us_mean"), [this] { return trace_ring_.event_us().mean(); });
+  m.register_probe(probe_name("cycle_apps_us_mean"), [this] { return trace_ring_.apps_us().mean(); });
+  m.register_probe(probe_name("cycle_apps_us_max"), [this] { return trace_ring_.apps_us().max(); });
+  m.register_probe(probe_name("cycle_flush_us_mean"), [this] { return trace_ring_.flush_us().mean(); });
+  m.register_probe(probe_name("cycle_flush_us_max"), [this] { return trace_ring_.flush_us().max(); });
   // Crash recovery (docs/fault_tolerance.md "Master restart"): the
   // recovering gauge, pacing counters and the time-to-resync histogram
   // (1ms .. ~16s, doubling -- re-syncs span wire RTTs to paced backlogs).
-  m.register_probe("recovering", [this] { return recovering_ ? 1.0 : 0.0; });
-  m.register_probe("master_restarts",
+  m.register_probe(probe_name("recovering"), [this] { return recovering_ ? 1.0 : 0.0; });
+  m.register_probe(probe_name("master_restarts"),
                    [this] { return static_cast<double>(master_restarts_); });
-  m.register_probe("resyncs_paced", [this] { return static_cast<double>(resyncs_paced_); });
-  m.register_probe("resyncs_admitted",
+  m.register_probe(probe_name("resyncs_paced"), [this] { return static_cast<double>(resyncs_paced_); });
+  m.register_probe(probe_name("resyncs_admitted"),
                    [this] { return static_cast<double>(resyncs_admitted_); });
-  m.register_probe("resyncs_waiting",
+  m.register_probe(probe_name("resyncs_waiting"),
                    [this] { return static_cast<double>(resync_queue_.size()); });
-  m.register_probe("commands_held_recovering",
+  m.register_probe(probe_name("commands_held_recovering"),
                    [this] { return static_cast<double>(commands_held_); });
-  m.register_probe("checkpoints_saved",
+  m.register_probe(probe_name("checkpoints_saved"),
                    [this] { return static_cast<double>(checkpoints_saved_); });
-  m.register_probe("policies_repushed",
+  m.register_probe(probe_name("policies_repushed"),
                    [this] { return static_cast<double>(policies_repushed_); });
-  resync_duration_ = &m.histogram("resync_duration_us", obs::exponential_bounds(1000.0, 2.0, 14));
+  resync_duration_ = &m.histogram(probe_name("resync_duration_us"), obs::exponential_bounds(1000.0, 2.0, 14));
 }
 
-void MasterController::register_agent_probes(AgentId id) {
-  auto& m = metrics_;
+void ShardCore::register_agent_probes(AgentId id) {
+  auto& m = *registry_;
   const std::string agent_label = std::to_string(id);
   for (const proto::MessageCategory category : kAllCategories) {
     const std::string cat_label = proto::to_string(category);
     m.register_probe(
-        obs::labeled("signaling_tx_bytes", {{"agent", agent_label}, {"category", cat_label}}),
+        probe_name("signaling_tx_bytes", {{"agent", agent_label}, {"category", cat_label}}),
         [this, id, category] {
           return static_cast<double>(tx_accounting(id).bytes(category));
         });
     m.register_probe(
-        obs::labeled("signaling_tx_messages",
+        probe_name("signaling_tx_messages",
                      {{"agent", agent_label}, {"category", cat_label}}),
         [this, id, category] {
           return static_cast<double>(tx_accounting(id).messages(category));
         });
     m.register_probe(
-        obs::labeled("signaling_rx_bytes", {{"agent", agent_label}, {"category", cat_label}}),
+        probe_name("signaling_rx_bytes", {{"agent", agent_label}, {"category", cat_label}}),
         [this, id, category] {
           return static_cast<double>(rx_accounting(id).bytes(category));
         });
     m.register_probe(
-        obs::labeled("signaling_rx_messages",
+        probe_name("signaling_rx_messages",
                      {{"agent", agent_label}, {"category", cat_label}}),
         [this, id, category] {
           return static_cast<double>(rx_accounting(id).messages(category));
@@ -1273,12 +1284,12 @@ void MasterController::register_agent_probes(AgentId id) {
   }
   // End-to-end control-latency histogram, fed by the Envelope timestamp
   // echo in apply_update. Buckets 250us .. ~512ms (doubling).
-  links_[id].latency = &m.histogram(obs::labeled("control_latency_us", {{"agent", agent_label}}),
+  links_[id].latency = &m.histogram(probe_name("control_latency_us", {{"agent", agent_label}}),
                                     obs::exponential_bounds(250.0, 2.0, 12));
 }
 
-void MasterController::register_app_probes(const std::string& name) {
-  auto& m = metrics_;
+void ShardCore::register_app_probes(const std::string& name) {
+  auto& m = *registry_;
   auto stat_probe = [this, name](auto select) {
     return [this, name, select]() -> double {
       for (const auto& stat : task_manager_.app_stats()) {
@@ -1287,15 +1298,15 @@ void MasterController::register_app_probes(const std::string& name) {
       return 0.0;
     };
   };
-  m.register_probe(obs::labeled("app_runs", {{"app", name}}),
+  m.register_probe(probe_name("app_runs", {{"app", name}}),
                    stat_probe([](const TaskManager::AppStat& s) {
                      return static_cast<double>(s.runs);
                    }));
-  m.register_probe(obs::labeled("app_wall_us_mean", {{"app", name}}),
+  m.register_probe(probe_name("app_wall_us_mean", {{"app", name}}),
                    stat_probe([](const TaskManager::AppStat& s) { return s.mean_wall_us; }));
-  m.register_probe(obs::labeled("app_wall_us_max", {{"app", name}}),
+  m.register_probe(probe_name("app_wall_us_max", {{"app", name}}),
                    stat_probe([](const TaskManager::AppStat& s) { return s.max_wall_us; }));
-  m.register_probe(obs::labeled("app_overruns", {{"app", name}}),
+  m.register_probe(probe_name("app_overruns", {{"app", name}}),
                    stat_probe([](const TaskManager::AppStat& s) {
                      return static_cast<double>(s.overruns);
                    }));

@@ -159,6 +159,22 @@ std::string labeled(std::string name,
   return name;
 }
 
+std::string labeled(std::string name,
+                    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return name;
+  name.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) name.push_back(',');
+    first = false;
+    name += key;
+    name.push_back('=');
+    name += value;
+  }
+  name.push_back('}');
+  return name;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];

@@ -91,6 +91,10 @@ std::vector<double> exponential_bounds(double start, double factor, std::size_t 
 /// Renders `name{k=v,...}` (no quotes; empty label list = bare name).
 std::string labeled(std::string name,
                     std::initializer_list<std::pair<const char*, std::string>> labels);
+/// Same, for label sets composed at runtime (e.g. a conditional `shard`
+/// label appended to a per-agent set).
+std::string labeled(std::string name,
+                    const std::vector<std::pair<std::string, std::string>>& labels);
 
 /// Named-instrument registry. Registration (counter/gauge/histogram/
 /// register_probe) takes a mutex and is expected at setup time; returned

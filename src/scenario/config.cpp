@@ -69,6 +69,11 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
   if (*period < 1) return util::Error::invalid_argument("stats_period_ttis must be >= 1");
   spec.stats_period_ttis = static_cast<std::uint32_t>(*period);
 
+  auto shards = read_int(root, "shards", static_cast<long long>(spec.shards));
+  if (!shards.ok()) return shards.error();
+  if (*shards < 1) return util::Error::invalid_argument("shards must be >= 1");
+  spec.shards = static_cast<std::size_t>(*shards);
+
   spec.remote_scheduler = read_string(root, "remote_scheduler", "false") == "true";
   auto ahead = read_int(root, "schedule_ahead_sf", spec.schedule_ahead_sf);
   if (!ahead.ok()) return ahead.error();
@@ -152,6 +157,14 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
     if (!id.ok()) return id.error();
     enb.enb_id = static_cast<lte::EnbId>(*id);
     enb.name = read_string(item, "name", "enb-" + std::to_string(enb.enb_id));
+    auto shard_pin = read_int(item, "shard", enb.shard);
+    if (!shard_pin.ok()) return shard_pin.error();
+    if (*shard_pin >= 0 && static_cast<std::size_t>(*shard_pin) >= spec.shards) {
+      return util::Error::invalid_argument("enb shard pin " + std::to_string(*shard_pin) +
+                                           " out of range for " + std::to_string(spec.shards) +
+                                           " shards");
+    }
+    enb.shard = *shard_pin;
     enb.dl_scheduler = read_string(item, "dl_scheduler", enb.dl_scheduler);
     enb.ul_scheduler = read_string(item, "ul_scheduler", enb.ul_scheduler);
     auto delay = read_double(item, "control_delay_ms", 0.0);
@@ -268,6 +281,13 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
       if (!fault_period.ok()) return fault_period.error();
       if (*fault_period <= 0) return util::Error::invalid_argument("period_s must be > 0");
       fault.period_s = *fault_period;
+      auto fault_shard = read_int(item, "shard", fault.shard);
+      if (!fault_shard.ok()) return fault_shard.error();
+      if (*fault_shard >= 0 && static_cast<std::size_t>(*fault_shard) >= spec.shards) {
+        return util::Error::invalid_argument("fault references unknown shard " +
+                                             std::to_string(*fault_shard));
+      }
+      fault.shard = static_cast<int>(*fault_shard);
       spec.faults.push_back(fault);
     }
   }
@@ -297,11 +317,16 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
       master_config.recovery.checkpoint_period_us = sim::from_seconds(spec.checkpoint_period_s);
     }
   }
-  Testbed testbed(std::move(master_config));
+  Testbed testbed(std::move(master_config), spec.shards);
   if (spec.remote_scheduler) {
-    apps::RemoteSchedulerConfig config;
-    config.schedule_ahead_sf = spec.schedule_ahead_sf;
-    testbed.master().add_app(std::make_unique<apps::RemoteSchedulerApp>(config));
+    // The centralized scheduler works one shard's agents on that shard's
+    // task manager: one instance per shard, not a composite app.
+    for (std::size_t i = 0; i < testbed.coordinator().shard_count(); ++i) {
+      apps::RemoteSchedulerConfig config;
+      config.schedule_ahead_sf = spec.schedule_ahead_sf;
+      testbed.coordinator().shard(i).add_app(
+          std::make_unique<apps::RemoteSchedulerApp>(config));
+    }
   }
 
   std::map<lte::EnbId, std::size_t> enb_index;
@@ -314,6 +339,7 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
     out.agent.ul_scheduler = enb_spec.ul_scheduler;
     out.agent.remote_fallback_ttis = enb_spec.remote_fallback_ttis;
     out.agent.fallback_scheduler = enb_spec.fallback_scheduler;
+    if (enb_spec.shard >= 0) out.shard = static_cast<std::size_t>(enb_spec.shard);
     out.uplink.delay = sim::from_ms(enb_spec.control_delay_ms);
     out.downlink.delay = sim::from_ms(enb_spec.control_delay_ms);
     if (enb_spec.control_rate_mbps > 0) {
@@ -398,7 +424,7 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
     testbed.on_tti([&testbed, &summary, period_ttis](std::int64_t tti) {
       if (tti % period_ttis == 0) {
         summary.metrics_json.push_back(
-            testbed.master().metrics().json(testbed.sim().now()));
+            testbed.coordinator().metrics().json(testbed.sim().now()));
       }
     });
   }
@@ -406,8 +432,8 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
   testbed.run_seconds(spec.duration_s);
 
   if (spec.observability) {
-    summary.metrics_json.push_back(testbed.master().metrics().json(testbed.sim().now()));
-    summary.metrics_prometheus = testbed.master().metrics().prometheus_text();
+    summary.metrics_json.push_back(testbed.coordinator().metrics().json(testbed.sim().now()));
+    summary.metrics_prometheus = testbed.coordinator().metrics().prometheus_text();
     summary.metrics_block = format_metrics_block(testbed);
   }
   summary.duration_s = spec.duration_s;
@@ -426,29 +452,29 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
         spec.duration_s);
     summary.ues.push_back(result);
   }
-  summary.master_cycles = testbed.master().cycles_run();
-  summary.rib_updates = testbed.master().updates_applied();
+  summary.master_cycles = testbed.coordinator().cycles_run();
+  summary.rib_updates = testbed.coordinator().updates_applied();
   std::uint64_t up_bytes = 0;
   std::uint64_t down_bytes = 0;
   for (auto& enb : testbed.enbs()) {
     up_bytes += enb->agent->tx_accounting().total_bytes();
-    down_bytes += testbed.master().tx_accounting(enb->agent_id).total_bytes();
+    down_bytes += testbed.coordinator().tx_accounting(enb->agent_id).total_bytes();
   }
   summary.uplink_signaling_mbps = Metrics::mbps(up_bytes, spec.duration_s);
   summary.downlink_signaling_mbps = Metrics::mbps(down_bytes, spec.duration_s);
   summary.faults_injected = injector.faults_injected();
-  summary.requests_retried = testbed.master().requests_retried();
-  summary.requests_failed = testbed.master().requests_failed();
-  summary.fenced_updates = testbed.master().fenced_updates();
+  summary.requests_retried = testbed.coordinator().requests_retried();
+  summary.requests_failed = testbed.coordinator().requests_failed();
+  summary.fenced_updates = testbed.coordinator().fenced_updates();
   for (auto& enb : testbed.enbs()) {
     ++summary.agents_total;
-    const auto* node = testbed.master().rib().find_agent(enb->agent_id);
+    const auto* node = testbed.coordinator().find_agent(enb->agent_id);
     if (node != nullptr) {
       summary.agent_reconnects += node->reconnects;
       if (node->state == ctrl::SessionState::up) ++summary.agents_up;
     }
   }
-  summary.policy_rollbacks = testbed.master().policy_rollbacks();
+  summary.policy_rollbacks = testbed.coordinator().policy_rollbacks();
   for (auto& enb : testbed.enbs()) {
     const auto& guard = enb->agent->vsf_guard();
     summary.vsf_failures += guard.vsf_failures();
@@ -464,21 +490,21 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
       ++summary.agents_on_valid_policy;
     }
   }
-  summary.overload_state = testbed.master().overload_state();
-  summary.overload_transitions = testbed.master().overload_transitions();
-  summary.ingest_shed = testbed.master().ingest_shed();
-  summary.ingest_coalesced = testbed.master().ingest_coalesced();
-  summary.ingest_peak_messages = testbed.master().pending_peak_messages();
-  summary.ingest_peak_bytes = testbed.master().pending_peak_bytes();
-  summary.throttle_renegotiations = testbed.master().throttle_renegotiations();
-  summary.updater_saturations = testbed.master().updater_saturations();
-  summary.master_restarts = testbed.master().master_restarts();
-  summary.resyncs_paced = testbed.master().resyncs_paced();
-  summary.commands_held = testbed.master().commands_held();
-  summary.checkpoints_saved = testbed.master().checkpoints_saved();
-  summary.policies_repushed = testbed.master().policies_repushed();
-  summary.recovering_at_end = testbed.master().recovering();
-  summary.time_to_ready_ms = sim::to_seconds(testbed.master().last_recovery_duration()) * 1e3;
+  summary.overload_state = testbed.coordinator().overload_state();
+  summary.overload_transitions = testbed.coordinator().overload_transitions();
+  summary.ingest_shed = testbed.coordinator().ingest_shed();
+  summary.ingest_coalesced = testbed.coordinator().ingest_coalesced();
+  summary.ingest_peak_messages = testbed.coordinator().pending_peak_messages();
+  summary.ingest_peak_bytes = testbed.coordinator().pending_peak_bytes();
+  summary.throttle_renegotiations = testbed.coordinator().throttle_renegotiations();
+  summary.updater_saturations = testbed.coordinator().updater_saturations();
+  summary.master_restarts = testbed.coordinator().master_restarts();
+  summary.resyncs_paced = testbed.coordinator().resyncs_paced();
+  summary.commands_held = testbed.coordinator().commands_held();
+  summary.checkpoints_saved = testbed.coordinator().checkpoints_saved();
+  summary.policies_repushed = testbed.coordinator().policies_repushed();
+  summary.recovering_at_end = testbed.coordinator().any_recovering();
+  summary.time_to_ready_ms = sim::to_seconds(testbed.coordinator().last_recovery_duration()) * 1e3;
   for (auto& enb : testbed.enbs()) {
     summary.fenced_incarnation_messages += enb->agent->fenced_incarnation_messages();
   }
@@ -493,6 +519,20 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
     link.downlink_dropped = enb->master_side->frames_dropped();
     link.downlink_shed = enb->master_side->frames_shed();
     summary.links.push_back(link);
+  }
+  summary.shards = testbed.coordinator().shard_count();
+  if (summary.shards > 1) {
+    for (std::size_t i = 0; i < summary.shards; ++i) {
+      const auto& core = testbed.coordinator().shard(i);
+      ScenarioRunSummary::ShardSummary shard;
+      shard.agents = core.rib().agents().size();
+      shard.rib_updates = core.updates_applied();
+      shard.ingest_shed = core.ingest_shed();
+      shard.master_restarts = core.master_restarts();
+      shard.overload_state = core.overload_state();
+      shard.recovering = core.recovering();
+      summary.shard_summaries.push_back(shard);
+    }
   }
   return summary;
 }
@@ -558,6 +598,15 @@ std::string format_summary(const ScenarioRunSummary& summary) {
         static_cast<unsigned long long>(summary.fenced_incarnation_messages),
         static_cast<unsigned long long>(summary.checkpoints_saved),
         static_cast<unsigned long long>(summary.policies_repushed));
+  }
+  for (std::size_t i = 0; i < summary.shard_summaries.size(); ++i) {
+    const auto& shard = summary.shard_summaries[i];
+    out += util::format(
+        "shard %zu: %zu agents, %llu RIB updates, %llu shed, %llu restarts, state=%s%s\n", i,
+        shard.agents, static_cast<unsigned long long>(shard.rib_updates),
+        static_cast<unsigned long long>(shard.ingest_shed),
+        static_cast<unsigned long long>(shard.master_restarts),
+        ctrl::to_string(shard.overload_state), shard.recovering ? " (RECOVERING)" : "");
   }
   for (std::size_t i = 0; i < summary.links.size(); ++i) {
     const auto& link = summary.links[i];

@@ -30,6 +30,9 @@ namespace flexran::scenario {
 struct ScenarioEnbSpec {
   lte::EnbId enb_id = 1;
   std::string name = "enb";
+  /// Pin this eNodeB's agent to an explicit shard (docs/sharded_control.md);
+  /// -1 = stable-hash placement. Only meaningful with `shards` > 1.
+  long long shard = -1;
   std::string dl_scheduler = "local_rr";
   std::string ul_scheduler = "local_rr";
   double control_delay_ms = 0.0;
@@ -66,7 +69,14 @@ struct ScenarioUeSpec {
 struct ScenarioSpec {
   double duration_s = 5.0;
   std::uint32_t stats_period_ttis = 1;
-  /// Run the centralized scheduler app at the master.
+  // ---- two-tier control plane (docs/sharded_control.md) ---------------------
+  /// ShardCore count under the Coordinator. 1 (default) is the classic
+  /// monolithic master; > 1 places agents by stable hash of their enb_id
+  /// (or a per-eNodeB `shard:` pin) and the summary grows per-shard lines.
+  std::size_t shards = 1;
+  /// Run the centralized scheduler app at the master (one instance per
+  /// shard when sharded -- the scheduler is a per-shard, not a composite,
+  /// app).
   bool remote_scheduler = false;
   int schedule_ahead_sf = 2;
   // ---- fault tolerance (docs/fault_tolerance.md) ----------------------------
@@ -191,6 +201,19 @@ struct ScenarioRunSummary {
     std::uint64_t downlink_shed = 0;
   };
   std::vector<LinkStats> links;
+  // ---- two-tier control plane (docs/sharded_control.md) ---------------------
+  /// Shard count the run used; the per-shard breakdown below is filled
+  /// only when > 1 (single-shard output stays byte-identical).
+  std::size_t shards = 1;
+  struct ShardSummary {
+    std::size_t agents = 0;
+    std::uint64_t rib_updates = 0;
+    std::uint64_t ingest_shed = 0;
+    std::uint64_t master_restarts = 0;
+    ctrl::OverloadState overload_state = ctrl::OverloadState::normal;
+    bool recovering = false;
+  };
+  std::vector<ShardSummary> shard_summaries;
   // ---- observability (docs/observability.md) --------------------------------
   /// True when the run had the metrics layer enabled (the fields below are
   /// empty otherwise).

@@ -187,17 +187,35 @@ void FaultInjector::apply(const FaultEvent& event) {
       break;
     }
     case FaultKind::master_crash: {
-      note(event, event.duration_s > 0
-                      ? util::format("restart in %.3fs", event.duration_s)
-                      : std::string("restart immediately"));
+      note(event, util::format("shard=%d %s", event.shard,
+                               event.duration_s > 0
+                                   ? util::format("restart in %.3fs", event.duration_s).c_str()
+                                   : "restart immediately"));
+      auto& coordinator = testbed_->coordinator();
+      const int shard = event.shard;
+      // A shard crash only takes down the links of the agents that shard
+      // owns -- its peers' control loops never notice. The blast radius IS
+      // the isolation property the two-tier split buys.
+      auto targets_shard = [&coordinator, shard](const Testbed::Enb& enb) {
+        if (shard < 0) return true;
+        const auto owner = coordinator.shard_of(enb.agent_id);
+        return owner.has_value() && *owner == static_cast<std::size_t>(shard);
+      };
       // The dead window: nothing is processed or delivered in either
       // direction -- exactly what the fleet observes of a crashed master.
-      for (auto& enb : testbed_->enbs()) enb->set_control_down(true);
-      testbed_->sim().after(sim::from_seconds(event.duration_s), [this] {
+      for (auto& enb : testbed_->enbs()) {
+        if (targets_shard(*enb)) enb->set_control_down(true);
+      }
+      testbed_->sim().after(sim::from_seconds(event.duration_s), [this, targets_shard, shard] {
         // Heal the links first so the restarted master's incarnation
         // announcement reaches the fleet.
-        for (auto& enb : testbed_->enbs()) enb->set_control_down(false);
-        testbed_->master().restart();
+        for (auto& enb : testbed_->enbs()) {
+          if (targets_shard(*enb)) enb->set_control_down(false);
+        }
+        auto& coord = testbed_->coordinator();
+        for (std::size_t i = 0; i < coord.shard_count(); ++i) {
+          if (shard < 0 || static_cast<std::size_t>(shard) == i) coord.shard(i).restart();
+        }
       });
       break;
     }

@@ -47,12 +47,13 @@ enum class FaultKind {
   /// and throttling must degrade statistics gracefully while commands
   /// keep flowing.
   report_flood,
-  /// Master process crash (docs/fault_tolerance.md "Master restart"): all
-  /// control links go dead both ways for duration_s, then the master
-  /// restarts in place -- volatile state (RIB, sessions, in-flight
-  /// requests, pending policies) is lost, a new incarnation is announced,
-  /// and the fleet re-syncs under admission pacing. `enb` is ignored (the
-  /// master is global).
+  /// Master process crash (docs/fault_tolerance.md "Master restart"): the
+  /// targeted shard's control links go dead both ways for duration_s, then
+  /// that shard restarts in place -- volatile state (RIB, sessions,
+  /// in-flight requests, pending policies) is lost, a new incarnation is
+  /// announced, and its fleet re-syncs under admission pacing. `enb` is
+  /// ignored; `shard` picks the crashing core (-1 = every shard, which on
+  /// a single-shard testbed is the classic whole-master crash).
   master_crash,
 };
 
@@ -73,6 +74,8 @@ struct FaultEvent {
   int count = 1;
   /// flap: length of each down (and each up) phase.
   double period_s = 0.05;
+  /// master_crash: shard index to crash; -1 = every shard.
+  int shard = -1;
 };
 
 class FaultInjector {

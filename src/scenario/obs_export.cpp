@@ -18,7 +18,10 @@ constexpr net::TrafficClass kAllClasses[] = {
 }  // namespace
 
 void register_testbed_probes(Testbed& testbed) {
-  auto& m = testbed.master().metrics();
+  // The coordinator's registry: shard 0's own on a single-shard testbed,
+  // the shared process-wide one when sharded. Agent/link probes are keyed
+  // by agent id and link index, which are globally unique either way.
+  auto& m = testbed.coordinator().metrics();
   for (std::size_t i = 0; i < testbed.enbs().size(); ++i) {
     Testbed::Enb* enb = testbed.enbs()[i].get();
     const std::string agent_label = std::to_string(enb->agent_id);
@@ -90,22 +93,26 @@ void register_testbed_probes(Testbed& testbed) {
 }
 
 std::string format_metrics_block(Testbed& testbed) {
-  auto& master = testbed.master();
-  const auto& traces = master.cycle_traces();
+  auto& coordinator = testbed.coordinator();
+  const auto& traces = testbed.master().cycle_traces();
   std::string out = util::format("metrics: %zu series, %llu cycles traced\n",
-                                 master.metrics().size(),
+                                 coordinator.metrics().size(),
                                  static_cast<unsigned long long>(traces.recorded()));
-  const auto updater = traces.updater_us();
-  const auto event = traces.event_us();
-  const auto apps = traces.apps_us();
-  const auto flush = traces.flush_us();
-  out += util::format(
-      "  cycle us (mean/max): updater %.1f/%.1f, events %.1f/%.1f, apps %.1f/%.1f, "
-      "flush %.1f/%.1f\n",
-      updater.mean(), updater.max(), event.mean(), event.max(), apps.mean(), apps.max(),
-      flush.mean(), flush.max());
+  for (std::size_t i = 0; i < coordinator.shard_count(); ++i) {
+    const auto& shard_traces = coordinator.shard(i).cycle_traces();
+    const auto updater = shard_traces.updater_us();
+    const auto event = shard_traces.event_us();
+    const auto apps = shard_traces.apps_us();
+    const auto flush = shard_traces.flush_us();
+    out += util::format(
+        "  %scycle us (mean/max): updater %.1f/%.1f, events %.1f/%.1f, apps %.1f/%.1f, "
+        "flush %.1f/%.1f\n",
+        coordinator.shard_count() > 1 ? util::format("shard %zu ", i).c_str() : "",
+        updater.mean(), updater.max(), event.mean(), event.max(), apps.mean(), apps.max(),
+        flush.mean(), flush.max());
+  }
   for (auto& enb : testbed.enbs()) {
-    const auto* latency = master.control_latency(enb->agent_id);
+    const auto* latency = coordinator.control_latency(enb->agent_id);
     if (latency == nullptr || latency->count() == 0) continue;
     out += util::format(
         "  control latency agent %u: p50 %.0f us, p95 %.0f us, p99 %.0f us (%llu samples)\n",
@@ -118,8 +125,8 @@ std::string format_metrics_block(Testbed& testbed) {
     std::uint64_t tx = 0;
     std::uint64_t rx = 0;
     for (auto& enb : testbed.enbs()) {
-      tx += master.tx_accounting(enb->agent_id).bytes(category);
-      rx += master.rx_accounting(enb->agent_id).bytes(category);
+      tx += coordinator.tx_accounting(enb->agent_id).bytes(category);
+      rx += coordinator.rx_accounting(enb->agent_id).bytes(category);
     }
     tx_part += util::format(" %s %llu", proto::to_string(category),
                             static_cast<unsigned long long>(tx));

@@ -2,14 +2,34 @@
 
 namespace flexran::scenario {
 
-Testbed::Testbed(ctrl::MasterConfig master_config)
-    : ticker_(sim_), master_(sim_, std::move(master_config)) {}
+namespace {
+ctrl::CoordinatorConfig coordinator_config(ctrl::MasterConfig master_config,
+                                           std::size_t shards) {
+  ctrl::CoordinatorConfig config;
+  config.shards = shards;
+  config.shard = std::move(master_config);
+  // Multi-shard runs must never share one checkpoint sink: the shards
+  // would clobber each other's saves and a restarted shard could restore
+  // its neighbor's agent set. Testbed runs are hermetic, so each shard
+  // gets its own in-memory sink (single-shard keeps the template's sink
+  // untouched, including one a test injected to inspect).
+  if (shards > 1 && config.shard.recovery.checkpoint_sink != nullptr) {
+    config.checkpoint_sink_factory = [](std::size_t) {
+      return std::make_shared<ctrl::MemoryCheckpointSink>();
+    };
+  }
+  return config;
+}
+}  // namespace
+
+Testbed::Testbed(ctrl::MasterConfig master_config, std::size_t shards)
+    : ticker_(sim_), coordinator_(sim_, coordinator_config(std::move(master_config), shards)) {}
 
 void Testbed::start_ticker() {
   if (ticker_started_) return;
   ticker_started_ = true;
   // Master cycle at 500; per-eNodeB subscriptions are added in add_enb.
-  ticker_.subscribe([this](std::int64_t) { master_.run_cycle(); }, 500);
+  ticker_.subscribe([this](std::int64_t) { coordinator_.run_cycle(); }, 500);
   ticker_.subscribe(
       [this](std::int64_t tti) {
         for (auto& hook : tti_hooks_) hook(tti);
@@ -32,7 +52,9 @@ Testbed::Enb& Testbed::add_enb(EnbSpec spec) {
   enb->transports = net::make_sim_transport_pair(sim_, spec.downlink, spec.uplink);
   enb->master_side = enb->transports.a.get();
   enb->agent_side = enb->transports.b.get();
-  enb->agent_id = master_.add_agent(*enb->master_side);
+  // The eNodeB identifier is the durable placement key: the same fleet
+  // hashes to the same shards run after run.
+  enb->agent_id = coordinator_.add_agent(*enb->master_side, spec.enb.enb_id, spec.shard);
   enb->agent->connect(*enb->agent_side);
   net::SimTransport* agent_side = enb->agent_side;
   enb->agent->set_reconnect_provider([agent_side]() -> net::Transport* {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "agent/agent.h"
+#include "controller/coordinator.h"
 #include "controller/master.h"
 #include "net/sim_transport.h"
 #include "phy/radio_env.h"
@@ -42,6 +43,9 @@ struct EnbSpec {
   /// Attach the cell to the shared interference environment.
   bool use_radio_env = false;
   std::uint64_t seed = 1;
+  /// Pin the agent to this shard instead of hash placement
+  /// (docs/sharded_control.md). Ignored on a single-shard testbed.
+  std::optional<std::size_t> shard;
 };
 
 class Testbed {
@@ -73,12 +77,21 @@ class Testbed {
     void restart_agent() { agent->schedule_reconnect(); }
   };
 
-  explicit Testbed(ctrl::MasterConfig master_config = {});
+  /// `shards` > 1 builds a two-tier control plane (docs/sharded_control.md):
+  /// `master_config` becomes the per-shard template and agents are placed
+  /// by a stable hash of their enb_id (or an EnbSpec::shard pin). The
+  /// default single shard is exactly the classic monolithic master.
+  explicit Testbed(ctrl::MasterConfig master_config = {}, std::size_t shards = 1);
 
   Enb& add_enb(EnbSpec spec);
 
   sim::Simulator& sim() { return sim_; }
-  ctrl::MasterController& master() { return master_; }
+  /// Shard 0's core -- with the default single shard, *the* master.
+  /// Single-shard tests/examples keep reading the control plane here;
+  /// multi-shard code goes through coordinator().
+  ctrl::MasterController& master() { return coordinator_.shard(0); }
+  ctrl::Coordinator& coordinator() { return coordinator_; }
+  const ctrl::Coordinator& coordinator() const { return coordinator_; }
   phy::RadioEnvironment& radio_env() { return env_; }
   stack::EpcStub& epc() { return epc_; }
   Metrics& metrics() { return metrics_; }
@@ -131,7 +144,7 @@ class Testbed {
   sim::Simulator sim_;
   sim::TtiTicker ticker_;
   phy::RadioEnvironment env_;
-  ctrl::MasterController master_;
+  ctrl::Coordinator coordinator_;
   stack::EpcStub epc_;
   Metrics metrics_;
   std::vector<std::unique_ptr<Enb>> enbs_;

@@ -1,0 +1,311 @@
+// Two-tier sharded control plane (docs/sharded_control.md): stable-hash
+// agent placement with explicit overrides, command routing to the owning
+// shard, the versioned composite snapshot for cross-shard applications,
+// per-shard checkpoint and metric identity, and the isolation property --
+// one shard's crash leaves the other shards' control loops running.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "apps/mobility_manager.h"
+#include "controller/checkpoint_sink.h"
+#include "controller/coordinator.h"
+#include "net/sim_transport.h"
+#include "phy/mobility.h"
+#include "scenario/fault_injector.h"
+#include "scenario/testbed.h"
+
+namespace flexran {
+namespace {
+
+using ctrl::Coordinator;
+using ctrl::SessionState;
+using scenario::Testbed;
+
+scenario::EnbSpec spec(lte::EnbId id, std::optional<std::size_t> shard = std::nullopt) {
+  scenario::EnbSpec s;
+  s.enb.enb_id = id;
+  s.enb.cells[0].cell_id = id;
+  s.agent.name = "enb-" + std::to_string(id);
+  s.shard = shard;
+  return s;
+}
+
+stack::UeProfile cqi_ue(int cqi, std::int64_t attach_after = 1) {
+  stack::UeProfile profile;
+  profile.dl_channel = std::make_unique<phy::FixedCqiChannel>(cqi);
+  profile.attach_after_ttis = attach_after;
+  return profile;
+}
+
+// ------------------------------------------------------------- assignment --
+
+TEST(ShardAssignment, HashIsDeterministicInRangeAndSpreads) {
+  std::set<std::size_t> hit;
+  for (std::uint64_t key = 1; key <= 64; ++key) {
+    const auto shard = Coordinator::assign_shard(key, 4);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, Coordinator::assign_shard(key, 4)) << "placement must be stable";
+    hit.insert(shard);
+  }
+  // FNV-1a over 64 sequential keys must not collapse onto one shard.
+  EXPECT_EQ(hit.size(), 4u);
+  // Single shard is always shard 0.
+  EXPECT_EQ(Coordinator::assign_shard(12345, 1), 0u);
+}
+
+TEST(ShardAssignment, HashPlacementAndExplicitPin) {
+  Testbed testbed({}, 4);
+  auto& hashed = testbed.add_enb(spec(7));
+  auto& pinned = testbed.add_enb(spec(8, 2));
+
+  auto& coordinator = testbed.coordinator();
+  ASSERT_EQ(coordinator.shard_count(), 4u);
+  EXPECT_EQ(coordinator.shard_of(hashed.agent_id), Coordinator::assign_shard(7, 4));
+  EXPECT_EQ(coordinator.shard_of(pinned.agent_id), 2u);
+  // Agent ids are allocated globally: unique across shards.
+  EXPECT_NE(hashed.agent_id, pinned.agent_id);
+  EXPECT_EQ(coordinator.agent_count(), 2u);
+}
+
+// ---------------------------------------------------------------- routing --
+
+TEST(ShardRouting, CommandsReachTheOwningShardOnly) {
+  Testbed testbed(scenario::per_tti_master_config(), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 1));
+  testbed.run_ttis(50);  // sessions up, configs fetched
+
+  auto& coordinator = testbed.coordinator();
+  // Each shard's RIB holds exactly its own agent.
+  EXPECT_NE(coordinator.shard(0).rib().find_agent(enb0.agent_id), nullptr);
+  EXPECT_EQ(coordinator.shard(0).rib().find_agent(enb1.agent_id), nullptr);
+  EXPECT_NE(coordinator.shard(1).rib().find_agent(enb1.agent_id), nullptr);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb0.agent_id), nullptr);
+
+  // A command sent through the Coordinator lands on the owning shard's
+  // transport: shard 1's tx accounting moves, shard 0's stays untouched.
+  const auto tx0_before = coordinator.shard(0).tx_accounting(enb0.agent_id).total_messages();
+  proto::DrxConfig drx;
+  drx.rnti = 70;
+  drx.cycle_ttis = 40;
+  ASSERT_TRUE(coordinator.send_drx_config(enb1.agent_id, drx).ok());
+  testbed.run_ttis(10);
+  coordinator.quiesce();
+  EXPECT_GT(coordinator.shard(1).tx_accounting(enb1.agent_id).total_messages(), 0u);
+  EXPECT_EQ(coordinator.shard(1).tx_accounting(enb0.agent_id).total_messages(), 0u);
+  EXPECT_EQ(coordinator.shard(0).tx_accounting(enb0.agent_id).total_messages(), tx0_before);
+  // The routed per-agent accessor agrees with the owning shard's view.
+  EXPECT_EQ(coordinator.tx_accounting(enb1.agent_id).total_messages(),
+            coordinator.shard(1).tx_accounting(enb1.agent_id).total_messages());
+}
+
+TEST(ShardRouting, UnknownAgentCommandsAreRejected) {
+  Testbed testbed({}, 2);
+  testbed.add_enb(spec(1, 0));
+
+  auto& coordinator = testbed.coordinator();
+  proto::HandoverCommand handover;
+  handover.rnti = 70;
+  const auto status = coordinator.send_handover(999, handover);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::Error::Code::not_found);
+  EXPECT_NE(status.error().message.find("not assigned"), std::string::npos)
+      << status.error().message;
+  proto::StatsRequest request;
+  EXPECT_FALSE(coordinator.request_stats(999, request).ok());
+  EXPECT_FALSE(coordinator.send_policy(999, "mac: {}\n").ok());
+  EXPECT_FALSE(coordinator.shard_of(999).has_value());
+  EXPECT_EQ(coordinator.find_agent(999), nullptr);
+}
+
+// ------------------------------------------------------ composite snapshot --
+
+TEST(CompositeSnapshot, UnionsShardsAndVersionIsSumOfShardVersions) {
+  Testbed testbed(scenario::per_tti_master_config(), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 1));
+  testbed.run_ttis(50);
+
+  auto& coordinator = testbed.coordinator();
+  const auto composite = coordinator.rib_snapshot();
+  EXPECT_NE(composite->find_agent(enb0.agent_id), nullptr);
+  EXPECT_NE(composite->find_agent(enb1.agent_id), nullptr);
+  EXPECT_EQ(composite->agents().size(), 2u);
+  EXPECT_EQ(composite->version(), coordinator.shard(0).rib_snapshot()->version() +
+                                      coordinator.shard(1).rib_snapshot()->version());
+  // Per-shard apps keep their shard-local view: one agent each.
+  EXPECT_EQ(coordinator.shard(0).rib_snapshot()->agents().size(), 1u);
+  EXPECT_EQ(coordinator.shard(1).rib_snapshot()->agents().size(), 1u);
+}
+
+TEST(CompositeSnapshot, CachedUntilAShardPublishesANewVersion) {
+  sim::Simulator sim;
+  ctrl::CoordinatorConfig config;
+  config.shards = 3;
+  Coordinator coordinator(sim, config);
+
+  const auto first = coordinator.rib_snapshot();
+  const auto second = coordinator.rib_snapshot();
+  EXPECT_EQ(first.get(), second.get()) << "idle fleet must reuse the cached composite";
+  EXPECT_EQ(coordinator.composites_built(), 1u);
+}
+
+// ------------------------------------------------------ cross-shard mobility --
+
+TEST(ShardedMobility, GlobalMobilityManagerCommandsCrossShardHandover) {
+  // The serving and the target cell live on DIFFERENT shards; the mobility
+  // manager runs as a global app on the composite view, so it sees both
+  // cells and its handover command is routed to the serving shard.
+  Testbed testbed(scenario::per_tti_master_config(), 2);
+  auto s1 = spec(1, 0);
+  s1.use_radio_env = true;
+  auto s2 = spec(2, 1);
+  s2.use_radio_env = true;
+  testbed.add_enb(s1);
+  testbed.add_enb(s2);
+  testbed.enable_x2();
+
+  apps::MobilityManagerConfig config;
+  config.hysteresis_db = 3.0;
+  config.evaluations_to_trigger = 3;
+  config.period_cycles = 20;
+  auto* app = static_cast<apps::MobilityManagerApp*>(
+      testbed.coordinator().add_app(std::make_unique<apps::MobilityManagerApp>(config)));
+
+  auto track = std::make_shared<phy::MobilityTrack>(
+      std::vector<phy::CellSite>{{1, phy::kMacroTxPowerDbm, 0.0, 0.0},
+                                 {2, phy::kMacroTxPowerDbm, 1.0, 0.0}},
+      std::vector<phy::MobilityTrack::Waypoint>{{0, 0.3, 0.0},
+                                                {sim::from_seconds(6), 0.8, 0.0}});
+  stack::UeProfile profile;
+  profile.mobility = track;
+  profile.attach_after_ttis = 10;
+  const auto ue_id = testbed.add_ue(0, std::move(profile));
+
+  testbed.run_seconds(7.0);
+  EXPECT_GE(app->handovers_commanded(), 1u);
+  auto location = testbed.locate_ue(ue_id);
+  ASSERT_TRUE(location.has_value());
+  EXPECT_EQ(location->enb_index, 1u) << "UE must end up at the cell owned by the other shard";
+}
+
+// -------------------------------------------------------------- isolation --
+
+TEST(ShardIsolation, OneShardCrashLeavesOtherShardsRunning) {
+  auto config = scenario::per_tti_master_config();
+  config.recovery.enabled = true;
+  config.agent_timeout_us = sim::from_ms(50.0);
+  config.agent_disconnect_timeout_us = sim::from_ms(200.0);
+  Testbed testbed(config, 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 1));
+  testbed.add_ue(0, cqi_ue(15));
+  testbed.add_ue(1, cqi_ue(15));
+  testbed.run_seconds(0.5);
+
+  auto& coordinator = testbed.coordinator();
+  ASSERT_EQ(coordinator.shard(0).rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  ASSERT_EQ(coordinator.shard(1).rib().find_agent(enb1.agent_id)->state, SessionState::up);
+
+  // Crash shard 0 for 300 ms through the chaos harness. Shard 1's agent
+  // links must stay untouched.
+  scenario::FaultInjector injector(testbed);
+  scenario::FaultEvent crash;
+  crash.at_s = 0.6;
+  crash.kind = scenario::FaultKind::master_crash;
+  crash.shard = 0;
+  crash.duration_s = 0.3;
+  injector.schedule(crash);
+
+  const auto shard1_cycles_before = coordinator.shard(1).cycles_run();
+  const auto shard1_updates_before = coordinator.shard(1).updates_applied();
+  testbed.run_seconds(0.5);  // t = 1.0s: inside + just past the dead window
+
+  // The crashed shard restarted; its peer never stopped cycling or
+  // applying RIB updates, and its agent never left `up`.
+  EXPECT_EQ(coordinator.shard(0).master_restarts(), 1u);
+  EXPECT_EQ(coordinator.shard(1).master_restarts(), 0u);
+  EXPECT_GT(coordinator.shard(1).cycles_run(), shard1_cycles_before + 400);
+  EXPECT_GT(coordinator.shard(1).updates_applied(), shard1_updates_before);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb1.agent_id)->state, SessionState::up);
+
+  testbed.run_seconds(1.0);  // let shard 0's fleet re-sync
+  EXPECT_FALSE(coordinator.any_recovering());
+  EXPECT_EQ(coordinator.shard(0).rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.master_restarts(), 1u);
+}
+
+// ------------------------------------------------------------- checkpoints --
+
+TEST(ShardedCheckpoints, ShardPathsAreDistinctUnderOneDirectory) {
+  EXPECT_EQ(ctrl::FileCheckpointSink::shard_path("ckpt", 0), "ckpt/shard-0.ckpt");
+  EXPECT_EQ(ctrl::FileCheckpointSink::shard_path("ckpt/", 3), "ckpt/shard-3.ckpt");
+  EXPECT_NE(ctrl::FileCheckpointSink::shard_path("ckpt", 1),
+            ctrl::FileCheckpointSink::shard_path("ckpt", 2));
+}
+
+TEST(ShardedCheckpoints, SinkFactoryGivesEveryShardItsOwnSink) {
+  auto config = scenario::per_tti_master_config();
+  config.recovery.enabled = true;
+  config.recovery.checkpoint_period_us = sim::from_ms(100.0);
+
+  std::vector<std::shared_ptr<ctrl::MemoryCheckpointSink>> sinks(2);
+  // Build the testbed's coordinator by hand so the factory can be wired.
+  sim::Simulator sim;
+  ctrl::CoordinatorConfig coordinator_config;
+  coordinator_config.shards = 2;
+  coordinator_config.shard = config;
+  coordinator_config.checkpoint_sink_factory = [&sinks](std::size_t shard) {
+    sinks[shard] = std::make_shared<ctrl::MemoryCheckpointSink>();
+    return sinks[shard];
+  };
+  Coordinator coordinator(sim, coordinator_config);
+
+  auto link0 = net::make_sim_transport_pair(sim);
+  auto link1 = net::make_sim_transport_pair(sim);
+  const auto id0 = coordinator.add_agent(*link0.a, 1);
+  const auto id1 = coordinator.add_agent(*link1.a, 2);
+  EXPECT_NE(id0, id1);
+  ASSERT_TRUE(coordinator.shard(0).save_checkpoint().ok());
+  ASSERT_TRUE(coordinator.shard(1).save_checkpoint().ok());
+  ASSERT_NE(sinks[0], nullptr);
+  ASSERT_NE(sinks[1], nullptr);
+  EXPECT_NE(sinks[0], sinks[1]);
+  EXPECT_EQ(sinks[0]->saves(), 1u);
+  EXPECT_EQ(sinks[1]->saves(), 1u);
+}
+
+// ----------------------------------------------------------- observability --
+
+TEST(ShardedObs, SharedRegistryKeepsPerShardMetricIdentities) {
+  auto config = scenario::per_tti_master_config();
+  config.obs.enabled = true;
+  Testbed testbed(config, 2);
+  testbed.add_enb(spec(1, 0));
+  testbed.add_enb(spec(2, 1));
+  testbed.run_ttis(50);
+
+  // One registry for the whole process; every shard's probes carry its
+  // `shard` label, so identities never collide.
+  const auto text = testbed.coordinator().metrics().prometheus_text();
+  EXPECT_NE(text.find("cycles_run{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("cycles_run{shard=\"1\"}"), std::string::npos);
+  EXPECT_NE(text.find("updates_applied{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("updates_applied{shard=\"1\"}"), std::string::npos);
+
+  // A single-shard testbed keeps the unlabeled (seed) names.
+  auto single_config = scenario::per_tti_master_config();
+  single_config.obs.enabled = true;
+  Testbed single(single_config);
+  single.add_enb(spec(1));
+  single.run_ttis(10);
+  const auto single_text = single.coordinator().metrics().prometheus_text();
+  EXPECT_NE(single_text.find("cycles_run "), std::string::npos);
+  EXPECT_EQ(single_text.find("cycles_run{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexran

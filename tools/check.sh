@@ -7,9 +7,10 @@
 # The address leg builds the tree under ASan+UBSan, runs the full ctest
 # suite, and drives the chaos scenario through the instrumented flexran-sim
 # binary. The thread leg builds under TSan and runs the concurrency surface
-# -- the controller, concurrency, integration and fault-tolerance suites
-# (parallel app execution, snapshot publishing, batched command flushing)
-# -- plus the chaos scenario.
+# -- the controller, concurrency, integration, fault-tolerance and
+# sharded suites (parallel app execution, snapshot publishing, batched
+# command flushing, concurrent shard app slots) -- plus the chaos
+# scenarios.
 #
 # Usage:
 #   tools/check.sh                 # address,undefined (the default)
@@ -31,7 +32,7 @@ cmake --build "${build_dir}" -j "${jobs}"
 if [[ "${sanitize}" == "thread" ]]; then
   # TSan finds races, not leaks/UB; run the suites that exercise the
   # worker pool and the snapshot/command paths, as whole binaries.
-  for t in controller_test concurrency_test integration_test fault_tolerance_test obs_test; do
+  for t in controller_test concurrency_test integration_test fault_tolerance_test obs_test sharded_test; do
     echo "== ${t} under ${sanitize}"
     "${build_dir}/tests/${t}"
   done
@@ -63,6 +64,14 @@ fi
 # sanitizer legs (restart() touches every controller subsystem).
 echo "== master-crash chaos scenario under ${sanitize}"
 "${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/chaos_master.yaml"
+
+# Two-tier sharded control plane: four agents split across two ShardCores,
+# a fleet-wide report flood, then a crash of shard 0 alone -- per-shard
+# bounded queues, per-shard checkpoints/recovery and the cross-shard
+# isolation property, with shard app slots running concurrently on both
+# sanitizer legs.
+echo "== sharded-scale chaos scenario under ${sanitize}"
+"${build_dir}/tools/flexran-sim" "${repo_root}/scenarios/sharded_scale.yaml"
 
 # Observability: metrics registry, cycle tracing and the timestamp echo
 # enabled on a chaos run -- probes read every migrated counter while the
