@@ -210,6 +210,79 @@ MasterRestartRun measure_master_restart(int agents, bool warm) {
   return run;
 }
 
+struct ShardFailoverRun {
+  int shards = 0;
+  int agents = 0;
+  bool warm = false;
+  double failover_ms = -1.0;
+  double orphan_window_ms = 0.0;
+  std::uint64_t adopted = 0;
+  std::uint64_t warm_adoptions = 0;
+  std::uint64_t cold_adoptions = 0;
+  std::uint64_t pending = 0;
+  int agents_up = 0;
+};
+
+// Part 3 ("Shard failover", docs/sharded_control.md): kill shard 0 of an
+// N-shard coordinator and measure kill -> every orphan back up on its
+// adopter. Warm reuses the dead shard's last checkpoint (delta re-sync at
+// the adopter); cold pays the full re-sync including the config fetch
+// round trip over the 5ms backhaul.
+ShardFailoverRun measure_shard_failover(int shards, bool warm) {
+  constexpr double kWarmupS = 1.5;
+  constexpr double kSettleS = 3.0;
+
+  ctrl::MasterConfig master_config = scenario::per_tti_master_config(/*stats_period_ttis=*/2);
+  master_config.agent_timeout_us = sim::from_ms(50.0);
+  master_config.agent_disconnect_timeout_us = sim::from_ms(200.0);
+  master_config.request_timeout_us = sim::from_ms(30.0);
+  master_config.recovery.enabled = true;
+  master_config.recovery.resync_tokens_per_s = 50.0;
+  master_config.recovery.resync_burst = 1.0;
+  master_config.recovery.resync_retry_after_ms = 20.0;
+  master_config.recovery.readiness_quorum = 1.0;
+  master_config.recovery.readiness_timeout_us = sim::from_ms(4000.0);
+  if (warm) {
+    // The testbed turns the template sink into a per-shard factory, so the
+    // dead shard's checkpoint is its own, not a shared file.
+    master_config.recovery.checkpoint_sink = std::make_shared<ctrl::MemoryCheckpointSink>();
+    master_config.recovery.checkpoint_period_us = sim::from_ms(200.0);
+  }
+  scenario::Testbed testbed(std::move(master_config), static_cast<std::size_t>(shards));
+
+  const int agents = 2 * shards;
+  for (int i = 0; i < agents; ++i) {
+    scenario::EnbSpec spec = bench::basic_enb(static_cast<lte::EnbId>(i + 1), "fleet");
+    spec.shard = static_cast<std::size_t>(i % shards);
+    spec.uplink.delay = sim::from_ms(5.0);
+    spec.downlink.delay = sim::from_ms(5.0);
+    testbed.add_enb(spec);
+  }
+
+  testbed.run_seconds(kWarmupS);
+  auto& coordinator = testbed.coordinator();
+  (void)coordinator.kill_shard(0);
+  testbed.run_seconds(kSettleS);
+
+  ShardFailoverRun run;
+  run.shards = shards;
+  run.agents = agents;
+  run.warm = warm;
+  if (coordinator.last_failover_duration() > 0 && coordinator.failover_pending() == 0) {
+    run.failover_ms = sim::to_seconds(coordinator.last_failover_duration()) * 1e3;
+  }
+  run.orphan_window_ms = sim::to_seconds(coordinator.last_orphan_window()) * 1e3;
+  run.adopted = coordinator.agents_adopted();
+  run.warm_adoptions = coordinator.warm_adoptions();
+  run.cold_adoptions = coordinator.cold_adoptions();
+  run.pending = coordinator.failover_pending();
+  for (auto& enb : testbed.enbs()) {
+    const auto* node = coordinator.find_agent(enb->agent_id);
+    if (node != nullptr && node->state == ctrl::SessionState::up) ++run.agents_up;
+  }
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,6 +346,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  print_header("Shard failover: kill shard 0 -> orphans adopted and back up, cold vs warm");
+  std::printf("%8s %8s %8s %18s %10s %10s %10s\n", "shards", "agents", "mode",
+              "failover(ms)", "adopted", "warm/cold", "up");
+  std::vector<ShardFailoverRun> failovers;
+  for (const int shards : {2, 4, 8}) {
+    for (const bool warm : {false, true}) {
+      ShardFailoverRun run = measure_shard_failover(shards, warm);
+      std::printf("%8d %8d %8s %18.2f %10llu %6llu/%-3llu %7d/%d\n", run.shards, run.agents,
+                  run.warm ? "warm" : "cold", run.failover_ms,
+                  static_cast<unsigned long long>(run.adopted),
+                  static_cast<unsigned long long>(run.warm_adoptions),
+                  static_cast<unsigned long long>(run.cold_adoptions), run.agents_up,
+                  run.agents);
+      failovers.push_back(run);
+    }
+  }
+
   const char* json_path = argc > 1 ? argv[1] : "BENCH_master_recovery.json";
   std::ofstream out(json_path);
   out << "{" << flexran::bench::json_header("master_restart_recovery",
@@ -292,6 +382,22 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(run.commands_held),
                   static_cast<unsigned long long>(run.policies_repushed),
                   run.agents_up, i + 1 < restarts.size() ? "," : "");
+    out << buffer;
+  }
+  out << "],\n\"failover_runs\":[\n";
+  for (std::size_t i = 0; i < failovers.size(); ++i) {
+    const ShardFailoverRun& run = failovers[i];
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "  {\"shards\":%d,\"agents\":%d,\"mode\":\"%s\",\"failover_ms\":%.3f,"
+                  "\"orphan_window_ms\":%.3f,\"adopted\":%llu,\"warm_adoptions\":%llu,"
+                  "\"cold_adoptions\":%llu,\"pending\":%llu,\"agents_up\":%d}%s\n",
+                  run.shards, run.agents, run.warm ? "warm" : "cold", run.failover_ms,
+                  run.orphan_window_ms, static_cast<unsigned long long>(run.adopted),
+                  static_cast<unsigned long long>(run.warm_adoptions),
+                  static_cast<unsigned long long>(run.cold_adoptions),
+                  static_cast<unsigned long long>(run.pending), run.agents_up,
+                  i + 1 < failovers.size() ? "," : "");
     out << buffer;
   }
   out << "]}\n";

@@ -44,6 +44,29 @@ Coordinator::Coordinator(sim::Simulator& sim, CoordinatorConfig config)
     }
     shards_.push_back(std::make_unique<ShardCore>(sim_, std::move(shard_config)));
   }
+  shard_states_.resize(count);
+  if (count > 1 && config_.shard.obs.enabled) register_failover_probes();
+}
+
+void Coordinator::register_failover_probes() {
+  metrics_.register_probe("coordinator_shards_failed",
+                          [this] { return static_cast<double>(shards_failed_); });
+  metrics_.register_probe("coordinator_agents_adopted",
+                          [this] { return static_cast<double>(agents_adopted_); });
+  metrics_.register_probe("coordinator_warm_adoptions",
+                          [this] { return static_cast<double>(warm_adoptions_); });
+  metrics_.register_probe("coordinator_cold_adoptions",
+                          [this] { return static_cast<double>(cold_adoptions_); });
+  metrics_.register_probe("coordinator_agents_drained",
+                          [this] { return static_cast<double>(agents_drained_); });
+  metrics_.register_probe("coordinator_agents_orphaned",
+                          [this] { return static_cast<double>(agents_orphaned_); });
+  metrics_.register_probe("coordinator_failover_pending",
+                          [this] { return static_cast<double>(failover_pending_.size()); });
+  metrics_.register_probe("coordinator_orphan_window_us",
+                          [this] { return static_cast<double>(last_orphan_window_); });
+  metrics_.register_probe("coordinator_failover_duration_us",
+                          [this] { return static_cast<double>(last_failover_duration_); });
 }
 
 AgentId Coordinator::add_agent(net::Transport& transport, std::uint64_t stable_key,
@@ -53,23 +76,75 @@ AgentId Coordinator::add_agent(net::Transport& transport, std::uint64_t stable_k
     FLEXRAN_LOG(warn, "coordinator") << "shard override " << index << " out of range, hashing";
     index = assign_shard(stable_key, shards_.size());
   }
+  if (shard_states_[index].health != ShardHealth::alive) {
+    // Never place a new agent on a failed/draining shard: the same
+    // rendezvous re-hash that spreads a dead shard's fleet picks the home.
+    const std::size_t fallback = rehome_target(stable_key, index);
+    if (fallback != kNoShard) index = fallback;
+  }
   // Ids are allocated globally so they are unique across shards and the
   // composite view (a shard's own sequence would collide with its peers').
   const AgentId id = next_agent_id_++;
   shards_[index]->add_agent(transport, id);
-  assignment_[id] = index;
+  shards_[index]->publish_now();
+  assignment_[id] = AgentRecord{index, stable_key, &transport};
+  composite_ = nullptr;  // topology changed: the cached union is stale
   return id;
 }
 
 void Coordinator::remove_agent(AgentId id) {
   auto it = assignment_.find(id);
   if (it == assignment_.end()) return;
-  shards_[it->second]->remove_agent(id);
+  shards_[it->second.shard]->remove_agent(id);
+  // Republish and invalidate right here: the owning shard may not cycle
+  // for a while, and until it does the removed agent would stay visible
+  // in the cached union.
+  if (shard_active(it->second.shard)) shards_[it->second.shard]->publish_now();
   assignment_.erase(it);
+  failover_pending_.erase(id);
+  std::erase(drain_queue_, id);
+  composite_ = nullptr;
 }
 
 void Coordinator::run_cycle() {
-  for (auto& shard : shards_) shard->run_cycle();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& state = shard_states_[i];
+    if (!shard_active(i)) continue;
+    try {
+      shards_[i]->run_cycle();
+    } catch (const std::exception& e) {
+      FLEXRAN_LOG(error, "coordinator") << "shard " << i
+                                        << " threw out of run_cycle: " << e.what();
+      if (state.suspect_since == 0) state.suspect_since = sim_.now();
+      fail_shard(i, e.what());
+      continue;
+    }
+    // Cycle-stall watchdog: a shard whose task manager stops completing
+    // cycles while it still owns agents is as dead as one that throws.
+    const std::int64_t cycles = shards_[i]->cycles_run();
+    if (cycles != state.last_cycles) {
+      state.last_cycles = cycles;
+      state.stalled_for = 0;
+      state.suspect_since = 0;
+    } else if (config_.shard_stall_cycles > 0 && state.health == ShardHealth::alive) {
+      bool owns_agents = false;
+      for (const auto& [id, record] : assignment_) {
+        (void)id;
+        if (record.shard == i) {
+          owns_agents = true;
+          break;
+        }
+      }
+      if (owns_agents) {
+        if (state.stalled_for == 0) state.suspect_since = sim_.now();
+        if (++state.stalled_for >= config_.shard_stall_cycles) {
+          fail_shard(i, "stopped completing cycles");
+        }
+      }
+    }
+  }
+  step_drain();
+  poll_failover();
   const std::int64_t cycle = cycles_++;
   if (apps_.empty()) return;
   // Global slot: mirrored shard events first (each shard's own apps
@@ -105,17 +180,210 @@ void Coordinator::install_event_taps() {
 std::optional<std::size_t> Coordinator::shard_of(AgentId id) const {
   auto it = assignment_.find(id);
   if (it == assignment_.end()) return std::nullopt;
-  return it->second;
+  return it->second.shard;
 }
 
 ShardCore* Coordinator::owner(AgentId id) {
   auto it = assignment_.find(id);
-  return it == assignment_.end() ? nullptr : shards_[it->second].get();
+  return it == assignment_.end() ? nullptr : shards_[it->second.shard].get();
 }
 
 const ShardCore* Coordinator::owner(AgentId id) const {
   auto it = assignment_.find(id);
-  return it == assignment_.end() ? nullptr : shards_[it->second].get();
+  return it == assignment_.end() ? nullptr : shards_[it->second.shard].get();
+}
+
+// ------------------------------------------------------- failover / drain
+
+std::size_t Coordinator::rehome_target(std::uint64_t stable_key, std::size_t exclude) const {
+  std::size_t best = kNoShard;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i == exclude || shard_states_[i].health != ShardHealth::alive) continue;
+    // Highest-random-weight: key and shard index hashed together, so each
+    // agent ranks the survivors independently and the orphaned fleet
+    // spreads instead of dog-piling one shard.
+    const std::uint64_t score = fnv1a(stable_key ^ fnv1a(i + 1));
+    if (best == kNoShard || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void Coordinator::rehome_agent(AgentId id, std::size_t target,
+                               const proto::CheckpointAgent* durable,
+                               std::uint32_t floor_incarnation) {
+  AgentRecord& record = assignment_.at(id);
+  shards_[record.shard]->remove_agent(id);
+  // A draining source keeps contributing to the union; republish it so the
+  // moved agent never appears in two parts at once. (A failed source is
+  // excluded from the union outright.)
+  if (shard_active(record.shard)) shards_[record.shard]->publish_now();
+  ShardCore& adopter = *shards_[target];
+  // The adopter must not fence behind the dead shard: agents drop frames
+  // carrying a strictly older incarnation than the last one they saw.
+  adopter.bump_incarnation(floor_incarnation);
+  adopter.adopt_agent(*record.transport, id, durable);
+  durable != nullptr ? ++warm_adoptions_ : ++cold_adoptions_;
+  ++agents_adopted_;
+  record.shard = target;
+  failover_pending_.insert(id);
+  // The assignment and the composite view move together: the adopter
+  // publishes the adoptee before control returns to any caller.
+  adopter.publish_now();
+  composite_ = nullptr;
+}
+
+void Coordinator::fail_shard(std::size_t index, const char* reason) {
+  ShardState& state = shard_states_[index];
+  if (state.health == ShardHealth::failed) return;
+  state.health = ShardHealth::failed;
+  ++shards_failed_;
+  if (draining_shard_ == index) {
+    // A drain interrupted by death: the rest fails over like any orphan.
+    drain_queue_.clear();
+    draining_shard_ = kNoShard;
+  }
+  const sim::TimeUs suspected = state.suspect_since != 0 ? state.suspect_since : sim_.now();
+  failover_started_at_ = suspected;
+  last_failover_duration_ = 0;
+  ShardCore& dead = *shards_[index];
+  // Join whatever app slot the dead core still has in flight so no worker
+  // touches its batches mid-adoption. A throwing core may throw here too;
+  // failover must proceed regardless.
+  try {
+    dead.quiesce();
+  } catch (const std::exception&) {
+  }
+  // Warm-handoff state: decode the dead shard's last checkpoint directly.
+  // restart()'s wrong-shard gate does not apply -- this is an explicit
+  // cross-shard read by the tier that owns the topology.
+  std::map<AgentId, proto::CheckpointAgent> durable;
+  std::uint32_t dead_incarnation = dead.incarnation();
+  if (const auto& sink = dead.checkpoint_sink(); sink != nullptr) {
+    if (auto bytes = sink->load(); bytes.ok()) {
+      if (auto checkpoint = proto::MasterCheckpoint::decode(*bytes); checkpoint.ok()) {
+        dead_incarnation = std::max(dead_incarnation, checkpoint->incarnation);
+        for (auto& agent : checkpoint->agents) durable[agent.id] = std::move(agent);
+      }
+    }
+  }
+  // Re-home every orphan by rendezvous re-hash over the survivors. The
+  // assignment map and the composite cache are rewritten before control
+  // returns: no caller ever observes an agent still assigned to a failed
+  // shard next to a composite that contains it.
+  std::vector<AgentId> orphans;
+  for (const auto& [id, record] : assignment_) {
+    if (record.shard == index) orphans.push_back(id);
+  }
+  std::size_t adopted = 0;
+  for (const AgentId id : orphans) {
+    const std::size_t target = rehome_target(assignment_.at(id).stable_key, index);
+    if (target == kNoShard) {
+      ++agents_orphaned_;
+      continue;  // no survivor: the agent stays orphaned (last shard down)
+    }
+    auto durable_it = durable.find(id);
+    rehome_agent(id, target, durable_it != durable.end() ? &durable_it->second : nullptr,
+                 dead_incarnation);
+    ++adopted;
+  }
+  last_orphan_window_ = sim_.now() - suspected;
+  composite_ = nullptr;
+  FLEXRAN_LOG(warn, "coordinator") << "shard " << index << " failed (" << reason << "): "
+                                   << adopted << "/" << orphans.size()
+                                   << " agents re-homed to survivors";
+}
+
+std::size_t Coordinator::kill_shard(std::size_t index) {
+  if (index >= shards_.size() || shard_states_[index].health == ShardHealth::failed) return 0;
+  if (shard_states_[index].suspect_since == 0) {
+    shard_states_[index].suspect_since = sim_.now();
+  }
+  const std::uint64_t before = agents_adopted_;
+  fail_shard(index, "killed");
+  return static_cast<std::size_t>(agents_adopted_ - before);
+}
+
+util::Status Coordinator::drain_shard(std::size_t index) {
+  if (index >= shards_.size()) return util::Error::invalid_argument("no such shard");
+  if (shard_states_[index].health != ShardHealth::alive) {
+    return util::Error::conflict("shard is not alive");
+  }
+  if (draining_shard_ != kNoShard) {
+    return util::Error::conflict("another drain is already in progress");
+  }
+  bool survivor = false;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i != index && shard_states_[i].health == ShardHealth::alive) survivor = true;
+  }
+  if (!survivor) return util::Error::conflict("no surviving shard to drain into");
+  // Quiesce once up front: in-flight app batches flush before the first
+  // agent moves, so no command lands on a link the shard no longer owns.
+  shards_[index]->quiesce();
+  shard_states_[index].health = ShardHealth::draining;
+  draining_shard_ = index;
+  for (const auto& [id, record] : assignment_) {
+    if (record.shard == index) drain_queue_.push_back(id);
+  }
+  if (drain_queue_.empty()) {
+    shard_states_[index].health = ShardHealth::drained;
+    draining_shard_ = kNoShard;
+  }
+  return {};
+}
+
+void Coordinator::step_drain() {
+  if (draining_shard_ == kNoShard) return;
+  // One agent per coordinator cycle: the handoff is paced so the adopters'
+  // re-sync admission never sees a thundering herd.
+  while (!drain_queue_.empty()) {
+    const AgentId id = drain_queue_.front();
+    drain_queue_.pop_front();
+    auto it = assignment_.find(id);
+    if (it == assignment_.end() || it->second.shard != draining_shard_) continue;
+    const std::size_t target = rehome_target(it->second.stable_key, draining_shard_);
+    if (target == kNoShard) {
+      drain_queue_.push_front(id);  // survivors vanished mid-drain: retry
+      return;
+    }
+    ShardCore& source = *shards_[draining_shard_];
+    source.quiesce();  // flush batched commands before the link moves
+    // Live export beats the checkpoint sink: a planned migration hands
+    // over state as of *now*, not as of the last periodic save.
+    const proto::CheckpointAgent durable = source.export_agent(id);
+    const bool warm = durable.epoch != 0 || !durable.name.empty();
+    if (failover_pending_.empty()) {
+      failover_started_at_ = sim_.now();
+      last_failover_duration_ = 0;
+    }
+    rehome_agent(id, target, warm ? &durable : nullptr, source.incarnation());
+    ++agents_drained_;
+    break;
+  }
+  if (drain_queue_.empty()) {
+    shard_states_[draining_shard_].health = ShardHealth::drained;
+    draining_shard_ = kNoShard;
+  }
+}
+
+void Coordinator::poll_failover() {
+  if (failover_pending_.empty()) return;
+  for (auto it = failover_pending_.begin(); it != failover_pending_.end();) {
+    const AgentNode* node = find_agent(*it);
+    if (node != nullptr && node->state == SessionState::up) {
+      it = failover_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (failover_pending_.empty()) {
+    last_failover_duration_ = sim_.now() - failover_started_at_;
+    FLEXRAN_LOG(info, "coordinator") << "failover complete: adopted fleet back up in "
+                                     << last_failover_duration_ / 1000 << " ms";
+  }
 }
 
 // ------------------------------------------------------------- composite
@@ -125,14 +393,18 @@ std::shared_ptr<const RibSnapshot> Coordinator::rib_snapshot() const {
   std::vector<std::shared_ptr<const RibSnapshot>> parts;
   parts.reserve(shards_.size());
   bool stale = composite_ == nullptr || composed_versions_.size() != shards_.size();
+  std::vector<std::uint64_t> versions(shards_.size(), 0);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // A failed or drained shard's frozen snapshot would keep its moved
+    // agents visible in the union forever: exclude it outright.
+    if (!shard_active(i)) continue;
     parts.push_back(shards_[i]->rib_snapshot());
-    if (!stale && parts[i]->version() != composed_versions_[i]) stale = true;
+    versions[i] = parts.back()->version();
   }
+  if (!stale && versions != composed_versions_) stale = true;
   if (!stale) return composite_;
   composite_ = RibSnapshot::compose(parts);
-  composed_versions_.resize(shards_.size());
-  for (std::size_t i = 0; i < shards_.size(); ++i) composed_versions_[i] = parts[i]->version();
+  composed_versions_ = std::move(versions);
   ++composites_built_;
   return composite_;
 }
@@ -300,16 +572,19 @@ std::uint64_t Coordinator::policies_repushed() const {
 }
 
 OverloadState Coordinator::overload_state() const {
+  // Failed/drained shards no longer serve anyone; their frozen state must
+  // not keep the fleet "overloaded" (or "recovering", below) forever.
   OverloadState worst = OverloadState::normal;
-  for (const auto& shard : shards_) {
-    if (shard->overload_state() > worst) worst = shard->overload_state();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!shard_active(i)) continue;
+    if (shards_[i]->overload_state() > worst) worst = shards_[i]->overload_state();
   }
   return worst;
 }
 
 bool Coordinator::any_recovering() const {
-  for (const auto& shard : shards_) {
-    if (shard->recovering()) return true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shard_active(i) && shards_[i]->recovering()) return true;
   }
   return false;
 }
@@ -328,6 +603,16 @@ obs::MetricsRegistry& Coordinator::metrics() {
 
 const obs::MetricsRegistry& Coordinator::metrics() const {
   return shards_.size() == 1 ? shards_.front()->metrics() : metrics_;
+}
+
+const char* to_string(Coordinator::ShardHealth health) {
+  switch (health) {
+    case Coordinator::ShardHealth::alive: return "alive";
+    case Coordinator::ShardHealth::draining: return "draining";
+    case Coordinator::ShardHealth::drained: return "drained";
+    case Coordinator::ShardHealth::failed: return "failed";
+  }
+  return "?";
 }
 
 }  // namespace flexran::ctrl

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,11 @@ struct CoordinatorConfig {
   /// template's `recovery.checkpoint_sink`, which N > 1 shards would
   /// clobber -- use FileCheckpointSink::shard_path or one sink per shard).
   std::function<std::shared_ptr<CheckpointSink>(std::size_t shard)> checkpoint_sink_factory;
+  /// Dead-shard watchdog: a shard that completes no task-manager cycle for
+  /// this many consecutive coordinator cycles, while it still owns agents,
+  /// is declared failed and its fleet re-homed (0 = watchdog off). A shard
+  /// that throws out of run_cycle() is failed immediately regardless.
+  std::int64_t shard_stall_cycles = 0;
 };
 
 /// The upper tier. Implements NorthboundApi so network-wide (composite
@@ -80,6 +86,48 @@ class Coordinator final : public NorthboundApi {
   /// event taps are installed lazily on first registration -- with no
   /// global apps the Coordinator mirrors nothing and adds zero work.
   App* add_app(std::unique_ptr<App> app);
+
+  // ---- shard failover / drain (docs/sharded_control.md "Shard failover") ----
+  /// Lifecycle of a shard under the Coordinator. `failed` and `drained`
+  /// shards no longer cycle, adopt, or contribute to the composite view.
+  enum class ShardHealth { alive, draining, drained, failed };
+  ShardHealth shard_health(std::size_t index) const { return shard_states_[index].health; }
+
+  /// Arms (or disarms) the cycle-stall watchdog after construction; the
+  /// scenario layer exposes this as the `shard_stall_cycles` knob.
+  void set_shard_stall_cycles(std::int64_t cycles) { config_.shard_stall_cycles = cycles; }
+
+  /// Declares a shard dead right now (operator action / fault hook) and
+  /// fails its whole fleet over to the survivors. Returns the number of
+  /// orphans re-homed. The same path runs automatically when a shard
+  /// throws out of run_cycle() or trips the cycle-stall watchdog.
+  std::size_t kill_shard(std::size_t index);
+
+  /// Planned migration / scale-in: quiesces the shard's in-flight app slot
+  /// and moves its agents one per coordinator cycle to the survivors, each
+  /// with a live (warm) export of its durable state. The shard ends
+  /// `drained`. Errors if the shard is not alive, no survivor exists, or
+  /// another drain is already in progress.
+  util::Status drain_shard(std::size_t index);
+
+  // ---- failover introspection ----
+  std::uint64_t shards_failed() const { return shards_failed_; }
+  std::uint64_t agents_adopted() const { return agents_adopted_; }
+  /// Adoptions seeded from the dead shard's checkpoint (delta re-sync)
+  /// versus from nothing (full config fetch).
+  std::uint64_t warm_adoptions() const { return warm_adoptions_; }
+  std::uint64_t cold_adoptions() const { return cold_adoptions_; }
+  std::uint64_t agents_drained() const { return agents_drained_; }
+  /// Orphans that could not be re-homed (no surviving shard).
+  std::size_t agents_orphaned() const { return agents_orphaned_; }
+  /// Simulated time from first failure suspicion (stall onset, kill) to
+  /// the last orphan re-homed in the most recent failover.
+  sim::TimeUs last_orphan_window() const { return last_orphan_window_; }
+  /// Simulated time from failover start to every adopted agent back `up`;
+  /// 0 = none completed yet (or adoption still in progress).
+  sim::TimeUs last_failover_duration() const { return last_failover_duration_; }
+  /// Adopted agents still waiting to complete their re-sync.
+  std::size_t failover_pending() const { return failover_pending_.size(); }
 
   // ---- topology --------------------------------------------------------------
   std::size_t shard_count() const { return shards_.size(); }
@@ -156,9 +204,54 @@ class Coordinator final : public NorthboundApi {
   const obs::MetricsRegistry& metrics() const;
 
  private:
+  /// Everything the Coordinator must remember per agent to re-home it: the
+  /// owning shard, the durable placement key (drives the rendezvous
+  /// re-hash) and the master-side transport (re-bound to the adopter).
+  struct AgentRecord {
+    std::size_t shard = 0;
+    std::uint64_t stable_key = 0;
+    net::Transport* transport = nullptr;  // not owned
+  };
+  /// Per-shard health bookkeeping for the watchdog.
+  struct ShardState {
+    ShardHealth health = ShardHealth::alive;
+    /// Task-manager cycle count at the last coordinator cycle.
+    std::int64_t last_cycles = 0;
+    /// Consecutive coordinator cycles without task-manager progress.
+    std::int64_t stalled_for = 0;
+    /// When failure was first suspected (stall onset / kill); feeds the
+    /// orphan-window metric. 0 = healthy.
+    sim::TimeUs suspect_since = 0;
+  };
+
   ShardCore* owner(AgentId id);
   const ShardCore* owner(AgentId id) const;
   void install_event_taps();
+  bool shard_active(std::size_t index) const {
+    return shard_states_[index].health == ShardHealth::alive ||
+           shard_states_[index].health == ShardHealth::draining;
+  }
+  /// Rendezvous (highest-random-weight) hash over the *alive* shards,
+  /// excluding `exclude`: every orphan independently picks the surviving
+  /// shard with the highest keyed score, so a failed shard's fleet spreads
+  /// across the survivors without reshuffling anyone else. Returns
+  /// kNoShard when no candidate survives.
+  std::size_t rehome_target(std::uint64_t stable_key, std::size_t exclude) const;
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+  /// Declares the shard failed and re-homes its whole fleet (warm where
+  /// the dead shard's checkpoint covers the agent, cold otherwise).
+  void fail_shard(std::size_t index, const char* reason);
+  /// Moves one agent and updates the record + composite cache atomically
+  /// (both are rewritten before control returns to any caller).
+  void rehome_agent(AgentId id, std::size_t target, const proto::CheckpointAgent* durable,
+                    std::uint32_t floor_incarnation);
+  /// One paced drain step: moves the next queued agent off the draining
+  /// shard with a live durable export.
+  void step_drain();
+  /// Tracks adopted agents until their re-sync completes (failover
+  /// duration metric).
+  void poll_failover();
+  void register_failover_probes();
 
   sim::Simulator& sim_;
   CoordinatorConfig config_;
@@ -167,10 +260,28 @@ class Coordinator final : public NorthboundApi {
   /// master.
   obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<ShardCore>> shards_;
-  /// Global agent id -> owning shard index.
-  std::map<AgentId, std::size_t> assignment_;
+  std::vector<ShardState> shard_states_;
+  /// Global agent id -> owning shard + re-homing state.
+  std::map<AgentId, AgentRecord> assignment_;
   AgentId next_agent_id_ = 1;
   std::int64_t cycles_ = 0;
+
+  // ---- failover / drain state -------------------------------------------------
+  std::uint64_t shards_failed_ = 0;
+  std::uint64_t agents_adopted_ = 0;
+  std::uint64_t warm_adoptions_ = 0;
+  std::uint64_t cold_adoptions_ = 0;
+  std::uint64_t agents_drained_ = 0;
+  std::size_t agents_orphaned_ = 0;
+  sim::TimeUs failover_started_at_ = 0;
+  sim::TimeUs last_orphan_window_ = 0;
+  sim::TimeUs last_failover_duration_ = 0;
+  /// Adopted agents whose re-sync has not completed yet.
+  std::set<AgentId> failover_pending_;
+  /// Planned migration: agents still queued to leave the draining shard
+  /// (one drain at a time; empty = no drain in progress).
+  std::deque<AgentId> drain_queue_;
+  std::size_t draining_shard_ = kNoShard;
 
   // ---- global application slot ----------------------------------------------
   std::vector<std::unique_ptr<App>> apps_;
@@ -188,5 +299,7 @@ class Coordinator final : public NorthboundApi {
 
   proto::SignalingAccountant empty_accounting_;
 };
+
+const char* to_string(Coordinator::ShardHealth health);
 
 }  // namespace flexran::ctrl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <stdexcept>
 #include <type_traits>
 
 #include "net/framing.h"
@@ -149,6 +150,13 @@ void ShardCore::remove_agent(AgentId id) {
 }
 
 void ShardCore::run_cycle() {
+  // Injected faults (docs/sharded_control.md "Shard failover"): a stalled
+  // core silently stops completing cycles (the Coordinator's watchdog
+  // catches it); a throwing one fails loudly on its next cycle.
+  if (cycle_fault_ == CycleFault::stalled) return;
+  if (cycle_fault_ == CycleFault::throwing) {
+    throw std::runtime_error("injected shard cycle fault");
+  }
   const std::int64_t cycle = task_manager_.cycles_run();
   if (config_.conflict_resolution) {
     for (const auto& [id, agent] : rib_.agents()) {
@@ -867,7 +875,19 @@ void ShardCore::load_checkpoint() {
   if (!bytes.ok()) return;  // nothing saved yet: cold start
   auto checkpoint = proto::MasterCheckpoint::decode(*bytes);
   if (!checkpoint.ok()) {
+    ++checkpoints_rejected_;
     FLEXRAN_LOG(error, "master") << "checkpoint rejected: " << checkpoint.error().message;
+    return;
+  }
+  // Wrong-shard gate: under one coordinator every shard has its own sink,
+  // and a restore must never resurrect a neighbor's (or a standalone
+  // master's) agent set -- the ids would collide with agents the other
+  // shards still own.
+  if (checkpoint->shard != config_.shard) {
+    ++checkpoints_rejected_;
+    FLEXRAN_LOG(error, "master") << "checkpoint rejected: written by shard "
+                                 << checkpoint->shard << ", this core is shard "
+                                 << config_.shard;
     return;
   }
   checkpoint_loaded_ = true;
@@ -876,28 +896,7 @@ void ShardCore::load_checkpoint() {
     // incarnation that wrote the checkpoint.
     incarnation_ = std::max(incarnation_, checkpoint->incarnation + 1);
   }
-  for (auto& saved : checkpoint->agents) {
-    const AgentId id = saved.id;
-    AgentNode& node = rib_.agent(id);
-    node.id = id;
-    node.enb_id = saved.config.enb_id;
-    node.name = saved.name;
-    node.capabilities = saved.capabilities;
-    node.epoch = saved.epoch;
-    if (node.state != SessionState::down) node.state = SessionState::down;
-    for (const auto& cell : saved.config.cells) {
-      node.cells[cell.cell_id].config = cell.to_cell_config();
-    }
-    for (auto& report : saved.reports) {
-      original_reports_[{id, report.request_id}] = std::move(report);
-    }
-    if (!saved.policy_history.empty()) {
-      policies_[id].history.assign(saved.policy_history.begin(), saved.policy_history.end());
-    }
-    warm_restored_.insert(id);
-    recovery_expected_.insert(id);
-    dirty_agents_.insert(id);
-  }
+  for (const auto& saved : checkpoint->agents) import_durable(saved);
   rib_structure_changed_ = true;
   FLEXRAN_LOG(info, "master") << "loaded checkpoint: " << checkpoint->agents.size()
                               << " agents, incarnation " << checkpoint->incarnation;
@@ -929,29 +928,105 @@ proto::MasterCheckpoint ShardCore::build_checkpoint() const {
   proto::MasterCheckpoint checkpoint;
   checkpoint.incarnation = incarnation_;
   checkpoint.saved_at_us = static_cast<std::uint64_t>(sim_.now());
+  checkpoint.shard = config_.shard;
+  // The full link set, including agents whose durable state is still empty
+  // (no hello yet): failover needs to know every agent the shard owned,
+  // not just the ones worth restoring warm.
+  for (const auto& [id, link] : links_) {
+    (void)link;
+    checkpoint.agent_ids.push_back(id);
+  }
   for (const auto& [id, agent] : rib_.agents()) {
     // Only durable state: identity, configuration, epoch. Agents that never
     // completed a hello have nothing worth restoring.
     if (agent.epoch == 0 && agent.name.empty()) continue;
-    proto::CheckpointAgent saved;
-    saved.id = id;
-    saved.name = agent.name;
-    saved.capabilities = agent.capabilities;
-    saved.epoch = agent.epoch;
-    saved.config.enb_id = agent.enb_id;
-    for (const auto& [cell_id, cell] : agent.cells) {
-      (void)cell_id;
-      saved.config.cells.push_back(proto::CellConfigMsg::from(cell.config));
-    }
-    for (const auto& [key, report] : original_reports_) {
-      if (key.first == id) saved.reports.push_back(report);
-    }
-    if (auto it = policies_.find(id); it != policies_.end()) {
-      saved.policy_history.assign(it->second.history.begin(), it->second.history.end());
-    }
-    checkpoint.agents.push_back(std::move(saved));
+    checkpoint.agents.push_back(export_agent(id));
   }
   return checkpoint;
+}
+
+proto::CheckpointAgent ShardCore::export_agent(AgentId id) const {
+  proto::CheckpointAgent saved;
+  saved.id = id;
+  const AgentNode* agent = rib_.find_agent(id);
+  if (agent == nullptr) return saved;
+  saved.name = agent->name;
+  saved.capabilities = agent->capabilities;
+  saved.epoch = agent->epoch;
+  saved.config.enb_id = agent->enb_id;
+  for (const auto& [cell_id, cell] : agent->cells) {
+    (void)cell_id;
+    saved.config.cells.push_back(proto::CellConfigMsg::from(cell.config));
+  }
+  for (const auto& [key, report] : original_reports_) {
+    if (key.first == id) saved.reports.push_back(report);
+  }
+  if (auto it = policies_.find(id); it != policies_.end()) {
+    saved.policy_history.assign(it->second.history.begin(), it->second.history.end());
+  }
+  return saved;
+}
+
+void ShardCore::import_durable(const proto::CheckpointAgent& saved) {
+  const AgentId id = saved.id;
+  AgentNode& node = rib_.agent(id);
+  node.id = id;
+  node.enb_id = saved.config.enb_id;
+  node.name = saved.name;
+  node.capabilities = saved.capabilities;
+  node.epoch = saved.epoch;
+  if (node.state != SessionState::down) node.state = SessionState::down;
+  for (const auto& cell : saved.config.cells) {
+    node.cells[cell.cell_id].config = cell.to_cell_config();
+  }
+  for (const auto& report : saved.reports) {
+    original_reports_[{id, report.request_id}] = report;
+  }
+  if (!saved.policy_history.empty()) {
+    policies_[id].history.assign(saved.policy_history.begin(), saved.policy_history.end());
+  }
+  warm_restored_.insert(id);
+  recovery_expected_.insert(id);
+  dirty_agents_.insert(id);
+}
+
+void ShardCore::bump_incarnation(std::uint32_t floor) {
+  if (!config_.recovery.enabled) return;
+  incarnation_ = std::max(incarnation_, floor);
+}
+
+void ShardCore::adopt_agent(net::Transport& transport, AgentId id,
+                            const proto::CheckpointAgent* durable) {
+  add_agent(transport, id);  // rebinds the connection's callbacks to this core
+  AgentNode& node = rib_.agent(id);
+  // The agent keeps talking on the surviving connection; until its next
+  // message (or re-hello against this core's incarnation) lands here, the
+  // session is down from this core's point of view. Its first frame walks
+  // the reconnect path into the paced re-sync admission.
+  node.state = SessionState::down;
+  dirty_agents_.insert(id);
+  if (durable != nullptr && durable->id == id) {
+    import_durable(*durable);  // warm handoff: next re-sync is a delta
+  } else if (config_.recovery.enabled) {
+    recovery_expected_.insert(id);
+  }
+  if (config_.recovery.enabled) {
+    recovery_resynced_.erase(id);
+    if (!recovering_) {
+      // Raise the readiness barrier for the adopted set: commands to
+      // not-yet-resynced agents are held, exactly as after a restart.
+      // Already-up agents on this shard are unaffected.
+      recovering_ = true;
+      recovery_started_at_ = sim_.now();
+      recovery_ready_at_ = 0;
+    }
+  }
+  // Announce this core's incarnation on the adopted link so the agent
+  // learns its master moved from the first frame instead of discovering
+  // the adoption through fenced traffic.
+  proto::EchoRequest echo;
+  echo.timestamp_us = sim_.now();
+  (void)send_to(id, echo);
 }
 
 void ShardCore::dispatch_events() {

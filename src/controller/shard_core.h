@@ -170,6 +170,47 @@ class ShardCore final : public NorthboundApi {
   /// `recovery.checkpoint_period_us`). Errors if no sink is configured.
   util::Status save_checkpoint();
 
+  // ---- failover / drain (docs/sharded_control.md "Shard failover") -----------
+  /// Live durable state of one agent -- the per-agent slice of
+  /// build_checkpoint(), read from the live RIB instead of the checkpoint
+  /// sink, so a planned drain hands over state newer than the last save.
+  proto::CheckpointAgent export_agent(AgentId id) const;
+  /// Takes ownership of an orphaned (or drained) agent's connection. With
+  /// `durable` the agent's checkpointed state is imported for a warm delta
+  /// re-sync; without it the adoption is cold (full config fetch on the
+  /// agent's next message or hello). The agent starts down and is walked
+  /// through the normal paced re-sync admission; with recovery enabled the
+  /// readiness barrier is raised until the adopted set is serviceable.
+  void adopt_agent(net::Transport& transport, AgentId id,
+                   const proto::CheckpointAgent* durable = nullptr);
+  /// Raises the incarnation to at least `floor` (no-op below the current
+  /// value, or while recovery is disabled). An adopter must not fence
+  /// behind its dead predecessor: agents drop frames carrying a strictly
+  /// older incarnation than the last one they saw, so the survivor resumes
+  /// at or above the dead shard's epoch.
+  void bump_incarnation(std::uint32_t floor);
+  /// Chaos/test fault hook: make every subsequent run_cycle() throw
+  /// (detection via exception containment in the Coordinator) or return
+  /// immediately without advancing (detection via the cycle-stall
+  /// watchdog).
+  enum class CycleFault { none, throwing, stalled };
+  void set_cycle_fault(CycleFault fault) { cycle_fault_ = fault; }
+  /// The configured checkpoint sink (nullptr = none). The Coordinator reads
+  /// a dead shard's last save through this during failover -- explicitly,
+  /// not via restart(), which rejects wrong-shard checkpoints.
+  const std::shared_ptr<CheckpointSink>& checkpoint_sink() const {
+    return config_.recovery.checkpoint_sink;
+  }
+  /// Publishes the current RIB state immediately (normally end-of-cycle).
+  /// The Coordinator calls this after topology surgery -- remove, adopt,
+  /// drain -- so the composite union never shows a moved agent in two
+  /// places (or a removed one at all) while the shard idles between
+  /// cycles. Coordinator-thread only, like run_cycle().
+  void publish_now() { publish_snapshot(); }
+  /// Checkpoints refused at restore time (wrong shard stamp or a payload
+  /// that fails decoding).
+  std::uint64_t checkpoints_rejected() const { return checkpoints_rejected_; }
+
   /// Joins the in-flight application slot (if any) and flushes its command
   /// batches. With a pipelined task manager (workers > 0) a cycle's
   /// commands reach the wire one cycle later; call this before asserting
@@ -447,6 +488,9 @@ class ShardCore final : public NorthboundApi {
   void load_checkpoint();
   void maybe_checkpoint();
   proto::MasterCheckpoint build_checkpoint() const;
+  /// Installs one agent's checkpointed durable state into the RIB and the
+  /// recovery bookkeeping (shared by load_checkpoint and adopt_agent).
+  void import_durable(const proto::CheckpointAgent& saved);
 
   sim::Simulator& sim_;
   MasterConfig config_;
@@ -490,6 +534,7 @@ class ShardCore final : public NorthboundApi {
   std::uint64_t policy_rollbacks_ = 0;
   std::uint64_t policies_rejected_ = 0;
   std::uint64_t last_shed_total_ = 0;
+  CycleFault cycle_fault_ = CycleFault::none;
   bool updater_saturated_cycle_ = false;
   std::uint64_t updater_saturations_ = 0;
   std::uint32_t throttle_multiplier_ = 1;
@@ -529,6 +574,7 @@ class ShardCore final : public NorthboundApi {
   std::uint64_t resyncs_admitted_ = 0;
   std::uint64_t commands_held_ = 0;
   std::uint64_t checkpoints_saved_ = 0;
+  std::uint64_t checkpoints_rejected_ = 0;
   std::uint64_t policies_repushed_ = 0;
   /// Time-to-resync histogram (registry-owned); non-null only while
   /// observability is enabled.

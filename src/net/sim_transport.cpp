@@ -37,10 +37,22 @@ void SimTransport::deliver(std::vector<std::uint8_t> framed) {
     ++frames_corrupted_;
     for (std::size_t i = kFrameHeaderBytes; i < framed.size(); ++i) framed[i] |= 0x80;
   }
-  auto status = assembler_.feed(framed, [this](std::vector<std::uint8_t> payload) {
+  bool duplicate = false;
+  if (duplicate_remaining_ > 0 && framed.size() > kFrameHeaderBytes) {
+    --duplicate_remaining_;
+    ++frames_duplicated_;
+    duplicate = true;
+  }
+  auto on_payload = [this](std::vector<std::uint8_t> payload) {
     ++messages_received_;
     if (receive_) receive_(std::move(payload));
-  });
+  };
+  auto status = assembler_.feed(framed, on_payload);
+  if (status.ok() && duplicate) {
+    // Feed the identical framed bytes again: the receiver sees the same
+    // message twice, exactly like a retransmission after a lost ack.
+    status = assembler_.feed(framed, on_payload);
+  }
   if (!status.ok()) {
     FLEXRAN_LOG(error, "net") << "sim transport frame error: " << status.error().message;
     if (disconnect_) disconnect_(status.error());

@@ -66,6 +66,11 @@ class SimTransport final : public Transport {
   /// decoding on non-empty bodies -- an unterminated varint).
   void corrupt_next(int n) { corrupt_remaining_ += n; }
   std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+  /// Re-delivers the next `n` frames arriving at this endpoint a second
+  /// time, back to back (a retransmit-after-ack duplicate). The receiver's
+  /// xid/epoch dedup is supposed to make the copy a no-op.
+  void duplicate_next(int n) { duplicate_remaining_ += n; }
+  std::uint64_t frames_duplicated() const { return frames_duplicated_; }
 
  private:
   friend SimTransportPair make_sim_transport_pair(sim::Simulator& sim,
@@ -84,6 +89,8 @@ class SimTransport final : public Transport {
   std::array<std::uint64_t, kNumTrafficClasses> shed_by_class_{};
   int corrupt_remaining_ = 0;
   std::uint64_t frames_corrupted_ = 0;
+  int duplicate_remaining_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
 };
 
 /// Creates two endpoints joined by independent directional links (so

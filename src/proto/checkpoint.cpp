@@ -124,6 +124,10 @@ std::vector<std::uint8_t> MasterCheckpoint::encode() const {
   if (incarnation != 0) enc.field_varint(2, incarnation);
   if (saved_at_us != 0) enc.field_varint(3, saved_at_us);
   for (const auto& agent : agents) enc.field_message(4, encode_agent(agent));
+  // Shard identity rides as `shard + 1` so the standalone default (-1)
+  // stays off the wire and old checkpoints decode to it.
+  if (shard >= 0) enc.field_varint(5, static_cast<std::uint64_t>(shard) + 1);
+  for (const auto id : agent_ids) enc.field_varint(6, id);
   return enc.take();
 }
 
@@ -146,6 +150,18 @@ Result<MasterCheckpoint> MasterCheckpoint::decode(std::span<const std::uint8_t> 
         auto agent = decode_agent(*bytes);
         if (!agent.ok()) return Result<bool>(agent.error());
         out.agents.push_back(std::move(*agent));
+        return true;
+      }
+      case 5: {
+        std::uint64_t stamped = 0;
+        ASSIGN_VARINT(stamped, std::uint64_t);
+        if (stamped != 0) out.shard = static_cast<int>(stamped - 1);
+        return true;
+      }
+      case 6: {
+        std::uint32_t id = 0;
+        ASSIGN_VARINT(id, std::uint32_t);
+        out.agent_ids.push_back(id);
         return true;
       }
       default: return false;

@@ -53,6 +53,17 @@ struct MasterCheckpoint {
   std::uint32_t incarnation = 0;
   /// Simulated time the checkpoint was taken (diagnostic only).
   std::uint64_t saved_at_us = 0;
+  /// Shard that wrote the checkpoint, or -1 for a standalone master. A
+  /// restoring shard rejects a checkpoint stamped with a different shard
+  /// index: shards under one coordinator must never restore a neighbor's
+  /// agent set (the coordinator itself reads foreign checkpoints during
+  /// failover, but it does so explicitly, not through restart()).
+  int shard = -1;
+  /// Every agent id the shard owned at save time -- including agents whose
+  /// durable state was still empty (no hello yet) and therefore have no
+  /// CheckpointAgent entry. Failover uses this to tell "cold because the
+  /// agent was never captured" from "cold because the checkpoint is stale".
+  std::vector<std::uint32_t> agent_ids;
   std::vector<CheckpointAgent> agents;
 
   std::vector<std::uint8_t> encode() const;

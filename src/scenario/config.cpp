@@ -38,6 +38,7 @@ util::Result<FaultKind> parse_fault_kind(const std::string& name) {
   if (name == "heal") return FaultKind::heal;
   if (name == "delay_spike") return FaultKind::delay_spike;
   if (name == "corrupt") return FaultKind::corrupt;
+  if (name == "duplicate") return FaultKind::duplicate;
   if (name == "crash") return FaultKind::crash;
   if (name == "restart") return FaultKind::restart;
   if (name == "flap") return FaultKind::flap;
@@ -46,9 +47,11 @@ util::Result<FaultKind> parse_fault_kind(const std::string& name) {
   if (name == "vsf_invalid") return FaultKind::vsf_invalid;
   if (name == "report_flood") return FaultKind::report_flood;
   if (name == "master_crash") return FaultKind::master_crash;
+  if (name == "shard_kill") return FaultKind::shard_kill;
   return util::Error::invalid_argument(
-      "fault kind must be partition | heal | delay_spike | corrupt | crash | restart | flap | "
-      "vsf_crash | vsf_overrun | vsf_invalid | report_flood | master_crash");
+      "fault kind must be partition | heal | delay_spike | corrupt | duplicate | crash | "
+      "restart | flap | vsf_crash | vsf_overrun | vsf_invalid | report_flood | master_crash | "
+      "shard_kill");
 }
 
 }  // namespace
@@ -69,10 +72,20 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
   if (*period < 1) return util::Error::invalid_argument("stats_period_ttis must be >= 1");
   spec.stats_period_ttis = static_cast<std::uint32_t>(*period);
 
+  auto seed = read_int(root, "seed", static_cast<long long>(spec.seed));
+  if (!seed.ok()) return seed.error();
+  if (*seed < 1) return util::Error::invalid_argument("seed must be >= 1");
+  spec.seed = static_cast<std::uint64_t>(*seed);
+
   auto shards = read_int(root, "shards", static_cast<long long>(spec.shards));
   if (!shards.ok()) return shards.error();
   if (*shards < 1) return util::Error::invalid_argument("shards must be >= 1");
   spec.shards = static_cast<std::size_t>(*shards);
+
+  auto stall = read_int(root, "shard_stall_cycles", spec.shard_stall_cycles);
+  if (!stall.ok()) return stall.error();
+  if (*stall < 0) return util::Error::invalid_argument("shard_stall_cycles must be >= 0");
+  spec.shard_stall_cycles = *stall;
 
   spec.remote_scheduler = read_string(root, "remote_scheduler", "false") == "true";
   auto ahead = read_int(root, "schedule_ahead_sf", spec.schedule_ahead_sf);
@@ -288,6 +301,16 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
                                              std::to_string(*fault_shard));
       }
       fault.shard = static_cast<int>(*fault_shard);
+      if (fault.kind == FaultKind::shard_kill) {
+        // -1 ("every shard") would orphan the whole fleet with nobody left
+        // to adopt it; failover needs a survivor, so the target is explicit.
+        if (fault.shard < 0) {
+          return util::Error::invalid_argument("shard_kill needs an explicit shard");
+        }
+        if (spec.shards < 2) {
+          return util::Error::invalid_argument("shard_kill needs shards >= 2");
+        }
+      }
       spec.faults.push_back(fault);
     }
   }
@@ -318,6 +341,9 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
     }
   }
   Testbed testbed(std::move(master_config), spec.shards);
+  if (spec.shard_stall_cycles > 0) {
+    testbed.coordinator().set_shard_stall_cycles(spec.shard_stall_cycles);
+  }
   if (spec.remote_scheduler) {
     // The centralized scheduler works one shard's agents on that shard's
     // task manager: one instance per shard, not a composite app.
@@ -340,6 +366,7 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
     out.agent.remote_fallback_ttis = enb_spec.remote_fallback_ttis;
     out.agent.fallback_scheduler = enb_spec.fallback_scheduler;
     if (enb_spec.shard >= 0) out.shard = static_cast<std::size_t>(enb_spec.shard);
+    out.seed = spec.seed + testbed.enbs().size();
     out.uplink.delay = sim::from_ms(enb_spec.control_delay_ms);
     out.downlink.delay = sim::from_ms(enb_spec.control_delay_ms);
     if (enb_spec.control_rate_mbps > 0) {
@@ -531,9 +558,20 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
       shard.master_restarts = core.master_restarts();
       shard.overload_state = core.overload_state();
       shard.recovering = core.recovering();
+      shard.health = testbed.coordinator().shard_health(i);
       summary.shard_summaries.push_back(shard);
     }
   }
+  const auto& coordinator = testbed.coordinator();
+  summary.shards_failed = coordinator.shards_failed();
+  summary.agents_adopted = coordinator.agents_adopted();
+  summary.warm_adoptions = coordinator.warm_adoptions();
+  summary.cold_adoptions = coordinator.cold_adoptions();
+  summary.agents_drained = coordinator.agents_drained();
+  summary.agents_orphaned = coordinator.agents_orphaned();
+  summary.failover_pending = coordinator.failover_pending();
+  summary.orphan_window_ms = sim::to_seconds(coordinator.last_orphan_window()) * 1e3;
+  summary.failover_duration_ms = sim::to_seconds(coordinator.last_failover_duration()) * 1e3;
   return summary;
 }
 
@@ -599,14 +637,28 @@ std::string format_summary(const ScenarioRunSummary& summary) {
         static_cast<unsigned long long>(summary.checkpoints_saved),
         static_cast<unsigned long long>(summary.policies_repushed));
   }
+  if (summary.shards_failed > 0 || summary.agents_drained > 0) {
+    out += util::format(
+        "failover: %llu shards failed, %llu adopted (%llu warm / %llu cold), "
+        "%llu drained, %zu orphaned, %zu still pending; orphan window %.1f ms, "
+        "adopted up in %.1f ms\n",
+        static_cast<unsigned long long>(summary.shards_failed),
+        static_cast<unsigned long long>(summary.agents_adopted),
+        static_cast<unsigned long long>(summary.warm_adoptions),
+        static_cast<unsigned long long>(summary.cold_adoptions),
+        static_cast<unsigned long long>(summary.agents_drained), summary.agents_orphaned,
+        summary.failover_pending, summary.orphan_window_ms, summary.failover_duration_ms);
+  }
   for (std::size_t i = 0; i < summary.shard_summaries.size(); ++i) {
     const auto& shard = summary.shard_summaries[i];
+    const bool alive = shard.health == ctrl::Coordinator::ShardHealth::alive;
     out += util::format(
-        "shard %zu: %zu agents, %llu RIB updates, %llu shed, %llu restarts, state=%s%s\n", i,
+        "shard %zu: %zu agents, %llu RIB updates, %llu shed, %llu restarts, state=%s%s%s\n", i,
         shard.agents, static_cast<unsigned long long>(shard.rib_updates),
         static_cast<unsigned long long>(shard.ingest_shed),
         static_cast<unsigned long long>(shard.master_restarts),
-        ctrl::to_string(shard.overload_state), shard.recovering ? " (RECOVERING)" : "");
+        ctrl::to_string(shard.overload_state), shard.recovering ? " (RECOVERING)" : "",
+        alive ? "" : util::format(" [%s]", ctrl::to_string(shard.health)).c_str());
   }
   for (std::size_t i = 0; i < summary.links.size(); ++i) {
     const auto& link = summary.links[i];

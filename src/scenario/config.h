@@ -69,11 +69,19 @@ struct ScenarioUeSpec {
 struct ScenarioSpec {
   double duration_s = 5.0;
   std::uint32_t stats_period_ttis = 1;
+  /// Base RNG seed: eNodeB i runs with seed `seed + i`. The CLI's
+  /// `--seed=N` overrides it, so chaos soaks can sweep seeds without
+  /// editing the document.
+  std::uint64_t seed = 1;
   // ---- two-tier control plane (docs/sharded_control.md) ---------------------
   /// ShardCore count under the Coordinator. 1 (default) is the classic
   /// monolithic master; > 1 places agents by stable hash of their enb_id
   /// (or a per-eNodeB `shard:` pin) and the summary grows per-shard lines.
   std::size_t shards = 1;
+  /// Dead-shard watchdog (docs/sharded_control.md "Shard failover"): fail
+  /// a shard that completes no cycle for this many coordinator cycles
+  /// while owning agents (0 = off; throwing shards always fail fast).
+  long long shard_stall_cycles = 0;
   /// Run the centralized scheduler app at the master (one instance per
   /// shard when sharded -- the scheduler is a per-shard, not a composite,
   /// app).
@@ -212,8 +220,22 @@ struct ScenarioRunSummary {
     std::uint64_t master_restarts = 0;
     ctrl::OverloadState overload_state = ctrl::OverloadState::normal;
     bool recovering = false;
+    ctrl::Coordinator::ShardHealth health = ctrl::Coordinator::ShardHealth::alive;
   };
   std::vector<ShardSummary> shard_summaries;
+  // ---- shard failover outcome (docs/sharded_control.md "Shard failover") ----
+  std::uint64_t shards_failed = 0;
+  std::uint64_t agents_adopted = 0;
+  std::uint64_t warm_adoptions = 0;
+  std::uint64_t cold_adoptions = 0;
+  std::uint64_t agents_drained = 0;
+  /// Orphans no survivor could adopt (should stay 0 in every scenario).
+  std::size_t agents_orphaned = 0;
+  /// Adopted agents whose re-sync was still pending at the end (bad).
+  std::size_t failover_pending = 0;
+  /// Failure suspicion to last orphan re-homed / to every adoptee up, ms.
+  double orphan_window_ms = 0.0;
+  double failover_duration_ms = 0.0;
   // ---- observability (docs/observability.md) --------------------------------
   /// True when the run had the metrics layer enabled (the fields below are
   /// empty otherwise).

@@ -18,6 +18,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::heal: return "heal";
     case FaultKind::delay_spike: return "delay_spike";
     case FaultKind::corrupt: return "corrupt";
+    case FaultKind::duplicate: return "duplicate";
     case FaultKind::crash: return "crash";
     case FaultKind::restart: return "restart";
     case FaultKind::flap: return "flap";
@@ -26,6 +27,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::vsf_invalid: return "vsf_invalid";
     case FaultKind::report_flood: return "report_flood";
     case FaultKind::master_crash: return "master_crash";
+    case FaultKind::shard_kill: return "shard_kill";
   }
   return "?";
 }
@@ -94,6 +96,13 @@ void FaultInjector::apply(const FaultEvent& event) {
       for_each_target(event.enb, [&](Testbed::Enb& enb) {
         enb.master_side->corrupt_next(event.count);
         enb.agent_side->corrupt_next(event.count);
+      });
+      break;
+    case FaultKind::duplicate:
+      note(event, util::format("%d frames", event.count));
+      for_each_target(event.enb, [&](Testbed::Enb& enb) {
+        enb.master_side->duplicate_next(event.count);
+        enb.agent_side->duplicate_next(event.count);
       });
       break;
     case FaultKind::crash:
@@ -217,6 +226,16 @@ void FaultInjector::apply(const FaultEvent& event) {
           if (shard < 0 || static_cast<std::size_t>(shard) == i) coord.shard(i).restart();
         }
       });
+      break;
+    }
+    case FaultKind::shard_kill: {
+      auto& coordinator = testbed_->coordinator();
+      std::size_t adopted = 0;
+      if (event.shard >= 0 &&
+          static_cast<std::size_t>(event.shard) < coordinator.shard_count()) {
+        adopted = coordinator.kill_shard(static_cast<std::size_t>(event.shard));
+      }
+      note(event, util::format("shard=%d adopted=%zu", event.shard, adopted));
       break;
     }
   }

@@ -22,6 +22,10 @@ enum class FaultKind {
   delay_spike,
   /// The next `count` frames delivered at each endpoint arrive corrupted.
   corrupt,
+  /// The next `count` frames delivered at each endpoint arrive twice,
+  /// back to back (retransmit-after-lost-ack duplicates). The session
+  /// layer's xid/epoch dedup must make every copy a no-op.
+  duplicate,
   /// Agent process crash: session torn down, nothing reconnects until a
   /// restart fault (or restart_after_s).
   crash,
@@ -55,6 +59,14 @@ enum class FaultKind {
   /// ignored; `shard` picks the crashing core (-1 = every shard, which on
   /// a single-shard testbed is the classic whole-master crash).
   master_crash,
+  /// Shard death without restart (docs/sharded_control.md "Shard
+  /// failover"): declares shard `shard` dead at the Coordinator, which
+  /// re-homes every orphaned agent onto the surviving shards (warm from
+  /// the dead shard's last checkpoint when one exists). Unlike
+  /// master_crash the core never comes back -- recovery is adoption, not
+  /// restart. `enb` and `duration_s` are ignored; `shard` must name a
+  /// specific shard (-1 is rejected at parse time).
+  shard_kill,
 };
 
 const char* to_string(FaultKind kind);

@@ -189,6 +189,48 @@ TEST(SessionLifecycle, CorruptedHelloIsRecoveredByHelloRetry) {
   EXPECT_EQ(node->state, SessionState::up);
 }
 
+TEST(SessionLifecycle, DuplicatedFramesAreAbsorbedWithoutEpochChurn) {
+  scenario::Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(basic_spec());
+  testbed.add_ue(0, fixed_ue(12));
+  testbed.run_ttis(50);
+
+  const auto* node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  const auto epoch_before = node->epoch;
+
+  // Re-deliver the next 8 frames in each direction verbatim (the
+  // `duplicate` fault kind). Every copy carries an already-seen xid and
+  // the live epoch, so both endpoints must absorb them as no-ops: no
+  // session churn, no reconnect, no decode errors. Steady state is mostly
+  // uplink (per-TTI stats), so drive downlink commands to give the
+  // agent-side endpoint frames to re-deliver.
+  enb.master_side->duplicate_next(8);
+  enb.agent_side->duplicate_next(8);
+  const auto decode_errors_before = testbed.master().rx_decode_errors();
+  for (int i = 0; i < 8; ++i) {
+    proto::DrxConfig drx;
+    drx.rnti = 70;
+    drx.cycle_ttis = 40;
+    drx.on_duration_ttis = static_cast<std::uint16_t>(4 + i);
+    ASSERT_TRUE(testbed.master().send_drx_config(enb.agent_id, drx).ok());
+    testbed.run_ttis(3);
+  }
+  testbed.run_ttis(76);
+
+  EXPECT_GE(enb.master_side->frames_duplicated(), 8u);
+  EXPECT_GE(enb.agent_side->frames_duplicated(), 8u);
+  EXPECT_EQ(testbed.master().rx_decode_errors(), decode_errors_before);
+  EXPECT_TRUE(enb.agent->connected());
+  EXPECT_EQ(enb.agent->session_epoch(), epoch_before);
+  node = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->epoch, epoch_before);
+  EXPECT_EQ(node->reconnects, 0u);
+  EXPECT_EQ(node->state, SessionState::up);
+  EXPECT_FALSE(node->is_stale());
+}
+
 TEST(SessionLifecycle, ReconnectBacksOffWhilePartitioned) {
   scenario::Testbed testbed(scenario::per_tti_master_config());
   auto& enb = testbed.add_enb(basic_spec());

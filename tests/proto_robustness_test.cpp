@@ -207,6 +207,8 @@ std::vector<Surface> all_surfaces() {
   MasterCheckpoint checkpoint;
   checkpoint.incarnation = 3;
   checkpoint.saved_at_us = 2'000'000;
+  checkpoint.shard = 1;
+  checkpoint.agent_ids = {1, 4};
   CheckpointAgent agent;
   agent.id = 1;
   agent.name = "macro-a";
@@ -363,6 +365,40 @@ TEST(ProtoRobustness, CheckpointVersionGate) {
 
   const std::vector<std::uint8_t> empty;
   EXPECT_FALSE(MasterCheckpoint::decode(empty).ok());
+}
+
+// Shard identity stamping (docs/sharded_control.md "Shard failover"): the
+// shard index and the owned-agent-id roster round-trip, and a checkpoint
+// that never carried a shard field -- anything written before sharding, or
+// by a standalone master -- decodes back to the standalone sentinel (-1),
+// not to shard 0.
+TEST(ProtoRobustness, CheckpointShardIdentityRoundTrips) {
+  MasterCheckpoint checkpoint;
+  checkpoint.incarnation = 2;
+  checkpoint.shard = 3;
+  checkpoint.agent_ids = {7, 11, 13};
+  auto bytes = checkpoint.encode();
+  auto decoded = MasterCheckpoint::decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shard, 3);
+  EXPECT_EQ(decoded->agent_ids, (std::vector<std::uint32_t>{7, 11, 13}));
+
+  // Shard 0 must survive the +1 wire bias (0 is a real shard, not "unset").
+  MasterCheckpoint zero;
+  zero.shard = 0;
+  auto zero_bytes = zero.encode();
+  auto zero_decoded = MasterCheckpoint::decode(zero_bytes);
+  ASSERT_TRUE(zero_decoded.ok());
+  EXPECT_EQ(zero_decoded->shard, 0);
+
+  // Standalone default: field stays off the wire, decodes back to -1.
+  MasterCheckpoint standalone;
+  standalone.incarnation = 1;
+  auto standalone_bytes = standalone.encode();
+  auto standalone_decoded = MasterCheckpoint::decode(standalone_bytes);
+  ASSERT_TRUE(standalone_decoded.ok());
+  EXPECT_EQ(standalone_decoded->shard, -1);
+  EXPECT_TRUE(standalone_decoded->agent_ids.empty());
 }
 
 }  // namespace

@@ -278,6 +278,252 @@ TEST(ShardedCheckpoints, SinkFactoryGivesEveryShardItsOwnSink) {
   EXPECT_EQ(sinks[1]->saves(), 1u);
 }
 
+// ---------------------------------------------- failover (shard death) --
+
+ctrl::MasterConfig failover_config(bool warm_checkpoints) {
+  auto config = scenario::per_tti_master_config();
+  config.recovery.enabled = true;
+  config.recovery.resync_tokens_per_s = 50.0;
+  config.recovery.resync_burst = 2.0;
+  config.recovery.resync_retry_after_ms = 20.0;
+  config.agent_timeout_us = sim::from_ms(50.0);
+  config.agent_disconnect_timeout_us = sim::from_ms(200.0);
+  if (warm_checkpoints) {
+    // The Testbed clones this into one MemoryCheckpointSink per shard.
+    config.recovery.checkpoint_sink = std::make_shared<ctrl::MemoryCheckpointSink>();
+    config.recovery.checkpoint_period_us = sim::from_ms(100.0);
+  }
+  return config;
+}
+
+TEST(ShardFailover, KillShardWarmAdoptionResumesService) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/true), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 0));
+  auto& enb2 = testbed.add_enb(spec(3, 1));
+  testbed.add_ue(0, cqi_ue(15));
+  testbed.run_seconds(0.5);  // sessions up, several checkpoints saved
+
+  auto& coordinator = testbed.coordinator();
+  ASSERT_EQ(coordinator.shard(0).rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  ASSERT_GT(coordinator.shard(0).checkpoints_saved(), 0u);
+
+  const auto adopted = coordinator.kill_shard(0);
+  EXPECT_EQ(adopted, 2u);
+  EXPECT_EQ(coordinator.shard_health(0), Coordinator::ShardHealth::failed);
+  EXPECT_EQ(coordinator.shards_failed(), 1u);
+  EXPECT_EQ(coordinator.agents_adopted(), 2u);
+  // The dead shard's checkpoint covered both agents: every adoption is a
+  // warm handoff seeding the adopter for a delta re-sync.
+  EXPECT_EQ(coordinator.warm_adoptions(), 2u);
+  EXPECT_EQ(coordinator.cold_adoptions(), 0u);
+  EXPECT_EQ(coordinator.agents_orphaned(), 0u);
+  EXPECT_EQ(coordinator.shard_of(enb0.agent_id), 1u);
+  EXPECT_EQ(coordinator.shard_of(enb1.agent_id), 1u);
+  // Assignment and composite move atomically: the adoptees are visible
+  // under the survivor before any further cycle runs.
+  const auto composite = coordinator.rib_snapshot();
+  EXPECT_NE(composite->find_agent(enb0.agent_id), nullptr);
+  EXPECT_NE(composite->find_agent(enb1.agent_id), nullptr);
+  EXPECT_EQ(composite->agents().size(), 3u);
+
+  testbed.run_seconds(1.5);  // paced delta re-sync on the adopter
+  auto& survivor = coordinator.shard(1);
+  EXPECT_EQ(survivor.rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  EXPECT_EQ(survivor.rib().find_agent(enb1.agent_id)->state, SessionState::up);
+  EXPECT_EQ(survivor.rib().find_agent(enb2.agent_id)->state, SessionState::up);
+  // Blast radius: adoption is not a restart -- the survivor's own agents
+  // never flapped and its restart counter never moved.
+  EXPECT_EQ(survivor.master_restarts(), 0u);
+  EXPECT_FALSE(coordinator.any_recovering());
+  EXPECT_EQ(coordinator.failover_pending(), 0u);
+  EXPECT_GT(coordinator.last_failover_duration(), 0);
+
+  // Commands flow to the adoptees through the normal routed surface.
+  proto::DrxConfig drx;
+  drx.rnti = 70;
+  drx.cycle_ttis = 40;
+  EXPECT_TRUE(coordinator.send_drx_config(enb0.agent_id, drx).ok());
+
+  // Killing an already-failed shard is a no-op.
+  EXPECT_EQ(coordinator.kill_shard(0), 0u);
+  EXPECT_EQ(coordinator.shards_failed(), 1u);
+}
+
+TEST(ShardFailover, ColdAdoptionWithoutCheckpointStillRecovers) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/false), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 1));
+  testbed.run_seconds(0.4);
+
+  auto& coordinator = testbed.coordinator();
+  EXPECT_EQ(coordinator.kill_shard(0), 1u);
+  // No checkpoint sink: the adoption is cold -- full config re-fetch.
+  EXPECT_EQ(coordinator.cold_adoptions(), 1u);
+  EXPECT_EQ(coordinator.warm_adoptions(), 0u);
+
+  testbed.run_seconds(1.5);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb1.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.shard(1).master_restarts(), 0u);
+  EXPECT_EQ(coordinator.failover_pending(), 0u);
+}
+
+TEST(ShardFailover, ThrowingShardIsFailedAndItsFleetAdopted) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/false), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  testbed.add_enb(spec(2, 1));
+  testbed.run_seconds(0.4);
+
+  auto& coordinator = testbed.coordinator();
+  coordinator.shard(0).set_cycle_fault(ctrl::ShardCore::CycleFault::throwing);
+  testbed.run_ttis(2);  // the first coordinator cycle catches the throw
+  EXPECT_EQ(coordinator.shard_health(0), Coordinator::ShardHealth::failed);
+  EXPECT_EQ(coordinator.shard_of(enb0.agent_id), 1u);
+
+  testbed.run_seconds(1.5);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.shard(1).master_restarts(), 0u);
+}
+
+TEST(ShardFailover, StallWatchdogFailsASilentShard) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/false), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  testbed.add_enb(spec(2, 1));
+  testbed.coordinator().set_shard_stall_cycles(50);
+  testbed.run_seconds(0.4);
+
+  auto& coordinator = testbed.coordinator();
+  coordinator.shard(0).set_cycle_fault(ctrl::ShardCore::CycleFault::stalled);
+  testbed.run_ttis(40);  // below the threshold: suspected, not yet failed
+  EXPECT_EQ(coordinator.shard_health(0), Coordinator::ShardHealth::alive);
+  testbed.run_ttis(20);  // crosses 50 consecutive silent cycles
+  EXPECT_EQ(coordinator.shard_health(0), Coordinator::ShardHealth::failed);
+  EXPECT_EQ(coordinator.shard_of(enb0.agent_id), 1u);
+  // The orphan window is measured from stall onset, not from the verdict.
+  EXPECT_GT(coordinator.last_orphan_window(), 0);
+
+  testbed.run_seconds(1.5);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb0.agent_id)->state, SessionState::up);
+}
+
+TEST(ShardFailover, NewAgentsNeverLandOnAFailedShard) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/false), 2);
+  testbed.add_enb(spec(1, 0));
+  testbed.add_enb(spec(2, 1));
+  testbed.run_seconds(0.3);
+
+  auto& coordinator = testbed.coordinator();
+  coordinator.kill_shard(0);
+  // An explicit pin to the dead shard is overridden by the re-hash.
+  auto& late = testbed.add_enb(spec(9, 0));
+  EXPECT_EQ(coordinator.shard_of(late.agent_id), 1u);
+}
+
+// ------------------------------------------------- drain (planned migration) --
+
+TEST(ShardDrain, PacedMigrationEndsDrained) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/true), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 0));
+  auto& enb2 = testbed.add_enb(spec(3, 1));
+  testbed.run_seconds(0.5);
+
+  auto& coordinator = testbed.coordinator();
+  ASSERT_TRUE(coordinator.drain_shard(0).ok());
+  EXPECT_EQ(coordinator.shard_health(0), Coordinator::ShardHealth::draining);
+  // One drain at a time.
+  EXPECT_FALSE(coordinator.drain_shard(1).ok());
+
+  testbed.run_ttis(1);
+  EXPECT_EQ(coordinator.agents_drained(), 1u) << "one agent per coordinator cycle";
+  testbed.run_ttis(3);
+  EXPECT_EQ(coordinator.agents_drained(), 2u);
+  EXPECT_EQ(coordinator.shard_health(0), Coordinator::ShardHealth::drained);
+  EXPECT_EQ(coordinator.shard_of(enb0.agent_id), 1u);
+  EXPECT_EQ(coordinator.shard_of(enb1.agent_id), 1u);
+  // A live export accompanied every move: planned migration is always warm.
+  EXPECT_EQ(coordinator.warm_adoptions(), 2u);
+  EXPECT_EQ(coordinator.shards_failed(), 0u);
+
+  testbed.run_seconds(1.5);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb1.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb2.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.shard(1).master_restarts(), 0u);
+  EXPECT_EQ(coordinator.failover_pending(), 0u);
+
+  // A drained shard cannot be drained again (and is skipped by placement).
+  EXPECT_FALSE(coordinator.drain_shard(0).ok());
+}
+
+TEST(ShardDrain, RefusedWithoutASurvivor) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/false), 2);
+  testbed.add_enb(spec(1, 0));
+  testbed.add_enb(spec(2, 1));
+  testbed.run_seconds(0.3);
+
+  auto& coordinator = testbed.coordinator();
+  coordinator.kill_shard(1);
+  const auto status = coordinator.drain_shard(0);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::Error::Code::conflict);
+}
+
+// -------------------------------------------- composite cache invalidation --
+
+TEST(CompositeSnapshot, RemoveAgentInvalidatesTheCachedComposite) {
+  Testbed testbed(scenario::per_tti_master_config(), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 1));
+  testbed.run_ttis(50);
+
+  auto& coordinator = testbed.coordinator();
+  const auto before = coordinator.rib_snapshot();
+  ASSERT_NE(before->find_agent(enb0.agent_id), nullptr);
+
+  // Remove between cycles: the cached union must not keep serving the
+  // removed agent until the owning shard happens to publish again.
+  coordinator.remove_agent(enb0.agent_id);
+  const auto after = coordinator.rib_snapshot();
+  EXPECT_EQ(after->find_agent(enb0.agent_id), nullptr)
+      << "stale composite served after remove_agent";
+  EXPECT_NE(after->find_agent(enb1.agent_id), nullptr);
+  EXPECT_EQ(coordinator.agent_count(), 1u);
+}
+
+// ------------------------------------------- wrong-shard checkpoint gate --
+
+TEST(ShardedCheckpoints, WrongShardCheckpointIsRejectedOnRestore) {
+  // Misconfiguration the shard stamp exists to catch: two shards sharing
+  // one sink. Shard 1 must refuse to resurrect shard 0's agent set.
+  auto shared_sink = std::make_shared<ctrl::MemoryCheckpointSink>();
+  sim::Simulator sim;
+  ctrl::CoordinatorConfig coordinator_config;
+  coordinator_config.shards = 2;
+  coordinator_config.shard = scenario::per_tti_master_config();
+  coordinator_config.shard.recovery.enabled = true;
+  coordinator_config.checkpoint_sink_factory = [&shared_sink](std::size_t) {
+    return shared_sink;
+  };
+  Coordinator coordinator(sim, coordinator_config);
+
+  auto link0 = net::make_sim_transport_pair(sim);
+  auto link1 = net::make_sim_transport_pair(sim);
+  coordinator.add_agent(*link0.a, 1);
+  coordinator.add_agent(*link1.a, 2);
+  ASSERT_TRUE(coordinator.shard(0).save_checkpoint().ok());
+
+  coordinator.shard(1).restart();
+  EXPECT_EQ(coordinator.shard(1).checkpoints_rejected(), 1u);
+  EXPECT_FALSE(coordinator.shard(1).checkpoint_loaded());
+
+  // The shard that wrote it restores it fine.
+  coordinator.shard(0).restart();
+  EXPECT_EQ(coordinator.shard(0).checkpoints_rejected(), 0u);
+  EXPECT_TRUE(coordinator.shard(0).checkpoint_loaded());
+}
+
 // ----------------------------------------------------------- observability --
 
 TEST(ShardedObs, SharedRegistryKeepsPerShardMetricIdentities) {

@@ -4,10 +4,13 @@
 //   flexran_sim --demo                        # run a built-in two-cell demo
 //   flexran_sim --metrics-json[=FILE] s.yaml  # also dump periodic metrics JSON
 //   flexran_sim --metrics-prom[=FILE] s.yaml  # also dump a Prometheus snapshot
+//   flexran_sim --seed=N s.yaml               # override the scenario RNG seed
+//   flexran_sim --check s.yaml                # exit 1 on end-state invariants
 //   flexran_sim --help
 //
 // Scenario format: see src/scenario/config.h and docs/PROTOCOL.md.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -49,7 +52,7 @@ ues:
 void print_usage() {
   std::printf(
       "usage: flexran_sim [--metrics-json[=FILE]] [--metrics-prom[=FILE]] "
-      "<scenario.yaml> | --demo\n\n"
+      "[--seed=N] [--check] <scenario.yaml> | --demo\n\n"
       "Runs a FlexRAN scenario (master controller + agent-enabled eNodeBs +\n"
       "UEs + traffic) inside the discrete-event simulator and prints per-UE\n"
       "throughput and controller statistics.\n\n"
@@ -60,7 +63,12 @@ void print_usage() {
       "--metrics-json emits the periodic registry dumps (one JSON object per\n"
       "line); --metrics-prom emits a Prometheus text snapshot of the final\n"
       "state. Both imply `observability: true` and write to stdout unless a\n"
-      "=FILE destination is given. See docs/observability.md.\n");
+      "=FILE destination is given. See docs/observability.md.\n\n"
+      "--seed=N overrides the scenario's base RNG seed (eNodeB i gets seed\n"
+      "N+i), for chaos soaks sweeping seeds without editing the document.\n"
+      "--check exits 1 when the run ends in a bad state: any agent not up,\n"
+      "any shard still recovering, any orphan unadopted or any adoption\n"
+      "still pending. See docs/fault_tolerance.md.\n");
 }
 
 /// Writes `text` to `path`, or to stdout when `path` is empty.
@@ -83,6 +91,8 @@ bool emit(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   bool want_json = false;
   bool want_prom = false;
+  bool want_check = false;
+  long long seed_override = -1;
   std::string json_path;
   std::string prom_path;
   std::string scenario_arg;
@@ -101,6 +111,14 @@ int main(int argc, char** argv) {
       want_prom = true;
       if (const auto eq = arg.find('='); eq != std::string::npos) {
         prom_path = arg.substr(eq + 1);
+      }
+    } else if (arg == "--check") {
+      want_check = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed_override = std::atoll(arg.c_str() + std::strlen("--seed="));
+      if (seed_override < 1) {
+        std::fprintf(stderr, "flexran_sim: --seed must be >= 1\n");
+        return 2;
       }
     } else if (scenario_arg.empty()) {
       scenario_arg = arg;
@@ -135,6 +153,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (want_json || want_prom) spec->observability = true;
+  if (seed_override > 0) spec->seed = static_cast<std::uint64_t>(seed_override);
   const auto summary = flexran::scenario::run_scenario(*spec);
   std::fputs(flexran::scenario::format_summary(summary).c_str(), stdout);
   if (want_json) {
@@ -143,5 +162,21 @@ int main(int argc, char** argv) {
     if (!emit(json_path, dumps)) return 1;
   }
   if (want_prom && !emit(prom_path, summary.metrics_prometheus)) return 1;
+  if (want_check) {
+    // End-state invariants every chaos scenario is expected to restore,
+    // whatever was injected mid-run. Violations mean the control plane
+    // failed to converge, not that the fault fired.
+    int bad = 0;
+    const auto violation = [&bad](const char* what) {
+      std::fprintf(stderr, "flexran_sim: check failed: %s\n", what);
+      ++bad;
+    };
+    if (summary.agents_up != summary.agents_total) violation("not every agent ended up");
+    if (summary.recovering_at_end) violation("a shard was still recovering at the end");
+    if (summary.agents_orphaned > 0) violation("orphaned agents were never adopted");
+    if (summary.failover_pending > 0) violation("adopted agents never finished re-sync");
+    if (bad > 0) return 1;
+    std::printf("check: ok (%d/%d agents up)\n", summary.agents_up, summary.agents_total);
+  }
   return 0;
 }
