@@ -150,6 +150,9 @@ lte::SchedulingDecision VsfGuard::run_mac_slot(
   Vsf* active = mac.active_vsf(slot);
   if (active == nullptr) return decision;
   const std::string impl = mac.active_implementation(slot);
+  if (impl != fallback_impl && cache_->is_quarantined(mac.name(), slot, impl)) {
+    ++quarantined_invocations_;
+  }
 
   auto outcome = invoke_checked(*active, [&] { decision = invoke(*active); });
   if (!outcome.failed()) {
@@ -217,6 +220,9 @@ std::optional<HandoverDecision> VsfGuard::run_handover(RrcControlModule& rrc,
   if (active == nullptr) return std::nullopt;
   const std::string slot = RrcControlModule::kHandoverPolicySlot;
   const std::string impl = rrc.active_implementation(slot);
+  if (impl != fallback_impl && cache_->is_quarantined(rrc.name(), slot, impl)) {
+    ++quarantined_invocations_;
+  }
 
   std::optional<HandoverDecision> decision;
   auto outcome = invoke_checked(*active, [&] { decision = active->evaluate(api, subframe); });

@@ -92,6 +92,12 @@ class VsfGuard {
   std::uint64_t fallback_decisions() const { return fallback_decisions_; }
   std::uint64_t unscheduled_slots() const { return unscheduled_slots_; }
   std::uint64_t validations_run() const { return validations_run_; }
+  /// Invocations of an implementation that was already quarantined (and is
+  /// not the designated fallback). The quarantine relink in note_failure
+  /// is supposed to make this impossible; the InvariantMonitor reads it
+  /// every coordinator cycle and flags any increase
+  /// (docs/fault_tolerance.md, invariant catalog).
+  std::uint64_t quarantined_invocations() const { return quarantined_invocations_; }
   /// Wall-clock time from failure detection to a validated fallback
   /// decision, per fallback invocation (the bench's "fallback latency").
   const util::RunningStats& fallback_latency_us() const { return fallback_latency_us_; }
@@ -125,6 +131,7 @@ class VsfGuard {
   std::uint64_t fallback_decisions_ = 0;
   std::uint64_t unscheduled_slots_ = 0;
   std::uint64_t validations_run_ = 0;
+  std::uint64_t quarantined_invocations_ = 0;
   util::RunningStats fallback_latency_us_;
 };
 

@@ -6,16 +6,31 @@ namespace flexran::ctrl {
 
 util::Status FileCheckpointSink::save(std::span<const std::uint8_t> bytes) {
   const std::string tmp = path_ + ".tmp";
+  const bool injected = consume_injected_failure();
   std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) return util::Error::transport_failure("cannot open " + tmp);
-  const std::size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  if (file == nullptr) {
+    note_save_failed();
+    return util::Error::transport_failure("cannot open " + tmp);
+  }
+  // An injected failure writes only half the payload and "dies" before the
+  // rename. The torn tmp is deliberately left on disk: load() reads
+  // `<path>`, never the tmp, so the last complete checkpoint must survive
+  // the debris -- that is what the torn-write regression test asserts.
+  const std::size_t want = injected ? bytes.size() / 2 : bytes.size();
+  const std::size_t written = want == 0 ? 0 : std::fwrite(bytes.data(), 1, want, file);
   const bool flushed = std::fclose(file) == 0;
+  if (injected) {
+    note_save_failed();
+    return util::Error::transport_failure("injected write failure, torn " + tmp);
+  }
   if (written != bytes.size() || !flushed) {
     std::remove(tmp.c_str());
+    note_save_failed();
     return util::Error::transport_failure("short write to " + tmp);
   }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     std::remove(tmp.c_str());
+    note_save_failed();
     return util::Error::transport_failure("cannot rename " + tmp + " -> " + path_);
   }
   return {};

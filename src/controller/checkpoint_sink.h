@@ -22,6 +22,29 @@ class CheckpointSink {
   virtual ~CheckpointSink() = default;
   virtual util::Status save(std::span<const std::uint8_t> bytes) = 0;
   virtual util::Result<std::vector<std::uint8_t>> load() = 0;
+
+  // ---- fault injection -----------------------------------------------------
+  /// The next `n` saves fail the way a full disk or a flaky filesystem
+  /// would. The caller is expected to retry with backoff and must never
+  /// lose the last good checkpoint: FileCheckpointSink fails these saves
+  /// mid-write, leaving a torn `.tmp` behind -- exactly the crash the
+  /// atomic tmp+rename protocol exists to survive.
+  void fail_next_saves(int n) { fail_remaining_ += n; }
+  /// Saves that returned an error so far, injected or real.
+  std::uint64_t saves_failed() const { return saves_failed_; }
+
+ protected:
+  /// True when this save should fail by injection; consumes one token.
+  bool consume_injected_failure() {
+    if (fail_remaining_ <= 0) return false;
+    --fail_remaining_;
+    return true;
+  }
+  void note_save_failed() { ++saves_failed_; }
+
+ private:
+  int fail_remaining_ = 0;
+  std::uint64_t saves_failed_ = 0;
 };
 
 /// File-backed sink: writes to `<path>.tmp` then renames over `<path>`, so
@@ -52,6 +75,10 @@ class FileCheckpointSink : public CheckpointSink {
 class MemoryCheckpointSink : public CheckpointSink {
  public:
   util::Status save(std::span<const std::uint8_t> bytes) override {
+    if (consume_injected_failure()) {
+      note_save_failed();
+      return util::Error::transport_failure("injected checkpoint write failure");
+    }
     stored_.emplace(bytes.begin(), bytes.end());
     ++saves_;
     return {};

@@ -146,15 +146,19 @@ void Coordinator::run_cycle() {
   step_drain();
   poll_failover();
   const std::int64_t cycle = cycles_++;
-  if (apps_.empty()) return;
-  // Global slot: mirrored shard events first (each shard's own apps
-  // already saw them), then the composite on_cycle pass.
-  while (!pending_events_.empty()) {
-    Event event = std::move(pending_events_.front());
-    pending_events_.pop_front();
-    for (const auto& app : apps_) app->on_event(event, *this);
+  if (!apps_.empty()) {
+    // Global slot: mirrored shard events first (each shard's own apps
+    // already saw them), then the composite on_cycle pass.
+    while (!pending_events_.empty()) {
+      Event event = std::move(pending_events_.front());
+      pending_events_.pop_front();
+      for (const auto& app : apps_) app->on_event(event, *this);
+    }
+    for (const auto& app : apps_) app->on_cycle(cycle, *this);
   }
-  for (const auto& app : apps_) app->on_cycle(cycle, *this);
+  // Last, so the monitor sees the cycle's final state -- and on every
+  // cycle, apps or not: the invariants hold regardless of who is watching.
+  if (post_cycle_hook_) post_cycle_hook_(cycle);
 }
 
 void Coordinator::quiesce() {
@@ -181,6 +185,13 @@ std::optional<std::size_t> Coordinator::shard_of(AgentId id) const {
   auto it = assignment_.find(id);
   if (it == assignment_.end()) return std::nullopt;
   return it->second.shard;
+}
+
+std::vector<std::pair<AgentId, std::size_t>> Coordinator::assignments() const {
+  std::vector<std::pair<AgentId, std::size_t>> out;
+  out.reserve(assignment_.size());
+  for (const auto& [id, record] : assignment_) out.emplace_back(id, record.shard);
+  return out;
 }
 
 ShardCore* Coordinator::owner(AgentId id) {
@@ -390,6 +401,11 @@ void Coordinator::poll_failover() {
 
 std::shared_ptr<const RibSnapshot> Coordinator::rib_snapshot() const {
   if (shards_.size() == 1) return shards_.front()->rib_snapshot();
+  if (fault_stale_composite_ && composite_ != nullptr) {
+    // Injected defect (set_fault_stale_composite): serve the cached
+    // composite unconditionally, as a missing invalidation would.
+    return composite_;
+  }
   std::vector<std::shared_ptr<const RibSnapshot>> parts;
   parts.reserve(shards_.size());
   bool stale = composite_ == nullptr || composed_versions_.size() != shards_.size();

@@ -136,6 +136,26 @@ class Coordinator final : public NorthboundApi {
   /// Owning shard index for an agent id (nullopt = unknown agent).
   std::optional<std::size_t> shard_of(AgentId id) const;
   std::size_t agent_count() const { return assignment_.size(); }
+  /// Every registered agent with its owning shard index, in id order. The
+  /// InvariantMonitor cross-checks this against the shards' RIBs every
+  /// cycle (single-ownership invariant).
+  std::vector<std::pair<AgentId, std::size_t>> assignments() const;
+
+  // ---- runtime verification hooks (src/verify/invariants.h) ------------------
+  /// Hook invoked at the very end of every run_cycle() -- after drain
+  /// steps, failover polling and the global app slot, including cycles
+  /// with no global apps registered. One hook; empty = off. The
+  /// InvariantMonitor installs itself here.
+  void set_post_cycle_hook(std::function<void(std::int64_t cycle)> hook) {
+    post_cycle_hook_ = std::move(hook);
+  }
+  /// Chaos/self-check defect (the coordinator sibling of
+  /// ShardCore::set_cycle_fault): while on, rib_snapshot() returns the
+  /// cached composite without checking shard versions -- the
+  /// composite-cache invalidation bug deliberately re-introduced so the
+  /// fuzzer and tests can prove the InvariantMonitor catches it
+  /// (docs/chaos_fuzzing.md "Self-check defects").
+  void set_fault_stale_composite(bool on) { fault_stale_composite_ = on; }
 
   // ---- NorthboundApi (routed to the owning shard) ----------------------------
   /// The composite view: union of the per-shard snapshots, rebuilt only
@@ -289,6 +309,8 @@ class Coordinator final : public NorthboundApi {
   /// the head of the next global slot.
   std::deque<Event> pending_events_;
   bool taps_installed_ = false;
+  std::function<void(std::int64_t)> post_cycle_hook_;
+  bool fault_stale_composite_ = false;
 
   // ---- composite snapshot cache ----------------------------------------------
   /// Rebuilt lazily when a shard's version moved; `const` because

@@ -907,7 +907,12 @@ void ShardCore::maybe_checkpoint() {
       config_.recovery.checkpoint_sink == nullptr) {
     return;
   }
-  if (sim_.now() - last_checkpoint_at_ < config_.recovery.checkpoint_period_us) return;
+  // After a failed save the next attempt comes after the backoff, not a
+  // full period: the shard should not run a whole checkpoint period more
+  // exposed to cold recovery because one write failed.
+  const sim::TimeUs wait = checkpoint_backoff_us_ > 0 ? checkpoint_backoff_us_
+                                                      : config_.recovery.checkpoint_period_us;
+  if (sim_.now() - last_checkpoint_at_ < wait) return;
   (void)save_checkpoint();
 }
 
@@ -918,8 +923,21 @@ util::Status ShardCore::save_checkpoint() {
   auto status = sink->save(build_checkpoint().encode());
   if (status.ok()) {
     ++checkpoints_saved_;
+    checkpoint_backoff_us_ = 0;
   } else {
-    FLEXRAN_LOG(error, "master") << "checkpoint save failed: " << status.error().message;
+    ++checkpoint_write_failures_;
+    // Exponential backoff from 10 ms, capped at the checkpoint period. The
+    // failed attempt is harmless on disk: the sink's tmp+rename protocol
+    // means load() still returns the last complete checkpoint.
+    constexpr sim::TimeUs kRetryBaseUs = 10'000;
+    const sim::TimeUs cap = config_.recovery.checkpoint_period_us > 0
+                                ? config_.recovery.checkpoint_period_us
+                                : kRetryBaseUs;
+    checkpoint_backoff_us_ = checkpoint_backoff_us_ == 0
+                                 ? std::min(kRetryBaseUs, cap)
+                                 : std::min(checkpoint_backoff_us_ * 2, cap);
+    FLEXRAN_LOG(error, "master") << "checkpoint save failed: " << status.error().message
+                                 << " (retry in " << checkpoint_backoff_us_ / 1000 << " ms)";
   }
   return status;
 }
@@ -1084,6 +1102,13 @@ util::Status ShardCore::send_to(AgentId agent, const M& message, bool track) {
       return util::Error::conflict("recovering: agent not re-synced");
     }
   }
+  if (recovering_ && category == proto::MessageCategory::commands) {
+    // Invariant tripwire, deliberately separate from the gate above: dead
+    // code today, but if the gate is ever weakened this records the
+    // command that escaped and the InvariantMonitor flags the increase.
+    const auto* node = rib_.find_agent(agent);
+    if (node == nullptr || node->state != SessionState::up) ++commands_sent_unresynced_;
+  }
   const auto wire = envelope.encode();
   const net::TrafficClass cls = proto::traffic_class(envelope.type, envelope.body);
   it->second.tx.record(category, wire.size() + net::kFrameHeaderBytes);
@@ -1127,7 +1152,12 @@ util::Status ShardCore::send_ul_mac_config(AgentId agent,
 
 util::Status ShardCore::send_handover(AgentId agent,
                                              const proto::HandoverCommand& command) {
-  return send_to(agent, command);
+  auto status = send_to(agent, command);
+  // A handover sourced from a recovering shard would be decided against a
+  // half-rebuilt RIB; apps honor the snapshot readiness guard, so any
+  // increase here is an invariant violation, not a metric.
+  if (status.ok() && recovering_) ++handovers_while_recovering_;
+  return status;
 }
 
 util::Status ShardCore::send_abs_config(AgentId agent, const proto::AbsConfig& config) {
@@ -1324,6 +1354,8 @@ void ShardCore::register_obs_probes() {
                    [this] { return static_cast<double>(commands_held_); });
   m.register_probe(probe_name("checkpoints_saved"),
                    [this] { return static_cast<double>(checkpoints_saved_); });
+  m.register_probe(probe_name("checkpoint_write_failures"),
+                   [this] { return static_cast<double>(checkpoint_write_failures_); });
   m.register_probe(probe_name("policies_repushed"),
                    [this] { return static_cast<double>(policies_repushed_); });
   resync_duration_ = &m.histogram(probe_name("resync_duration_us"), obs::exponential_bounds(1000.0, 2.0, 14));

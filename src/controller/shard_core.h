@@ -299,6 +299,11 @@ class ShardCore final : public NorthboundApi {
   /// with this incarnation yet.
   std::uint64_t commands_held() const { return commands_held_; }
   std::uint64_t checkpoints_saved() const { return checkpoints_saved_; }
+  /// Checkpoint saves the sink refused (disk error, injected fault). Each
+  /// failure schedules a backoff retry well inside the checkpoint period;
+  /// the last good checkpoint is never clobbered (the sink's tmp+rename
+  /// fails atomically).
+  std::uint64_t checkpoint_write_failures() const { return checkpoint_write_failures_; }
   /// Last-known-good policies re-pushed as re-syncs completed.
   std::uint64_t policies_repushed() const { return policies_repushed_; }
   /// A checkpoint was loaded at construction or the last restart().
@@ -342,6 +347,20 @@ class ShardCore final : public NorthboundApi {
   std::uint32_t throttle_multiplier() const { return throttle_multiplier_; }
   /// Stats requests re-sent to renegotiate report periods.
   std::uint64_t throttle_renegotiations() const { return throttle_renegotiations_; }
+
+  // ---- invariant inputs (src/verify/invariants.h) -----------------------------
+  /// The configured ingest budget: the InvariantMonitor checks queue
+  /// occupancy against it every coordinator cycle.
+  const net::QueueBudget& ingest_budget() const { return config_.overload.ingest; }
+  /// Commands that actually reached the wire toward an agent that had not
+  /// re-synced with this incarnation while the readiness barrier was up.
+  /// The gate in send_to makes this impossible by construction; this is a
+  /// deliberately separate tripwire at the delivery point, so weakening
+  /// the gate trips the monitor instead of silently shipping stale state.
+  std::uint64_t commands_sent_unresynced() const { return commands_sent_unresynced_; }
+  /// Handover commands sent while this shard was still recovering. Apps
+  /// honor the snapshot readiness guard, so this stays 0.
+  std::uint64_t handovers_while_recovering() const { return handovers_while_recovering_; }
 
   // ---- observability (docs/observability.md) ---------------------------------
   bool obs_enabled() const { return config_.obs.enabled; }
@@ -568,12 +587,19 @@ class ShardCore final : public NorthboundApi {
   /// histogram and the scenario summary).
   std::map<AgentId, sim::TimeUs> resync_started_at_;
   sim::TimeUs last_checkpoint_at_ = 0;
+  /// Non-zero after a failed checkpoint save: the next attempt happens
+  /// after this backoff instead of a full period. Doubles per consecutive
+  /// failure, capped at the checkpoint period; reset on success.
+  sim::TimeUs checkpoint_backoff_us_ = 0;
   bool checkpoint_loaded_ = false;
   std::uint64_t master_restarts_ = 0;
   std::uint64_t resyncs_paced_ = 0;
   std::uint64_t resyncs_admitted_ = 0;
   std::uint64_t commands_held_ = 0;
+  std::uint64_t commands_sent_unresynced_ = 0;
+  std::uint64_t handovers_while_recovering_ = 0;
   std::uint64_t checkpoints_saved_ = 0;
+  std::uint64_t checkpoint_write_failures_ = 0;
   std::uint64_t checkpoints_rejected_ = 0;
   std::uint64_t policies_repushed_ = 0;
   /// Time-to-resync histogram (registry-owned); non-null only while

@@ -1,6 +1,9 @@
 #include "net/sim_transport.h"
 
+#include <utility>
+
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace flexran::net {
 
@@ -31,7 +34,40 @@ void SimTransport::inject_disconnect(util::Error error) {
   if (disconnect_) disconnect_(std::move(error));
 }
 
+void SimTransport::reorder_next(int n, std::uint64_t seed) {
+  if (n <= 0) return;
+  reorder_remaining_ += n;
+  reorder_seed_ = seed;
+}
+
+void SimTransport::reorder_flush() {
+  reorder_remaining_ = 0;
+  if (reorder_buffer_.empty()) return;
+  auto held = std::move(reorder_buffer_);
+  reorder_buffer_.clear();
+  // Fisher-Yates with a seeded generator: the same schedule produces the
+  // same shuffle, so reorder faults stay bit-deterministic per seed.
+  util::Rng rng(reorder_seed_ ^ (frames_reordered_ + held.size()));
+  for (std::size_t i = held.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i - 1)));
+    std::swap(held[i - 1], held[j]);
+  }
+  frames_reordered_ += held.size();
+  for (auto& frame : held) deliver_now(std::move(frame));
+}
+
 void SimTransport::deliver(std::vector<std::uint8_t> framed) {
+  if (reorder_remaining_ > 0) {
+    --reorder_remaining_;
+    reorder_buffer_.push_back(std::move(framed));
+    if (reorder_remaining_ == 0) reorder_flush();
+    return;
+  }
+  deliver_now(std::move(framed));
+}
+
+void SimTransport::deliver_now(std::vector<std::uint8_t> framed) {
   if (corrupt_remaining_ > 0 && framed.size() > kFrameHeaderBytes) {
     --corrupt_remaining_;
     ++frames_corrupted_;

@@ -71,12 +71,27 @@ class SimTransport final : public Transport {
   /// xid/epoch dedup is supposed to make the copy a no-op.
   void duplicate_next(int n) { duplicate_remaining_ += n; }
   std::uint64_t frames_duplicated() const { return frames_duplicated_; }
+  /// Holds back the next `n` frames delivered to this endpoint and
+  /// releases them in a deterministically shuffled order once all `n`
+  /// have arrived (or reorder_flush() gives up waiting). This
+  /// deliberately bypasses SimLink's delivery-order floor -- the link
+  /// serializer is strictly FIFO, so out-of-order arrival (multipath,
+  /// kernel requeueing) can only be injected here, past the link. The
+  /// session layer's xid/epoch logic is expected to absorb it.
+  void reorder_next(int n, std::uint64_t seed = 0x5eedULL);
+  /// Releases any frames still held by reorder_next even though fewer
+  /// than `n` arrived. The fault injector schedules this as a deadline so
+  /// a quiet channel (or a follow-up partition) cannot strand frames in
+  /// the reorder buffer forever.
+  void reorder_flush();
+  std::uint64_t frames_reordered() const { return frames_reordered_; }
 
  private:
   friend SimTransportPair make_sim_transport_pair(sim::Simulator& sim,
                                                   const sim::LinkConfig& a_to_b,
                                                   const sim::LinkConfig& b_to_a);
   void deliver(std::vector<std::uint8_t> framed);
+  void deliver_now(std::vector<std::uint8_t> framed);
 
   std::unique_ptr<sim::SimLink> tx_;
   FrameAssembler assembler_;
@@ -91,6 +106,10 @@ class SimTransport final : public Transport {
   std::uint64_t frames_corrupted_ = 0;
   int duplicate_remaining_ = 0;
   std::uint64_t frames_duplicated_ = 0;
+  int reorder_remaining_ = 0;
+  std::uint64_t reorder_seed_ = 0;
+  std::vector<std::vector<std::uint8_t>> reorder_buffer_;
+  std::uint64_t frames_reordered_ = 0;
 };
 
 /// Creates two endpoints joined by independent directional links (so

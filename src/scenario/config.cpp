@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "apps/remote_scheduler.h"
 #include "scenario/obs_export.h"
 #include "traffic/udp.h"
 #include "util/strings.h"
 #include "util/yaml_lite.h"
+#include "verify/invariants.h"
 
 namespace flexran::scenario {
 
@@ -48,10 +50,12 @@ util::Result<FaultKind> parse_fault_kind(const std::string& name) {
   if (name == "report_flood") return FaultKind::report_flood;
   if (name == "master_crash") return FaultKind::master_crash;
   if (name == "shard_kill") return FaultKind::shard_kill;
+  if (name == "reorder") return FaultKind::reorder;
+  if (name == "shard_drain") return FaultKind::shard_drain;
   return util::Error::invalid_argument(
-      "fault kind must be partition | heal | delay_spike | corrupt | duplicate | crash | "
-      "restart | flap | vsf_crash | vsf_overrun | vsf_invalid | report_flood | master_crash | "
-      "shard_kill");
+      "fault kind must be partition | heal | delay_spike | corrupt | duplicate | reorder | "
+      "crash | restart | flap | vsf_crash | vsf_overrun | vsf_invalid | report_flood | "
+      "master_crash | shard_kill | shard_drain");
 }
 
 }  // namespace
@@ -159,6 +163,15 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
     return util::Error::invalid_argument("checkpoint_period_s must be > 0");
   }
   spec.checkpoint_period_s = *ckpt_period;
+
+  spec.invariants = read_string(root, "invariants", spec.invariants);
+  if (spec.invariants != "off" && spec.invariants != "log" && spec.invariants != "trap") {
+    return util::Error::invalid_argument("invariants must be off | log | trap");
+  }
+  spec.defect = read_string(root, "defect", spec.defect);
+  if (!spec.defect.empty() && spec.defect != "stale_composite") {
+    return util::Error::invalid_argument("defect must be stale_composite (or omitted)");
+  }
 
   const auto* enbs = root.find("enbs");
   if (enbs == nullptr || !enbs->is_sequence() || enbs->items().empty()) {
@@ -301,14 +314,16 @@ util::Result<ScenarioSpec> parse_scenario(const std::string& yaml) {
                                              std::to_string(*fault_shard));
       }
       fault.shard = static_cast<int>(*fault_shard);
-      if (fault.kind == FaultKind::shard_kill) {
+      if (fault.kind == FaultKind::shard_kill || fault.kind == FaultKind::shard_drain) {
         // -1 ("every shard") would orphan the whole fleet with nobody left
         // to adopt it; failover needs a survivor, so the target is explicit.
         if (fault.shard < 0) {
-          return util::Error::invalid_argument("shard_kill needs an explicit shard");
+          return util::Error::invalid_argument(std::string(to_string(fault.kind)) +
+                                               " needs an explicit shard");
         }
         if (spec.shards < 2) {
-          return util::Error::invalid_argument("shard_kill needs shards >= 2");
+          return util::Error::invalid_argument(std::string(to_string(fault.kind)) +
+                                               " needs shards >= 2");
         }
       }
       spec.faults.push_back(fault);
@@ -438,6 +453,29 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
 
   FaultInjector injector(testbed);
   injector.schedule_all(spec.faults);
+
+  // Runtime verification (docs/chaos_fuzzing.md): the monitor re-checks the
+  // control plane's safety invariants after every coordinator cycle. All
+  // eNodeBs exist by now, so the I6 quarantine probes can bind directly to
+  // each agent's VsfGuard counter.
+  std::unique_ptr<verify::InvariantMonitor> monitor;
+  if (spec.invariants != "off") {
+    auto mode = verify::parse_mode(spec.invariants);
+    monitor = std::make_unique<verify::InvariantMonitor>(
+        testbed.coordinator(), mode.ok() ? *mode : verify::Mode::log);
+    for (std::size_t i = 0; i < testbed.enbs().size(); ++i) {
+      const auto* guard = &testbed.enbs()[i]->agent->vsf_guard();
+      monitor->add_quarantine_probe(
+          "enb" + std::to_string(i),
+          [guard] { return guard->quarantined_invocations(); });
+    }
+    monitor->install();
+  }
+  if (spec.defect == "stale_composite") {
+    // Self-check defect: composite-cache invalidation removed. The monitor
+    // must catch the resulting stale union (I3).
+    testbed.coordinator().set_fault_stale_composite(true);
+  }
 
   ScenarioRunSummary summary;
   summary.observability = spec.observability;
@@ -572,6 +610,11 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec) {
   summary.failover_pending = coordinator.failover_pending();
   summary.orphan_window_ms = sim::to_seconds(coordinator.last_orphan_window()) * 1e3;
   summary.failover_duration_ms = sim::to_seconds(coordinator.last_failover_duration()) * 1e3;
+  if (monitor != nullptr) {
+    summary.invariant_checks = monitor->checks_run();
+    summary.invariant_violations = monitor->violations_total();
+    summary.invariant_details = monitor->violation_summaries(8);
+  }
   return summary;
 }
 
@@ -649,6 +692,15 @@ std::string format_summary(const ScenarioRunSummary& summary) {
         static_cast<unsigned long long>(summary.agents_drained), summary.agents_orphaned,
         summary.failover_pending, summary.orphan_window_ms, summary.failover_duration_ms);
   }
+  if (summary.invariant_checks > 0) {
+    out += util::format("invariants: %llu checks, %llu violations%s\n",
+                        static_cast<unsigned long long>(summary.invariant_checks),
+                        static_cast<unsigned long long>(summary.invariant_violations),
+                        summary.invariant_violations == 0 ? " (clean)" : "");
+    for (const auto& detail : summary.invariant_details) {
+      out += "  ! " + detail + "\n";
+    }
+  }
   for (std::size_t i = 0; i < summary.shard_summaries.size(); ++i) {
     const auto& shard = summary.shard_summaries[i];
     const bool alive = shard.health == ctrl::Coordinator::ShardHealth::alive;
@@ -675,6 +727,89 @@ std::string format_summary(const ScenarioRunSummary& summary) {
         static_cast<unsigned long long>(link.downlink_shed));
   }
   if (!summary.metrics_block.empty()) out += summary.metrics_block;
+  return out;
+}
+
+std::string scenario_to_yaml(const ScenarioSpec& spec) {
+  // Every scalar is emitted unconditionally (the parser accepts defaults
+  // back), except fields whose empty/unset form has no YAML spelling.
+  // %.3f quantizes times to 1 ms / rates to 1 kb/s -- the fuzzer only
+  // generates values on that grid, so parse(emit(spec)) is exact.
+  std::string out;
+  out += util::format("duration_s: %.3f\n", spec.duration_s);
+  out += util::format("stats_period_ttis: %u\n", spec.stats_period_ttis);
+  out += util::format("seed: %llu\n", static_cast<unsigned long long>(spec.seed));
+  out += util::format("shards: %zu\n", spec.shards);
+  out += util::format("shard_stall_cycles: %lld\n",
+                      static_cast<long long>(spec.shard_stall_cycles));
+  out += util::format("remote_scheduler: %s\n", spec.remote_scheduler ? "true" : "false");
+  out += util::format("schedule_ahead_sf: %d\n", spec.schedule_ahead_sf);
+  out += util::format("agent_timeout_ms: %.3f\n", spec.agent_timeout_ms);
+  out += util::format("agent_disconnect_timeout_ms: %.3f\n",
+                      spec.agent_disconnect_timeout_ms);
+  out += util::format("request_timeout_ms: %.3f\n", spec.request_timeout_ms);
+  out += util::format("ingest_max_messages: %lld\n",
+                      static_cast<long long>(spec.ingest_max_messages));
+  out += util::format("ingest_max_bytes: %lld\n",
+                      static_cast<long long>(spec.ingest_max_bytes));
+  out += util::format("observability: %s\n", spec.observability ? "true" : "false");
+  out += util::format("metrics_period_s: %.3f\n", spec.metrics_period_s);
+  out += util::format("master_recovery: %s\n", spec.master_recovery ? "true" : "false");
+  out += util::format("resync_tokens_per_s: %.3f\n", spec.resync_tokens_per_s);
+  out += util::format("resync_burst: %.3f\n", spec.resync_burst);
+  out += util::format("resync_retry_after_ms: %.3f\n", spec.resync_retry_after_ms);
+  out += util::format("readiness_quorum: %.3f\n", spec.readiness_quorum);
+  out += util::format("readiness_timeout_ms: %.3f\n", spec.readiness_timeout_ms);
+  out += util::format("warm_checkpoint: %s\n", spec.warm_checkpoint ? "true" : "false");
+  out += util::format("checkpoint_period_s: %.3f\n", spec.checkpoint_period_s);
+  out += util::format("invariants: %s\n", spec.invariants.c_str());
+  if (!spec.defect.empty()) out += util::format("defect: %s\n", spec.defect.c_str());
+  out += "enbs:\n";
+  for (const auto& enb : spec.enbs) {
+    out += util::format("  - enb_id: %u\n", static_cast<unsigned>(enb.enb_id));
+    out += util::format("    name: %s\n", enb.name.c_str());
+    if (enb.shard >= 0) out += util::format("    shard: %lld\n",
+                                            static_cast<long long>(enb.shard));
+    out += util::format("    dl_scheduler: %s\n", enb.dl_scheduler.c_str());
+    out += util::format("    ul_scheduler: %s\n", enb.ul_scheduler.c_str());
+    out += util::format("    control_delay_ms: %.3f\n", enb.control_delay_ms);
+    out += util::format("    remote_fallback_ttis: %lld\n",
+                        static_cast<long long>(enb.remote_fallback_ttis));
+    out += util::format("    fallback_scheduler: %s\n", enb.fallback_scheduler.c_str());
+    out += util::format("    control_rate_mbps: %.3f\n", enb.control_rate_mbps);
+    out += util::format("    send_budget_bytes: %lld\n",
+                        static_cast<long long>(enb.send_budget_bytes));
+  }
+  if (!spec.ues.empty()) {
+    out += "ues:\n";
+    for (const auto& ue : spec.ues) {
+      out += util::format("  - enb: %u\n", static_cast<unsigned>(ue.enb));
+      out += util::format("    cqi: %d\n", ue.cqi);
+      out += util::format("    ul_cqi: %d\n", ue.ul_cqi);
+      out += util::format("    traffic: %s\n", ue.traffic.c_str());
+      out += util::format("    rate_mbps: %.3f\n", ue.rate_mbps);
+      out += util::format("    ul_traffic: %s\n", ue.ul_traffic.c_str());
+      out += util::format("    ul_rate_mbps: %.3f\n", ue.ul_rate_mbps);
+      if (!ue.cqi_trace.empty()) {
+        out += "    cqi_trace:\n";
+        for (int sample : ue.cqi_trace) out += util::format("      - %d\n", sample);
+        out += util::format("    cqi_trace_period_ms: %.3f\n", ue.cqi_trace_period_ms);
+      }
+    }
+  }
+  if (!spec.faults.empty()) {
+    out += "faults:\n";
+    for (const auto& fault : spec.faults) {
+      out += util::format("  - at_s: %.3f\n", fault.at_s);
+      out += util::format("    kind: %s\n", to_string(fault.kind));
+      out += util::format("    enb: %d\n", fault.enb);
+      out += util::format("    duration_s: %.3f\n", fault.duration_s);
+      out += util::format("    delay_ms: %.3f\n", fault.delay_ms);
+      out += util::format("    count: %d\n", fault.count);
+      out += util::format("    period_s: %.3f\n", fault.period_s);
+      out += util::format("    shard: %d\n", fault.shard);
+    }
+  }
   return out;
 }
 

@@ -124,6 +124,16 @@ struct ScenarioSpec {
   bool warm_checkpoint = false;
   /// Checkpoint period; only meaningful with warm_checkpoint.
   double checkpoint_period_s = 0.5;
+  // ---- runtime verification (docs/chaos_fuzzing.md) -------------------------
+  /// InvariantMonitor mode for the run: "off" (default; seed-identical),
+  /// "log" (count + record violations in the summary -- the fuzzer's mode,
+  /// so schedules can be minimized) or "trap" (abort with a cycle trace on
+  /// the first violation -- what ctest scenarios and chaos soaks use).
+  std::string invariants = "off";
+  /// Deliberately re-introduced defect for monitor/fuzzer self-checks:
+  /// "" (none) or "stale_composite" (composite-cache invalidation removed;
+  /// the monitor must catch it). See docs/chaos_fuzzing.md.
+  std::string defect;
   /// Scripted chaos timeline, executed by a FaultInjector during the run.
   std::vector<FaultEvent> faults;
   std::vector<ScenarioEnbSpec> enbs;
@@ -236,6 +246,12 @@ struct ScenarioRunSummary {
   /// Failure suspicion to last orphan re-homed / to every adoptee up, ms.
   double orphan_window_ms = 0.0;
   double failover_duration_ms = 0.0;
+  // ---- runtime verification (docs/chaos_fuzzing.md) -------------------------
+  /// Invariant checks the monitor ran (0 = monitor off) and violations it
+  /// recorded; the first few violation details ride along for the CLI.
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
+  std::vector<std::string> invariant_details;
   // ---- observability (docs/observability.md) --------------------------------
   /// True when the run had the metrics layer enabled (the fields below are
   /// empty otherwise).
@@ -254,5 +270,11 @@ ScenarioRunSummary run_scenario(const ScenarioSpec& spec);
 
 /// Renders the summary as the CLI's output table.
 std::string format_summary(const ScenarioRunSummary& summary);
+
+/// Serializes a spec back into the YAML-lite dialect parse_scenario reads.
+/// Covers every field the chaos fuzzer generates, so
+/// parse_scenario(scenario_to_yaml(spec)) reproduces the run exactly --
+/// this is how minimized repros become standalone scenario files.
+std::string scenario_to_yaml(const ScenarioSpec& spec);
 
 }  // namespace flexran::scenario

@@ -28,6 +28,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::report_flood: return "report_flood";
     case FaultKind::master_crash: return "master_crash";
     case FaultKind::shard_kill: return "shard_kill";
+    case FaultKind::reorder: return "reorder";
+    case FaultKind::shard_drain: return "shard_drain";
   }
   return "?";
 }
@@ -105,6 +107,26 @@ void FaultInjector::apply(const FaultEvent& event) {
         enb.agent_side->duplicate_next(event.count);
       });
       break;
+    case FaultKind::reorder: {
+      note(event, util::format("%d frames", event.count));
+      // Each endpoint gets its own shuffle seed derived from the injection
+      // order, so two reorder events on one link do not replay the same
+      // permutation.
+      const auto seed = 0x5eedULL + static_cast<std::uint64_t>(log_.size());
+      for_each_target(event.enb, [&](Testbed::Enb& enb) {
+        enb.master_side->reorder_next(event.count, seed);
+        enb.agent_side->reorder_next(event.count, seed + 1);
+      });
+      // Deadline flush: frames held back on a channel that goes quiet (or
+      // gets partitioned next) must still arrive eventually.
+      testbed_->sim().after(sim::from_ms(200.0), [this, event] {
+        for_each_target(event.enb, [](Testbed::Enb& enb) {
+          enb.master_side->reorder_flush();
+          enb.agent_side->reorder_flush();
+        });
+      });
+      break;
+    }
     case FaultKind::crash:
       note(event, event.duration_s > 0
                       ? util::format("restart in %.3fs", event.duration_s)
@@ -236,6 +258,18 @@ void FaultInjector::apply(const FaultEvent& event) {
         adopted = coordinator.kill_shard(static_cast<std::size_t>(event.shard));
       }
       note(event, util::format("shard=%d adopted=%zu", event.shard, adopted));
+      break;
+    }
+    case FaultKind::shard_drain: {
+      auto& coordinator = testbed_->coordinator();
+      util::Status status = util::Error::invalid_argument("no such shard");
+      if (event.shard >= 0 &&
+          static_cast<std::size_t>(event.shard) < coordinator.shard_count()) {
+        status = coordinator.drain_shard(static_cast<std::size_t>(event.shard));
+      }
+      note(event, util::format("shard=%d %s", event.shard,
+                               status.ok() ? "started"
+                                           : ("rejected: " + status.error().message).c_str()));
       break;
     }
   }

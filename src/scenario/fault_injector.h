@@ -26,6 +26,14 @@ enum class FaultKind {
   /// back to back (retransmit-after-lost-ack duplicates). The session
   /// layer's xid/epoch dedup must make every copy a no-op.
   duplicate,
+  /// The next `count` frames delivered at each endpoint are held back and
+  /// released in a deterministically shuffled order (multipath / kernel
+  /// requeue reordering). SimLink itself never reorders -- the shuffle
+  /// happens at the SimTransport endpoint, past the link's FIFO delivery
+  /// floor -- so this is the only source of out-of-order arrival, and the
+  /// session xid/epoch layer must absorb it. Frames still held 200 ms
+  /// later are flushed, so a follow-up partition cannot strand them.
+  reorder,
   /// Agent process crash: session torn down, nothing reconnects until a
   /// restart fault (or restart_after_s).
   crash,
@@ -67,6 +75,13 @@ enum class FaultKind {
   /// restart. `enb` and `duration_s` are ignored; `shard` must name a
   /// specific shard (-1 is rejected at parse time).
   shard_kill,
+  /// Planned shard migration (docs/sharded_control.md "Shard failover"):
+  /// starts drain_shard(shard) -- quiesce, then one agent per coordinator
+  /// cycle handed to the survivors with a live durable export; the shard
+  /// ends `drained`. `shard` must name a specific shard (-1 is rejected at
+  /// parse time); a drain that loses the race to another drain or to the
+  /// shard's death is logged as rejected, not an error.
+  shard_drain,
 };
 
 const char* to_string(FaultKind kind);

@@ -1,0 +1,90 @@
+// Deterministic chaos fuzzer (docs/chaos_fuzzing.md): from one integer
+// seed, generates a randomized sharded topology plus a randomized fault
+// schedule composing every FaultKind, runs it under the InvariantMonitor,
+// and -- on a violation -- greedily minimizes the schedule and renders a
+// standalone repro scenario that `flexran-sim --check` fails on.
+//
+// Everything downstream of the seed is bit-deterministic: the same seed
+// always produces the same topology, the same schedule, the same run and
+// the same repro YAML. That is the whole contract -- a one-line "seed N
+// violated I3" report from a CI soak is a complete bug report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/config.h"
+
+namespace flexran::verify {
+
+struct FuzzConfig {
+  /// Master seed; everything else derives from it. Must be >= 1.
+  std::uint64_t seed = 1;
+  /// Simulated length of each generated run. Faults land in the window
+  /// [0.2 s, duration - 2.2 s], so every schedule gets a settle tail long
+  /// enough for re-syncs, failovers and quarantine rollbacks to converge.
+  double duration_s = 4.0;
+  /// Upper bound on generated faults per run (actual count is random).
+  int max_faults = 8;
+  /// Deliberately re-introduced defect for self-checks ("" = none,
+  /// "stale_composite"); forces shards >= 2 so the defect is observable.
+  std::string defect;
+};
+
+/// Outcome of one scenario execution, judged by the same bar
+/// `flexran-sim --check` applies plus the monitor's violation count.
+struct RunVerdict {
+  bool violated = false;
+  /// Human-readable reasons ("3 invariant violations", "1/2 agents up").
+  std::vector<std::string> reasons;
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
+};
+
+struct FuzzResult {
+  std::uint64_t seed = 0;
+  /// The generated spec, as run (invariants: log).
+  scenario::ScenarioSpec spec;
+  bool violated = false;
+  std::vector<std::string> reasons;
+  std::uint64_t invariant_checks = 0;
+  /// Total scenario executions, including minimization trials.
+  std::uint64_t runs = 0;
+  /// Smallest still-violating schedule (== spec when clean or when
+  /// minimization was skipped). May have zero faults: a defect the
+  /// monitor catches without any chaos minimizes to an empty schedule.
+  scenario::ScenarioSpec minimized;
+  /// Standalone repro document (empty when clean): comment header with
+  /// provenance + scenario_to_yaml(minimized).
+  std::string repro;
+};
+
+/// Deterministically expands a FuzzConfig into a runnable ScenarioSpec:
+/// 2-4 eNodeBs, 1-3 shards (>= 2 with a defect or shard faults), random
+/// pins, one UE per cell, master recovery always on, and a time-sorted
+/// fault schedule where every crash restarts and every shard_kill /
+/// shard_drain leaves at least one shard standing.
+scenario::ScenarioSpec generate_scenario(const FuzzConfig& config);
+
+/// Runs the spec with `invariants` forced to "log" (the monitor must
+/// observe, not abort) and returns the verdict.
+RunVerdict run_fuzz_spec(const scenario::ScenarioSpec& spec);
+
+/// Greedy delta-debugging over the fault schedule: repeatedly re-runs the
+/// scenario with one fault removed and keeps any removal that still
+/// violates, until a full pass removes nothing. `runs`, when given, is
+/// incremented once per trial execution.
+scenario::ScenarioSpec minimize_schedule(const scenario::ScenarioSpec& spec,
+                                         std::uint64_t* runs = nullptr);
+
+/// Renders a minimized spec as a standalone scenario document with a
+/// provenance header (fuzz seed, violated invariants, replay command).
+std::string repro_yaml(const scenario::ScenarioSpec& spec,
+                       const std::vector<std::string>& reasons);
+
+/// The whole pipeline for one seed: generate, run, and -- on violation --
+/// minimize (unless `minimize` is false) and render the repro.
+FuzzResult fuzz_seed(const FuzzConfig& config, bool minimize = true);
+
+}  // namespace flexran::verify

@@ -835,6 +835,59 @@ TEST(MasterRecovery, WarmRestartLoadsCheckpointAndRepushesPolicies) {
   EXPECT_GE(testbed.master().incarnation(), 2u);
 }
 
+// Torn-write regression: an injected mid-write failure leaves a torn .tmp
+// behind, but the atomic tmp+rename protocol must keep the last complete
+// checkpoint loadable -- a failed save never clobbers durable state.
+TEST(MasterRecovery, TornCheckpointWriteNeverClobbersLastGood) {
+  const std::string path = ::testing::TempDir() + "flexran_ckpt_torn.bin";
+  std::remove(path.c_str());
+  ctrl::FileCheckpointSink sink(path);
+  const std::vector<std::uint8_t> good = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(sink.save(good).ok());
+
+  sink.fail_next_saves(1);
+  const std::vector<std::uint8_t> newer = {9, 9, 9, 9, 9, 9, 9, 9, 9, 9};
+  const auto failed = sink.save(newer);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(sink.saves_failed(), 1u);
+  // The torn write landed in the .tmp only; the published file is intact.
+  auto loaded = sink.load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, good);
+
+  // The retry (no injection left) publishes the new bytes atomically.
+  ASSERT_TRUE(sink.save(newer).ok());
+  loaded = sink.load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, newer);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// Write-failure hardening in the master's checkpoint loop: failed saves
+// are counted, retried with backoff (sooner than the normal period), and
+// the sink ends up with a good checkpoint once the fault clears.
+TEST(MasterRecovery, CheckpointWriteFailuresRetryWithBackoff) {
+  auto sink = std::make_shared<ctrl::MemoryCheckpointSink>();
+  scenario::Testbed testbed(
+      recovery_config(/*tokens_per_s=*/1000.0, sink, sim::from_ms(100)));
+  testbed.add_enb(basic_spec(1));
+  sink->fail_next_saves(2);
+  testbed.run_ttis(400);
+
+  EXPECT_EQ(testbed.master().checkpoint_write_failures(), 2u);
+  EXPECT_EQ(sink->saves_failed(), 2u);
+  // Both failures were retried inside the run: a good checkpoint exists
+  // and regular-period checkpointing resumed after the recovery.
+  ASSERT_TRUE(sink->has_checkpoint());
+  EXPECT_GT(testbed.master().checkpoints_saved(), 0u);
+  // 400 ttis / 100 ms period = ~4 regular slots; the 10-20 ms backoff
+  // retries squeeze the two failed attempts in without eating a slot.
+  EXPECT_GE(testbed.master().checkpoints_saved() +
+                testbed.master().checkpoint_write_failures(),
+            4u);
+}
+
 // The checkpoint codec round-trips durable master state byte-for-byte
 // through a file sink (the deployment path; Memory sinks cover the tests).
 TEST(MasterRecovery, FileCheckpointSinkRoundTrips) {

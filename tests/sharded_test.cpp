@@ -16,6 +16,7 @@
 #include "phy/mobility.h"
 #include "scenario/fault_injector.h"
 #include "scenario/testbed.h"
+#include "verify/invariants.h"
 
 namespace flexran {
 namespace {
@@ -551,6 +552,116 @@ TEST(ShardedObs, SharedRegistryKeepsPerShardMetricIdentities) {
   const auto single_text = single.coordinator().metrics().prometheus_text();
   EXPECT_NE(single_text.find("cycles_run "), std::string::npos);
   EXPECT_EQ(single_text.find("cycles_run{"), std::string::npos);
+}
+
+// ----------------------------------------- failover edge cases (monitored) --
+
+// Renders the monitor's findings so a regression fails with the actual
+// violated invariants, not just a counter mismatch.
+std::string violations_text(const verify::InvariantMonitor& monitor) {
+  std::string text;
+  for (const auto& line : monitor.violation_summaries()) text += line + "\n";
+  return text;
+}
+
+// A shard dies mid-drain: the planned migration is abandoned, the drain
+// queue cleared, and every agent still on the victim is re-homed through
+// the ordinary failover path -- without the monitor seeing a double owner
+// or an unrecoverable orphan at any cycle.
+TEST(ShardFailover, KillDuringActiveDrainAdoptsTheRest) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/true), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 0));
+  auto& enb2 = testbed.add_enb(spec(3, 1));
+  verify::InvariantMonitor monitor(testbed.coordinator(), verify::Mode::log);
+  monitor.install();
+  testbed.run_seconds(0.5);
+
+  auto& coordinator = testbed.coordinator();
+  ASSERT_TRUE(coordinator.drain_shard(0).ok());
+  testbed.run_ttis(1);
+  ASSERT_EQ(coordinator.agents_drained(), 1u);  // mid-drain: one moved, one queued
+
+  coordinator.kill_shard(0);
+  EXPECT_EQ(coordinator.shard_health(0), Coordinator::ShardHealth::failed);
+  // The queued remainder went through adoption, not the drain (every
+  // re-home -- drained or failed-over -- counts in agents_adopted).
+  EXPECT_EQ(coordinator.agents_drained(), 1u);
+  EXPECT_EQ(coordinator.agents_adopted(), 2u);
+  EXPECT_EQ(coordinator.agents_orphaned(), 0u);
+  EXPECT_EQ(coordinator.shard_of(enb0.agent_id), 1u);
+  EXPECT_EQ(coordinator.shard_of(enb1.agent_id), 1u);
+
+  testbed.run_seconds(1.5);
+  auto& survivor = coordinator.shard(1);
+  EXPECT_EQ(survivor.rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  EXPECT_EQ(survivor.rib().find_agent(enb1.agent_id)->state, SessionState::up);
+  EXPECT_EQ(survivor.rib().find_agent(enb2.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.failover_pending(), 0u);
+  // After the abandoned drain, a fresh drain elsewhere is legal again.
+  EXPECT_FALSE(coordinator.drain_shard(0).ok());  // dead shards stay refused
+  EXPECT_EQ(monitor.violations_total(), 0u) << violations_text(monitor);
+}
+
+// A shard is killed while it is itself still recovering from a restart:
+// its agents' epochs baseline-shift twice in quick succession (restart,
+// then adoption), which is exactly the window the monitor's per-span
+// epoch baselines must tolerate without false positives -- and the
+// adoption must still converge.
+TEST(ShardFailover, KillWhileVictimStillRecovering) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/true), 2);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 1));
+  verify::InvariantMonitor monitor(testbed.coordinator(), verify::Mode::log);
+  monitor.install();
+  testbed.run_seconds(0.5);
+
+  auto& coordinator = testbed.coordinator();
+  coordinator.shard(0).restart();
+  ASSERT_TRUE(coordinator.shard(0).recovering());
+  testbed.run_ttis(5);  // re-sync barely started
+
+  coordinator.kill_shard(0);
+  EXPECT_EQ(coordinator.shard_health(0), Coordinator::ShardHealth::failed);
+  EXPECT_EQ(coordinator.shard_of(enb0.agent_id), 1u);
+
+  testbed.run_seconds(1.5);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  EXPECT_EQ(coordinator.shard(1).rib().find_agent(enb1.agent_id)->state, SessionState::up);
+  EXPECT_FALSE(coordinator.any_recovering());
+  EXPECT_EQ(coordinator.failover_pending(), 0u);
+  EXPECT_EQ(monitor.violations_total(), 0u) << violations_text(monitor);
+}
+
+// Two kills back to back leave a single survivor owning the whole fleet;
+// the second failover adopts agents that were themselves adopted moments
+// earlier (incarnation floors must keep climbing, never reset).
+TEST(ShardFailover, BackToBackKillsLeaveOneSurvivor) {
+  Testbed testbed(failover_config(/*warm_checkpoints=*/true), 3);
+  auto& enb0 = testbed.add_enb(spec(1, 0));
+  auto& enb1 = testbed.add_enb(spec(2, 1));
+  auto& enb2 = testbed.add_enb(spec(3, 2));
+  verify::InvariantMonitor monitor(testbed.coordinator(), verify::Mode::log);
+  monitor.install();
+  testbed.run_seconds(0.5);
+
+  auto& coordinator = testbed.coordinator();
+  coordinator.kill_shard(0);
+  coordinator.kill_shard(1);
+  EXPECT_EQ(coordinator.shards_failed(), 2u);
+  EXPECT_EQ(coordinator.agents_orphaned(), 0u);
+  EXPECT_EQ(coordinator.shard_of(enb0.agent_id), 2u);
+  EXPECT_EQ(coordinator.shard_of(enb1.agent_id), 2u);
+  EXPECT_EQ(coordinator.shard_of(enb2.agent_id), 2u);
+
+  testbed.run_seconds(2.0);
+  auto& survivor = coordinator.shard(2);
+  EXPECT_EQ(survivor.rib().find_agent(enb0.agent_id)->state, SessionState::up);
+  EXPECT_EQ(survivor.rib().find_agent(enb1.agent_id)->state, SessionState::up);
+  EXPECT_EQ(survivor.rib().find_agent(enb2.agent_id)->state, SessionState::up);
+  EXPECT_EQ(survivor.master_restarts(), 0u);
+  EXPECT_EQ(coordinator.failover_pending(), 0u);
+  EXPECT_EQ(monitor.violations_total(), 0u) << violations_text(monitor);
 }
 
 }  // namespace

@@ -51,7 +51,10 @@ fi
 # sanitizer report -- fails the gate. chaos_vsf.yaml is skipped under
 # TSan (its containment path is single-threaded and throws on purpose;
 # ASan/UBSan is the leg that matters for it); chaos_metrics.yaml keeps
-# exercising the exporters with the output discarded.
+# exercising the exporters with the output discarded. Every soak runs
+# with --invariants=trap: the runtime InvariantMonitor
+# (docs/chaos_fuzzing.md) aborts with a cycle trace the moment a safety
+# property breaks mid-run, instead of waiting for the end-state check.
 seeds=(1 7 13)
 scenarios=("${repo_root}"/scenarios/chaos_*.yaml "${repo_root}/scenarios/sharded_scale.yaml" \
   "${repo_root}/scenarios/sharded_failover.yaml")
@@ -66,8 +69,25 @@ for scenario in "${scenarios[@]}"; do
   fi
   for seed in "${seeds[@]}"; do
     echo "== chaos soak: ${name} seed=${seed} under ${sanitize}"
-    "${build_dir}/tools/flexran-sim" "${extra[@]}" --check --seed="${seed}" "${scenario}"
+    "${build_dir}/tools/flexran-sim" "${extra[@]}" --check --invariants=trap \
+      --seed="${seed}" "${scenario}"
   done
 done
+
+# Fuzz leg (docs/chaos_fuzzing.md): deterministic chaos fuzzing over a
+# fixed seed range under the instrumented binary. Each seed generates a
+# randomized sharded topology + fault schedule, runs it under the
+# InvariantMonitor, and fails the gate (exit 1) on any invariant
+# violation or end-state divergence -- printing the minimized repro YAML
+# so the failing seed is immediately replayable. The thread leg runs a
+# shorter sweep: TSan's ~10x slowdown buys race coverage, not more seeds.
+if [[ "${sanitize}" == "thread" ]]; then
+  fuzz_runs=8
+else
+  fuzz_runs=32
+fi
+echo "== fuzz: seeds 1..${fuzz_runs} under ${sanitize}"
+"${build_dir}/tools/flexran-fuzz" --seed=1 --runs="${fuzz_runs}" \
+  --out="${build_dir}/repros"
 
 echo "== OK (${sanitize})"

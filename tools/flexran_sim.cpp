@@ -6,6 +6,7 @@
 //   flexran_sim --metrics-prom[=FILE] s.yaml  # also dump a Prometheus snapshot
 //   flexran_sim --seed=N s.yaml               # override the scenario RNG seed
 //   flexran_sim --check s.yaml                # exit 1 on end-state invariants
+//   flexran_sim --invariants=MODE s.yaml      # runtime monitor: off|log|trap
 //   flexran_sim --help
 //
 // Scenario format: see src/scenario/config.h and docs/PROTOCOL.md.
@@ -52,7 +53,7 @@ ues:
 void print_usage() {
   std::printf(
       "usage: flexran_sim [--metrics-json[=FILE]] [--metrics-prom[=FILE]] "
-      "[--seed=N] [--check] <scenario.yaml> | --demo\n\n"
+      "[--seed=N] [--check] [--invariants=MODE] <scenario.yaml> | --demo\n\n"
       "Runs a FlexRAN scenario (master controller + agent-enabled eNodeBs +\n"
       "UEs + traffic) inside the discrete-event simulator and prints per-UE\n"
       "throughput and controller statistics.\n\n"
@@ -67,8 +68,13 @@ void print_usage() {
       "--seed=N overrides the scenario's base RNG seed (eNodeB i gets seed\n"
       "N+i), for chaos soaks sweeping seeds without editing the document.\n"
       "--check exits 1 when the run ends in a bad state: any agent not up,\n"
-      "any shard still recovering, any orphan unadopted or any adoption\n"
-      "still pending. See docs/fault_tolerance.md.\n");
+      "any shard still recovering, any orphan unadopted, any adoption still\n"
+      "pending, or any runtime invariant violation the monitor recorded.\n"
+      "See docs/fault_tolerance.md.\n\n"
+      "--invariants=off|log|trap overrides the scenario's runtime\n"
+      "InvariantMonitor mode: `log` counts violations into the summary,\n"
+      "`trap` aborts with a cycle trace on the first one (what the chaos\n"
+      "soaks run with). See docs/chaos_fuzzing.md.\n");
 }
 
 /// Writes `text` to `path`, or to stdout when `path` is empty.
@@ -93,6 +99,7 @@ int main(int argc, char** argv) {
   bool want_prom = false;
   bool want_check = false;
   long long seed_override = -1;
+  std::string invariants_override;
   std::string json_path;
   std::string prom_path;
   std::string scenario_arg;
@@ -114,6 +121,13 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--check") {
       want_check = true;
+    } else if (arg.rfind("--invariants=", 0) == 0) {
+      invariants_override = arg.substr(std::strlen("--invariants="));
+      if (invariants_override != "off" && invariants_override != "log" &&
+          invariants_override != "trap") {
+        std::fprintf(stderr, "flexran_sim: --invariants must be off | log | trap\n");
+        return 2;
+      }
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed_override = std::atoll(arg.c_str() + std::strlen("--seed="));
       if (seed_override < 1) {
@@ -154,6 +168,7 @@ int main(int argc, char** argv) {
   }
   if (want_json || want_prom) spec->observability = true;
   if (seed_override > 0) spec->seed = static_cast<std::uint64_t>(seed_override);
+  if (!invariants_override.empty()) spec->invariants = invariants_override;
   const auto summary = flexran::scenario::run_scenario(*spec);
   std::fputs(flexran::scenario::format_summary(summary).c_str(), stdout);
   if (want_json) {
@@ -175,6 +190,7 @@ int main(int argc, char** argv) {
     if (summary.recovering_at_end) violation("a shard was still recovering at the end");
     if (summary.agents_orphaned > 0) violation("orphaned agents were never adopted");
     if (summary.failover_pending > 0) violation("adopted agents never finished re-sync");
+    if (summary.invariant_violations > 0) violation("runtime invariants were violated");
     if (bad > 0) return 1;
     std::printf("check: ok (%d/%d agents up)\n", summary.agents_up, summary.agents_total);
   }
