@@ -38,7 +38,7 @@ int main() {
     auto accepted = (*listener)->accept();
     if (!accepted.ok()) return;
     master_side = std::move(*accepted);
-    master_side->set_receive_callback([&](std::vector<std::uint8_t> data) {
+    master_side->set_receive_callback([&](std::span<const std::uint8_t> data) {
       auto envelope = proto::Envelope::decode(data);
       if (!envelope.ok()) return;
       print_message("master<-", *envelope, data.size() + net::kFrameHeaderBytes);
@@ -62,7 +62,7 @@ int main() {
   master.join();
 
   int agent_received = 0;
-  (*agent)->set_receive_callback([&](std::vector<std::uint8_t> data) {
+  (*agent)->set_receive_callback([&](std::span<const std::uint8_t> data) {
     auto envelope = proto::Envelope::decode(data);
     if (!envelope.ok()) return;
     print_message("agent <-", *envelope, data.size() + net::kFrameHeaderBytes);

@@ -52,7 +52,7 @@ void Agent::connect(net::Transport& transport) {
   ++session_epoch_;
   master_heard_this_session_ = false;
   transport_->set_receive_callback(
-      [this](std::vector<std::uint8_t> data) { handle_message(std::move(data)); });
+      [this](std::span<const std::uint8_t> data) { handle_message(data); });
   transport_->set_disconnect_callback(
       [this](util::Error error) { on_transport_disconnect(error); });
   send_hello();
@@ -134,23 +134,22 @@ template <typename M>
 void Agent::send_message(const M& message, std::uint32_t xid) {
   if (transport_ == nullptr) return;
   if (xid == 0) xid = next_xid_++;
-  proto::WireEncoder enc;
-  message.encode_body(enc);
-  proto::Envelope envelope;
-  envelope.type = M::kType;
-  envelope.xid = xid;
-  envelope.epoch = session_epoch_;
-  envelope.body = enc.take();
+  proto::Envelope header;
+  header.xid = xid;
+  header.epoch = session_epoch_;
   if (pending_ts_echo_us_ != 0) {
     // Echo the latest master timestamp exactly once (the next outgoing
     // message closes the master's end-to-end latency measurement).
-    envelope.ts_echo_us = pending_ts_echo_us_;
+    header.ts_echo_us = pending_ts_echo_us_;
     pending_ts_echo_us_ = 0;
   }
-  const auto wire = envelope.encode();
-  tx_accounting_.record(proto::categorize(envelope.type, envelope.body),
-                        wire.size() + net::kFrameHeaderBytes);
-  auto status = transport_->send(proto::traffic_class(envelope.type, envelope.body), wire);
+  // Reused per-link scratch encoder: body and envelope are written in one
+  // pass (length backpatching), so a steady-state send allocates nothing.
+  send_enc_.clear();
+  proto::encode_envelope(send_enc_, header, message);
+  const auto wire = send_enc_.bytes();
+  tx_accounting_.record(proto::categorize(message), wire.size() + net::kFrameHeaderBytes);
+  auto status = transport_->send(proto::traffic_class(message), wire);
   if (!status.ok()) {
     FLEXRAN_LOG(warn, "agent") << "send failed: " << status.error().message;
   }
@@ -296,45 +295,48 @@ void Agent::on_scheduling_request(lte::Rnti rnti, std::int64_t subframe) {
 
 // ---------------------------------------------------------------- dispatch
 
-void Agent::handle_message(std::vector<std::uint8_t> data) {
+void Agent::handle_message(std::span<const std::uint8_t> data) {
   ++messages_received_;
-  auto envelope = proto::Envelope::decode(data);
-  if (!envelope.ok()) {
-    FLEXRAN_LOG(error, "agent") << "bad envelope: " << envelope.error().message;
+  // The span is only valid for this callback; decode_into copies what we
+  // keep (the body) into the reused per-link envelope.
+  auto decoded = proto::Envelope::decode_into(data, rx_envelope_);
+  if (!decoded.ok()) {
+    FLEXRAN_LOG(error, "agent") << "bad envelope: " << decoded.error().message;
     return;
   }
+  const proto::Envelope& envelope = rx_envelope_;
   // Mirror of the master's per-link rx accounting (same frame-header-bytes
   // convention), so both ends of the Fig. 7 breakdown reconcile. Recorded
   // before epoch fencing, like the master records before its queue.
-  rx_accounting_.record(proto::categorize(envelope->type, envelope->body),
+  rx_accounting_.record(proto::categorize(envelope.type, envelope.body),
                         data.size() + net::kFrameHeaderBytes);
-  if (envelope->ts_us != 0) pending_ts_echo_us_ = envelope->ts_us;
+  if (envelope.ts_us != 0) pending_ts_echo_us_ = envelope.ts_us;
   // Master incarnation fencing (the mirror image of the session-epoch fence
   // below, docs/fault_tolerance.md "Master restart"): a message from an
   // older incarnation is a straggler from a dead master and must not be
   // applied (nor count as master contact); a higher incarnation means the
   // master restarted and lost this agent's session -- re-offer the hello so
   // the new incarnation runs a full re-sync.
-  if (envelope->master_epoch != 0) {
-    if (envelope->master_epoch < master_incarnation_) {
+  if (envelope.master_epoch != 0) {
+    if (envelope.master_epoch < master_incarnation_) {
       ++fenced_incarnation_messages_;
       return;
     }
-    if (envelope->master_epoch > master_incarnation_) {
+    if (envelope.master_epoch > master_incarnation_) {
       const bool restarted = master_incarnation_ != 0;
-      master_incarnation_ = envelope->master_epoch;
+      master_incarnation_ = envelope.master_epoch;
       if (restarted) {
         ++master_restarts_seen_;
         FLEXRAN_LOG(warn, "agent") << "master restarted (incarnation "
                                    << master_incarnation_ << "); offering re-sync";
-        if (envelope->retry_after_ms == 0) {
+        if (envelope.retry_after_ms == 0) {
           send_hello();
         } else {
           // The restarted master's admission gate deferred us: hold the
           // hello for the hinted (jittered) backoff, then re-offer it if
           // this incarnation still has not re-synced us by other means.
           const sim::TimeUs hold = jittered_backoff(
-              sim::from_ms(static_cast<double>(envelope->retry_after_ms)));
+              sim::from_ms(static_cast<double>(envelope.retry_after_ms)));
           sim_.after(hold, [this, incarnation = master_incarnation_] {
             if (connected() && master_incarnation_ == incarnation) send_hello();
           });
@@ -342,18 +344,18 @@ void Agent::handle_message(std::vector<std::uint8_t> data) {
       }
     }
   }
-  if (envelope->retry_after_ms != 0) {
+  if (envelope.retry_after_ms != 0) {
     // Re-sync deferral hint: pause the hello retry loop for the hinted
     // backoff (jittered, so the deferred cohort does not retry in lockstep
     // either). The master drives the deferred re-sync itself.
     ++resync_deferrals_;
     hello_hold_until_ = sim_.now() + jittered_backoff(sim::from_ms(
-                                         static_cast<double>(envelope->retry_after_ms)));
+                                         static_cast<double>(envelope.retry_after_ms)));
   }
   // Fence messages addressed to an older session: a command the master sent
   // before it learned of this agent's restart must not be applied (and does
   // not count as master contact).
-  if (envelope->epoch != 0 && envelope->epoch != session_epoch_) {
+  if (envelope.epoch != 0 && envelope.epoch != session_epoch_) {
     ++fenced_messages_;
     return;
   }
@@ -363,7 +365,7 @@ void Agent::handle_message(std::vector<std::uint8_t> data) {
   // hint (0 while the master is healthy). Tracking it here rather than via
   // a dedicated message means recovery needs no extra signaling -- the
   // first un-stamped envelope restores full-rate reporting.
-  reports_.set_throttle(std::max<std::uint32_t>(1, envelope->throttle_hint));
+  reports_.set_throttle(std::max<std::uint32_t>(1, envelope.throttle_hint));
   // Two-way fallback: master messages resumed, so hand the DL scheduler
   // back to remote control before processing the message.
   if (fallback_active_) {
@@ -378,7 +380,7 @@ void Agent::handle_message(std::vector<std::uint8_t> data) {
       }
     }
   }
-  handle_envelope(*envelope);
+  handle_envelope(envelope);
 }
 
 void Agent::handle_envelope(const proto::Envelope& envelope) {

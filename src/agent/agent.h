@@ -182,7 +182,7 @@ class Agent final : public stack::EnodebDataPlane::Listener {
   std::uint64_t policies_rejected() const { return policies_rejected_; }
 
  private:
-  void handle_message(std::vector<std::uint8_t> data);
+  void handle_message(std::span<const std::uint8_t> data);
   void handle_envelope(const proto::Envelope& envelope);
   void send_hello();
   void on_transport_disconnect(const util::Error& error);
@@ -215,6 +215,12 @@ class Agent final : public stack::EnodebDataPlane::Listener {
 
   proto::SignalingAccountant tx_accounting_;
   proto::SignalingAccountant rx_accounting_;
+  /// Per-link scratch for the zero-allocation wire path
+  /// (docs/wire_fastpath.md): the send encoder and receive envelope are
+  /// cleared and reused per message, so steady-state signaling touches the
+  /// allocator only when a message outgrows every previous one.
+  proto::WireEncoder send_enc_;
+  proto::Envelope rx_envelope_;
   /// Latest master envelope timestamp not yet echoed (0 = none): attached
   /// as ts_echo_us to the next outgoing message, then cleared, feeding the
   /// master's end-to-end control-latency histogram

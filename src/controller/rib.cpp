@@ -12,6 +12,61 @@ const char* to_string(SessionState state) {
   return "?";
 }
 
+std::size_t UeHotColumns::upsert(lte::Rnti r) {
+  auto [it, inserted] = index_.try_emplace(r, rnti.size());
+  if (inserted) {
+    rnti.push_back(r);
+    wb_cqi.push_back(0);
+    bsr_total_bytes.push_back(0);
+    rlc_queue_bytes.push_back(0);
+    dl_bytes_delivered.push_back(0);
+    cqi_avg.push_back(0.0);
+  }
+  return it->second;
+}
+
+void UeHotColumns::erase(lte::Rnti r) {
+  auto it = index_.find(r);
+  if (it == index_.end()) return;
+  const std::size_t row = it->second;
+  const std::size_t last = rnti.size() - 1;
+  if (row != last) {
+    rnti[row] = rnti[last];
+    wb_cqi[row] = wb_cqi[last];
+    bsr_total_bytes[row] = bsr_total_bytes[last];
+    rlc_queue_bytes[row] = rlc_queue_bytes[last];
+    dl_bytes_delivered[row] = dl_bytes_delivered[last];
+    cqi_avg[row] = cqi_avg[last];
+    index_[rnti[row]] = row;
+  }
+  rnti.pop_back();
+  wb_cqi.pop_back();
+  bsr_total_bytes.pop_back();
+  rlc_queue_bytes.pop_back();
+  dl_bytes_delivered.pop_back();
+  cqi_avg.pop_back();
+  index_.erase(it);
+}
+
+void UeHotColumns::clear() {
+  rnti.clear();
+  wb_cqi.clear();
+  bsr_total_bytes.clear();
+  rlc_queue_bytes.clear();
+  dl_bytes_delivered.clear();
+  cqi_avg.clear();
+  index_.clear();
+}
+
+std::size_t UeHotColumns::approx_bytes() const {
+  return rnti.capacity() * sizeof(lte::Rnti) + wb_cqi.capacity() +
+         bsr_total_bytes.capacity() * sizeof(std::uint32_t) +
+         rlc_queue_bytes.capacity() * sizeof(std::uint32_t) +
+         dl_bytes_delivered.capacity() * sizeof(std::uint64_t) +
+         cqi_avg.capacity() * sizeof(double) +
+         index_.size() * (sizeof(std::pair<lte::Rnti, std::size_t>) + 48 /* map node */);
+}
+
 const AgentNode* Rib::find_agent(AgentId id) const {
   auto it = agents_.find(id);
   return it == agents_.end() ? nullptr : &it->second;
@@ -55,7 +110,7 @@ std::size_t Rib::approx_bytes() const {
   std::size_t bytes = sizeof(*this);
   for (const auto& [id, agent] : agents_) {
     (void)id;
-    bytes += sizeof(AgentNode) + agent.name.size();
+    bytes += sizeof(AgentNode) + agent.name.size() + agent.hot.approx_bytes();
     for (const auto& cap : agent.capabilities) bytes += cap.size() + sizeof(std::string);
     for (const auto& [cell_id, cell] : agent.cells) {
       (void)cell_id;

@@ -92,7 +92,9 @@ AgentId ShardCore::add_agent(net::Transport& transport, AgentId explicit_id) {
   const AgentId id = explicit_id != 0 ? explicit_id : next_agent_id_++;
   if (explicit_id != 0 && explicit_id >= next_agent_id_) next_agent_id_ = explicit_id + 1;
   links_[id].transport = &transport;
-  transport.set_receive_callback([this, id](std::vector<std::uint8_t> data) {
+  // The frame span is only valid for the callback: Envelope::decode copies
+  // the body into the owned envelope the ingest queue keeps.
+  transport.set_receive_callback([this, id](std::span<const std::uint8_t> data) {
     auto envelope = proto::Envelope::decode(data);
     if (!envelope.ok()) {
       ++rx_decode_errors_;
@@ -417,6 +419,7 @@ void ShardCore::apply_update(const PendingUpdate& update) {
         ue.rnti = config.rnti;
         ue.config = config;
         ue.last_update = sim_.now();
+        agent.hot.upsert(config.rnti);
       }
       break;
     }
@@ -444,6 +447,14 @@ void ShardCore::apply_update(const PendingUpdate& update) {
         ue->stats = report;
         ue->last_update = sim_.now();
         if (report.wb_cqi > 0) ue->cqi_avg.add(report.wb_cqi);
+        // Mirror the hot fields into the agent's SoA columns: one dense row
+        // write here buys apps contiguous scans on every cycle.
+        const std::size_t row = agent.hot.upsert(report.rnti);
+        agent.hot.wb_cqi[row] = report.wb_cqi;
+        agent.hot.bsr_total_bytes[row] = report.total_bsr();
+        agent.hot.rlc_queue_bytes[row] = report.rlc_queue_bytes;
+        agent.hot.dl_bytes_delivered[row] = report.dl_bytes_delivered;
+        agent.hot.cqi_avg[row] = ue->cqi_avg.seeded() ? ue->cqi_avg.value() : 0.0;
       }
       for (const auto& cell_report : reply->cell_reports) {
         auto& cell = agent.cells[cell_report.cell_id];
@@ -467,12 +478,14 @@ void ShardCore::apply_update(const PendingUpdate& update) {
           (void)cell_id;
           cell.ues.erase(event->rnti);
         }
+        agent.hot.erase(event->rnti);
       }
       if (event->event == proto::EventType::ue_attach && event->rnti != lte::kInvalidRnti) {
         auto& cell = agent.cells[event->cell_id];
         auto& ue = cell.ues[event->rnti];
         ue.rnti = event->rnti;
         ue.last_update = sim_.now();
+        agent.hot.upsert(event->rnti);
       }
       if (event->event == proto::EventType::policy_applied ||
           event->event == proto::EventType::policy_rejected) {
@@ -1066,13 +1079,10 @@ util::Status ShardCore::send_to(AgentId agent, const M& message, bool track) {
   if (it == links_.end() || it->second.transport == nullptr) {
     return util::Error::not_found("no transport for agent");
   }
-  proto::WireEncoder enc;
-  message.encode_body(enc);
   proto::Envelope envelope;
   envelope.type = M::kType;
   envelope.xid = next_xid_++;
   envelope.epoch = rib_.agent(agent).epoch;
-  envelope.body = enc.take();
   if (config_.overload.ingest.enabled()) {
     // Piggyback the overload state + throttle hint on every outgoing
     // message while non-normal; both encode to nothing when healthy.
@@ -1091,7 +1101,7 @@ util::Status ShardCore::send_to(AgentId agent, const M& message, bool track) {
           static_cast<std::uint32_t>(config_.recovery.resync_retry_after_ms);
     }
   }
-  const proto::MessageCategory category = proto::categorize(envelope.type, envelope.body);
+  const proto::MessageCategory category = proto::categorize(message);
   if (recovering_ && category == proto::MessageCategory::commands) {
     // App readiness gating: no command reaches an agent that has not yet
     // re-synced with this incarnation. Apps acting before the barrier drops
@@ -1109,8 +1119,13 @@ util::Status ShardCore::send_to(AgentId agent, const M& message, bool track) {
     const auto* node = rib_.find_agent(agent);
     if (node == nullptr || node->state != SessionState::up) ++commands_sent_unresynced_;
   }
-  const auto wire = envelope.encode();
-  const net::TrafficClass cls = proto::traffic_class(envelope.type, envelope.body);
+  // Reused per-shard scratch encoder (sends happen on the coordinator
+  // thread only): body and envelope are written in one pass via length
+  // backpatching, so a steady-state send allocates nothing.
+  send_enc_.clear();
+  proto::encode_envelope(send_enc_, envelope, message);
+  const auto wire = send_enc_.bytes();
+  const net::TrafficClass cls = proto::traffic_class(message);
   it->second.tx.record(category, wire.size() + net::kFrameHeaderBytes);
   if (track && config_.request_timeout_us > 0) {
     PendingRequest request;
@@ -1123,7 +1138,9 @@ util::Status ShardCore::send_to(AgentId agent, const M& message, bool track) {
     }
     request.category = category;
     request.cls = cls;
-    request.wire = wire;
+    // Tracked requests keep an owned copy for retransmission; the scratch
+    // buffer is reused on the next send.
+    request.wire.assign(wire.begin(), wire.end());
     request.timeout = config_.request_timeout_us;
     request.deadline = sim_.now() + request.timeout;
     inflight_.emplace(envelope.xid, std::move(request));
@@ -1295,6 +1312,14 @@ void ShardCore::register_obs_probes() {
   m.register_probe(probe_name("fenced_updates"), [this] { return static_cast<double>(fenced_updates_); });
   m.register_probe(probe_name("rx_decode_errors"),
                    [this] { return static_cast<double>(rx_decode_errors_); });
+  // Process-wide decoder anomaly counter (docs/wire_fastpath.md): fields the
+  // decoder recognised but had to drop rather than store, e.g. trailing BSR
+  // entries beyond the fixed LCG count. Exported per shard for convenience;
+  // every shard reports the same process-wide value.
+  m.register_probe(probe_name("proto_decode_anomalies"), [] {
+    return static_cast<double>(
+        proto::decode_anomalies().bsr_overflow.load(std::memory_order_relaxed));
+  });
   m.register_probe(probe_name("inflight_requests"),
                    [this] { return static_cast<double>(inflight_.size()); });
   m.register_probe(probe_name("requests_completed"),

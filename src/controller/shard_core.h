@@ -37,6 +37,7 @@
 #include "proto/checkpoint.h"
 #include "obs/trace.h"
 #include "proto/accounting.h"
+#include "proto/wire.h"
 #include "sim/simulator.h"
 
 namespace flexran::ctrl {
@@ -544,6 +545,10 @@ class ShardCore final : public NorthboundApi {
 
   AgentId next_agent_id_ = 1;
   std::uint32_t next_xid_ = 1;
+  /// Reused send-path scratch encoder (docs/wire_fastpath.md): all sends run
+  /// on the owning coordinator thread, so one arena per shard suffices and
+  /// steady-state sends stop allocating.
+  proto::WireEncoder send_enc_;
   std::uint64_t updates_applied_ = 0;
   std::uint64_t requests_completed_ = 0;
   std::uint64_t requests_retried_ = 0;

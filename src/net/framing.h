@@ -18,22 +18,42 @@ constexpr std::size_t kFrameHeaderBytes = 4;
 /// Upper bound on a single frame; protects against corrupt length prefixes.
 constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
 
-/// Wraps a payload in a frame.
+/// Wraps a payload in a frame (allocates a fresh vector; hot paths use
+/// frame_into with a reused buffer instead).
 std::vector<std::uint8_t> frame_message(std::span<const std::uint8_t> payload);
+
+/// Appends a framed copy of `payload` to `out`. The caller owns `out` and
+/// clears it between sends (or batches several frames before flushing); with
+/// a warm buffer this allocates nothing.
+void frame_into(util::ByteBuffer& out, std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembly.
 class FrameAssembler {
  public:
-  using FrameFn = std::function<void(std::vector<std::uint8_t>)>;
+  /// Frame payloads are handed out as spans into the assembler's internal
+  /// buffer. The span is valid only for the duration of the callback, and the
+  /// callback must not feed this assembler re-entrantly; receivers that need
+  /// to keep bytes past the callback copy them (decoding into an owned
+  /// message counts).
+  using FrameFn = std::function<void(std::span<const std::uint8_t>)>;
 
   /// Feed raw stream bytes; complete frames are handed to `on_frame` in
-  /// order. Returns an error (and stops consuming) on a corrupt length.
+  /// order. Returns an error and poisons the assembler on a corrupt length:
+  /// after a frame claims more than kMaxFrameBytes the stream offset can no
+  /// longer be trusted, so every later feed() fails deterministically (the
+  /// offending header stays buffered, un-consumed) until reset(). Owners that
+  /// reuse assemblers across fault injections (SimTransport) key off this
+  /// instead of resynchronizing mid-stream.
   util::Status feed(std::span<const std::uint8_t> data, const FrameFn& on_frame);
 
   std::size_t buffered() const { return buffer_.readable(); }
+  bool poisoned() const { return poisoned_; }
+  /// Drops all buffered bytes and clears the poisoned state.
+  void reset();
 
  private:
   util::ByteBuffer buffer_;
+  bool poisoned_ = false;
 };
 
 }  // namespace flexran::net

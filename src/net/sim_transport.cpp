@@ -79,9 +79,9 @@ void SimTransport::deliver_now(std::vector<std::uint8_t> framed) {
     ++frames_duplicated_;
     duplicate = true;
   }
-  auto on_payload = [this](std::vector<std::uint8_t> payload) {
+  auto on_payload = [this](std::span<const std::uint8_t> payload) {
     ++messages_received_;
-    if (receive_) receive_(std::move(payload));
+    if (receive_) receive_(payload);
   };
   auto status = assembler_.feed(framed, on_payload);
   if (status.ok() && duplicate) {

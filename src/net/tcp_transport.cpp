@@ -52,8 +52,10 @@ util::Result<std::unique_ptr<TcpTransport>> TcpTransport::connect(const std::str
 
 util::Status TcpTransport::send(std::span<const std::uint8_t> message) {
   if (closed_.load()) return util::Error::transport_failure("transport closed");
-  const auto framed = frame_message(message);
   std::scoped_lock lock(send_mutex_);
+  send_scratch_.clear();
+  frame_into(send_scratch_, message);
+  const auto framed = send_scratch_.contents();
   std::size_t sent = 0;
   while (sent < framed.size()) {
     const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
@@ -91,9 +93,9 @@ void TcpTransport::reader_loop() {
       break;
     }
     auto status = assembler_.feed(std::span(chunk.data(), static_cast<std::size_t>(n)),
-                                  [this](std::vector<std::uint8_t> payload) {
+                                  [this](std::span<const std::uint8_t> payload) {
                                     messages_received_.fetch_add(1);
-                                    if (receive_) receive_(std::move(payload));
+                                    if (receive_) receive_(payload);
                                   });
     if (!status.ok()) {
       FLEXRAN_LOG(error, "net") << "tcp frame error: " << status.error().message;

@@ -60,6 +60,9 @@ class TcpTransport final : public Transport {
   int fd_;
   std::thread reader_;
   std::mutex send_mutex_;
+  /// Reused frame buffer (guarded by send_mutex_): steady-state sends do not
+  /// allocate.
+  util::ByteBuffer send_scratch_;
   FrameAssembler assembler_;
   ReceiveFn receive_;
   DisconnectFn disconnect_;

@@ -20,7 +20,12 @@ namespace flexran::net {
 
 class Transport {
  public:
-  using ReceiveFn = std::function<void(std::vector<std::uint8_t>)>;
+  /// Receives one decoded-frame payload. The span points into the
+  /// transport's receive buffer and is valid only for the duration of the
+  /// callback: decode into owned state (or copy) before returning
+  /// (docs/wire_fastpath.md). All frames available per wake are delivered in
+  /// one drain pass, back to back, before the transport reads again.
+  using ReceiveFn = std::function<void(std::span<const std::uint8_t>)>;
   /// Invoked once when the connection is irrecoverably gone (peer closed,
   /// socket error, corrupt framing, injected fault). After it fires, the
   /// owner should stop using the transport and drive its reconnect logic.

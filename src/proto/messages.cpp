@@ -142,6 +142,11 @@ std::vector<std::uint8_t> Envelope::encode() const {
   enc.field_varint(2, static_cast<std::uint64_t>(type));
   if (xid != 0) enc.field_varint(3, xid);
   enc.field_bytes(4, body);
+  encode_tail(enc);
+  return enc.take();
+}
+
+void Envelope::encode_tail(WireEncoder& enc) const {
   if (epoch != 0) enc.field_varint(5, epoch);
   if (queue_status != 0) enc.field_varint(6, queue_status);
   if (throttle_hint != 0) enc.field_varint(7, throttle_hint);
@@ -149,11 +154,29 @@ std::vector<std::uint8_t> Envelope::encode() const {
   if (ts_echo_us != 0) enc.field_varint(9, ts_echo_us);
   if (master_epoch != 0) enc.field_varint(10, master_epoch);
   if (retry_after_ms != 0) enc.field_varint(11, retry_after_ms);
-  return enc.take();
 }
 
 Result<Envelope> Envelope::decode(std::span<const std::uint8_t> data) {
   Envelope out;
+  auto status = decode_into(data, out);
+  if (!status.ok()) return status.error();
+  return out;
+}
+
+Status Envelope::decode_into(std::span<const std::uint8_t> data, Envelope& out) {
+  // Reset to defaults field by field (rather than `out = Envelope{}`) so the
+  // body vector keeps its capacity across reuse.
+  out.version = kProtocolVersion;
+  out.type = MessageType::hello;
+  out.xid = 0;
+  out.epoch = 0;
+  out.queue_status = 0;
+  out.throttle_hint = 0;
+  out.ts_us = 0;
+  out.ts_echo_us = 0;
+  out.master_epoch = 0;
+  out.retry_after_ms = 0;
+  out.body.clear();
   bool saw_type = false;
   auto status = decode_fields(data, [&](WireDecoder& dec,
                                         const WireDecoder::FieldHeader& header) -> Result<bool> {
@@ -181,9 +204,9 @@ Result<Envelope> Envelope::decode(std::span<const std::uint8_t> data) {
       default: return false;
     }
   });
-  if (!status.ok()) return status.error();
+  if (!status.ok()) return status;
   if (!saw_type) return Error::decode_failure("envelope missing type");
-  return out;
+  return {};
 }
 
 // -------------------------------------------------------------------- Hello
@@ -291,8 +314,10 @@ lte::CellConfig CellConfigMsg::to_cell_config() const {
 
 namespace {
 
-WireEncoder encode_cell_config(const CellConfigMsg& cell) {
-  WireEncoder enc;
+// Nested encoders write straight into the parent encoder via begin_message/
+// end_message: no per-sub-message WireEncoder, no copy, same bytes.
+void encode_cell_config(WireEncoder& enc, int field, const CellConfigMsg& cell) {
+  const auto mark = enc.begin_message(field);
   enc.field_varint(1, cell.cell_id);
   enc.field_double(2, cell.bandwidth_mhz);
   enc.field_varint(3, cell.duplex);
@@ -300,7 +325,7 @@ WireEncoder encode_cell_config(const CellConfigMsg& cell) {
   enc.field_varint(5, cell.antenna_ports);
   enc.field_varint(6, cell.band);
   enc.field_varint(7, cell.pci);
-  return enc;
+  enc.end_message(mark);
 }
 
 Result<CellConfigMsg> decode_cell_config(std::span<const std::uint8_t> data) {
@@ -331,7 +356,7 @@ Result<CellConfigMsg> decode_cell_config(std::span<const std::uint8_t> data) {
 
 void EnbConfigReply::encode_body(WireEncoder& enc) const {
   enc.field_varint(1, enb_id);
-  for (const auto& cell : cells) enc.field_message(2, encode_cell_config(cell));
+  for (const auto& cell : cells) encode_cell_config(enc, 2, cell);
 }
 
 Result<EnbConfigReply> EnbConfigReply::decode_body(std::span<const std::uint8_t> data) {
@@ -379,14 +404,14 @@ lte::UeConfig UeConfigMsg::to_ue_config() const {
 
 namespace {
 
-WireEncoder encode_ue_config(const UeConfigMsg& ue) {
-  WireEncoder enc;
+void encode_ue_config(WireEncoder& enc, int field, const UeConfigMsg& ue) {
+  const auto mark = enc.begin_message(field);
   enc.field_varint(1, ue.rnti);
   enc.field_varint(2, ue.primary_cell);
   enc.field_varint(3, ue.tx_mode);
   enc.field_varint(4, ue.ue_category);
   enc.field_bool(5, ue.carrier_aggregation);
-  return enc;
+  enc.end_message(mark);
 }
 
 Result<UeConfigMsg> decode_ue_config(std::span<const std::uint8_t> data) {
@@ -409,7 +434,7 @@ Result<UeConfigMsg> decode_ue_config(std::span<const std::uint8_t> data) {
 }  // namespace
 
 void UeConfigReply::encode_body(WireEncoder& enc) const {
-  for (const auto& ue : ues) enc.field_message(1, encode_ue_config(ue));
+  for (const auto& ue : ues) encode_ue_config(enc, 1, ue);
 }
 
 Result<UeConfigReply> UeConfigReply::decode_body(std::span<const std::uint8_t> data) {
@@ -432,11 +457,11 @@ Result<UeConfigReply> UeConfigReply::decode_body(std::span<const std::uint8_t> d
 
 void LcConfigReply::encode_body(WireEncoder& enc) const {
   for (const auto& lc : channels) {
-    WireEncoder sub;
-    sub.field_varint(1, lc.rnti);
-    sub.field_varint(2, lc.lcid);
-    sub.field_varint(3, lc.lc_group);
-    enc.field_message(1, sub);
+    const auto mark = enc.begin_message(1);
+    enc.field_varint(1, lc.rnti);
+    enc.field_varint(2, lc.lcid);
+    enc.field_varint(3, lc.lc_group);
+    enc.end_message(mark);
   }
 }
 
@@ -502,8 +527,8 @@ Result<StatsRequest> StatsRequest::decode_body(std::span<const std::uint8_t> dat
 
 namespace {
 
-WireEncoder encode_ue_report(const UeStatsReport& report) {
-  WireEncoder enc;
+void encode_ue_report(WireEncoder& enc, int field, const UeStatsReport& report) {
+  const auto mark = enc.begin_message(field);
   enc.field_varint(1, report.rnti);
   for (auto bsr : report.bsr_bytes) enc.field_varint(2, bsr);
   enc.field_svarint(3, report.phr_db);
@@ -515,17 +540,32 @@ WireEncoder encode_ue_report(const UeStatsReport& report) {
   if (report.wb_cqi_protected != 0) enc.field_varint(9, report.wb_cqi_protected);
   if (report.ul_buffer_bytes != 0) enc.field_varint(11, report.ul_buffer_bytes);
   for (const auto& measurement : report.rsrp) {
-    WireEncoder sub;
-    sub.field_varint(1, measurement.cell_id);
+    const auto sub = enc.begin_message(10);
+    enc.field_varint(1, measurement.cell_id);
     // llround (not truncation) so decode -> re-encode is a fixpoint.
-    sub.field_svarint(2, std::llround(measurement.rsrp_dbm * 100.0));
-    enc.field_message(10, sub);
+    enc.field_svarint(2, std::llround(measurement.rsrp_dbm * 100.0));
+    enc.end_message(sub);
   }
-  return enc;
+  enc.end_message(mark);
 }
 
-Result<UeStatsReport> decode_ue_report(std::span<const std::uint8_t> data) {
-  UeStatsReport out;
+/// Resets a report to struct defaults without releasing rsrp capacity.
+void reset_ue_report(UeStatsReport& out) {
+  out.rnti = lte::kInvalidRnti;
+  out.bsr_bytes.fill(0);
+  out.phr_db = 20;
+  out.wb_cqi = 0;
+  out.wb_cqi_protected = 0;
+  out.rlc_queue_bytes = 0;
+  out.pending_harq = 0;
+  out.dl_bytes_delivered = 0;
+  out.ul_bytes_received = 0;
+  out.ul_buffer_bytes = 0;
+  out.rsrp.clear();
+}
+
+Status decode_ue_report_into(std::span<const std::uint8_t> data, UeStatsReport& out) {
+  reset_ue_report(out);
   std::size_t bsr_index = 0;
   auto status = decode_fields(data, [&](WireDecoder& dec,
                                         const WireDecoder::FieldHeader& header) -> Result<bool> {
@@ -536,6 +576,11 @@ Result<UeStatsReport> decode_ue_report(std::span<const std::uint8_t> data) {
         if (!v.ok()) return Result<bool>(v.error());
         if (bsr_index < out.bsr_bytes.size()) {
           out.bsr_bytes[bsr_index++] = static_cast<std::uint32_t>(*v);
+        } else {
+          // Keep the message but make the information loss visible: a peer
+          // with more LC groups than we model is an anomaly worth counting,
+          // not a decode failure (forward compatibility keeps the session up).
+          decode_anomalies().bsr_overflow.fetch_add(1, std::memory_order_relaxed);
         }
         return true;
       }
@@ -579,18 +624,17 @@ Result<UeStatsReport> decode_ue_report(std::span<const std::uint8_t> data) {
       default: return false;
     }
   });
-  if (!status.ok()) return status.error();
-  return out;
+  return status;
 }
 
-WireEncoder encode_cell_report(const CellStatsReport& report) {
-  WireEncoder enc;
+void encode_cell_report(WireEncoder& enc, int field, const CellStatsReport& report) {
+  const auto mark = enc.begin_message(field);
   enc.field_varint(1, report.cell_id);
   enc.field_double(2, report.noise_interference_dbm);
   enc.field_varint(3, report.dl_prbs_in_use);
   enc.field_varint(4, report.ul_prbs_in_use);
   enc.field_varint(5, report.active_ues);
-  return enc;
+  enc.end_message(mark);
 }
 
 Result<CellStatsReport> decode_cell_report(std::span<const std::uint8_t> data) {
@@ -620,12 +664,25 @@ Result<CellStatsReport> decode_cell_report(std::span<const std::uint8_t> data) {
 void StatsReply::encode_body(WireEncoder& enc) const {
   enc.field_varint(1, request_id);
   enc.field_svarint(2, subframe);
-  for (const auto& report : ue_reports) enc.field_message(3, encode_ue_report(report));
-  for (const auto& report : cell_reports) enc.field_message(4, encode_cell_report(report));
+  for (const auto& report : ue_reports) encode_ue_report(enc, 3, report);
+  for (const auto& report : cell_reports) encode_cell_report(enc, 4, report);
 }
 
 Result<StatsReply> StatsReply::decode_body(std::span<const std::uint8_t> data) {
   StatsReply out;
+  auto status = decode_body_into(data, out);
+  if (!status.ok()) return status.error();
+  return out;
+}
+
+Status StatsReply::decode_body_into(std::span<const std::uint8_t> data, StatsReply& out) {
+  out.request_id = 0;
+  out.subframe = 0;
+  // Decode over the existing report slots so their heap blocks (the vectors
+  // themselves and each report's rsrp) are reused; trim to the decoded count
+  // at the end. A same-shape reply touches no allocator at all.
+  std::size_t n_ue = 0;
+  std::size_t n_cell = 0;
   auto status = decode_fields(data, [&](WireDecoder& dec,
                                         const WireDecoder::FieldHeader& header) -> Result<bool> {
     switch (header.field) {
@@ -634,9 +691,10 @@ Result<StatsReply> StatsReply::decode_body(std::span<const std::uint8_t> data) {
       case 3: {
         auto bytes = expect_bytes(dec, header);
         if (!bytes.ok()) return Result<bool>(bytes.error());
-        auto report = decode_ue_report(*bytes);
+        if (n_ue == out.ue_reports.size()) out.ue_reports.emplace_back();
+        auto report = decode_ue_report_into(*bytes, out.ue_reports[n_ue]);
         if (!report.ok()) return Result<bool>(report.error());
-        out.ue_reports.push_back(std::move(*report));
+        ++n_ue;
         return true;
       }
       case 4: {
@@ -644,22 +702,25 @@ Result<StatsReply> StatsReply::decode_body(std::span<const std::uint8_t> data) {
         if (!bytes.ok()) return Result<bool>(bytes.error());
         auto report = decode_cell_report(*bytes);
         if (!report.ok()) return Result<bool>(report.error());
-        out.cell_reports.push_back(std::move(*report));
+        if (n_cell == out.cell_reports.size()) out.cell_reports.emplace_back();
+        out.cell_reports[n_cell++] = *report;
         return true;
       }
       default: return false;
     }
   });
-  if (!status.ok()) return status.error();
-  return out;
+  if (!status.ok()) return status;
+  out.ue_reports.resize(n_ue);
+  out.cell_reports.resize(n_cell);
+  return {};
 }
 
 // ----------------------------------------------------------------- commands
 
 namespace {
 
-WireEncoder encode_dl_dci(const lte::DlDci& dci) {
-  WireEncoder enc;
+void encode_dl_dci(WireEncoder& enc, int field, const lte::DlDci& dci) {
+  const auto mark = enc.begin_message(field);
   enc.field_varint(1, dci.rnti);
   enc.field_varint(2, dci.rbs.word(0));
   if (dci.rbs.word(1) != 0) enc.field_varint(3, dci.rbs.word(1));
@@ -667,7 +728,7 @@ WireEncoder encode_dl_dci(const lte::DlDci& dci) {
   enc.field_varint(5, dci.harq_pid);
   enc.field_bool(6, dci.new_data);
   if (dci.carrier != 0) enc.field_varint(7, dci.carrier);
-  return enc;
+  enc.end_message(mark);
 }
 
 Result<lte::DlDci> decode_dl_dci(std::span<const std::uint8_t> data) {
@@ -692,13 +753,13 @@ Result<lte::DlDci> decode_dl_dci(std::span<const std::uint8_t> data) {
   return out;
 }
 
-WireEncoder encode_ul_dci(const lte::UlDci& dci) {
-  WireEncoder enc;
+void encode_ul_dci(WireEncoder& enc, int field, const lte::UlDci& dci) {
+  const auto mark = enc.begin_message(field);
   enc.field_varint(1, dci.rnti);
   enc.field_varint(2, dci.rbs.word(0));
   if (dci.rbs.word(1) != 0) enc.field_varint(3, dci.rbs.word(1));
   enc.field_varint(4, static_cast<std::uint64_t>(dci.mcs));
-  return enc;
+  enc.end_message(mark);
 }
 
 Result<lte::UlDci> decode_ul_dci(std::span<const std::uint8_t> data) {
@@ -725,7 +786,7 @@ Result<lte::UlDci> decode_ul_dci(std::span<const std::uint8_t> data) {
 void DlMacConfig::encode_body(WireEncoder& enc) const {
   enc.field_varint(1, cell_id);
   enc.field_svarint(2, target_subframe);
-  for (const auto& dci : dcis) enc.field_message(3, encode_dl_dci(dci));
+  for (const auto& dci : dcis) encode_dl_dci(enc, 3, dci);
 }
 
 Result<DlMacConfig> DlMacConfig::decode_body(std::span<const std::uint8_t> data) {
@@ -753,7 +814,7 @@ Result<DlMacConfig> DlMacConfig::decode_body(std::span<const std::uint8_t> data)
 void UlMacConfig::encode_body(WireEncoder& enc) const {
   enc.field_varint(1, cell_id);
   enc.field_svarint(2, target_subframe);
-  for (const auto& dci : dcis) enc.field_message(3, encode_ul_dci(dci));
+  for (const auto& dci : dcis) encode_ul_dci(enc, 3, dci);
 }
 
 Result<UlMacConfig> UlMacConfig::decode_body(std::span<const std::uint8_t> data) {
@@ -1016,7 +1077,12 @@ Result<PolicyReconfiguration> PolicyReconfiguration::decode_body(
 
 // ------------------------------------------------------------------ helpers
 
-MessageCategory categorize(MessageType type, const std::vector<std::uint8_t>& body) {
+DecodeAnomalies& decode_anomalies() {
+  static DecodeAnomalies anomalies;
+  return anomalies;
+}
+
+MessageCategory categorize(MessageType type) {
   switch (type) {
     case MessageType::stats_request:
     case MessageType::stats_reply:
@@ -1032,17 +1098,21 @@ MessageCategory categorize(MessageType type, const std::vector<std::uint8_t>& bo
     case MessageType::control_delegation:
     case MessageType::policy_reconfiguration:
       return MessageCategory::delegation;
-    case MessageType::event_notification: {
-      auto event = EventNotification::decode_body(body);
-      if (event.ok() && event->event == EventType::subframe_tick) return MessageCategory::sync;
-      return MessageCategory::agent_management;
-    }
     default:
       return MessageCategory::agent_management;
   }
 }
 
-net::TrafficClass traffic_class(MessageType type, const std::vector<std::uint8_t>& body) {
+MessageCategory categorize(MessageType type, const std::vector<std::uint8_t>& body) {
+  if (type == MessageType::event_notification) {
+    auto event = EventNotification::decode_body(body);
+    if (event.ok() && event->event == EventType::subframe_tick) return MessageCategory::sync;
+    return MessageCategory::agent_management;
+  }
+  return categorize(type);
+}
+
+net::TrafficClass traffic_class(MessageType type) {
   switch (type) {
     case MessageType::hello:
     case MessageType::echo_request:
@@ -1060,16 +1130,22 @@ net::TrafficClass traffic_class(MessageType type, const std::vector<std::uint8_t
       return net::TrafficClass::command;
     case MessageType::stats_reply:
       return net::TrafficClass::stats;
-    case MessageType::event_notification: {
-      auto event = EventNotification::decode_body(body);
-      if (event.ok() && event->event == EventType::subframe_tick) return net::TrafficClass::sync;
+    case MessageType::event_notification:
       return net::TrafficClass::event;
-    }
     default:
       // Config exchange, stats requests, event subscriptions: negotiated
       // state the peer waits on -- never shed.
       return net::TrafficClass::config;
   }
+}
+
+net::TrafficClass traffic_class(MessageType type, const std::vector<std::uint8_t>& body) {
+  if (type == MessageType::event_notification) {
+    auto event = EventNotification::decode_body(body);
+    if (event.ok() && event->event == EventType::subframe_tick) return net::TrafficClass::sync;
+    return net::TrafficClass::event;
+  }
+  return traffic_class(type);
 }
 
 DlMacConfig to_dl_mac_config(const lte::SchedulingDecision& decision) {

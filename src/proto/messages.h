@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -114,7 +115,15 @@ struct Envelope {
   std::vector<std::uint8_t> body;
 
   std::vector<std::uint8_t> encode() const;
+  /// Appends the trailing envelope fields (5..11, all zero-omitted) to `enc`.
+  /// Split out so encode_envelope() can write the body inline between the
+  /// leading fields and this tail; byte layout matches encode().
+  void encode_tail(WireEncoder& enc) const;
   static util::Result<Envelope> decode(std::span<const std::uint8_t> data);
+  /// Allocation-free variant of decode(): resets `out` and decodes into it,
+  /// reusing `out.body`'s capacity. Receive paths keep one Envelope per link
+  /// and call this per message.
+  static util::Status decode_into(std::span<const std::uint8_t> data, Envelope& out);
 };
 
 // ------------------------------------------------------- agent management
@@ -318,6 +327,10 @@ struct StatsReply {
 
   void encode_body(WireEncoder& enc) const;
   static util::Result<StatsReply> decode_body(std::span<const std::uint8_t> data);
+  /// Allocation-free variant of decode_body(): resets `out` and decodes into
+  /// it, reusing the report vectors (and each report's rsrp vector) in place.
+  /// With a warm `out` of the same shape this performs zero heap allocations.
+  static util::Status decode_body_into(std::span<const std::uint8_t> data, StatsReply& out);
 };
 
 // ----------------------------------------------------------------- commands
@@ -532,6 +545,18 @@ struct PolicyReconfiguration {
 
 // ------------------------------------------------------------------ helpers
 
+/// Process-wide counters for wire data that decoded without error but lost
+/// information on the way: the decoder keeps the message rather than reject
+/// it, and counts the loss here so it is visible instead of silent. Surfaced
+/// through the master's accounting probes (docs/observability.md).
+struct DecodeAnomalies {
+  /// UeStatsReport carried more bsr_bytes entries (field 2) than the fixed
+  /// kNumLcGroups array holds; the extras were dropped.
+  std::atomic<std::uint64_t> bsr_overflow{0};
+};
+
+DecodeAnomalies& decode_anomalies();
+
 /// Category for Fig. 7 signaling accounting. Event notifications split by
 /// event type: subframe ticks are `sync`, everything else `agent_management`.
 MessageCategory categorize(MessageType type, const std::vector<std::uint8_t>& body);
@@ -543,16 +568,58 @@ MessageCategory categorize(MessageType type, const std::vector<std::uint8_t>& bo
 /// everything else is `event`.
 net::TrafficClass traffic_class(MessageType type, const std::vector<std::uint8_t>& body);
 
+/// Body-independent variants, for callers that only have the type. For
+/// event_notification these return the non-tick answer (agent_management /
+/// event); use the typed overloads below when the message is in hand.
+MessageCategory categorize(MessageType type);
+net::TrafficClass traffic_class(MessageType type);
+
+/// Typed variants: same answers as the (type, body) overloads without the
+/// body re-decode those need for event notifications. Send paths that hold
+/// the message struct use these on the zero-allocation path.
+template <typename M>
+MessageCategory categorize(const M&) {
+  return categorize(M::kType);
+}
+inline MessageCategory categorize(const EventNotification& event) {
+  return event.event == EventType::subframe_tick ? MessageCategory::sync
+                                                 : MessageCategory::agent_management;
+}
+
+template <typename M>
+net::TrafficClass traffic_class(const M&) {
+  return traffic_class(M::kType);
+}
+inline net::TrafficClass traffic_class(const EventNotification& event) {
+  return event.event == EventType::subframe_tick ? net::TrafficClass::sync
+                                                 : net::TrafficClass::event;
+}
+
+/// Encodes `message` inside an envelope directly into `enc` (which the caller
+/// has clear()ed): the body is written inline through begin_message/
+/// end_message, so there is no per-send body vector and no copy. `header`
+/// supplies every envelope field except `type` (taken from M::kType) and
+/// `body` (ignored). Bytes are identical to pack()/Envelope::encode().
+template <typename M>
+void encode_envelope(WireEncoder& enc, const Envelope& header, const M& message) {
+  enc.field_varint(1, header.version);
+  enc.field_varint(2, static_cast<std::uint64_t>(M::kType));
+  if (header.xid != 0) enc.field_varint(3, header.xid);
+  const std::size_t mark = enc.begin_message(4);
+  message.encode_body(enc);
+  enc.end_message(mark);
+  header.encode_tail(enc);
+}
+
 /// Packs a message struct into an encoded envelope.
 template <typename M>
 std::vector<std::uint8_t> pack(const M& message, std::uint32_t xid = 0) {
   WireEncoder enc;
-  message.encode_body(enc);
   Envelope envelope;
   envelope.type = M::kType;
   envelope.xid = xid;
-  envelope.body = enc.take();
-  return envelope.encode();
+  encode_envelope(enc, envelope, message);
+  return enc.take();
 }
 
 /// Unpacks an envelope body into a message struct; the caller has already

@@ -25,6 +25,9 @@ enum class WireType : std::uint8_t {
 std::uint64_t zigzag_encode(std::int64_t value);
 std::int64_t zigzag_decode(std::uint64_t value);
 
+/// Number of bytes the minimal varint encoding of `value` occupies.
+std::size_t varint_size(std::uint64_t value);
+
 class WireEncoder {
  public:
   WireEncoder() = default;
@@ -38,8 +41,26 @@ class WireEncoder {
   void field_fixed32(int field, std::uint32_t value);
   void field_bytes(int field, std::span<const std::uint8_t> bytes);
   void field_string(int field, std::string_view text);
-  /// Embeds a pre-encoded sub-message.
+  /// Embeds a pre-encoded sub-message (legacy path: the sub-message was built
+  /// in its own encoder and is copied here; prefer begin_message/end_message).
   void field_message(int field, const WireEncoder& sub) { field_bytes(field, sub.bytes()); }
+
+  // -- in-place nested messages (length-prefix backpatching) -----------------
+  // Encodes a length-delimited sub-message directly into this encoder's
+  // buffer, with no per-sub-message allocation or copy. begin_message writes
+  // the tag plus a 1-byte length placeholder and returns a mark (the payload
+  // start offset); end_message backpatches the minimal length varint. When the
+  // payload turns out >= 128 bytes the tail is shifted right to widen the
+  // prefix -- still within reused capacity in steady state. Output is
+  // byte-identical to field_message. Nests arbitrarily (inner end before
+  // outer).
+  std::size_t begin_message(int field);
+  void end_message(std::size_t mark);
+
+  /// Drops content, keeps capacity: the clear()-and-reuse lifecycle that makes
+  /// per-link scratch encoders allocation-free in steady state.
+  void clear() { buffer_.clear(); }
+  void reserve(std::size_t capacity) { buffer_.reserve(capacity); }
 
   std::span<const std::uint8_t> bytes() const { return buffer_.contents(); }
   std::size_t size() const { return buffer_.size(); }

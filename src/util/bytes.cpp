@@ -80,8 +80,26 @@ Result<std::string> ByteBuffer::read_string(std::size_t count) {
 
 void ByteBuffer::compact() {
   if (read_pos_ == 0) return;
+  if (read_pos_ == data_.size()) {
+    // Fully drained: O(1) reset, capacity kept for the next burst.
+    data_.clear();
+    read_pos_ = 0;
+    return;
+  }
+  if (read_pos_ < kCompactThresholdBytes) return;
+  compact_now();
+}
+
+void ByteBuffer::compact_now() {
+  if (read_pos_ == 0) return;
   data_.erase(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
   read_pos_ = 0;
+}
+
+void ByteBuffer::insert_zeros(std::size_t pos, std::size_t count) {
+  if (count == 0) return;
+  if (pos > data_.size()) pos = data_.size();
+  data_.insert(data_.begin() + static_cast<std::ptrdiff_t>(pos), count, 0);
 }
 
 }  // namespace flexran::util

@@ -14,6 +14,11 @@
 
 namespace flexran::util {
 
+/// Consumed-prefix size at which compact() actually erases. Small enough to
+/// bound idle memory, large enough that drip-fed streams do not memmove the
+/// pending tail on every byte.
+constexpr std::size_t kCompactThresholdBytes = 4096;
+
 class ByteBuffer {
  public:
   ByteBuffer() = default;
@@ -39,8 +44,18 @@ class ByteBuffer {
   std::size_t readable() const { return data_.size() - read_pos_; }
   std::size_t read_position() const { return read_pos_; }
   void rewind() { read_pos_ = 0; }
-  /// Drop already-consumed bytes (used by stream reassembly).
+  /// Move the read cursor to an absolute position (clamped to size()). O(1),
+  /// unlike rewind-and-replay; stream reassembly uses this to restore a mark.
+  void seek(std::size_t pos) { read_pos_ = pos < data_.size() ? pos : data_.size(); }
+  /// Advance the read cursor by `count` bytes (clamped to the end).
+  void skip(std::size_t count) { seek(read_pos_ + count); }
+  /// Drop already-consumed bytes. Amortized: the erase+memmove only happens
+  /// once the consumed prefix passes kCompactThresholdBytes (or the buffer is
+  /// fully drained, which is a cheap clear), so per-feed cost stays O(new
+  /// bytes) instead of O(buffered bytes).
   void compact();
+  /// Unconditional prefix drop, for callers that need size() == readable().
+  void compact_now();
 
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -48,6 +63,14 @@ class ByteBuffer {
     data_.clear();
     read_pos_ = 0;
   }
+  void reserve(std::size_t capacity) { data_.reserve(capacity); }
+  std::size_t capacity() const { return data_.capacity(); }
+
+  // -- in-place patching (wire encoder length backpatching) ------------------
+  std::uint8_t* mutable_data() { return data_.data(); }
+  /// Opens a `count`-byte zero gap at `pos`, shifting the tail right. Used by
+  /// the wire encoder to widen a reserved length prefix after the fact.
+  void insert_zeros(std::size_t pos, std::size_t count);
 
   std::span<const std::uint8_t> contents() const { return data_; }
   std::span<const std::uint8_t> remaining() const {

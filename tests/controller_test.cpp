@@ -258,6 +258,35 @@ TEST(MasterEndToEnd, RxAccountingSeesStatsDominance) {
   EXPECT_EQ(tx.bytes(proto::MessageCategory::stats), rx.bytes(proto::MessageCategory::stats));
 }
 
+TEST(MasterEndToEnd, HotColumnsMirrorUeStats) {
+  // The SoA hot-stat columns (docs/wire_fastpath.md) must stay in lockstep
+  // with the per-UE tree: populated by stats ingest, row removed on detach.
+  Testbed testbed(scenario::per_tti_master_config());
+  auto& enb = testbed.add_enb(spec(1));
+  testbed.add_enb(spec(2));
+  const auto rnti = testbed.add_ue(0, cqi_ue(12));
+  testbed.run_ttis(60);
+
+  const auto* agent = testbed.master().rib().find_agent(enb.agent_id);
+  ASSERT_NE(agent, nullptr);
+  ASSERT_EQ(agent->hot.size(), 1u);
+  EXPECT_EQ(agent->hot.rnti[0], rnti);
+  EXPECT_EQ(agent->hot.wb_cqi[0], 12);
+  const auto* ue = testbed.master().rib().find_ue(enb.agent_id, rnti);
+  ASSERT_NE(ue, nullptr);
+  EXPECT_EQ(agent->hot.rlc_queue_bytes[0], ue->stats.rlc_queue_bytes);
+  EXPECT_NEAR(agent->hot.cqi_avg[0], ue->cqi_avg.value(), 1e-9);
+
+  proto::HandoverCommand command;
+  command.rnti = rnti;
+  command.source_cell = 1;
+  command.target_cell = 2;
+  ASSERT_TRUE(testbed.master().send_handover(enb.agent_id, command).ok());
+  testbed.run_ttis(10);
+  EXPECT_EQ(testbed.master().rib().find_ue(enb.agent_id, rnti), nullptr);
+  EXPECT_EQ(agent->hot.size(), 0u);
+}
+
 TEST(MasterEndToEnd, RibTracksDetachOnHandoverEvent) {
   Testbed testbed(scenario::per_tti_master_config());
   auto& enb = testbed.add_enb(spec(1));
@@ -360,6 +389,12 @@ TEST(Observability, RegistryExportsMigratedCounters) {
   EXPECT_NE(json.find("\"updates_applied\":" + std::to_string(updates)),
             std::string::npos)
       << json;
+  // Decode-anomaly accounting (docs/wire_fastpath.md) is exported alongside
+  // the hard decode-error counter, so dropped-but-recognised fields (e.g.
+  // trailing BSR entries) are visible to operators rather than silent.
+  const std::string text = metrics.prometheus_text();
+  EXPECT_NE(text.find("proto_decode_anomalies"), std::string::npos) << text;
+  EXPECT_NE(text.find("rx_decode_errors"), std::string::npos) << text;
   (void)enb;
 }
 

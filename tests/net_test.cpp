@@ -30,7 +30,7 @@ TEST(Framing, FrameAddsHeader) {
 TEST(Framing, AssemblerHandlesExactFrames) {
   FrameAssembler assembler;
   std::vector<std::vector<std::uint8_t>> frames;
-  auto sink = [&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); };
+  auto sink = [&](std::span<const std::uint8_t> f) { frames.emplace_back(f.begin(), f.end()); };
   ASSERT_TRUE(assembler.feed(frame_message(std::vector<std::uint8_t>{7, 8}), sink).ok());
   ASSERT_EQ(frames.size(), 1u);
   EXPECT_EQ(frames[0], (std::vector<std::uint8_t>{7, 8}));
@@ -39,7 +39,7 @@ TEST(Framing, AssemblerHandlesExactFrames) {
 TEST(Framing, AssemblerHandlesByteAtATimeDelivery) {
   FrameAssembler assembler;
   std::vector<std::vector<std::uint8_t>> frames;
-  auto sink = [&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); };
+  auto sink = [&](std::span<const std::uint8_t> f) { frames.emplace_back(f.begin(), f.end()); };
   const auto framed = frame_message(std::vector<std::uint8_t>{9, 10, 11});
   for (auto byte : framed) {
     ASSERT_TRUE(assembler.feed(std::span(&byte, 1), sink).ok());
@@ -52,7 +52,7 @@ TEST(Framing, AssemblerHandlesByteAtATimeDelivery) {
 TEST(Framing, AssemblerHandlesCoalescedFrames) {
   FrameAssembler assembler;
   std::vector<std::vector<std::uint8_t>> frames;
-  auto sink = [&](std::vector<std::uint8_t> f) { frames.push_back(std::move(f)); };
+  auto sink = [&](std::span<const std::uint8_t> f) { frames.emplace_back(f.begin(), f.end()); };
   auto combined = frame_message(std::vector<std::uint8_t>{1});
   const auto second = frame_message(std::vector<std::uint8_t>{2, 3});
   combined.insert(combined.end(), second.begin(), second.end());
@@ -64,7 +64,7 @@ TEST(Framing, AssemblerHandlesCoalescedFrames) {
 TEST(Framing, EmptyPayloadFrame) {
   FrameAssembler assembler;
   int count = 0;
-  auto sink = [&](std::vector<std::uint8_t> f) {
+  auto sink = [&](std::span<const std::uint8_t> f) {
     EXPECT_TRUE(f.empty());
     ++count;
   };
@@ -75,7 +75,7 @@ TEST(Framing, EmptyPayloadFrame) {
 TEST(Framing, MaxFrameBoundary) {
   FrameAssembler assembler;
   int frames = 0;
-  auto sink = [&](std::vector<std::uint8_t> f) {
+  auto sink = [&](std::span<const std::uint8_t> f) {
     EXPECT_EQ(f.size(), kMaxFrameBytes);
     ++frames;
   };
@@ -94,7 +94,88 @@ TEST(Framing, OversizedLengthRejected) {
   FrameAssembler assembler;
   util::ByteBuffer bad;
   bad.write_u32(0x7fffffff);
-  EXPECT_FALSE(assembler.feed(bad.contents(), [](std::vector<std::uint8_t>) {}).ok());
+  EXPECT_FALSE(assembler.feed(bad.contents(), [](std::span<const std::uint8_t>) {}).ok());
+}
+
+TEST(Framing, DripFeedLargeFrameIsNotQuadratic) {
+  // S1 regression guard: feeding a 64 KiB frame one byte at a time used to
+  // rewind via an O(consumed) erase per feed (quadratic overall). With
+  // seek() + amortized compact() the whole drip completes instantly and
+  // still yields exactly one intact frame.
+  constexpr std::size_t kPayloadBytes = 64 * 1024;
+  std::vector<std::uint8_t> payload(kPayloadBytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  const auto framed = frame_message(payload);
+
+  FrameAssembler assembler;
+  std::vector<std::uint8_t> received;
+  int frames = 0;
+  auto sink = [&](std::span<const std::uint8_t> f) {
+    received.assign(f.begin(), f.end());
+    ++frames;
+  };
+  for (auto byte : framed) {
+    ASSERT_TRUE(assembler.feed(std::span(&byte, 1), sink).ok());
+  }
+  EXPECT_EQ(frames, 1);
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(Framing, ManySmallFramesPerFeedAreBatched) {
+  // One feed carrying many coalesced frames must deliver them all in a
+  // single drain pass, in order, leaving nothing buffered.
+  constexpr int kFrames = 1000;
+  util::ByteBuffer combined;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(i);
+    frame_into(combined, std::span(&byte, 1));
+  }
+  FrameAssembler assembler;
+  int count = 0;
+  bool in_order = true;
+  auto sink = [&](std::span<const std::uint8_t> f) {
+    if (f.size() != 1 || f[0] != static_cast<std::uint8_t>(count)) in_order = false;
+    ++count;
+  };
+  ASSERT_TRUE(assembler.feed(combined.contents(), sink).ok());
+  EXPECT_EQ(count, kFrames);
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(Framing, OversizedFramePoisonsAssemblerUntilReset) {
+  // S2: after an oversized length the assembler must fail deterministically
+  // -- same error on every subsequent feed, no partial consumption -- until
+  // an explicit reset() gives it a fresh stream.
+  FrameAssembler assembler;
+  int delivered = 0;
+  auto sink = [&](std::span<const std::uint8_t>) { ++delivered; };
+
+  // A valid frame followed by a poisoned header in the same feed: the valid
+  // frame is delivered, then the feed errors.
+  util::ByteBuffer stream;
+  frame_into(stream, std::vector<std::uint8_t>{1, 2, 3});
+  stream.write_u32(static_cast<std::uint32_t>(kMaxFrameBytes + 1));
+  EXPECT_FALSE(assembler.feed(stream.contents(), sink).ok());
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(assembler.poisoned());
+
+  // Even well-formed traffic is rejected now: the stream position is not
+  // trustworthy after a corrupt header.
+  const auto good = frame_message(std::vector<std::uint8_t>{4, 5});
+  EXPECT_FALSE(assembler.feed(good, sink).ok());
+  EXPECT_FALSE(assembler.feed(good, sink).ok());
+  EXPECT_EQ(delivered, 1);
+
+  // reset() clears the poison and the buffered garbage.
+  assembler.reset();
+  EXPECT_FALSE(assembler.poisoned());
+  EXPECT_EQ(assembler.buffered(), 0u);
+  ASSERT_TRUE(assembler.feed(good, sink).ok());
+  EXPECT_EQ(delivered, 2);
 }
 
 // ----------------------------------------------------------- sim transport --
@@ -104,8 +185,8 @@ TEST(SimTransport, RoundTripWithLatency) {
   auto pair = make_sim_transport_pair(simulator, {.delay = sim::from_ms(5)});
   std::vector<std::uint8_t> received;
   sim::TimeUs received_at = -1;
-  pair.b->set_receive_callback([&](std::vector<std::uint8_t> msg) {
-    received = std::move(msg);
+  pair.b->set_receive_callback([&](std::span<const std::uint8_t> msg) {
+    received.assign(msg.begin(), msg.end());
     received_at = simulator.now();
   });
   ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{1, 2, 3}).ok());
@@ -120,8 +201,8 @@ TEST(SimTransport, BidirectionalAndAsymmetric) {
                                       {.delay = sim::from_ms(20)});
   sim::TimeUs a_to_b = -1;
   sim::TimeUs b_to_a = -1;
-  pair.b->set_receive_callback([&](std::vector<std::uint8_t>) { a_to_b = simulator.now(); });
-  pair.a->set_receive_callback([&](std::vector<std::uint8_t>) { b_to_a = simulator.now(); });
+  pair.b->set_receive_callback([&](std::span<const std::uint8_t>) { a_to_b = simulator.now(); });
+  pair.a->set_receive_callback([&](std::span<const std::uint8_t>) { b_to_a = simulator.now(); });
   ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{1}).ok());
   ASSERT_TRUE(pair.b->send(std::vector<std::uint8_t>{2}).ok());
   simulator.run();
@@ -132,7 +213,7 @@ TEST(SimTransport, BidirectionalAndAsymmetric) {
 TEST(SimTransport, CountsFramedBytes) {
   sim::Simulator simulator;
   auto pair = make_sim_transport_pair(simulator);
-  pair.b->set_receive_callback([](std::vector<std::uint8_t>) {});
+  pair.b->set_receive_callback([](std::span<const std::uint8_t>) {});
   ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>(10)).ok());
   simulator.run();
   EXPECT_EQ(pair.a->messages_sent(), 1u);
@@ -144,7 +225,7 @@ TEST(SimTransport, ManyMessagesPreserveOrder) {
   auto pair = make_sim_transport_pair(simulator, {.delay = sim::from_ms(2), .jitter = sim::from_ms(3), .seed = 5});
   std::vector<std::uint8_t> order;
   pair.b->set_receive_callback(
-      [&](std::vector<std::uint8_t> msg) { order.push_back(msg.at(0)); });
+      [&](std::span<const std::uint8_t> msg) { order.push_back(msg.front()); });
   for (std::uint8_t i = 0; i < 100; ++i) {
     simulator.at(i * 137, [&pair, i] {
       ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{i}).ok());
@@ -159,7 +240,7 @@ TEST(SimTransport, RuntimeDelayChange) {
   sim::Simulator simulator;
   auto pair = make_sim_transport_pair(simulator);
   std::vector<sim::TimeUs> arrivals;
-  pair.b->set_receive_callback([&](std::vector<std::uint8_t>) { arrivals.push_back(simulator.now()); });
+  pair.b->set_receive_callback([&](std::span<const std::uint8_t>) { arrivals.push_back(simulator.now()); });
   ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{0}).ok());
   simulator.at(sim::from_ms(10), [&] {
     pair.a->set_delay(sim::from_ms(25));
@@ -190,7 +271,7 @@ TEST(SimTransport, CorruptedFrameFiresDisconnectCallback) {
   auto pair = make_sim_transport_pair(simulator);
   int received = 0;
   int disconnects = 0;
-  pair.b->set_receive_callback([&](std::vector<std::uint8_t>) { ++received; });
+  pair.b->set_receive_callback([&](std::span<const std::uint8_t>) { ++received; });
   pair.b->set_disconnect_callback([&](util::Error) { ++disconnects; });
 
   pair.b->corrupt_next(1);
@@ -211,7 +292,7 @@ TEST(SimTransport, ReorderShufflesHeldFramesDeterministically) {
     sim::Simulator simulator;
     auto pair = make_sim_transport_pair(simulator);
     pair.b->set_receive_callback(
-        [&order](std::vector<std::uint8_t> msg) { order.push_back(msg.at(0)); });
+        [&order](std::span<const std::uint8_t> msg) { order.push_back(msg.front()); });
     pair.b->reorder_next(4, /*seed=*/42);
     for (std::uint8_t i = 0; i < 6; ++i) {
       simulator.at(i * 100, [&pair, i] {
@@ -244,7 +325,7 @@ TEST(SimTransport, ReorderFlushReleasesAPartialHold) {
   auto pair = make_sim_transport_pair(simulator);
   std::vector<std::uint8_t> order;
   pair.b->set_receive_callback(
-      [&order](std::vector<std::uint8_t> msg) { order.push_back(msg.at(0)); });
+      [&order](std::span<const std::uint8_t> msg) { order.push_back(msg.front()); });
   pair.b->reorder_next(5, /*seed=*/7);
   ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{1}).ok());
   ASSERT_TRUE(pair.a->send(std::vector<std::uint8_t>{2}).ok());
@@ -277,8 +358,8 @@ TEST(TcpTransport, ConnectSendReceive) {
     auto accepted = (*listener)->accept();
     ASSERT_TRUE(accepted.ok());
     server_side = std::move(*accepted);
-    server_side->set_receive_callback([&](std::vector<std::uint8_t> msg) {
-      last_server_msg = std::move(msg);
+    server_side->set_receive_callback([&](std::span<const std::uint8_t> msg) {
+      last_server_msg.assign(msg.begin(), msg.end());
       server_received.fetch_add(1);
     });
     server_side->start();
@@ -289,7 +370,7 @@ TEST(TcpTransport, ConnectSendReceive) {
   server.join();
 
   std::atomic<int> client_received{0};
-  (*client)->set_receive_callback([&](std::vector<std::uint8_t>) { client_received.fetch_add(1); });
+  (*client)->set_receive_callback([&](std::span<const std::uint8_t>) { client_received.fetch_add(1); });
   (*client)->start();
 
   ASSERT_TRUE((*client)->send(std::vector<std::uint8_t>{42, 43}).ok());
@@ -325,7 +406,7 @@ TEST(TcpTransport, ManyMessagesSurviveSegmentation) {
     ASSERT_TRUE(accepted.ok());
     server_side = std::move(*accepted);
     int expected = 0;
-    server_side->set_receive_callback([&, expected](std::vector<std::uint8_t> msg) mutable {
+    server_side->set_receive_callback([&, expected](std::span<const std::uint8_t> msg) mutable {
       if (msg.size() != 300 || msg[0] != static_cast<std::uint8_t>(expected % 256)) {
         in_order.store(false);
       }
@@ -374,7 +455,7 @@ TEST(TcpTransport, PeerCloseFiresDisconnectCallback) {
     reason = error.message;
     disconnects.fetch_add(1);
   });
-  (*client)->set_receive_callback([](std::vector<std::uint8_t>) {});
+  (*client)->set_receive_callback([](std::span<const std::uint8_t>) {});
   (*client)->start();
 
   server_side->close();  // orderly peer shutdown -> recv() == 0 at the client
@@ -401,7 +482,7 @@ TEST(TcpTransport, LocalCloseDoesNotFireDisconnectCallback) {
 
   std::atomic<int> disconnects{0};
   (*client)->set_disconnect_callback([&](util::Error) { disconnects.fetch_add(1); });
-  (*client)->set_receive_callback([](std::vector<std::uint8_t>) {});
+  (*client)->set_receive_callback([](std::span<const std::uint8_t>) {});
   (*client)->start();
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   (*client)->close();  // deliberate local teardown, not a failure
@@ -437,7 +518,7 @@ TEST(TcpTransport, CorruptFrameLengthFiresDisconnectCallback) {
     reason = error.message;
     disconnects.fetch_add(1);
   });
-  server_side->set_receive_callback([](std::vector<std::uint8_t>) {});
+  server_side->set_receive_callback([](std::span<const std::uint8_t>) {});
   server_side->start();
 
   const std::uint8_t bogus_header[4] = {0xff, 0xff, 0xff, 0xff};  // 4 GiB frame

@@ -401,4 +401,80 @@ TEST(ProtoRobustness, CheckpointShardIdentityRoundTrips) {
   EXPECT_TRUE(standalone_decoded->agent_ids.empty());
 }
 
+// The zero-allocation receive paths (docs/wire_fastpath.md) decode into a
+// long-lived struct instead of a fresh one. A failed decode of hostile
+// bytes must leave that struct reusable: the next valid decode_into must
+// produce exactly what a fresh decode would, with no stale fields or stale
+// repeated-entry tails leaking through.
+TEST(ProtoRobustness, ReusedEnvelopeSurvivesHostileBytes) {
+  Envelope valid;
+  valid.type = MessageType::stats_reply;
+  valid.xid = 42;
+  valid.epoch = 7;
+  valid.ts_us = 5555;
+  valid.body = {0x08, 0x09, 0x10, 0x0c};
+  const auto wire = valid.encode();
+
+  Envelope reused;
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    (void)Envelope::decode_into(std::span(wire.data(), len), reused);
+  }
+  for (const std::uint8_t poison : {0x00, 0xff, 0x80}) {
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+      std::vector<std::uint8_t> mutated = wire;
+      mutated[i] = poison;
+      (void)Envelope::decode_into(mutated, reused);
+    }
+  }
+  ASSERT_TRUE(Envelope::decode_into(wire, reused).ok());
+  const auto fresh = Envelope::decode(wire);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(reused.type, fresh->type);
+  EXPECT_EQ(reused.xid, fresh->xid);
+  EXPECT_EQ(reused.epoch, fresh->epoch);
+  EXPECT_EQ(reused.ts_us, fresh->ts_us);
+  EXPECT_EQ(reused.body, fresh->body);
+}
+
+TEST(ProtoRobustness, ReusedStatsReplySurvivesHostileBytes) {
+  StatsReply valid;
+  valid.request_id = 3;
+  valid.subframe = 900;
+  for (int u = 0; u < 3; ++u) {
+    UeStatsReport report;
+    report.rnti = static_cast<lte::Rnti>(70 + u);
+    report.bsr_bytes = {10, 20, 30, 40};
+    report.wb_cqi = static_cast<std::uint8_t>(8 + u);
+    report.rsrp.push_back({1, -90.0 - u});
+    valid.ue_reports.push_back(report);
+  }
+  WireEncoder enc;
+  valid.encode_body(enc);
+  const auto wire = enc.take();
+
+  StatsReply reused;
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    (void)StatsReply::decode_body_into(std::span(wire.data(), len), reused);
+  }
+  for (const std::uint8_t poison : {0x00, 0xff, 0x80}) {
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+      std::vector<std::uint8_t> mutated = wire;
+      mutated[i] = poison;
+      (void)StatsReply::decode_body_into(mutated, reused);
+    }
+  }
+  ASSERT_TRUE(StatsReply::decode_body_into(wire, reused).ok());
+  const auto fresh = StatsReply::decode_body(wire);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(reused.request_id, fresh->request_id);
+  EXPECT_EQ(reused.subframe, fresh->subframe);
+  ASSERT_EQ(reused.ue_reports.size(), fresh->ue_reports.size());
+  for (std::size_t u = 0; u < fresh->ue_reports.size(); ++u) {
+    EXPECT_EQ(reused.ue_reports[u].rnti, fresh->ue_reports[u].rnti);
+    EXPECT_EQ(reused.ue_reports[u].wb_cqi, fresh->ue_reports[u].wb_cqi);
+    EXPECT_EQ(reused.ue_reports[u].bsr_bytes, fresh->ue_reports[u].bsr_bytes);
+    ASSERT_EQ(reused.ue_reports[u].rsrp.size(), fresh->ue_reports[u].rsrp.size());
+  }
+}
+
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/framing.h"
 #include "proto/accounting.h"
 #include "proto/messages.h"
@@ -566,6 +568,233 @@ TEST(Accounting, CategorizeIsBodyDependentForEvents) {
   EXPECT_EQ(categorize(envelope.type, envelope.body), MessageCategory::agent_management);
   EXPECT_EQ(categorize(envelope.type, {}), MessageCategory::sync);
   EXPECT_NE(categorize(envelope.type, envelope.body), categorize(envelope.type, {}));
+}
+
+// ------------------------------------------- wire fast path (zero-alloc) --
+// docs/wire_fastpath.md: the arena/backpatch encoder and the reuse APIs
+// must be byte-identical to the legacy fresh-encoder paths on every
+// top-level message type.
+
+// pack() via a reused scratch encoder (cleared between messages, after
+// encoding unrelated garbage) must produce exactly pack()'s bytes.
+template <typename M>
+void expect_reused_encoder_identical(const M& message) {
+  const auto fresh = pack(message, /*xid=*/9);
+  WireEncoder scratch;
+  // Dirty the scratch with an unrelated message first, as a long-lived
+  // per-link encoder would be.
+  Envelope dirty_header;
+  dirty_header.xid = 1;
+  encode_envelope(scratch, dirty_header, EchoRequest{.subframe = 7, .timestamp_us = 8});
+  scratch.clear();
+  Envelope header;
+  header.xid = 9;
+  encode_envelope(scratch, header, message);
+  const auto reused = scratch.bytes();
+  ASSERT_EQ(reused.size(), fresh.size()) << to_string(M::kType);
+  EXPECT_TRUE(std::equal(reused.begin(), reused.end(), fresh.begin())) << to_string(M::kType);
+}
+
+TEST(WireFastPath, ReusedEncoderMatchesFreshAcrossAllMessageTypes) {
+  expect_reused_encoder_identical(Hello{.enb_id = 3, .name = "enb", .capabilities = {"mac"}});
+  expect_reused_encoder_identical(EchoRequest{.subframe = 42, .timestamp_us = 777});
+  expect_reused_encoder_identical(EchoReply{.subframe = 42, .echoed_timestamp_us = 777});
+  expect_reused_encoder_identical(EnbConfigRequest{});
+  EnbConfigReply enb_reply;
+  enb_reply.enb_id = 2;
+  enb_reply.cells.push_back(CellConfigMsg::from(lte::CellConfig{}));
+  expect_reused_encoder_identical(enb_reply);
+  expect_reused_encoder_identical(UeConfigRequest{});
+  UeConfigReply ue_reply;
+  ue_reply.ues.push_back(UeConfigMsg{.rnti = 70, .primary_cell = 1});
+  expect_reused_encoder_identical(ue_reply);
+  expect_reused_encoder_identical(LcConfigRequest{});
+  LcConfigReply lc_reply;
+  lc_reply.channels.push_back(LcConfigMsg{.rnti = 70});
+  expect_reused_encoder_identical(lc_reply);
+  StatsRequest stats_request;
+  stats_request.request_id = 4;
+  stats_request.mode = ReportMode::periodic;
+  stats_request.ues = {70, 71};
+  expect_reused_encoder_identical(stats_request);
+  StatsReply stats_reply;
+  stats_reply.request_id = 4;
+  stats_reply.subframe = 999;
+  UeStatsReport report;
+  report.rnti = 70;
+  report.bsr_bytes = {1, 2, 3, 4};
+  report.rsrp.push_back({1, -91.25});
+  stats_reply.ue_reports.push_back(report);
+  stats_reply.cell_reports.push_back(CellStatsReport{.cell_id = 1, .active_ues = 1});
+  expect_reused_encoder_identical(stats_reply);
+  DlMacConfig dl;
+  dl.cell_id = 1;
+  dl.target_subframe = 88;
+  lte::DlDci dci;
+  dci.rnti = 70;
+  dci.rbs.set_range(0, 10);
+  dci.mcs = 15;
+  dl.dcis.push_back(dci);
+  expect_reused_encoder_identical(dl);
+  UlMacConfig ul;
+  ul.cell_id = 1;
+  lte::UlDci ul_dci;
+  ul_dci.rnti = 70;
+  ul_dci.rbs.set_range(4, 4);
+  ul.dcis.push_back(ul_dci);
+  expect_reused_encoder_identical(ul);
+  expect_reused_encoder_identical(
+      HandoverCommand{.rnti = 70, .source_cell = 1, .target_cell = 2});
+  AbsConfig abs;
+  abs.cell_id = 1;
+  abs.pattern = lte::AbsPattern::per_frame(4);
+  expect_reused_encoder_identical(abs);
+  expect_reused_encoder_identical(CarrierRestriction{.cell_id = 1, .max_dl_prbs = 50});
+  expect_reused_encoder_identical(DrxConfig{.rnti = 70, .cycle_ttis = 64});
+  expect_reused_encoder_identical(ScellCommand{.rnti = 70, .activate = false});
+  EventNotification event;
+  event.event = EventType::vsf_failure;
+  event.module = "mac";
+  event.vsf = "dl_ue_scheduler";
+  event.implementation = "remote";
+  event.failure_kind = VsfFailureKind::overrun;
+  event.failure_count = 2;
+  event.detail = "deadline";
+  expect_reused_encoder_identical(event);
+  EventSubscription subscription;
+  subscription.events = {EventType::ue_attach, EventType::ue_detach};
+  expect_reused_encoder_identical(subscription);
+  ControlDelegation delegation;
+  delegation.module = "mac";
+  delegation.vsf = "dl_ue_scheduler";
+  delegation.implementation = "local_pf";
+  delegation.blob = {1, 2, 3};
+  expect_reused_encoder_identical(delegation);
+  expect_reused_encoder_identical(PolicyReconfiguration{.yaml = "mac: {}"});
+}
+
+TEST(WireFastPath, BackpatchMatchesFieldMessageAcrossLengthBoundary) {
+  // Nested payloads around the 1-byte/2-byte length-prefix boundary (127 /
+  // 128) and well past it: begin/end_message must emit exactly what the
+  // legacy two-encoder field_message path emits, including the widened
+  // minimal varint prefix.
+  for (std::size_t payload_len : {0u, 1u, 126u, 127u, 128u, 129u, 300u, 16383u, 16384u}) {
+    const std::vector<std::uint8_t> payload(payload_len, 0x5a);
+    WireEncoder legacy;
+    WireEncoder sub;
+    for (auto b : payload) sub.field_varint(1, b);
+    legacy.field_message(7, sub);
+
+    WireEncoder arena;
+    const auto mark = arena.begin_message(7);
+    for (auto b : payload) arena.field_varint(1, b);
+    arena.end_message(mark);
+
+    ASSERT_EQ(arena.size(), legacy.size()) << "payload_len=" << payload_len;
+    const auto a = arena.bytes();
+    const auto l = legacy.bytes();
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), l.begin())) << "payload_len=" << payload_len;
+  }
+}
+
+TEST(WireFastPath, DeeplyNestedBackpatchIsByteIdenticalToLegacy) {
+  // Two levels of nesting with a large inner payload, like a StatsReply
+  // carrying RSRP sub-messages: inner end_message runs before the outer.
+  WireEncoder legacy;
+  {
+    WireEncoder inner;
+    for (int i = 0; i < 100; ++i) inner.field_varint(1, 200 + i);
+    WireEncoder outer;
+    outer.field_varint(1, 70);
+    outer.field_message(10, inner);
+    legacy.field_message(3, outer);
+  }
+  WireEncoder arena;
+  {
+    const auto outer = arena.begin_message(3);
+    arena.field_varint(1, 70);
+    const auto inner = arena.begin_message(10);
+    for (int i = 0; i < 100; ++i) arena.field_varint(1, 200 + i);
+    arena.end_message(inner);
+    arena.end_message(outer);
+  }
+  ASSERT_EQ(arena.size(), legacy.size());
+  const auto a = arena.bytes();
+  const auto l = legacy.bytes();
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), l.begin()));
+}
+
+TEST(WireFastPath, DecodeIntoMatchesFreshDecode) {
+  StatsReply reply;
+  reply.request_id = 6;
+  reply.subframe = 2000;
+  for (lte::Rnti rnti = 70; rnti < 74; ++rnti) {
+    UeStatsReport report;
+    report.rnti = rnti;
+    report.bsr_bytes = {10, 20, 30, 40};
+    report.wb_cqi = 11;
+    report.rsrp.push_back({1, -100.5});
+    reply.ue_reports.push_back(report);
+  }
+  const auto wire = pack(reply, 3);
+
+  Envelope reused_envelope;
+  StatsReply reused_reply;
+  // Pre-dirty the reused structs with a different shape (more reports than
+  // the incoming message) so stale slots must be trimmed, not leak through.
+  ASSERT_TRUE(Envelope::decode_into(pack(EchoRequest{}), reused_envelope).ok());
+  for (int i = 0; i < 9; ++i) reused_reply.ue_reports.emplace_back();
+  reused_reply.cell_reports.emplace_back();
+
+  ASSERT_TRUE(Envelope::decode_into(wire, reused_envelope).ok());
+  ASSERT_TRUE(StatsReply::decode_body_into(reused_envelope.body, reused_reply).ok());
+
+  const auto fresh_envelope = Envelope::decode(wire).value();
+  const auto fresh_reply = StatsReply::decode_body(fresh_envelope.body).value();
+  EXPECT_EQ(reused_envelope.type, fresh_envelope.type);
+  EXPECT_EQ(reused_envelope.xid, fresh_envelope.xid);
+  EXPECT_EQ(reused_reply.request_id, fresh_reply.request_id);
+  EXPECT_EQ(reused_reply.subframe, fresh_reply.subframe);
+  ASSERT_EQ(reused_reply.ue_reports.size(), fresh_reply.ue_reports.size());
+  ASSERT_EQ(reused_reply.cell_reports.size(), fresh_reply.cell_reports.size());
+  for (std::size_t i = 0; i < fresh_reply.ue_reports.size(); ++i) {
+    EXPECT_EQ(reused_reply.ue_reports[i].rnti, fresh_reply.ue_reports[i].rnti);
+    EXPECT_EQ(reused_reply.ue_reports[i].bsr_bytes, fresh_reply.ue_reports[i].bsr_bytes);
+    ASSERT_EQ(reused_reply.ue_reports[i].rsrp.size(), fresh_reply.ue_reports[i].rsrp.size());
+    EXPECT_DOUBLE_EQ(reused_reply.ue_reports[i].rsrp[0].rsrp_dbm,
+                     fresh_reply.ue_reports[i].rsrp[0].rsrp_dbm);
+  }
+}
+
+TEST(WireFastPath, TrailingBsrEntriesAreCountedNotDropped) {
+  // S3: a peer modeling more LC groups than kNumLcGroups sends extra
+  // field-2 entries. The message must decode (forward compatibility), the
+  // first kNumLcGroups entries must land, and the loss must be counted in
+  // the decode-anomaly stat instead of vanishing silently.
+  WireEncoder body;
+  body.field_varint(1, 70);  // rnti
+  for (std::uint32_t i = 0; i < lte::kNumLcGroups + 3; ++i) {
+    body.field_varint(2, 100 + i);
+  }
+  body.field_svarint(3, 5);
+  body.field_varint(4, 9);
+  body.field_varint(5, 1234);
+  WireEncoder reply_body;
+  reply_body.field_varint(1, 8);   // request_id
+  reply_body.field_svarint(2, 1);  // subframe
+  reply_body.field_message(3, body);
+
+  const auto before = decode_anomalies().bsr_overflow.load();
+  auto decoded = StatsReply::decode_body(reply_body.bytes());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->ue_reports.size(), 1u);
+  const auto& ue = decoded->ue_reports[0];
+  EXPECT_EQ(ue.rnti, 70);
+  for (std::uint32_t i = 0; i < lte::kNumLcGroups; ++i) {
+    EXPECT_EQ(ue.bsr_bytes[i], 100 + i);
+  }
+  EXPECT_EQ(ue.wb_cqi, 9);
+  EXPECT_EQ(decode_anomalies().bsr_overflow.load(), before + 3);
 }
 
 }  // namespace

@@ -102,14 +102,60 @@ TEST(ByteBuffer, LittleEndianLayout) {
   EXPECT_EQ(bytes[3], 0x01);
 }
 
-TEST(ByteBuffer, CompactDropsConsumedPrefix) {
+TEST(ByteBuffer, CompactNowDropsConsumedPrefix) {
+  ByteBuffer buf;
+  buf.write_u32(1);
+  buf.write_u32(2);
+  ASSERT_EQ(buf.read_u32().value(), 1u);
+  buf.compact_now();
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.read_u32().value(), 2u);
+}
+
+TEST(ByteBuffer, CompactIsAmortized) {
+  // Small consumed prefixes are kept (no memmove per call)...
   ByteBuffer buf;
   buf.write_u32(1);
   buf.write_u32(2);
   ASSERT_EQ(buf.read_u32().value(), 1u);
   buf.compact();
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.readable(), 4u);
+  // ...a fully drained buffer resets cheaply...
+  ASSERT_EQ(buf.read_u32().value(), 2u);
+  buf.compact();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.readable(), 0u);
+  // ...and a prefix past the threshold is actually erased.
+  const std::vector<std::uint8_t> block(kCompactThresholdBytes, 0xab);
+  buf.write_bytes(block);
+  buf.write_u32(3);
+  ASSERT_TRUE(buf.read_bytes(kCompactThresholdBytes).ok());
+  buf.compact();
   EXPECT_EQ(buf.size(), 4u);
-  EXPECT_EQ(buf.read_u32().value(), 2u);
+  EXPECT_EQ(buf.read_u32().value(), 3u);
+}
+
+TEST(ByteBuffer, SeekRewindsAndInsertZerosWidens) {
+  ByteBuffer buf;
+  buf.write_u32(7);
+  buf.write_u32(9);
+  ASSERT_EQ(buf.read_u32().value(), 7u);
+  const std::size_t mark = buf.read_position();
+  ASSERT_EQ(buf.read_u32().value(), 9u);
+  buf.seek(mark);
+  EXPECT_EQ(buf.read_u32().value(), 9u);
+  // insert_zeros opens a gap without disturbing surrounding bytes.
+  ByteBuffer enc;
+  enc.write_u8(0xaa);
+  enc.write_u8(0xbb);
+  enc.insert_zeros(1, 2);
+  const auto bytes = enc.contents();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0xaa);
+  EXPECT_EQ(bytes[1], 0);
+  EXPECT_EQ(bytes[2], 0);
+  EXPECT_EQ(bytes[3], 0xbb);
 }
 
 // ------------------------------------------------------------------- Rng --

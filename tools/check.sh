@@ -33,13 +33,25 @@ cmake --build "${build_dir}" -j "${jobs}"
 if [[ "${sanitize}" == "thread" ]]; then
   # TSan finds races, not leaks/UB; run the suites that exercise the
   # worker pool and the snapshot/command paths, as whole binaries.
-  for t in controller_test concurrency_test integration_test fault_tolerance_test obs_test sharded_test; do
+  # net_test and proto_test ride along for the wire fast path
+  # (docs/wire_fastpath.md): the span-delivery framing tests and the
+  # encoder-reuse tests must stay clean when transports run threaded.
+  for t in controller_test concurrency_test integration_test fault_tolerance_test obs_test sharded_test net_test proto_test; do
     echo "== ${t} under ${sanitize}"
     "${build_dir}/tests/${t}"
   done
 else
   echo "== ctest"
   (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+
+  # Wire fast-path allocation gate (docs/wire_fastpath.md): bench_wire
+  # counts heap allocations per message on the steady-state encode /
+  # decode / frame+reassemble paths via a counting operator-new hook.
+  # Counts are exact and machine-independent, so any regression above
+  # bench/wire_alloc_baseline.txt (currently all zeros) fails the gate.
+  echo "== bench_wire allocation gate"
+  "${build_dir}/bench/bench_wire" --check="${repo_root}/bench/wire_alloc_baseline.txt" \
+    "${build_dir}/BENCH_wire.json"
 fi
 
 # Chaos soak: every chaos_*.yaml (recovery, overload, VSF containment,
